@@ -1,0 +1,82 @@
+// Shared plumbing for the bench binaries: standard environment, the
+// Table-I campaign, and scale controls.
+//
+// Every bench accepts:
+//   argv[1] — corpus file count   (default 5099, the paper's corpus)
+//   argv[2] — max samples to run  (default 492, the full Table-I set;
+//             subsampling keeps per-family proportions)
+// or the environment variable CRYPTODROP_FAST=1 for a quick smoke run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace cryptodrop::benchutil {
+
+struct BenchScale {
+  std::size_t corpus_files = 5099;
+  std::size_t corpus_dirs = 511;
+  std::size_t max_samples = 492;
+  std::uint64_t corpus_seed = 20160627;  // ICDCS 2016 week
+  std::uint64_t campaign_seed = 1;
+};
+
+inline BenchScale parse_scale(int argc, char** argv) {
+  BenchScale scale;
+  if (std::getenv("CRYPTODROP_FAST") != nullptr) {
+    scale.corpus_files = 800;
+    scale.corpus_dirs = 80;
+    scale.max_samples = 60;
+  }
+  if (argc > 1) scale.corpus_files = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) scale.max_samples = std::strtoul(argv[2], nullptr, 10);
+  if (scale.corpus_files != 5099) {
+    scale.corpus_dirs = std::max<std::size_t>(scale.corpus_files / 10, 16);
+  }
+  return scale;
+}
+
+inline harness::Environment build_environment(const BenchScale& scale) {
+  corpus::CorpusSpec spec;
+  spec.total_files = scale.corpus_files;
+  spec.total_dirs = scale.corpus_dirs;
+  spec.compute_hashes = false;  // loss accounting uses COW identity
+  std::fprintf(stderr, "[bench] building corpus: %zu files, %zu dirs...\n",
+               spec.total_files, spec.total_dirs);
+  return harness::make_environment(spec, scale.corpus_seed);
+}
+
+/// The Table-I sample set, subsampled evenly (preserving family order and
+/// therefore per-family proportions) when max_samples < 492.
+inline std::vector<sim::SampleSpec> campaign_specs(const BenchScale& scale) {
+  std::vector<sim::SampleSpec> all = sim::table1_samples(scale.campaign_seed);
+  if (scale.max_samples >= all.size()) return all;
+  std::vector<sim::SampleSpec> picked;
+  picked.reserve(scale.max_samples);
+  const double stride = static_cast<double>(all.size()) /
+                        static_cast<double>(scale.max_samples);
+  for (std::size_t i = 0; i < scale.max_samples; ++i) {
+    picked.push_back(all[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+  }
+  return picked;
+}
+
+inline std::vector<harness::RansomwareRunResult> run_standard_campaign(
+    const harness::Environment& env, const BenchScale& scale,
+    const core::ScoringConfig& config = {}) {
+  const auto specs = campaign_specs(scale);
+  std::fprintf(stderr, "[bench] running %zu samples...\n", specs.size());
+  return harness::run_campaign(env, specs, config,
+                               [](std::size_t done, std::size_t total) {
+                                 if (done % 100 == 0 || done == total) {
+                                   std::fprintf(stderr, "[bench]   %zu/%zu\n", done, total);
+                                 }
+                               });
+}
+
+}  // namespace cryptodrop::benchutil

@@ -1,0 +1,219 @@
+// §V-H reproduction: per-operation overhead of the CryptoDrop engine,
+// measured with google-benchmark.
+//
+// Paper reference (unoptimized research prototype): open/read < 1 ms,
+// close +1.58 ms, write +9 ms, rename +16 ms — write and rename are the
+// most expensive because that is where measurement happens. Our absolute
+// numbers are micro-seconds (in-memory FS, no disk), but the *ordering*
+// should match: rename/close-after-write carry the measurement cost.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/text.hpp"
+#include "core/engine.hpp"
+#include "vfs/filesystem.hpp"
+
+using namespace cryptodrop;
+
+namespace {
+
+constexpr const char* kRoot = "users/victim/documents";
+
+struct PerfFixture {
+  vfs::FileSystem fs;
+  std::unique_ptr<core::AnalysisEngine> engine;
+  vfs::ProcessId pid = 0;
+  Rng rng{99};
+
+  explicit PerfFixture(bool with_engine) {
+    // A modest protected tree with realistic content.
+    for (int i = 0; i < 64; ++i) {
+      const std::string path =
+          std::string(kRoot) + "/dir" + std::to_string(i % 8) + "/doc" +
+          std::to_string(i) + ".txt";
+      Bytes content = to_bytes(synth_prose(rng, 64 * 1024));
+      (void)fs.put_file_raw(path, std::move(content));
+    }
+    if (with_engine) {
+      core::ScoringConfig config;
+      config.score_threshold = 1 << 30;  // measure, never suspend
+      config.union_threshold = 1 << 30;
+      engine = std::make_unique<core::AnalysisEngine>(config);
+      fs.attach_filter(engine.get());
+    }
+    pid = fs.register_process("bench");
+  }
+
+  std::string doc(int i) {
+    return std::string(kRoot) + "/dir" + std::to_string(i % 8) + "/doc" +
+           std::to_string(i % 64) + ".txt";
+  }
+};
+
+void BM_OpenClose(benchmark::State& state) {
+  PerfFixture fx(state.range(0) != 0);
+  int i = 0;
+  for (auto _ : state) {
+    auto h = fx.fs.open(fx.pid, fx.doc(i++), vfs::kRead);
+    benchmark::DoNotOptimize(h);
+    (void)fx.fs.close(fx.pid, h.value());
+  }
+}
+BENCHMARK(BM_OpenClose)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_Read64K(benchmark::State& state) {
+  PerfFixture fx(state.range(0) != 0);
+  int i = 0;
+  for (auto _ : state) {
+    auto h = fx.fs.open(fx.pid, fx.doc(i++), vfs::kRead);
+    auto data = fx.fs.read(fx.pid, h.value(), 64 * 1024);
+    benchmark::DoNotOptimize(data);
+    (void)fx.fs.close(fx.pid, h.value());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1024);
+}
+BENCHMARK(BM_Read64K)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_Write64K(benchmark::State& state) {
+  PerfFixture fx(state.range(0) != 0);
+  const Bytes payload = fx.rng.bytes(64 * 1024);
+  int i = 0;
+  for (auto _ : state) {
+    auto h = fx.fs.open(fx.pid, fx.doc(i++), vfs::kRead | vfs::kWrite);
+    (void)fx.fs.write(fx.pid, h.value(), ByteView(payload));
+    (void)fx.fs.close(fx.pid, h.value());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1024);
+}
+BENCHMARK(BM_Write64K)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_WriteCloseMeasured(benchmark::State& state) {
+  // The expensive path the paper calls out: a modified file's close is
+  // where type + similarity measurement runs.
+  PerfFixture fx(state.range(0) != 0);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = fx.doc(i++);
+    auto h = fx.fs.open(fx.pid, path, vfs::kRead | vfs::kWrite);
+    Bytes fresh = to_bytes(synth_prose(fx.rng, 64 * 1024));
+    (void)fx.fs.write(fx.pid, h.value(), ByteView(fresh));
+    (void)fx.fs.close(fx.pid, h.value());
+  }
+}
+BENCHMARK(BM_WriteCloseMeasured)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_Rename(benchmark::State& state) {
+  PerfFixture fx(state.range(0) != 0);
+  int i = 0;
+  std::string current = fx.doc(0);
+  for (auto _ : state) {
+    const std::string next =
+        std::string(kRoot) + "/renamed_" + std::to_string(i++ % 2) + ".txt";
+    (void)fx.fs.rename(fx.pid, current, next);
+    current = next;
+  }
+}
+BENCHMARK(BM_Rename)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_RenameReplace(benchmark::State& state) {
+  // Rename-over-existing: the engine must snapshot + compare pre-images
+  // (the paper's most expensive operation at 16 ms).
+  PerfFixture fx(state.range(0) != 0);
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string src = std::string(kRoot) + "/incoming.tmp";
+    (void)fx.fs.write_file(fx.pid, src, fx.rng.bytes(64 * 1024));
+    const std::string dst = fx.doc(i++);
+    state.ResumeTiming();
+    (void)fx.fs.rename(fx.pid, src, dst);
+  }
+}
+BENCHMARK(BM_RenameReplace)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_Remove(benchmark::State& state) {
+  PerfFixture fx(state.range(0) != 0);
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string path = std::string(kRoot) + "/victim" + std::to_string(i++) + ".txt";
+    (void)fx.fs.put_file_raw(path, to_bytes("to be deleted"));
+    state.ResumeTiming();
+    (void)fx.fs.remove(fx.pid, path);
+  }
+}
+BENCHMARK(BM_Remove)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_UnmonitoredDirectoryOps(benchmark::State& state) {
+  // §V-H: "CryptoDrop does not inspect files outside of the user's
+  // documents directory" — engine on/off must be indistinguishable here.
+  PerfFixture fx(state.range(0) != 0);
+  const Bytes payload = fx.rng.bytes(16 * 1024);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "programdata/cache/blob" + std::to_string(i++ % 16);
+    (void)fx.fs.write_file(fx.pid, path, ByteView(payload));
+    auto data = fx.fs.read_file(fx.pid, path);
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_UnmonitoredDirectoryOps)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+/// The paper's own methodology ("we traced our code while performing
+/// modifications to protected files"): run a realistic mixed workload
+/// and print the engine's internal per-callback cost per op type.
+void print_engine_internal_latency() {
+  PerfFixture fx(/*with_engine=*/true);
+  Rng rng(7);
+  // A mixed workload: reads, in-place rewrites, renames, deletes.
+  for (int round = 0; round < 48; ++round) {
+    const std::string path = fx.doc(round);
+    (void)fx.fs.read_file(fx.pid, path);
+    auto h = fx.fs.open(fx.pid, path, vfs::kRead | vfs::kWrite);
+    if (h) {
+      Bytes fresh = to_bytes(synth_prose(rng, 64 * 1024));
+      (void)fx.fs.write(fx.pid, h.value(), ByteView(fresh));
+      (void)fx.fs.close(fx.pid, h.value());
+    }
+    if (round % 4 == 0) {
+      (void)fx.fs.rename(fx.pid, path,
+                         std::string(kRoot) + "/renamed" + std::to_string(round));
+    }
+    if (round % 8 == 0) {
+      const std::string victim = std::string(kRoot) + "/tmp" + std::to_string(round);
+      (void)fx.fs.put_file_raw(victim, to_bytes("bye"));
+      (void)fx.fs.remove(fx.pid, victim);
+    }
+  }
+  const core::LatencyStats& stats = fx.engine->latency_stats();
+  std::printf("\n== engine-internal measurement cost per op (paper §V-H style) ==\n");
+  std::printf("%-10s %10s %14s %14s\n", "op", "count", "mean (us)", "max (us)");
+  const struct {
+    const char* name;
+    vfs::OpType op;
+  } kRows[] = {
+      {"open", vfs::OpType::open},     {"read", vfs::OpType::read},
+      {"write", vfs::OpType::write},   {"close", vfs::OpType::close},
+      {"rename", vfs::OpType::rename}, {"remove", vfs::OpType::remove},
+  };
+  for (const auto& row : kRows) {
+    const auto& bucket = stats.for_op(row.op);
+    std::printf("%-10s %10llu %14.1f %14.1f\n", row.name,
+                static_cast<unsigned long long>(bucket.count), bucket.mean_micros(),
+                static_cast<double>(bucket.max_ns) / 1000.0);
+  }
+  std::printf("[paper's unoptimized prototype: open/read < 1 ms, close +1.58 ms,\n"
+              " write +9 ms, rename +16 ms — write/rename/close carry the\n"
+              " measurement, opens and reads are nearly free]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_engine_internal_latency();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Threshold-selection study: the trade-off behind the paper's choice of
+// a non-union threshold of 200.
+//
+// §IV-B: "This scoring mechanism allows us to keep our scoring
+// thresholds low without incurring significant false positives." This
+// bench sweeps the non-union threshold and reports both sides of the
+// trade: median files lost across a sampled malware campaign (lower
+// threshold = earlier detection) and the number of benign-suite
+// applications whose final score would cross it (lower threshold = more
+// false positives). The paper's 200 should sit in the knee: minimal
+// loss growth, exactly one (expected) false positive.
+#include "bench_common.hpp"
+
+#include "common/stats.hpp"
+
+using namespace cryptodrop;
+
+int main(int argc, char** argv) {
+  auto scale = benchutil::parse_scale(argc, argv);
+  if (scale.max_samples > 80) scale.max_samples = 80;
+  const harness::Environment env = benchutil::build_environment(scale);
+  const auto specs = benchutil::campaign_specs(scale);
+
+  // Benign final scores, measured once without suspension.
+  core::ScoringConfig unbounded;
+  unbounded.score_threshold = 1 << 30;
+  unbounded.union_threshold = 1 << 30;
+  std::vector<std::pair<std::string, int>> benign_scores;
+  for (const sim::BenignWorkload& workload : sim::all_benign_workloads()) {
+    std::fprintf(stderr, "[bench] benign: %s\n", workload.name.c_str());
+    const auto r = harness::run_benign_workload(env, workload, unbounded, 9);
+    benign_scores.emplace_back(r.app, r.final_score);
+  }
+
+  std::printf("== non-union threshold sweep (%zu samples, 30 benign apps) ==\n\n",
+              specs.size());
+  harness::TextTable table({"Threshold", "Detection", "Median files lost",
+                            "Benign FPs", "Flagged apps"});
+  for (int threshold : {25, 50, 100, 150, 200, 300, 400, 600}) {
+    core::ScoringConfig config;
+    config.score_threshold = threshold;
+    config.union_threshold = std::min(config.union_threshold, threshold);
+    std::size_t detected = 0;
+    std::vector<double> losses;
+    for (const sim::SampleSpec& spec : specs) {
+      const auto r = harness::run_ransomware_sample(env, spec, config);
+      detected += r.detected ? 1 : 0;
+      losses.push_back(static_cast<double>(r.files_lost));
+    }
+    int fps = 0;
+    std::string flagged;
+    for (const auto& [app, score] : benign_scores) {
+      if (score >= threshold) {
+        ++fps;
+        flagged += app + "; ";
+      }
+    }
+    table.add_row({std::to_string(threshold) +
+                       (threshold == 200 ? " (paper)" : ""),
+                   harness::fmt_percent(static_cast<double>(detected) /
+                                        static_cast<double>(specs.size()), 0),
+                   harness::fmt_double(median(losses), 1), std::to_string(fps),
+                   flagged});
+    std::fprintf(stderr, "[bench] threshold %d done\n", threshold);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("expected knee: loss grows slowly with the threshold (union\n"
+              "indication dominates detection speed) while benign FPs drop to\n"
+              "exactly one — the archiver — by 250-300.\n");
+  return 0;
+}

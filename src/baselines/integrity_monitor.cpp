@@ -1,0 +1,116 @@
+#include "baselines/integrity_monitor.hpp"
+
+#include "vfs/path.hpp"
+
+namespace cryptodrop::baselines {
+
+IntegrityMonitor::IntegrityMonitor(Options options) : options_(std::move(options)) {}
+
+void IntegrityMonitor::on_attach(vfs::FileSystem& fs) {
+  fs_ = &fs;
+  if (!baseline_injected_) rebaseline();
+}
+
+std::map<std::string, crypto::Sha256Digest> IntegrityMonitor::compute_baseline(
+    const vfs::FileSystem& fs, const std::string& protected_root) {
+  std::map<std::string, crypto::Sha256Digest> out;
+  for (const std::string& path : fs.list_files_recursive(protected_root)) {
+    if (auto data = fs.read_unfiltered(path)) {
+      out[path] = crypto::sha256(ByteView(*data));
+    }
+  }
+  return out;
+}
+
+void IntegrityMonitor::rebaseline() {
+  baseline_ = compute_baseline(*fs_, options_.protected_root);
+}
+
+bool IntegrityMonitor::is_suspended(vfs::ProcessId pid) const {
+  auto it = suspended_.find(pid);
+  return it != suspended_.end() && it->second;
+}
+
+vfs::Verdict IntegrityMonitor::pre_operation(const vfs::OperationEvent& event) {
+  if (options_.suspend_on_alert && event.op != vfs::OpType::close &&
+      is_suspended(event.pid)) {
+    return vfs::Verdict::deny;
+  }
+  return vfs::Verdict::allow;
+}
+
+void IntegrityMonitor::raise_alert(const vfs::OperationEvent& event,
+                                   const std::string& path,
+                                   IntegrityAlert::Kind kind) {
+  alerts_.push_back(IntegrityAlert{path, event.pid, event.process_name, kind});
+  if (options_.suspend_on_alert) suspended_[event.pid] = true;
+}
+
+void IntegrityMonitor::check_file(const vfs::OperationEvent& event,
+                                  const std::string& path) {
+  auto it = baseline_.find(path);
+  const auto data = fs_->read_unfiltered(path);
+  if (data == nullptr) return;
+  if (it == baseline_.end()) {
+    // Tripwire reports additions too; from now on the file is tracked.
+    raise_alert(event, path, IntegrityAlert::Kind::added);
+    baseline_[path] = crypto::sha256(ByteView(*data));
+    return;
+  }
+  if (crypto::sha256(ByteView(*data)) != it->second) {
+    raise_alert(event, path, IntegrityAlert::Kind::modified);
+    // One alert per divergence: accept the new content so a second save
+    // of the same file alerts again (Tripwire reports per scan; per
+    // change is the event-driven equivalent).
+    it->second = crypto::sha256(ByteView(*data));
+  }
+}
+
+void IntegrityMonitor::post_operation(const vfs::OperationEvent& event,
+                                      const Status& outcome) {
+  if (!outcome.is_ok() || fs_ == nullptr) return;
+  switch (event.op) {
+    case vfs::OpType::close:
+      if (event.wrote && vfs::path_is_under(event.path, options_.protected_root)) {
+        check_file(event, event.path);
+      }
+      break;
+    case vfs::OpType::remove:
+      if (baseline_.contains(event.path)) {
+        raise_alert(event, event.path, IntegrityAlert::Kind::deleted);
+        baseline_.erase(event.path);
+      }
+      break;
+    case vfs::OpType::rename: {
+      // Source disappearing counts as a delete of a baselined path; the
+      // content may live on under the destination name.
+      auto src = baseline_.find(event.path);
+      if (src != baseline_.end()) {
+        const auto digest = src->second;
+        baseline_.erase(src);
+        if (vfs::path_is_under(event.dest_path, options_.protected_root)) {
+          // Track it under the new name; replacing different content is
+          // a modification alert.
+          auto dst = baseline_.find(event.dest_path);
+          if (dst != baseline_.end() && dst->second != digest) {
+            raise_alert(event, event.dest_path, IntegrityAlert::Kind::replaced);
+          }
+          baseline_[event.dest_path] = digest;
+        } else {
+          raise_alert(event, event.path, IntegrityAlert::Kind::deleted);
+        }
+      } else if (baseline_.contains(event.dest_path)) {
+        // Unknown content moved over a baselined file.
+        raise_alert(event, event.dest_path, IntegrityAlert::Kind::replaced);
+        if (auto data = fs_->read_unfiltered(event.dest_path)) {
+          baseline_[event.dest_path] = crypto::sha256(ByteView(*data));
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace cryptodrop::baselines

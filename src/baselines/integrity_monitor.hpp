@@ -1,0 +1,88 @@
+// Tripwire-style file integrity monitor — the Related-Work baseline the
+// paper contrasts itself against (§II):
+//
+//   "file integrity monitors such as Tripwire alert the administrator
+//    when system-critical files are modified. These monitors are based
+//    on simple hash comparisons and fail to distinguish between
+//    legitimate file accesses and malicious modifications. ... this type
+//    of integrity monitoring is likely to be noisy and frustrate the
+//    user."
+//
+// Implemented as a filesystem filter over the same protected root the
+// CryptoDrop engine watches: it snapshots SHA-256 of every protected
+// file on attach and raises one alert per file whose content diverges
+// from (or disappears relative to) the baseline. bench_baselines runs it
+// against both the malware campaign (where it "detects" instantly) and
+// the benign suite (where it drowns the user in alerts) to make the
+// paper's argument quantitative.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "vfs/filesystem.hpp"
+#include "vfs/filter.hpp"
+
+namespace cryptodrop::baselines {
+
+struct IntegrityAlert {
+  std::string path;
+  vfs::ProcessId pid = 0;
+  std::string process_name;
+  enum class Kind : std::uint8_t { modified, deleted, replaced, added } kind{};
+};
+
+class IntegrityMonitor : public vfs::Filter {
+ public:
+  struct Options {
+    std::string protected_root = "users/victim/documents";
+    /// Suspend the offending process on its first alert (what an
+    /// operator would have to configure to get CryptoDrop-like data
+    /// protection out of Tripwire — and what makes it unusable, since
+    /// every legitimate save is also an alert).
+    bool suspend_on_alert = false;
+  };
+
+  explicit IntegrityMonitor(Options options);
+
+  // --- vfs::Filter -----------------------------------------------------
+  void on_attach(vfs::FileSystem& fs) override;
+  vfs::Verdict pre_operation(const vfs::OperationEvent& event) override;
+  void post_operation(const vfs::OperationEvent& event, const Status& outcome) override;
+
+  /// Re-baselines every protected file (the administrator "accepting"
+  /// the current state, as after a Tripwire database update).
+  void rebaseline();
+
+  /// Injects a precomputed baseline (path -> SHA-256). Callers running
+  /// many monitors over clones of one volume hash it once and share.
+  void set_baseline(std::map<std::string, crypto::Sha256Digest> baseline) {
+    baseline_ = std::move(baseline);
+    baseline_injected_ = true;
+  }
+
+  /// Computes the baseline map for a volume without attaching.
+  static std::map<std::string, crypto::Sha256Digest> compute_baseline(
+      const vfs::FileSystem& fs, const std::string& protected_root);
+
+  [[nodiscard]] const std::vector<IntegrityAlert>& alerts() const { return alerts_; }
+  [[nodiscard]] std::size_t alert_count() const { return alerts_.size(); }
+  [[nodiscard]] bool is_suspended(vfs::ProcessId pid) const;
+
+ private:
+  void check_file(const vfs::OperationEvent& event, const std::string& path);
+  void raise_alert(const vfs::OperationEvent& event, const std::string& path,
+                   IntegrityAlert::Kind kind);
+
+  Options options_;
+  vfs::FileSystem* fs_ = nullptr;
+  std::map<std::string, crypto::Sha256Digest> baseline_;
+  bool baseline_injected_ = false;
+  std::vector<IntegrityAlert> alerts_;
+  std::map<vfs::ProcessId, bool> suspended_;
+};
+
+}  // namespace cryptodrop::baselines

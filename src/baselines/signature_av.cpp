@@ -1,0 +1,40 @@
+#include "baselines/signature_av.hpp"
+
+#include "common/rng.hpp"
+
+namespace cryptodrop::baselines {
+
+std::uint64_t sample_fingerprint(const sim::SampleSpec& spec) {
+  // Family identity + variant seed: the same binary always hashes the
+  // same; any repack (new seed) hashes differently.
+  std::uint64_t h = seed_from_string(spec.family);
+  std::uint64_t state = h ^ spec.seed;
+  return splitmix64(state);
+}
+
+std::uint64_t morphed_fingerprint(const sim::SampleSpec& spec) {
+  std::uint64_t state = sample_fingerprint(spec) ^ 0x0123456789abcdefULL;
+  return splitmix64(state);
+}
+
+void SignatureAv::add_signature(std::uint64_t fingerprint) {
+  db_.insert(fingerprint);
+}
+
+void SignatureAv::learn_from(const std::vector<sim::SampleSpec>& specs,
+                             double fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  for (const sim::SampleSpec& spec : specs) {
+    if (rng.chance(fraction)) add_signature(sample_fingerprint(spec));
+  }
+}
+
+bool SignatureAv::blocks(std::uint64_t fingerprint) const {
+  return db_.contains(fingerprint);
+}
+
+bool SignatureAv::blocks(const sim::SampleSpec& spec) const {
+  return blocks(sample_fingerprint(spec));
+}
+
+}  // namespace cryptodrop::baselines

@@ -1,0 +1,59 @@
+// Signature-based anti-virus — the other Related-Work baseline (§II):
+//
+//   "Signature matching ... analyzes programs based on known malware
+//    characteristics and flags those that match previously observed
+//    intrusions. However, malware that has not been previously observed
+//    is difficult to identify ... evading signature detection is
+//    possible with relative ease."
+//
+// The paper demonstrates the weakness concretely: adding a single
+// character to a PoshCoder sample made two of the six detecting AV
+// products lose it (§V-E). Modeled here at the level the argument
+// needs: every simulated sample has a stable "binary fingerprint"
+// derived from its family and variant lineage; the AV ships a signature
+// database built from previously-observed binaries and scans a sample
+// *before execution* (the inspection point CryptoDrop deliberately does
+// not rely on). A variant whose fingerprint is not in the database runs
+// unopposed — and then encrypts everything, because nothing watches the
+// data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "sim/ransomware/families.hpp"
+
+namespace cryptodrop::baselines {
+
+/// Stable binary fingerprint of one sample. Variants of a family differ:
+/// the fingerprint mixes the family name with the sample's variant seed
+/// (repacking/morphing = a new seed = a new binary the AV has not seen).
+std::uint64_t sample_fingerprint(const sim::SampleSpec& spec);
+
+/// Fingerprint of the same sample after a trivial one-character morph
+/// (the paper's §V-E experiment). Never equals sample_fingerprint(spec).
+std::uint64_t morphed_fingerprint(const sim::SampleSpec& spec);
+
+class SignatureAv {
+ public:
+  /// Adds one known-bad fingerprint to the database.
+  void add_signature(std::uint64_t fingerprint);
+  /// Convenience: learn the exact binaries of `fraction` of `specs`
+  /// (deterministic in `seed`) — "the vendors have seen this share of
+  /// the in-the-wild samples before".
+  void learn_from(const std::vector<sim::SampleSpec>& specs, double fraction,
+                  std::uint64_t seed);
+
+  /// Pre-execution scan: true when the binary matches a known signature
+  /// and the AV blocks it (zero files lost); false = the sample runs.
+  [[nodiscard]] bool blocks(std::uint64_t fingerprint) const;
+  [[nodiscard]] bool blocks(const sim::SampleSpec& spec) const;
+
+  [[nodiscard]] std::size_t signature_count() const { return db_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> db_;
+};
+
+}  // namespace cryptodrop::baselines

@@ -1,0 +1,58 @@
+// Byte-buffer aliases and small helpers shared by every module.
+//
+// The whole system moves file content around as contiguous byte buffers;
+// `Bytes` is the owning form and `ByteView` the non-owning read-only form
+// (CppCoreGuidelines I.13: pass arrays as spans).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cryptodrop {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Copies a string's characters into a byte buffer (no terminator).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Reinterprets a byte view as text. The bytes are copied.
+inline std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Appends a string's characters to `dst`.
+inline void append(Bytes& dst, std::string_view src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// True when `data` begins with the byte sequence `prefix`.
+inline bool starts_with(ByteView data, ByteView prefix) {
+  if (data.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (data[i] != prefix[i]) return false;
+  }
+  return true;
+}
+
+/// True when `data` begins with the characters of `prefix`.
+inline bool starts_with(ByteView data, std::string_view prefix) {
+  if (data.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (data[i] != static_cast<std::uint8_t>(prefix[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace cryptodrop

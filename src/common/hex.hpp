@@ -1,0 +1,19 @@
+// Hex encoding/decoding for digests and test fixtures.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace cryptodrop {
+
+/// Lower-case hex encoding of `data`.
+std::string hex_encode(ByteView data);
+
+/// Decodes lower- or upper-case hex. Returns nullopt on odd length or
+/// non-hex characters.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+}  // namespace cryptodrop

@@ -1,0 +1,171 @@
+// Minimal JSON value builder/serializer (no parsing) for machine-readable
+// experiment reports. Deliberately tiny: objects preserve insertion
+// order, numbers print with enough precision to round-trip, strings are
+// escaped per RFC 8259.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cryptodrop {
+
+class Json {
+ public:
+  /// Constructors for each JSON kind.
+  Json() : kind_(Kind::null) {}
+  Json(std::nullptr_t) : kind_(Kind::null) {}  // NOLINT
+  Json(bool b) : kind_(Kind::boolean), bool_(b) {}  // NOLINT
+  Json(double d) : kind_(Kind::number), number_(d) {}  // NOLINT
+  Json(int i) : kind_(Kind::number), number_(i) {}  // NOLINT
+  Json(long i) : kind_(Kind::number), number_(static_cast<double>(i)) {}  // NOLINT
+  Json(long long i) : kind_(Kind::number), number_(static_cast<double>(i)) {}  // NOLINT
+  Json(unsigned long u) : kind_(Kind::number), number_(static_cast<double>(u)) {}  // NOLINT
+  Json(unsigned long long u) : kind_(Kind::number), number_(static_cast<double>(u)) {}  // NOLINT
+  Json(unsigned u) : kind_(Kind::number), number_(u) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::string), string_(s) {}  // NOLINT
+  Json(std::string s) : kind_(Kind::string), string_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : kind_(Kind::string), string_(s) {}  // NOLINT
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::object;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::array;
+    return j;
+  }
+
+  /// Object field (insertion-ordered; duplicate keys keep both, last one
+  /// wins for consumers that de-duplicate). Returns *this for chaining.
+  Json& set(std::string key, Json value) {
+    fields_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Array element. Returns *this for chaining.
+  Json& push(Json value) {
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::array; }
+  [[nodiscard]] std::size_t size() const {
+    return kind_ == Kind::array ? elements_.size() : fields_.size();
+  }
+
+  /// Compact serialization.
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    write(out, /*indent=*/-1, /*depth=*/0);
+    return out;
+  }
+
+  /// Pretty serialization with 2-space indentation.
+  [[nodiscard]] std::string to_pretty_string() const {
+    std::string out;
+    write(out, /*indent=*/2, /*depth=*/0);
+    out.push_back('\n');
+    return out;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { null, boolean, number, string, object, array };
+
+  static void escape_into(std::string& out, std::string_view s) {
+    out.push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  void newline(std::string& out, int indent, int depth) const {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    switch (kind_) {
+      case Kind::null:
+        out += "null";
+        break;
+      case Kind::boolean:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::number: {
+        char buf[32];
+        // Integers print without a fraction; others with %.10g.
+        if (number_ == static_cast<double>(static_cast<std::int64_t>(number_))) {
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(number_));
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.10g", number_);
+        }
+        out += buf;
+        break;
+      }
+      case Kind::string:
+        escape_into(out, string_);
+        break;
+      case Kind::object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto& [key, value] : fields_) {
+          if (!first) out.push_back(',');
+          first = false;
+          newline(out, indent, depth + 1);
+          escape_into(out, key);
+          out += indent < 0 ? ":" : ": ";
+          value.write(out, indent, depth + 1);
+        }
+        if (!fields_.empty()) newline(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+      case Kind::array: {
+        out.push_back('[');
+        bool first = true;
+        for (const Json& value : elements_) {
+          if (!first) out.push_back(',');
+          first = false;
+          newline(out, indent, depth + 1);
+          value.write(out, indent, depth + 1);
+        }
+        if (!elements_.empty()) newline(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> fields_;
+  std::vector<Json> elements_;
+};
+
+}  // namespace cryptodrop

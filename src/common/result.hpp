@@ -1,0 +1,107 @@
+// Minimal result/status types for recoverable errors (std::expected is
+// C++23; this is the subset the VFS and harness need).
+//
+// Errors here are *expected* outcomes (file not found, access denied by a
+// filter, ...), not programming bugs — bugs use assertions/exceptions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cryptodrop {
+
+/// Coarse error category, modeled on the NTSTATUS-style codes a Windows
+/// filesystem filter would see.
+enum class Errc {
+  ok,
+  not_found,        ///< Path or handle does not exist.
+  already_exists,   ///< Create target already present.
+  access_denied,    ///< Blocked by a filter (e.g. suspended process) or ACL.
+  read_only,        ///< Write/delete attempted on a read-only file.
+  invalid_argument, ///< Malformed path, bad handle mode, out-of-range offset.
+  not_a_directory,  ///< Path component is a file.
+  is_a_directory,   ///< File operation applied to a directory.
+  not_empty,        ///< Directory removal with children.
+};
+
+/// Human-readable name for an error code (for logs and test messages).
+std::string_view errc_name(Errc e);
+
+/// Outcome of an operation with no payload.
+class Status {
+ public:
+  Status() : code_(Errc::ok) {}
+  explicit Status(Errc code, std::string message = {})
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Errc::ok; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] Errc code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Errc code_;
+  std::string message_;
+};
+
+/// Outcome of an operation yielding a `T` on success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] Errc code() const { return status_.code(); }
+
+  /// Precondition: is_ok().
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_{};
+};
+
+inline std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::access_denied: return "access_denied";
+    case Errc::read_only: return "read_only";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_a_directory: return "not_a_directory";
+    case Errc::is_a_directory: return "is_a_directory";
+    case Errc::not_empty: return "not_empty";
+  }
+  return "unknown";
+}
+
+inline std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(errc_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cryptodrop

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random generation.
+//
+// Every experiment in this repo must be exactly reproducible from a seed
+// (the paper reverts a VM snapshot between samples; we re-derive streams
+// from seeds instead), so all randomness flows through this Rng rather
+// than std::random_device / <random> distributions (whose outputs vary
+// across standard library implementations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cryptodrop {
+
+/// splitmix64 step: used for seeding and as a cheap one-shot mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mixes a string into a 64-bit seed (FNV-1a then splitmix finalizer).
+std::uint64_t seed_from_string(std::string_view s);
+
+/// xoshiro256** generator. Small, fast, and identical on every platform.
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Convenience: derive a child generator whose stream is independent of
+  /// the parent's future output (used to give each simulated sample its
+  /// own stream).
+  Rng fork(std::uint64_t stream_id);
+
+  /// Next raw 64 bits.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool chance(double p);
+
+  /// Approximately normal draw (sum of uniforms), mean 0, stddev 1.
+  double gaussian();
+
+  /// Log-normal draw: exp(mu + sigma * gaussian()).
+  double log_normal(double mu, double sigma);
+
+  /// `n` uniformly random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Precondition: weights non-empty, all >= 0, sum > 0.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Uniformly chosen element of a non-empty container.
+  template <typename Container>
+  const typename Container::value_type& pick(const Container& c) {
+    return c[static_cast<std::size_t>(uniform(0, c.size() - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(0, i));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cryptodrop

@@ -1,0 +1,58 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cryptodrop {
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+double median_int(std::vector<int> values) {
+  std::vector<double> d(values.begin(), values.end());
+  return median(std::move(d));
+}
+
+double mean(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[std::max<std::size_t>(rank, 1) - 1];
+}
+
+std::vector<std::pair<double, double>> cumulative_fraction(
+    std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, double>> out;
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Emit one point per distinct value, at the last occurrence.
+    if (i + 1 == values.size() || values[i + 1] != values[i]) {
+      out.emplace_back(values[i], static_cast<double>(i + 1) / n);
+    }
+  }
+  return out;
+}
+
+std::string text_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(width)));
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+}  // namespace cryptodrop

@@ -1,0 +1,40 @@
+// Small statistics helpers used by the experiment harness and benches
+// (median files-lost, cumulative detection curves, histogram buckets).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cryptodrop {
+
+/// Median of a sample (average of the two middle elements for even sizes,
+/// matching the convention in the paper's Table I, e.g. CryptoDefense 6.5).
+/// Precondition: non-empty.
+double median(std::vector<double> values);
+double median_int(std::vector<int> values);
+
+/// Arithmetic mean. Precondition: non-empty.
+double mean(const std::vector<double>& values);
+
+/// p-th percentile (nearest-rank), p in [0, 100]. Precondition: non-empty.
+double percentile(std::vector<double> values, double p);
+
+/// Cumulative distribution points: for each distinct value v (ascending),
+/// the fraction of samples <= v. Used for Figure 3.
+std::vector<std::pair<double, double>> cumulative_fraction(
+    std::vector<double> values);
+
+/// Counts occurrences of each key.
+template <typename T>
+std::map<T, std::size_t> frequency(const std::vector<T>& items) {
+  std::map<T, std::size_t> out;
+  for (const auto& item : items) ++out[item];
+  return out;
+}
+
+/// Renders a crude fixed-width text bar for terminal "figures".
+std::string text_bar(double fraction, std::size_t width);
+
+}  // namespace cryptodrop

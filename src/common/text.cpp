@@ -1,0 +1,95 @@
+#include "common/text.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace cryptodrop {
+
+namespace {
+
+// Common English words weighted toward short function words so the byte
+// distribution (and therefore Shannon entropy) resembles real prose.
+constexpr std::array kWords = {
+    "the",      "of",       "and",       "to",        "in",       "a",
+    "is",       "that",     "for",       "it",        "as",       "was",
+    "with",     "be",       "by",        "on",        "not",      "he",
+    "this",     "are",      "or",        "his",       "from",     "at",
+    "which",    "but",      "have",      "an",        "had",      "they",
+    "you",      "were",     "their",     "one",       "all",      "we",
+    "can",      "her",      "has",       "there",     "been",     "if",
+    "more",     "when",     "will",      "would",     "who",      "so",
+    "no",       "she",      "other",     "its",       "may",      "these",
+    "what",     "them",     "than",      "some",      "him",      "time",
+    "into",     "only",     "could",     "new",       "two",      "our",
+    "work",     "first",    "should",    "after",     "made",     "report",
+    "system",   "project",  "data",      "analysis",  "quarterly", "budget",
+    "meeting",  "schedule", "committee", "results",   "process",  "review",
+    "document", "section",  "figure",    "table",     "summary",  "department",
+    "annual",   "proposal", "estimate",  "contract",  "service",  "account",
+    "value",    "number",   "record",    "office",    "program",  "general",
+};
+
+}  // namespace
+
+std::string synth_word(Rng& rng) {
+  std::string w = rng.pick(kWords);
+  w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+  return w;
+}
+
+std::string synth_token(Rng& rng, std::size_t min_len, std::size_t max_len) {
+  static constexpr char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+  const auto len = static_cast<std::size_t>(rng.uniform(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kLetters[rng.uniform(0, 25)]);
+  }
+  return out;
+}
+
+std::string synth_prose(Rng& rng, std::size_t target_bytes) {
+  std::string out;
+  out.reserve(target_bytes + 64);
+  while (out.size() < target_bytes) {
+    const auto sentence_words = static_cast<std::size_t>(rng.uniform(5, 18));
+    for (std::size_t i = 0; i < sentence_words; ++i) {
+      std::string w = rng.pick(kWords);
+      if (i == 0) {
+        w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+      }
+      out += w;
+      out.push_back(i + 1 == sentence_words ? '.' : ' ');
+    }
+    out.push_back(rng.chance(0.2) ? '\n' : ' ');
+  }
+  out.resize(target_bytes);
+  return out;
+}
+
+std::string synth_csv(Rng& rng, std::size_t rows, std::size_t cols) {
+  std::string out;
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c) out.push_back(',');
+    out += synth_word(rng);
+  }
+  out.push_back('\n');
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c) out.push_back(',');
+      if (rng.chance(0.7)) {
+        out += std::to_string(rng.uniform(0, 99999));
+        if (rng.chance(0.4)) {
+          out.push_back('.');
+          out += std::to_string(rng.uniform(0, 99));
+        }
+      } else {
+        out += rng.pick(kWords);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cryptodrop

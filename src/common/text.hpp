@@ -1,0 +1,28 @@
+// Deterministic English-like text synthesis.
+//
+// The corpus generator and the ransom-note writer both need plausible
+// low-entropy prose: document bodies, log lines, CSV rows. A tiny word
+// model driven by the shared Rng keeps all of it reproducible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace cryptodrop {
+
+/// Approximately `target_bytes` of sentence-structured filler prose
+/// (entropy ~4.2 bits/byte, like real English text).
+std::string synth_prose(Rng& rng, std::size_t target_bytes);
+
+/// A single capitalized word (for titles, field names, file stems).
+std::string synth_word(Rng& rng);
+
+/// A lower-case identifier-ish token of `min_len`..`max_len` letters.
+std::string synth_token(Rng& rng, std::size_t min_len, std::size_t max_len);
+
+/// `rows` x `cols` of comma-separated numeric/text cells with a header row.
+std::string synth_csv(Rng& rng, std::size_t rows, std::size_t cols);
+
+}  // namespace cryptodrop

@@ -1,0 +1,571 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "vfs/path.hpp"
+
+namespace cryptodrop::core {
+
+std::string_view indicator_name(Indicator ind) {
+  switch (ind) {
+    case Indicator::entropy_delta: return "entropy_delta";
+    case Indicator::type_change: return "type_change";
+    case Indicator::similarity_drop: return "similarity_drop";
+    case Indicator::deletion: return "deletion";
+    case Indicator::funneling: return "funneling";
+    case Indicator::union_indication: return "union";
+    case Indicator::burst_rate: return "burst_rate";
+  }
+  return "?";
+}
+
+const LatencyStats::PerOp& LatencyStats::for_op(vfs::OpType op) const {
+  return const_cast<LatencyStats*>(this)->for_op(op);
+}
+
+LatencyStats::PerOp& LatencyStats::for_op(vfs::OpType op) {
+  switch (op) {
+    case vfs::OpType::open: return open;
+    case vfs::OpType::read: return read;
+    case vfs::OpType::write: return write;
+    case vfs::OpType::truncate: return truncate;
+    case vfs::OpType::close: return close;
+    case vfs::OpType::remove: return remove;
+    case vfs::OpType::rename: return rename;
+    case vfs::OpType::mkdir: return mkdir;
+  }
+  return mkdir;
+}
+
+namespace {
+
+/// Accumulates the elapsed scope time into one LatencyStats bucket.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyStats::PerOp& bucket)
+      : bucket_(bucket), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    ++bucket_.count;
+    bucket_.total_ns += ns;
+    bucket_.max_ns = std::max(bucket_.max_ns, ns);
+  }
+
+ private:
+  LatencyStats::PerOp& bucket_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+AnalysisEngine::AnalysisEngine(ScoringConfig config) : config_(std::move(config)) {}
+
+void AnalysisEngine::set_alert_callback(std::function<void(const Alert&)> callback) {
+  alert_callback_ = std::move(callback);
+}
+
+void AnalysisEngine::on_attach(vfs::FileSystem& fs) { fs_ = &fs; }
+
+bool AnalysisEngine::under_root(std::string_view path) const {
+  if (vfs::path_is_under(path, config_.protected_root)) return true;
+  for (const std::string& root : config_.additional_roots) {
+    if (vfs::path_is_under(path, root)) return true;
+  }
+  return false;
+}
+
+vfs::ProcessId AnalysisEngine::scoreboard_key(vfs::ProcessId pid) const {
+  // Family scoring: all descendants share one reputation entry, so a
+  // sample cannot dilute its score across spawned workers and a
+  // suspension pauses the whole tree.
+  if (config_.enable_family_scoring && fs_ != nullptr) {
+    return fs_->process_family_root(pid);
+  }
+  return pid;
+}
+
+AnalysisEngine::ProcessState& AnalysisEngine::state_for(const vfs::OperationEvent& event) {
+  auto [it, inserted] = processes_.try_emplace(scoreboard_key(event.pid));
+  if (inserted) {
+    it->second.name = event.process_name;
+    it->second.threshold = config_.score_threshold;
+  }
+  return it->second;
+}
+
+bool AnalysisEngine::is_suspended(vfs::ProcessId pid) const {
+  auto it = processes_.find(scoreboard_key(pid));
+  return it != processes_.end() && it->second.suspended;
+}
+
+int AnalysisEngine::score(vfs::ProcessId pid) const {
+  auto it = processes_.find(scoreboard_key(pid));
+  return it == processes_.end() ? 0 : it->second.score;
+}
+
+std::vector<vfs::ProcessId> AnalysisEngine::observed_processes() const {
+  std::vector<vfs::ProcessId> out;
+  out.reserve(processes_.size());
+  for (const auto& [pid, state] : processes_) {
+    (void)state;
+    out.push_back(pid);
+  }
+  return out;
+}
+
+ProcessReport AnalysisEngine::process_report(vfs::ProcessId pid) const {
+  ProcessReport report;
+  report.pid = pid;
+  auto it = processes_.find(scoreboard_key(pid));
+  if (it == processes_.end()) {
+    report.threshold = config_.score_threshold;
+    return report;
+  }
+  const ProcessState& s = it->second;
+  report.name = s.name;
+  report.score = s.score;
+  report.threshold = s.threshold;
+  report.suspended = s.suspended;
+  report.union_triggered = s.union_triggered;
+  report.union_count = s.union_count;
+  report.entropy_events = s.entropy_events;
+  report.type_change_events = s.type_change_events;
+  report.similarity_drop_events = s.similarity_drop_events;
+  report.deletion_events = s.deletion_events;
+  report.funneling_events = s.funneling_events;
+  report.rate_events = s.rate_events;
+  report.read_entropy_mean = s.read_mean.mean();
+  report.write_entropy_mean = s.write_mean.mean();
+  report.read_extensions = s.read_extensions;
+  report.write_extensions = s.write_extensions;
+  report.timeline = s.timeline;
+  return report;
+}
+
+void AnalysisEngine::resume_process(vfs::ProcessId pid) {
+  auto it = processes_.find(scoreboard_key(pid));
+  if (it == processes_.end()) return;
+  ProcessState& s = it->second;
+  s.suspended = false;
+  s.score = 0;
+  s.threshold = config_.score_threshold;
+  s.saw_entropy = s.saw_type_change = s.saw_similarity_drop = false;
+  s.union_triggered = false;
+}
+
+// ----------------------------------------------------------------------
+// Scoring plumbing
+// ----------------------------------------------------------------------
+
+void AnalysisEngine::add_points(ProcessState& proc, vfs::ProcessId pid,
+                                Indicator indicator, int points,
+                                const std::string& path) {
+  proc.score += points;
+  if (config_.record_timeline) {
+    proc.timeline.push_back(ScoreEvent{op_seq_, indicator, points, path});
+  }
+  (void)pid;
+}
+
+void AnalysisEngine::check_union(ProcessState& proc, vfs::ProcessId pid,
+                                 const std::string& path) {
+  if (!config_.enable_union) return;
+  if (proc.union_triggered) return;
+  if (proc.saw_entropy && proc.saw_type_change && proc.saw_similarity_drop) {
+    proc.union_triggered = true;
+    add_points(proc, pid, Indicator::union_indication, config_.union_bonus, path);
+    proc.threshold = std::min(proc.threshold, config_.union_threshold);
+    maybe_detect(proc, pid, /*via_union=*/true);
+  }
+}
+
+void AnalysisEngine::maybe_detect(ProcessState& proc, vfs::ProcessId pid,
+                                  bool via_union) {
+  if (proc.suspended || proc.score < proc.threshold) return;
+  proc.suspended = true;
+  if (alert_callback_) {
+    Alert alert;
+    alert.pid = pid;
+    alert.process_name = proc.name;
+    alert.score = proc.score;
+    alert.threshold = proc.threshold;
+    alert.via_union = via_union;
+    alert.op_seq = op_seq_;
+    alert_callback_(alert);
+  }
+}
+
+void AnalysisEngine::capture_baseline(vfs::FileId id,
+                                      const std::shared_ptr<const Bytes>& content) {
+  if (id == vfs::kNoFile || content == nullptr) return;
+  auto [it, inserted] = files_.try_emplace(id);
+  if (!inserted && it->second.baseline != nullptr) return;  // already tracked
+  it->second.baseline = content;
+  it->second.baseline_type = magic::identify(ByteView(*content));
+  it->second.baseline_digest.reset();
+  it->second.digest_attempted = false;
+}
+
+void AnalysisEngine::evaluate_modification(
+    ProcessState& proc, vfs::ProcessId pid, vfs::FileId id,
+    const std::string& path, const std::shared_ptr<const Bytes>& content) {
+  auto it = files_.find(id);
+  if (it == files_.end() || it->second.baseline == nullptr || content == nullptr) {
+    return;
+  }
+  FileState& file = it->second;
+  if (file.baseline == content) {
+    // Content untouched (e.g. moved out of and back into the protected
+    // tree without modification): no transformation to judge.
+    file.pending_check = false;
+    return;
+  }
+
+  const magic::TypeId type_now = magic::identify(ByteView(*content));
+  bool fired_type = false;
+  bool fired_similarity = false;
+  bool similarity_available = false;
+
+  if (config_.enable_similarity) {
+    if (!file.digest_attempted) {
+      file.baseline_digest = simhash::SimilarityDigest::compute(ByteView(*file.baseline));
+      file.digest_attempted = true;
+    }
+    if (file.baseline_digest.has_value()) {
+      const auto new_digest = simhash::SimilarityDigest::compute(ByteView(*content));
+      // Both versions must be digestible; sdhash yields no score for
+      // sub-512-byte files, leaving this indicator silent (§V-C).
+      if (new_digest.has_value()) {
+        similarity_available = true;
+        if (file.baseline_digest->compare(*new_digest) <= config_.similarity_drop_max) {
+          fired_similarity = true;
+          proc.saw_similarity_drop = true;
+          ++proc.similarity_drop_events;
+          add_points(proc, pid, Indicator::similarity_drop,
+                     config_.points_similarity_drop, path);
+        }
+      }
+    }
+  }
+
+  if (config_.enable_type_change && type_now != file.baseline_type) {
+    fired_type = true;
+    proc.saw_type_change = true;
+    ++proc.type_change_events;
+    int points = config_.points_type_change;
+    if (config_.enable_dynamic_scoring && config_.enable_similarity &&
+        !similarity_available) {
+      // §V-C dynamic scoring: the similarity indicator cannot weigh in
+      // on this file (too small to digest), so the one that can counts
+      // for more.
+      points = static_cast<int>(points * config_.dynamic_unavailable_boost);
+    }
+    add_points(proc, pid, Indicator::type_change, points, path);
+  }
+
+  // Funneling bookkeeping: the process has produced a file of this type.
+  proc.write_types.insert(type_now);
+  const std::string ext = vfs::path_extension(path);
+  if (!ext.empty()) proc.write_extensions.insert(ext);
+
+  // The new content becomes the baseline for the file's next change
+  // ("measuring the user's documents before and after each change").
+  file.baseline = content;
+  file.baseline_type = type_now;
+  file.baseline_digest.reset();
+  file.digest_attempted = false;
+  file.pending_check = false;
+
+  if (fired_type && fired_similarity && proc.saw_entropy) {
+    ++proc.union_count;
+  }
+  check_union(proc, pid, path);
+  maybe_detect(proc, pid, /*via_union=*/false);
+}
+
+// ----------------------------------------------------------------------
+// Filter callbacks
+// ----------------------------------------------------------------------
+
+vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
+  // A suspended process's disk accesses stay paused until the user
+  // resumes it. Closing handles is still permitted (not a disk access).
+  if (event.op != vfs::OpType::close && is_suspended(event.pid)) {
+    return vfs::Verdict::deny;
+  }
+
+  const bool src_protected = under_root(event.path);
+  const bool dst_protected =
+      event.op == vfs::OpType::rename && under_root(event.dest_path);
+  if (!src_protected && !dst_protected) return vfs::Verdict::allow;
+
+  ScopedLatency timer(latency_.for_op(event.op));
+  ++op_seq_;
+  switch (event.op) {
+    case vfs::OpType::open:
+      handle_open_pre(event);
+      break;
+    case vfs::OpType::write:
+      handle_write_pre(event);
+      break;
+    case vfs::OpType::rename:
+      handle_rename_pre(event);
+      break;
+    default:
+      break;
+  }
+
+  // Points assessed during this pre callback may have crossed the
+  // threshold; if so, this very operation is the first one paused.
+  if (event.op != vfs::OpType::close && is_suspended(event.pid)) {
+    return vfs::Verdict::deny;
+  }
+  return vfs::Verdict::allow;
+}
+
+void AnalysisEngine::post_operation(const vfs::OperationEvent& event,
+                                    const Status& outcome) {
+  if (!outcome.is_ok()) return;
+
+  const bool src_protected = under_root(event.path);
+  const bool dst_protected =
+      event.op == vfs::OpType::rename && under_root(event.dest_path);
+  if (!src_protected && !dst_protected) return;
+
+  ScopedLatency timer(latency_.for_op(event.op));
+  switch (event.op) {
+    case vfs::OpType::read:
+      handle_read_post(event);
+      break;
+    case vfs::OpType::close:
+      handle_close_post(event);
+      break;
+    case vfs::OpType::remove:
+      handle_remove_post(event);
+      break;
+    case vfs::OpType::rename:
+      handle_rename_post(event);
+      break;
+    default:
+      break;
+  }
+}
+
+void AnalysisEngine::handle_open_pre(const vfs::OperationEvent& event) {
+  if ((event.open_mode & vfs::kWrite) == 0) return;
+  if (event.file_id == vfs::kNoFile) return;  // creation: no pre-image
+  // Snapshot the pre-image before truncation or the first write can
+  // destroy it. Copy-on-write makes this a pointer grab.
+  assert(fs_ != nullptr);
+  capture_baseline(event.file_id, fs_->read_unfiltered(event.path));
+}
+
+int AnalysisEngine::scaled_entropy_points(std::size_t op_bytes, double delta) const {
+  const std::size_t full = std::max<std::size_t>(config_.entropy_full_points_bytes, 1);
+  double scale = 1.0;
+  if (op_bytes < full) {
+    scale = static_cast<double>(op_bytes) / static_cast<double>(full);
+  }
+  if (config_.entropy_full_points_delta > 0.0 &&
+      delta < config_.entropy_full_points_delta) {
+    scale *= delta / config_.entropy_full_points_delta;
+  }
+  return std::max(1, static_cast<int>(config_.points_entropy_write * scale));
+}
+
+/// Folds write-side content into the process's entropy state and scores
+/// the delta check — shared by write ops and by content arriving via an
+/// inbound rename (the only write-equivalent a Class B sample exhibits
+/// inside the protected tree).
+void AnalysisEngine::score_write_entropy(ProcessState& proc, vfs::ProcessId pid,
+                                         ByteView data, const std::string& path) {
+  if (!config_.enable_entropy) return;
+  proc.write_mean.add(data);
+  if (proc.read_mean.empty() || proc.write_mean.empty()) return;
+  const double delta = proc.write_mean.mean() - proc.read_mean.mean();
+  if (delta < config_.entropy_delta_threshold) return;
+  proc.saw_entropy = true;
+  ++proc.entropy_events;
+  add_points(proc, pid, Indicator::entropy_delta,
+             scaled_entropy_points(data.size(), delta), path);
+  check_union(proc, pid, path);
+  maybe_detect(proc, pid, /*via_union=*/false);
+}
+
+void AnalysisEngine::note_modification(ProcessState& proc, vfs::ProcessId pid,
+                                       std::uint64_t timestamp, vfs::FileId id,
+                                       const std::string& path) {
+  if (!config_.enable_rate_indicator || id == vfs::kNoFile) return;
+  // Expire window entries.
+  const std::uint64_t horizon =
+      timestamp > config_.rate_window_micros ? timestamp - config_.rate_window_micros : 0;
+  while (!proc.recent_mods.empty() && proc.recent_mods.front().first < horizon) {
+    auto it = proc.window_file_counts.find(proc.recent_mods.front().second);
+    if (it != proc.window_file_counts.end() && --it->second == 0) {
+      proc.window_file_counts.erase(it);
+    }
+    proc.recent_mods.pop_front();
+  }
+  const bool new_file_in_window = !proc.window_file_counts.contains(id);
+  proc.recent_mods.emplace_back(timestamp, id);
+  ++proc.window_file_counts[id];
+  // Score only when a *new* distinct file joins an already-bursting
+  // window, so chunked writes to one file never inflate the count.
+  if (new_file_in_window &&
+      proc.window_file_counts.size() >= config_.rate_min_files) {
+    ++proc.rate_events;
+    add_points(proc, pid, Indicator::burst_rate, config_.points_rate, path);
+    maybe_detect(proc, pid, /*via_union=*/false);
+  }
+}
+
+void AnalysisEngine::handle_write_pre(const vfs::OperationEvent& event) {
+  ProcessState& proc = state_for(event);
+  score_write_entropy(proc, event.pid, event.data, event.path);
+  note_modification(proc, event.pid, event.timestamp, event.file_id, event.path);
+
+  // Defer type/similarity comparison to close, when the content is whole.
+  auto it = files_.find(event.file_id);
+  if (it != files_.end() && it->second.baseline != nullptr) {
+    it->second.pending_check = true;
+  }
+}
+
+void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
+  ProcessState& proc = state_for(event);
+  if (config_.enable_entropy) {
+    proc.read_mean.add(event.data);
+  }
+  if (event.offset == 0 && !event.data.empty()) {
+    proc.read_types.insert(magic::identify(event.data));
+    const std::string ext = vfs::path_extension(event.path);
+    if (!ext.empty()) proc.read_extensions.insert(ext);
+  }
+
+  if (config_.enable_funneling && !proc.funneling_fired &&
+      proc.read_types.size() >= config_.funnel_min_read_types &&
+      !proc.write_types.empty() &&
+      proc.read_types.size() >=
+          proc.write_types.size() + config_.funnel_type_gap) {
+    proc.funneling_fired = true;
+    ++proc.funneling_events;
+    add_points(proc, event.pid, Indicator::funneling, config_.points_funneling,
+               event.path);
+    maybe_detect(proc, event.pid, /*via_union=*/false);
+  }
+}
+
+void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
+  if (!event.wrote) return;
+  ProcessState& proc = state_for(event);
+  assert(fs_ != nullptr);
+  const auto content = fs_->read_unfiltered(event.path);
+
+  auto it = files_.find(event.file_id);
+  if (it != files_.end() && it->second.baseline != nullptr && it->second.pending_check) {
+    evaluate_modification(proc, event.pid, event.file_id, event.path, content);
+    return;
+  }
+
+  // Newly created file: no pre-image to compare, but it still counts as
+  // written output for funneling, and becomes tracked from here on.
+  if (content != nullptr) {
+    const magic::TypeId type_now = magic::identify(ByteView(*content));
+    proc.write_types.insert(type_now);
+    const std::string ext = vfs::path_extension(event.path);
+    if (!ext.empty()) proc.write_extensions.insert(ext);
+    capture_baseline(event.file_id, content);
+  }
+}
+
+void AnalysisEngine::handle_remove_post(const vfs::OperationEvent& event) {
+  ProcessState& proc = state_for(event);
+  note_modification(proc, event.pid, event.timestamp, event.file_id, event.path);
+  if (config_.enable_deletion) {
+    ++proc.deletion_events;
+    add_points(proc, event.pid, Indicator::deletion, config_.points_deletion,
+               event.path);
+    maybe_detect(proc, event.pid, /*via_union=*/false);
+  }
+  files_.erase(event.file_id);
+}
+
+void AnalysisEngine::handle_rename_pre(const vfs::OperationEvent& event) {
+  assert(fs_ != nullptr);
+  // Track the source's content as it moves (Class B: "the state of the
+  // file must be carefully tracked each time a file is moved").
+  if (under_root(event.path)) {
+    capture_baseline(event.file_id, fs_->read_unfiltered(event.path));
+  }
+  // A replacement destroys the destination's content: snapshot it so the
+  // incoming content can be judged against it (Class C move-over).
+  if (event.dest_file_id != vfs::kNoFile && under_root(event.dest_path)) {
+    capture_baseline(event.dest_file_id, fs_->read_unfiltered(event.dest_path));
+  }
+}
+
+void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
+  ProcessState& proc = state_for(event);
+  assert(fs_ != nullptr);
+  const bool src_protected = under_root(event.path);
+  const bool dst_protected = under_root(event.dest_path);
+  const auto content = fs_->read_unfiltered(event.dest_path);
+
+  if (dst_protected && event.dest_file_id != vfs::kNoFile) {
+    // Replacement: the incoming file (event.file_id) now sits where the
+    // old file (dest_file_id) was. Judge the new content against the
+    // *replaced* file's pre-image — this is the linkage that catches the
+    // 41/63 Class C samples that move ciphertext over the original.
+    evaluate_modification(proc, event.pid, event.dest_file_id, event.dest_path, content);
+    // The replaced file's identity is gone; the survivor keeps tracking
+    // under its own id with its current content as baseline.
+    files_.erase(event.dest_file_id);
+    files_.erase(event.file_id);
+    capture_baseline(event.file_id, content);
+    return;
+  }
+
+  if (dst_protected && !src_protected) {
+    // A file re-entering the protected tree (Class B return trip). Its
+    // content arriving counts as data written into the protected area:
+    // fold it into the write-entropy mean, then compare against the
+    // tracked pre-departure state.
+    if (content != nullptr && !content->empty()) {
+      score_write_entropy(proc, event.pid, ByteView(*content), event.dest_path);
+    }
+    note_modification(proc, event.pid, event.timestamp, event.file_id, event.dest_path);
+    evaluate_modification(proc, event.pid, event.file_id, event.dest_path, content);
+    maybe_detect(proc, event.pid, /*via_union=*/false);
+    return;
+  }
+
+  if (src_protected && !dst_protected) {
+    // Departure from the protected tree: the content leaving is the
+    // read-side counterpart of the inbound fold above (a Class B sample
+    // "reads" the user's data by carrying it out). Baseline was captured
+    // in the pre callback; evaluation happens on return.
+    if (config_.enable_entropy) {
+      const auto departing = fs_->read_unfiltered(event.dest_path);
+      if (departing != nullptr && !departing->empty()) {
+        proc.read_mean.add(ByteView(*departing));
+      }
+    }
+    auto it = files_.find(event.file_id);
+    if (it != files_.end()) it->second.pending_check = true;
+    return;
+  }
+
+  // Move within the protected tree without replacement: content is
+  // untouched; evaluate only if a write already flagged it.
+  auto it = files_.find(event.file_id);
+  if (it != files_.end() && it->second.pending_check) {
+    evaluate_modification(proc, event.pid, event.file_id, event.dest_path, content);
+  }
+}
+
+}  // namespace cryptodrop::core

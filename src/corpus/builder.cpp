@@ -1,0 +1,137 @@
+#include "corpus/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/text.hpp"
+#include "crypto/sha256.hpp"
+#include "vfs/path.hpp"
+
+namespace cryptodrop::corpus {
+
+const std::vector<KindWeight>& default_type_weights() {
+  // Productivity-document-heavy mix per the user-directory studies the
+  // paper cites; media and archives fill out the remainder.
+  static const std::vector<KindWeight> kWeights = {
+      {FileKind::pdf, 13.0}, {FileKind::docx, 11.0}, {FileKind::doc, 6.0},
+      {FileKind::xlsx, 7.5}, {FileKind::xls, 3.5},   {FileKind::pptx, 4.5},
+      {FileKind::ppt, 2.0},  {FileKind::odt, 4.0},   {FileKind::txt, 10.0},
+      {FileKind::md, 3.5},   {FileKind::csv, 4.0},   {FileKind::html, 3.5},
+      {FileKind::xml, 2.5},  {FileKind::rtf, 2.0},   {FileKind::log, 2.0},
+      {FileKind::ps, 1.0},   {FileKind::jpg, 8.5},   {FileKind::png, 3.5},
+      {FileKind::gif, 1.5},  {FileKind::bmp, 1.0},   {FileKind::mp3, 2.5},
+      {FileKind::wav, 0.8},  {FileKind::m4a, 0.7},   {FileKind::flac, 0.5},
+      {FileKind::zip, 1.0},  {FileKind::gz, 0.5},
+  };
+  return kWeights;
+}
+
+std::size_t Corpus::total_bytes() const {
+  std::size_t total = 0;
+  for (const ManifestEntry& entry : manifest) total += entry.size;
+  return total;
+}
+
+namespace {
+
+/// Builds the nested directory tree: each new directory hangs off a
+/// random existing one (depth-capped), yielding the organic lopsided
+/// trees Figure 4 visualizes.
+std::vector<std::string> build_tree(vfs::FileSystem& fs, const CorpusSpec& spec,
+                                    Rng& rng) {
+  std::vector<std::string> dirs;
+  dirs.push_back(spec.root);
+  fs.mkdir_raw(spec.root);
+
+  std::unordered_set<std::string> used_names;
+  while (dirs.size() < spec.total_dirs) {
+    const std::string& parent = dirs[static_cast<std::size_t>(
+        rng.uniform(0, dirs.size() - 1))];
+    if (vfs::path_depth(parent) >=
+        vfs::path_depth(spec.root) + spec.max_depth) {
+      continue;
+    }
+    std::string name = synth_token(rng, 3, 10);
+    std::string full = vfs::path_join(parent, name);
+    if (!used_names.insert(full).second) continue;
+    fs.mkdir_raw(full);
+    dirs.push_back(std::move(full));
+  }
+  return dirs;
+}
+
+}  // namespace
+
+Corpus build_corpus(vfs::FileSystem& fs, const CorpusSpec& spec, Rng& rng) {
+  const auto& weights =
+      spec.type_weights.empty() ? default_type_weights() : spec.type_weights;
+  std::vector<double> weight_values;
+  weight_values.reserve(weights.size());
+  for (const KindWeight& kw : weights) weight_values.push_back(kw.weight);
+
+  Corpus corpus;
+  corpus.root = spec.root;
+  const std::vector<std::string> dirs = build_tree(fs, spec, rng);
+
+  std::unordered_set<std::string> used_paths;
+  corpus.manifest.reserve(spec.total_files);
+  while (corpus.manifest.size() < spec.total_files) {
+    const FileKind kind = weights[rng.weighted_index(weight_values)].kind;
+    std::size_t size = sample_size(kind, rng);
+    if (spec.min_file_size > 0 && size < spec.min_file_size) {
+      size = spec.min_file_size;
+    }
+
+    const std::string& dir = dirs[static_cast<std::size_t>(
+        rng.uniform(0, dirs.size() - 1))];
+    std::string stem = synth_token(rng, 4, 12);
+    if (rng.chance(0.3)) stem += "_" + std::to_string(rng.uniform(1, 2015));
+    std::string path = vfs::path_join(
+        dir, stem + "." + std::string(kind_extension(kind)));
+    if (!used_paths.insert(path).second) continue;
+
+    Bytes content = generate_content(kind, size, rng);
+    const bool read_only = rng.chance(spec.read_only_fraction);
+
+    ManifestEntry entry;
+    entry.path = path;
+    entry.kind = kind;
+    entry.size = content.size();
+    entry.read_only = read_only;
+    if (spec.compute_hashes) {
+      entry.sha256 = crypto::sha256_hex(ByteView(content));
+    }
+
+    const Status put = fs.put_file_raw(path, std::move(content), read_only);
+    assert(put.is_ok());
+    (void)put;
+    entry.original = fs.read_unfiltered(path);
+    corpus.manifest.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+std::vector<std::size_t> lost_file_indices(const vfs::FileSystem& fs,
+                                           const Corpus& corpus) {
+  // Collect the content buffers currently present anywhere on the volume.
+  // Copy-on-write guarantees an untouched corpus file still references
+  // its original buffer, wherever it was moved.
+  std::unordered_set<const Bytes*> present;
+  for (const std::string& path : fs.list_files_recursive("")) {
+    if (auto data = fs.read_unfiltered(path)) present.insert(data.get());
+  }
+  std::vector<std::size_t> lost;
+  for (std::size_t i = 0; i < corpus.manifest.size(); ++i) {
+    if (!present.contains(corpus.manifest[i].original.get())) {
+      lost.push_back(i);
+    }
+  }
+  return lost;
+}
+
+std::size_t count_files_lost(const vfs::FileSystem& fs, const Corpus& corpus) {
+  return lost_file_indices(fs, corpus).size();
+}
+
+}  // namespace cryptodrop::corpus

@@ -1,0 +1,88 @@
+// Corpus construction and loss accounting.
+//
+// Reproduces the paper's experimental document set: 5,099 files spread
+// over a nested tree of 511 directories inside the victim's documents
+// folder, with per-type proportions modeled on user-documents studies
+// (Hicks et al., Agrawal et al.), plus the SHA-256 manifest the paper
+// uses after each run "to ensure they were present and unmodified".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "corpus/generators.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::corpus {
+
+/// Weight of one file kind in the corpus mix.
+struct KindWeight {
+  FileKind kind;
+  double weight;
+};
+
+struct CorpusSpec {
+  /// Victim documents root; everything the corpus creates lives below it.
+  std::string root = "users/victim/documents";
+  std::size_t total_files = 5099;
+  /// Total directories including the root (paper: 511).
+  std::size_t total_dirs = 511;
+  std::size_t max_depth = 6;
+  /// Fraction of files flagged read-only (the paper's corpus had some;
+  /// they are what tripped up the GPcode sample's deletes).
+  double read_only_fraction = 0.04;
+  /// Files smaller than this are not generated (0 = no limit). Used by
+  /// the §V-C small-file ablation.
+  std::size_t min_file_size = 0;
+  /// Per-kind mix; empty = default_type_weights().
+  std::vector<KindWeight> type_weights;
+  /// Compute SHA-256 per file into the manifest (slightly slower build).
+  bool compute_hashes = true;
+};
+
+/// Default type mix (fractions of the corpus, productivity-heavy like a
+/// real documents folder).
+const std::vector<KindWeight>& default_type_weights();
+
+/// Everything needed to account for one corpus file after a run.
+struct ManifestEntry {
+  std::string path;
+  FileKind kind{};
+  std::size_t size = 0;
+  bool read_only = false;
+  /// The exact content buffer placed in the filesystem. Because file data
+  /// is copy-on-write, an unmodified file (even after moves/renames)
+  /// still references this buffer — which makes loss accounting O(files)
+  /// instead of O(bytes).
+  std::shared_ptr<const Bytes> original;
+  /// Hex SHA-256 of the content (empty if spec.compute_hashes == false).
+  std::string sha256;
+};
+
+struct Corpus {
+  std::string root;
+  std::vector<ManifestEntry> manifest;
+
+  [[nodiscard]] std::size_t file_count() const { return manifest.size(); }
+  [[nodiscard]] std::size_t total_bytes() const;
+};
+
+/// Builds the directory tree and files into `fs` (unfiltered — the corpus
+/// predates any monitored process). Deterministic in `rng`.
+Corpus build_corpus(vfs::FileSystem& fs, const CorpusSpec& spec, Rng& rng);
+
+/// A corpus file is *lost* when its original content no longer exists
+/// anywhere in the filesystem — encrypted in place, deleted, or replaced.
+/// A file that was merely moved or renamed (content intact) is not lost.
+/// This matches the paper's SHA-256 presence check.
+std::size_t count_files_lost(const vfs::FileSystem& fs, const Corpus& corpus);
+
+/// Indices (into corpus.manifest) of the lost files.
+std::vector<std::size_t> lost_file_indices(const vfs::FileSystem& fs,
+                                           const Corpus& corpus);
+
+}  // namespace cryptodrop::corpus

@@ -1,0 +1,598 @@
+#include "corpus/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/text.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace cryptodrop::corpus {
+
+namespace {
+
+/// High-entropy filler standing in for deflate/JPEG-entropy-coded/MP3
+/// payload: a ChaCha20 keystream keyed off the corpus Rng. Indistinguishable
+/// from compressed data for every indicator we model (entropy ~8,
+/// signature-free, unique per file).
+Bytes compressed_payload(Rng& rng, std::size_t n) {
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  crypto::ChaCha20 stream(key, nonce);
+  return stream.keystream(n);
+}
+
+/// Pads or trims `data` to exactly `target` bytes using `filler` bytes.
+void fit_to(Bytes& data, std::size_t target, std::uint8_t filler = ' ') {
+  if (data.size() > target) {
+    data.resize(target);
+  } else {
+    data.resize(target, filler);
+  }
+}
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u32be(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// --- text family ------------------------------------------------------
+
+Bytes gen_txt(Rng& rng, std::size_t n) {
+  return to_bytes(synth_prose(rng, n));
+}
+
+Bytes gen_md(Rng& rng, std::size_t n) {
+  std::string out = "# " + synth_word(rng) + " " + synth_word(rng) + "\n\n";
+  while (out.size() < n) {
+    if (rng.chance(0.25)) out += "## " + synth_word(rng) + "\n\n";
+    if (rng.chance(0.3)) out += "- " + synth_prose(rng, 40) + "\n";
+    out += synth_prose(rng, static_cast<std::size_t>(rng.uniform(60, 240))) + "\n\n";
+  }
+  out.resize(n);
+  return to_bytes(out);
+}
+
+Bytes gen_csv(Rng& rng, std::size_t n) {
+  std::string out;
+  const std::size_t cols = static_cast<std::size_t>(rng.uniform(3, 9));
+  while (out.size() < n) {
+    out += synth_csv(rng, 16, cols);
+  }
+  out.resize(n);
+  return to_bytes(out);
+}
+
+Bytes gen_log(Rng& rng, std::size_t n) {
+  std::string out;
+  while (out.size() < n) {
+    out += "2015-";
+    out += std::to_string(rng.uniform(1, 12));
+    out += "-";
+    out += std::to_string(rng.uniform(1, 28));
+    out += rng.chance(0.8) ? " INFO " : " WARN ";
+    out += synth_prose(rng, static_cast<std::size_t>(rng.uniform(30, 90)));
+    out += "\n";
+  }
+  out.resize(n);
+  return to_bytes(out);
+}
+
+Bytes gen_html(Rng& rng, std::size_t n) {
+  std::string out = "<!DOCTYPE html>\n<html>\n<head><title>" + synth_word(rng) +
+                    "</title></head>\n<body>\n";
+  while (out.size() + 16 < n) {
+    out += "<p>" + synth_prose(rng, static_cast<std::size_t>(rng.uniform(60, 200))) + "</p>\n";
+  }
+  out += "</body></html>\n";
+  Bytes b = to_bytes(out);
+  fit_to(b, std::max<std::size_t>(n, 32));
+  return b;
+}
+
+Bytes gen_xml(Rng& rng, std::size_t n) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<" +
+                    synth_token(rng, 4, 8) + ">\n";
+  while (out.size() + 16 < n) {
+    const std::string tag = synth_token(rng, 3, 9);
+    out += "  <" + tag + ">" + synth_prose(rng, static_cast<std::size_t>(rng.uniform(20, 80))) +
+           "</" + tag + ">\n";
+  }
+  Bytes b = to_bytes(out);
+  fit_to(b, std::max<std::size_t>(n, 48));
+  return b;
+}
+
+Bytes gen_rtf(Rng& rng, std::size_t n) {
+  std::string out = "{\\rtf1\\ansi\\deff0 {\\fonttbl {\\f0 Times New Roman;}}\n";
+  while (out.size() + 8 < n) {
+    out += "\\par " + synth_prose(rng, static_cast<std::size_t>(rng.uniform(60, 180))) + "\n";
+  }
+  out += "}";
+  Bytes b = to_bytes(out);
+  fit_to(b, std::max<std::size_t>(n, 64));
+  return b;
+}
+
+Bytes gen_ps(Rng& rng, std::size_t n) {
+  std::string out = "%!PS-Adobe-3.0\n%%Creator: synth\n%%Pages: 1\n";
+  while (out.size() + 16 < n) {
+    out += std::to_string(rng.uniform(10, 600)) + " " + std::to_string(rng.uniform(10, 760)) +
+           " moveto (" + synth_word(rng) + ") show\n";
+  }
+  out += "showpage\n";
+  Bytes b = to_bytes(out);
+  fit_to(b, std::max<std::size_t>(n, 48));
+  return b;
+}
+
+// --- document containers ----------------------------------------------
+
+/// Minimal ZIP-shaped container: local file headers with real member
+/// names (the magic prober looks for them early) followed by
+/// "deflated" (keystream) payloads.
+Bytes gen_zip_like(Rng& rng, std::size_t n, const std::vector<std::string>& members) {
+  Bytes out;
+  const std::size_t per_member = std::max<std::size_t>(n / std::max<std::size_t>(members.size(), 1), 64);
+  for (const std::string& name : members) {
+    if (out.size() >= n) break;
+    append(out, std::string_view("PK\x03\x04", 4));
+    out.push_back(0x14); out.push_back(0x00);       // version
+    out.push_back(0x00); out.push_back(0x00);       // flags
+    out.push_back(0x08); out.push_back(0x00);       // method: deflate
+    put_u32le(out, static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)));  // time+date
+    put_u32le(out, static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)));  // crc32
+    const std::size_t payload = std::min(per_member, n - std::min(n, out.size()));
+    put_u32le(out, static_cast<std::uint32_t>(payload));  // compressed size
+    put_u32le(out, static_cast<std::uint32_t>(payload * 3));  // uncompressed
+    out.push_back(static_cast<std::uint8_t>(name.size()));
+    out.push_back(0x00);
+    out.push_back(0x00); out.push_back(0x00);       // extra len
+    append(out, name);
+    append(out, ByteView(compressed_payload(rng, payload)));
+  }
+  // End-of-central-directory stub.
+  append(out, std::string_view("PK\x05\x06", 4));
+  out.resize(std::max(out.size(), n));
+  return out;
+}
+
+// The distinguishing member (word/, xl/, ppt/) is emitted first so the
+// type prober finds it in its early-bytes window — mirroring how file(1)
+// keys OOXML subtypes off the first directory-named member it sees.
+Bytes gen_docx(Rng& rng, std::size_t n) {
+  return gen_zip_like(rng, n, {"word/document.xml", "[Content_Types].xml",
+                               "word/styles.xml", "word/media/image1.png"});
+}
+
+Bytes gen_xlsx(Rng& rng, std::size_t n) {
+  return gen_zip_like(rng, n, {"xl/workbook.xml", "[Content_Types].xml",
+                               "xl/worksheets/sheet1.xml", "xl/sharedStrings.xml"});
+}
+
+Bytes gen_pptx(Rng& rng, std::size_t n) {
+  return gen_zip_like(rng, n, {"ppt/presentation.xml", "[Content_Types].xml",
+                               "ppt/slides/slide1.xml", "ppt/media/image1.jpeg"});
+}
+
+Bytes gen_odt(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("PK\x03\x04", 4));
+  // ODF stores the mimetype uncompressed as the first member.
+  static constexpr std::string_view kMime =
+      "mimetypeapplication/vnd.oasis.opendocument.text";
+  out.resize(30, 0);
+  out[8] = 0x00;  // method: stored
+  append(out, kMime);
+  Bytes rest = gen_zip_like(rng, n > out.size() ? n - out.size() : 64,
+                            {"content.xml", "styles.xml", "meta.xml"});
+  append(out, ByteView(rest));
+  return out;
+}
+
+Bytes gen_pdf(Rng& rng, std::size_t n) {
+  std::string head = "%PDF-1.5\n%\xe2\xe3\xcf\xd3\n";
+  Bytes out = to_bytes(head);
+  int obj = 1;
+  while (out.size() + 128 < n) {
+    const std::size_t remaining = n - out.size();
+    std::string obj_head = std::to_string(obj) + " 0 obj\n<< /Length " +
+                           std::to_string(remaining) + " /Filter /FlateDecode >>\nstream\n";
+    append(out, obj_head);
+    // ~85% of a modern PDF is compressed streams.
+    const std::size_t payload =
+        std::min(remaining, std::max<std::size_t>(static_cast<std::size_t>(
+            static_cast<double>(remaining) * 0.85), 64));
+    append(out, ByteView(compressed_payload(rng, payload)));
+    append(out, std::string_view("\nendstream\nendobj\n"));
+    ++obj;
+    if (out.size() + 256 >= n) break;
+  }
+  append(out, std::string_view("trailer\n<< /Size 4 >>\nstartxref\n0\n%%EOF\n"));
+  out.resize(std::max(out.size(), n));
+  return out;
+}
+
+/// Legacy OLE compound document (.doc/.xls/.ppt): structured FAT header +
+/// mixed text/binary sectors; moderate entropy, far below the OOXML zips.
+Bytes gen_ole(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("\xd0\xcf\x11\xe0\xa1\xb1\x1a\xe1", 8));
+  out.resize(512, 0);  // header sector
+  out[28] = 0xfe; out[29] = 0xff;  // byte order mark
+  while (out.size() < n) {
+    if (rng.chance(0.6)) {
+      // Text sector: document prose stored as 8-bit text.
+      append(out, synth_prose(rng, 512));
+    } else if (rng.chance(0.5)) {
+      // Formatting tables: sparse binary with lots of zeros.
+      Bytes sector(512, 0);
+      for (std::size_t i = 0; i < sector.size(); i += 16) {
+        sector[i] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        sector[i + 1] = static_cast<std::uint8_t>(rng.uniform(0, 7));
+      }
+      append(out, ByteView(sector));
+    } else {
+      // Embedded object data.
+      append(out, ByteView(rng.bytes(512)));
+    }
+  }
+  out.resize(std::max<std::size_t>(n, 512));
+  return out;
+}
+
+// --- images -------------------------------------------------------------
+
+Bytes gen_jpg(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("\xff\xd8\xff\xe0", 4));
+  out.push_back(0x00); out.push_back(0x10);
+  append(out, std::string_view("JFIF", 4));
+  out.resize(20, 0);
+  // Quantization/huffman table segments: structured, low entropy.
+  for (int seg = 0; seg < 4; ++seg) {
+    out.push_back(0xff);
+    out.push_back(static_cast<std::uint8_t>(0xc0 + seg));
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(static_cast<std::uint8_t>((i * 3 + seg) & 0x7f));
+    }
+  }
+  out.push_back(0xff); out.push_back(0xda);  // start of scan
+  if (n > out.size() + 2) {
+    append(out, ByteView(compressed_payload(rng, n - out.size() - 2)));
+  }
+  out.push_back(0xff); out.push_back(0xd9);
+  return out;
+}
+
+Bytes gen_png(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("\x89PNG\r\n\x1a\n", 8));
+  put_u32be(out, 13);
+  append(out, std::string_view("IHDR"));
+  put_u32be(out, static_cast<std::uint32_t>(rng.uniform(64, 2048)));  // width
+  put_u32be(out, static_cast<std::uint32_t>(rng.uniform(64, 2048)));  // height
+  out.push_back(8); out.push_back(6); out.push_back(0); out.push_back(0); out.push_back(0);
+  put_u32be(out, 0);  // crc stub
+  if (n > out.size() + 24) {
+    const std::size_t payload = n - out.size() - 24;
+    put_u32be(out, static_cast<std::uint32_t>(payload));
+    append(out, std::string_view("IDAT"));
+    append(out, ByteView(compressed_payload(rng, payload)));
+    put_u32be(out, 0);
+  }
+  put_u32be(out, 0);
+  append(out, std::string_view("IEND"));
+  put_u32be(out, 0);
+  return out;
+}
+
+Bytes gen_gif(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("GIF89a"));
+  out.push_back(0x40); out.push_back(0x01);  // width 320
+  out.push_back(0xf0); out.push_back(0x00);  // height 240
+  out.push_back(0xf7); out.push_back(0x00); out.push_back(0x00);
+  // Global palette: smooth ramp (low entropy).
+  for (int i = 0; i < 256 && out.size() + 3 < n; ++i) {
+    out.push_back(static_cast<std::uint8_t>(i));
+    out.push_back(static_cast<std::uint8_t>(255 - i));
+    out.push_back(static_cast<std::uint8_t>(i / 2));
+  }
+  if (n > out.size() + 1) {
+    append(out, ByteView(compressed_payload(rng, n - out.size() - 1)));
+  }
+  out.push_back(0x3b);  // trailer
+  return out;
+}
+
+Bytes gen_bmp(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("BM"));
+  put_u32le(out, static_cast<std::uint32_t>(n));
+  put_u32le(out, 0);
+  put_u32le(out, 54);  // pixel data offset
+  put_u32le(out, 40);  // DIB header size
+  put_u32le(out, 320);
+  put_u32le(out, 240);
+  out.resize(54, 0);
+  // Uncompressed pixels: scanlines drawn from a small palette with light
+  // noise — genuinely low byte entropy, unlike every compressed image
+  // format. (A smooth gradient would cycle through all 256 byte values
+  // and look uniform to a histogram.)
+  std::uint8_t palette[6];
+  for (auto& color : palette) color = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  constexpr std::size_t kRowBytes = 960;  // 320 px * 3 channels
+  while (out.size() < n) {
+    const std::uint8_t base = palette[rng.uniform(0, 5)];
+    for (std::size_t i = 0; i < kRowBytes && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(base + (rng.chance(0.25) ? 1 : 0)));
+    }
+  }
+  return out;
+}
+
+// --- audio --------------------------------------------------------------
+
+Bytes gen_mp3(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("ID3"));
+  out.push_back(3); out.push_back(0); out.push_back(0);
+  const std::string title = synth_word(rng) + " " + synth_word(rng);
+  put_u32be(out, static_cast<std::uint32_t>(title.size() + 10));
+  append(out, std::string_view("TIT2"));
+  put_u32be(out, static_cast<std::uint32_t>(title.size()));
+  out.push_back(0); out.push_back(0);
+  append(out, title);
+  while (out.size() + 4 < n) {
+    out.push_back(0xff); out.push_back(0xfb); out.push_back(0x90); out.push_back(0x00);
+    const std::size_t frame = std::min<std::size_t>(414, n - out.size());
+    append(out, ByteView(compressed_payload(rng, frame)));
+  }
+  out.resize(std::max<std::size_t>(n, 32));
+  return out;
+}
+
+Bytes gen_wav(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("RIFF"));
+  put_u32le(out, static_cast<std::uint32_t>(n > 8 ? n - 8 : 0));
+  append(out, std::string_view("WAVEfmt "));
+  put_u32le(out, 16);
+  out.push_back(1); out.push_back(0);   // PCM
+  out.push_back(2); out.push_back(0);   // stereo
+  put_u32le(out, 44100);
+  put_u32le(out, 176400);
+  out.push_back(4); out.push_back(0);
+  out.push_back(16); out.push_back(0);
+  append(out, std::string_view("data"));
+  put_u32le(out, static_cast<std::uint32_t>(n > 44 ? n - 44 : 0));
+  // PCM: a few summed sine voices + light noise, quantized to 12 bits —
+  // uncompressed audio carries ~6 bits/byte, well below the compressed
+  // formats (this gap is what lets a converter's output nudge the
+  // write-entropy mean upward).
+  double phase1 = rng.uniform01() * 6.28, phase2 = rng.uniform01() * 6.28;
+  const double f1 = 0.02 + rng.uniform01() * 0.05;
+  const double f2 = 0.005 + rng.uniform01() * 0.02;
+  std::size_t t = 0;
+  while (out.size() + 1 < n) {
+    const double v = 8000.0 * std::sin(phase1 + f1 * static_cast<double>(t)) +
+                     4000.0 * std::sin(phase2 + f2 * static_cast<double>(t)) +
+                     rng.gaussian() * 300.0;
+    const auto s = static_cast<std::int16_t>(
+        static_cast<int>(std::clamp(v, -32000.0, 32000.0)) & ~0xF);
+    out.push_back(static_cast<std::uint8_t>(s & 0xff));
+    out.push_back(static_cast<std::uint8_t>((s >> 8) & 0xff));
+    ++t;
+  }
+  out.resize(std::max<std::size_t>(n, 48));
+  return out;
+}
+
+Bytes gen_m4a(Rng& rng, std::size_t n) {
+  Bytes out;
+  put_u32be(out, 32);
+  append(out, std::string_view("ftypM4A "));
+  put_u32be(out, 0);
+  append(out, std::string_view("M4A mp42isom"));
+  out.resize(32, 0);
+  put_u32be(out, static_cast<std::uint32_t>(n > out.size() ? n - out.size() : 8));
+  append(out, std::string_view("mdat"));
+  if (n > out.size()) {
+    append(out, ByteView(compressed_payload(rng, n - out.size())));
+  }
+  return out;
+}
+
+Bytes gen_flac(Rng& rng, std::size_t n) {
+  Bytes out;
+  append(out, std::string_view("fLaC"));
+  out.push_back(0x80); out.push_back(0x00); out.push_back(0x00); out.push_back(0x22);
+  out.resize(42, 0);
+  if (n > out.size()) {
+    append(out, ByteView(compressed_payload(rng, n - out.size())));
+  }
+  return out;
+}
+
+// --- archives -------------------------------------------------------------
+
+Bytes gen_zip(Rng& rng, std::size_t n) {
+  std::vector<std::string> members;
+  const std::size_t count = static_cast<std::size_t>(rng.uniform(2, 6));
+  for (std::size_t i = 0; i < count; ++i) {
+    members.push_back(synth_token(rng, 4, 10) + ".dat");
+  }
+  return gen_zip_like(rng, n, members);
+}
+
+Bytes gen_gz(Rng& rng, std::size_t n) {
+  Bytes out;
+  out.push_back(0x1f); out.push_back(0x8b); out.push_back(0x08); out.push_back(0x00);
+  put_u32le(out, static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)));  // mtime
+  out.push_back(0x00); out.push_back(0x03);
+  if (n > out.size() + 8) {
+    append(out, ByteView(compressed_payload(rng, n - out.size() - 8)));
+  }
+  put_u32le(out, static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)));  // crc
+  put_u32le(out, static_cast<std::uint32_t>(n * 3));                        // isize
+  return out;
+}
+
+struct SizeModel {
+  double mu;     ///< log-space mean
+  double sigma;  ///< log-space stddev
+  std::size_t min_size;
+  std::size_t max_size;
+};
+
+SizeModel size_model(FileKind kind) {
+  switch (kind) {
+    // Text formats: median ~4 KiB with a small tail under 512 bytes
+    // (~4% of text files). Calibrated against §V-C: CTB-Locker's
+    // size-ascending .txt/.md sweep should meet roughly the paper's ~26
+    // sub-512-byte files before reaching sdhash-scoreable sizes.
+    case FileKind::txt:
+    case FileKind::md:
+      return {8.5, 1.2, 64, 512 * 1024};
+    case FileKind::csv:
+    case FileKind::log:
+      return {8.5, 1.3, 128, 1024 * 1024};
+    case FileKind::html:
+    case FileKind::xml:
+      return {8.6, 1.0, 256, 512 * 1024};
+    case FileKind::rtf:
+    case FileKind::ps:
+      return {9.0, 1.0, 256, 512 * 1024};
+    // Office docs: median ~25-60 KiB.
+    case FileKind::pdf:
+      return {10.6, 1.1, 2048, 4 * 1024 * 1024};
+    case FileKind::docx:
+    case FileKind::odt:
+      return {10.1, 0.9, 2048, 2 * 1024 * 1024};
+    case FileKind::xlsx:
+      return {9.9, 1.0, 2048, 2 * 1024 * 1024};
+    case FileKind::pptx:
+      return {11.3, 0.9, 4096, 8 * 1024 * 1024};
+    case FileKind::doc:
+    case FileKind::xls:
+    case FileKind::ppt:
+      return {10.3, 0.9, 1024, 2 * 1024 * 1024};
+    // Media.
+    case FileKind::jpg:
+      return {11.5, 0.8, 4096, 8 * 1024 * 1024};
+    case FileKind::png:
+      return {10.8, 0.9, 1024, 4 * 1024 * 1024};
+    case FileKind::gif:
+      return {9.5, 0.9, 512, 1024 * 1024};
+    case FileKind::bmp:
+      return {11.0, 0.7, 2048, 4 * 1024 * 1024};
+    case FileKind::mp3:
+    case FileKind::m4a:
+      return {12.0, 0.5, 16384, 16 * 1024 * 1024};
+    case FileKind::wav:
+    case FileKind::flac:
+      return {12.2, 0.6, 16384, 16 * 1024 * 1024};
+    case FileKind::zip:
+    case FileKind::gz:
+      return {10.5, 1.2, 512, 8 * 1024 * 1024};
+  }
+  return {9.0, 1.0, 256, 1024 * 1024};
+}
+
+}  // namespace
+
+const std::vector<FileKind>& all_kinds() {
+  static const std::vector<FileKind> kinds = {
+      FileKind::txt, FileKind::md,   FileKind::csv,  FileKind::log,
+      FileKind::html, FileKind::xml, FileKind::rtf,  FileKind::ps,
+      FileKind::pdf, FileKind::docx, FileKind::xlsx, FileKind::pptx,
+      FileKind::odt, FileKind::doc,  FileKind::xls,  FileKind::ppt,
+      FileKind::jpg, FileKind::png,  FileKind::gif,  FileKind::bmp,
+      FileKind::mp3, FileKind::wav,  FileKind::m4a,  FileKind::flac,
+      FileKind::zip, FileKind::gz,
+  };
+  return kinds;
+}
+
+std::string_view kind_extension(FileKind kind) {
+  switch (kind) {
+    case FileKind::txt: return "txt";
+    case FileKind::md: return "md";
+    case FileKind::csv: return "csv";
+    case FileKind::log: return "log";
+    case FileKind::html: return "html";
+    case FileKind::xml: return "xml";
+    case FileKind::rtf: return "rtf";
+    case FileKind::ps: return "ps";
+    case FileKind::pdf: return "pdf";
+    case FileKind::docx: return "docx";
+    case FileKind::xlsx: return "xlsx";
+    case FileKind::pptx: return "pptx";
+    case FileKind::odt: return "odt";
+    case FileKind::doc: return "doc";
+    case FileKind::xls: return "xls";
+    case FileKind::ppt: return "ppt";
+    case FileKind::jpg: return "jpg";
+    case FileKind::png: return "png";
+    case FileKind::gif: return "gif";
+    case FileKind::bmp: return "bmp";
+    case FileKind::mp3: return "mp3";
+    case FileKind::wav: return "wav";
+    case FileKind::m4a: return "m4a";
+    case FileKind::flac: return "flac";
+    case FileKind::zip: return "zip";
+    case FileKind::gz: return "gz";
+  }
+  return "dat";
+}
+
+Bytes generate_content(FileKind kind, std::size_t target_size, Rng& rng) {
+  const std::size_t n = std::max<std::size_t>(target_size, 16);
+  switch (kind) {
+    case FileKind::txt: return gen_txt(rng, n);
+    case FileKind::md: return gen_md(rng, n);
+    case FileKind::csv: return gen_csv(rng, n);
+    case FileKind::log: return gen_log(rng, n);
+    case FileKind::html: return gen_html(rng, n);
+    case FileKind::xml: return gen_xml(rng, n);
+    case FileKind::rtf: return gen_rtf(rng, n);
+    case FileKind::ps: return gen_ps(rng, n);
+    case FileKind::pdf: return gen_pdf(rng, n);
+    case FileKind::docx: return gen_docx(rng, n);
+    case FileKind::xlsx: return gen_xlsx(rng, n);
+    case FileKind::pptx: return gen_pptx(rng, n);
+    case FileKind::odt: return gen_odt(rng, n);
+    case FileKind::doc: return gen_ole(rng, n);
+    case FileKind::xls: return gen_ole(rng, n);
+    case FileKind::ppt: return gen_ole(rng, n);
+    case FileKind::jpg: return gen_jpg(rng, n);
+    case FileKind::png: return gen_png(rng, n);
+    case FileKind::gif: return gen_gif(rng, n);
+    case FileKind::bmp: return gen_bmp(rng, n);
+    case FileKind::mp3: return gen_mp3(rng, n);
+    case FileKind::wav: return gen_wav(rng, n);
+    case FileKind::m4a: return gen_m4a(rng, n);
+    case FileKind::flac: return gen_flac(rng, n);
+    case FileKind::zip: return gen_zip(rng, n);
+    case FileKind::gz: return gen_gz(rng, n);
+  }
+  return rng.bytes(n);
+}
+
+std::size_t sample_size(FileKind kind, Rng& rng) {
+  const SizeModel model = size_model(kind);
+  const double draw = rng.log_normal(model.mu, model.sigma);
+  const auto size = static_cast<std::size_t>(draw);
+  return std::clamp(size, model.min_size, model.max_size);
+}
+
+}  // namespace cryptodrop::corpus

@@ -1,0 +1,48 @@
+// Synthetic file-content generators.
+//
+// Stand-in for the paper's document corpus (Govdocs1 threads, the OOXML
+// sets, the OPF Format Corpus, and the Coldwell audio files — 5,099 files
+// in 511 directories). Each generator emits content that:
+//  * carries the correct magic bytes, so magic::identify() reports the
+//    real type (the File Type Changes indicator depends on this);
+//  * has a realistic entropy profile — prose ~4.2 bits/byte, legacy
+//    binary formats ~5-6, compressed containers (.pdf/.docx/.jpg/.mp3)
+//    ~7.5+ (the paper highlights that these "exhibit far less entropy
+//    increase when encrypted");
+//  * is deterministic given the Rng state.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace cryptodrop::corpus {
+
+/// Every file type the corpus can contain. Extensions mirror Figure 5's
+/// x-axis (productivity formats, media, archives).
+enum class FileKind : std::uint8_t {
+  txt, md, csv, log, html, xml, rtf, ps,
+  pdf, docx, xlsx, pptx, odt, doc, xls, ppt,
+  jpg, png, gif, bmp,
+  mp3, wav, m4a, flac,
+  zip, gz,
+};
+
+/// All kinds, for iteration in tests and tables.
+const std::vector<FileKind>& all_kinds();
+
+/// Canonical extension without the dot ("docx").
+std::string_view kind_extension(FileKind kind);
+
+/// Generates content of approximately `target_size` bytes (exact for most
+/// kinds; within a few hundred bytes for container formats).
+Bytes generate_content(FileKind kind, std::size_t target_size, Rng& rng);
+
+/// Draws a file size from the kind's size model (log-normal, parameters
+/// chosen per format family; text formats have a heavy sub-512-byte tail,
+/// which the CTB-Locker experiment in §V-C depends on).
+std::size_t sample_size(FileKind kind, Rng& rng);
+
+}  // namespace cryptodrop::corpus

@@ -1,0 +1,48 @@
+// AES-128 block cipher with CTR-mode streaming (FIPS 197 / SP 800-38A).
+//
+// Several simulated ransomware families use AES-CTR instead of ChaCha20;
+// from CryptoDrop's point of view both produce uniformly-random-looking
+// ciphertext, but implementing the real algorithm keeps the simulation
+// honest (the paper notes many variants "implement their own versions of
+// these algorithms", so detecting library calls is insufficient).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cryptodrop::crypto {
+
+class Aes128 {
+ public:
+  /// `key` uses up to 16 bytes (zero-padded).
+  explicit Aes128(ByteView key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[16]) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_;  // 11 round keys x 16 bytes
+};
+
+/// AES-128 in counter mode: encrypt == decrypt.
+class Aes128Ctr {
+ public:
+  /// `nonce` uses up to 12 bytes; the low 4 bytes of the counter block are
+  /// a big-endian block counter.
+  Aes128Ctr(ByteView key, ByteView nonce);
+
+  void xor_in_place(Bytes& data);
+  Bytes transform(ByteView data);
+
+ private:
+  void next_block();
+
+  Aes128 cipher_;
+  std::uint8_t counter_block_[16];
+  std::uint8_t keystream_[16];
+  std::size_t pos_;
+};
+
+}  // namespace cryptodrop::crypto

@@ -1,0 +1,41 @@
+// ChaCha20 stream cipher (RFC 8439 core).
+//
+// Used two ways in this repo: as the "strong cipher" of most simulated
+// ransomware families (its output is indistinguishable from random, which
+// is exactly the property CryptoDrop's similarity and entropy indicators
+// key on), and as a fast keystream source for synthesizing the compressed
+// high-entropy segments of corpus files.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cryptodrop::crypto {
+
+class ChaCha20 {
+ public:
+  /// `key` uses up to 32 bytes (zero-padded), `nonce` up to 12.
+  ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` (encrypt == decrypt).
+  void xor_in_place(Bytes& data);
+
+  /// Returns `data` XOR keystream.
+  Bytes transform(ByteView data);
+
+  /// Next `n` raw keystream bytes.
+  Bytes keystream(std::size_t n);
+
+ private:
+  void next_block();
+
+  std::uint32_t state_[16];
+  std::uint8_t block_[64];
+  std::size_t block_pos_;
+};
+
+/// One-shot convenience wrapper.
+Bytes chacha20_encrypt(ByteView key, ByteView nonce, ByteView plaintext);
+
+}  // namespace cryptodrop::crypto

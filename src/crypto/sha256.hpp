@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4).
+//
+// The paper verifies its document corpus by SHA-256 hash after each run to
+// count files lost; the harness does the same against the corpus manifest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace cryptodrop::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(ByteView data);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+  std::uint64_t total_len_;
+};
+
+/// One-shot digest.
+Sha256Digest sha256(ByteView data);
+
+/// Lower-case hex of the one-shot digest.
+std::string sha256_hex(ByteView data);
+
+}  // namespace cryptodrop::crypto

@@ -1,0 +1,14 @@
+#include "crypto/xor_cipher.hpp"
+
+namespace cryptodrop::crypto {
+
+Bytes xor_encrypt(ByteView key, ByteView data) {
+  Bytes out(data.begin(), data.end());
+  if (key.empty()) return out;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] ^= key[i % key.size()];
+  }
+  return out;
+}
+
+}  // namespace cryptodrop::crypto

@@ -1,0 +1,50 @@
+#include "entropy/entropy.hpp"
+
+#include <cmath>
+
+namespace cryptodrop::entropy {
+
+double shannon(ByteView data) {
+  if (data.empty()) return 0.0;
+  std::uint64_t counts[256] = {};
+  for (std::uint8_t b : data) ++counts[b];
+  const double total = static_cast<double>(data.size());
+  double e = 0.0;
+  for (std::uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    e -= p * std::log2(p);
+  }
+  return e;
+}
+
+void Histogram::add(ByteView data) {
+  for (std::uint8_t b : data) ++counts_[b];
+  total_ += data.size();
+}
+
+double Histogram::entropy() const {
+  if (total_ == 0) return 0.0;
+  const double total = static_cast<double>(total_);
+  double e = 0.0;
+  for (std::uint64_t c : counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    e -= p * std::log2(p);
+  }
+  return e;
+}
+
+void WeightedEntropyMean::add(double e, std::size_t bytes) {
+  const double w = 0.125 * std::round(e) * static_cast<double>(bytes);
+  weighted_sum_ += w * e;
+  weight_total_ += w;
+  ++operations_;
+}
+
+double WeightedEntropyMean::mean() const {
+  if (weight_total_ <= 0.0) return 0.0;
+  return weighted_sum_ / weight_total_;
+}
+
+}  // namespace cryptodrop::entropy

@@ -1,0 +1,55 @@
+// Shannon entropy indicator (paper §III-C) and the weighted running mean
+// the engine keeps per process (paper §IV-C.1).
+//
+// The weighting solves a concrete problem the authors hit: ransomware
+// writes small, low-entropy ransom notes into every directory, and a
+// naive average of per-operation entropies lets those swamp the signal.
+// Each operation's entropy is weighted by w = 0.125 * round(e) * b
+// (b = bytes in the operation), so big high-entropy writes dominate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace cryptodrop::entropy {
+
+/// Shannon entropy of `data` in bits/byte, in [0, 8]. Empty input is 0.
+double shannon(ByteView data);
+
+/// Incremental byte histogram for computing entropy over streamed chunks.
+class Histogram {
+ public:
+  void add(ByteView data);
+  [[nodiscard]] double entropy() const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::uint64_t counts_[256] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Weighted arithmetic mean of per-operation entropies, weights per the
+/// paper: w = 0.125 * round(e) * b. Low-entropy or tiny operations barely
+/// move the mean; a zero total weight yields mean() == 0.
+class WeightedEntropyMean {
+ public:
+  /// Folds one atomic read/write of `bytes` bytes with entropy `e` into
+  /// the mean.
+  void add(double e, std::size_t bytes);
+
+  /// Folds an operation by computing its entropy first.
+  void add(ByteView data) { add(shannon(data), data.size()); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t operations() const { return operations_; }
+  [[nodiscard]] bool empty() const { return operations_ == 0; }
+
+ private:
+  double weighted_sum_ = 0.0;
+  double weight_total_ = 0.0;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace cryptodrop::entropy

@@ -1,0 +1,169 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/stats.hpp"
+#include "vfs/path.hpp"
+#include "vfs/recording_filter.hpp"
+
+namespace cryptodrop::harness {
+
+Environment make_environment(const corpus::CorpusSpec& spec, std::uint64_t seed) {
+  Environment env;
+  env.spec = spec;
+  Rng rng(seed);
+  env.corpus = corpus::build_corpus(env.base_fs, spec, rng);
+  return env;
+}
+
+Environment make_default_environment(std::uint64_t seed) {
+  return make_environment(corpus::CorpusSpec{}, seed);
+}
+
+corpus::CorpusSpec small_corpus_spec(std::size_t files, std::size_t dirs) {
+  corpus::CorpusSpec spec;
+  spec.total_files = files;
+  spec.total_dirs = dirs;
+  spec.max_depth = 4;
+  return spec;
+}
+
+RansomwareRunResult run_ransomware_sample(const Environment& env,
+                                          const sim::SampleSpec& spec,
+                                          const core::ScoringConfig& config) {
+  vfs::FileSystem fs = env.base_fs.clone();
+  core::AnalysisEngine engine(config);
+  vfs::RecordingFilter recorder;
+  fs.attach_filter(&engine);
+  fs.attach_filter(&recorder);
+
+  const vfs::ProcessId pid = fs.register_process(spec.family);
+  sim::RansomwareSample sample(spec.profile, spec.seed);
+
+  RansomwareRunResult result;
+  result.family = spec.family;
+  result.behavior = spec.behavior;
+  result.sample = sample.run(fs, pid, env.corpus.root);
+  result.files_lost = corpus::count_files_lost(fs, env.corpus);
+  result.report = engine.process_report(pid);
+  // With family scoring, the root's report covers spawned workers; when
+  // an ablation disables it, a run halted by denials still counts as
+  // detected (every worker was individually flagged).
+  result.detected = result.report.suspended ||
+                    (!result.sample.ran_to_completion && result.sample.ops_denied > 0);
+  result.final_score = result.report.score;
+  result.union_triggered = result.report.union_triggered;
+  result.union_count = result.report.union_count;
+
+  for (const std::string& dir : recorder.directories_touched_by(pid)) {
+    if (vfs::path_is_under(dir, env.corpus.root)) result.directories_touched.insert(dir);
+  }
+  // Extensions of *corpus* files the sample touched. Figure 5 reflects
+  // "the first files attacked by each sample", so the sample's own
+  // artifacts — ransom notes, .encrypted outputs — must not count;
+  // membership in the pristine manifest is the filter.
+  std::set<std::string> corpus_paths;
+  for (const corpus::ManifestEntry& entry : env.corpus.manifest) {
+    corpus_paths.insert(entry.path);
+  }
+  for (const vfs::RecordedOp& op : recorder.ops()) {
+    if (op.pid != pid || !op.succeeded) continue;
+    if (op.op != vfs::OpType::read && op.op != vfs::OpType::write &&
+        op.op != vfs::OpType::rename && op.op != vfs::OpType::remove) {
+      continue;
+    }
+    if (!corpus_paths.contains(op.path)) continue;
+    const std::string ext = vfs::path_extension(op.path);
+    if (!ext.empty()) result.extensions_accessed.insert(ext);
+  }
+
+  fs.detach_filter(&recorder);
+  fs.detach_filter(&engine);
+  return result;
+}
+
+std::vector<RansomwareRunResult> run_campaign(
+    const Environment& env, const std::vector<sim::SampleSpec>& specs,
+    const core::ScoringConfig& config,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  std::vector<RansomwareRunResult> results;
+  results.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results.push_back(run_ransomware_sample(env, specs[i], config));
+    if (progress) progress(i + 1, specs.size());
+  }
+  return results;
+}
+
+BenignRunResult run_benign_workload(const Environment& env,
+                                    const sim::BenignWorkload& workload,
+                                    const core::ScoringConfig& config,
+                                    std::uint64_t seed) {
+  vfs::FileSystem fs = env.base_fs.clone();
+  core::AnalysisEngine engine(config);
+  fs.attach_filter(&engine);
+
+  const vfs::ProcessId pid = fs.register_process(workload.name);
+  sim::WorkloadContext ctx{fs, pid, env.corpus.root, Rng(seed)};
+  workload.run(ctx);
+
+  BenignRunResult result;
+  result.app = workload.name;
+  result.expected_false_positive = workload.expected_false_positive;
+  result.report = engine.process_report(pid);
+  result.detected = result.report.suspended;
+  result.final_score = result.report.score;
+  result.union_triggered = result.report.union_triggered;
+  fs.detach_filter(&engine);
+  return result;
+}
+
+std::vector<FamilyRow> aggregate_table1(const std::vector<RansomwareRunResult>& results) {
+  std::map<std::string, std::vector<const RansomwareRunResult*>> by_family;
+  for (const RansomwareRunResult& r : results) by_family[r.family].push_back(&r);
+
+  std::vector<FamilyRow> rows;
+  for (const auto& [family, runs] : by_family) {
+    FamilyRow row;
+    row.family = family;
+    std::vector<double> losses;
+    for (const RansomwareRunResult* r : runs) {
+      switch (r->behavior) {
+        case sim::BehaviorClass::A: ++row.class_a; break;
+        case sim::BehaviorClass::B: ++row.class_b; break;
+        case sim::BehaviorClass::C: ++row.class_c; break;
+      }
+      losses.push_back(static_cast<double>(r->files_lost));
+    }
+    row.total = runs.size();
+    row.median_files_lost = median(std::move(losses));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<double> files_lost_values(const std::vector<RansomwareRunResult>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const RansomwareRunResult& r : results) {
+    out.push_back(static_cast<double>(r.files_lost));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> extension_frequency(
+    const std::vector<RansomwareRunResult>& results) {
+  std::map<std::string, std::size_t> counts;
+  for (const RansomwareRunResult& r : results) {
+    for (const std::string& ext : r.extensions_accessed) ++counts[ext];
+  }
+  std::vector<std::pair<std::string, std::size_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace cryptodrop::harness

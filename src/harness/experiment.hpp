@@ -1,0 +1,105 @@
+// Experiment harness: builds the environment once, then executes malware
+// samples / benign workloads against cheap copy-on-write clones of it —
+// the in-memory equivalent of the paper's "revert the VM snapshot between
+// samples" methodology — and gathers the measurements every table and
+// figure is derived from.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "corpus/builder.hpp"
+#include "sim/benign/benign.hpp"
+#include "sim/ransomware/families.hpp"
+#include "sim/ransomware/ransomware.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::harness {
+
+/// A populated victim machine: base volume + corpus manifest.
+struct Environment {
+  vfs::FileSystem base_fs;
+  corpus::Corpus corpus;
+  corpus::CorpusSpec spec;
+};
+
+/// Builds the standard 5,099-file / 511-directory environment (or a
+/// custom `spec`). Deterministic in `seed`.
+Environment make_environment(const corpus::CorpusSpec& spec, std::uint64_t seed);
+Environment make_default_environment(std::uint64_t seed);
+
+/// A scaled-down environment for unit/integration tests (fast to build).
+corpus::CorpusSpec small_corpus_spec(std::size_t files, std::size_t dirs);
+
+/// Outcome of one ransomware sample vs. CryptoDrop.
+struct RansomwareRunResult {
+  std::string family;
+  sim::BehaviorClass behavior{};
+  bool detected = false;
+  std::size_t files_lost = 0;
+  int final_score = 0;
+  bool union_triggered = false;
+  std::uint64_t union_count = 0;
+  core::ProcessReport report;
+  sim::SampleRun sample;
+  /// Directories (under the corpus root) where the sample read or wrote
+  /// at least one file before being stopped — Figure 4's shading.
+  std::set<std::string> directories_touched;
+  /// Distinct extensions of corpus files the sample accessed — Figure 5.
+  std::set<std::string> extensions_accessed;
+};
+
+RansomwareRunResult run_ransomware_sample(const Environment& env,
+                                          const sim::SampleSpec& spec,
+                                          const core::ScoringConfig& config);
+
+/// Runs the full Table-I campaign (all `specs`) and returns per-sample
+/// results. `progress` (nullable) is invoked after each sample.
+std::vector<RansomwareRunResult> run_campaign(
+    const Environment& env, const std::vector<sim::SampleSpec>& specs,
+    const core::ScoringConfig& config,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+/// Outcome of one benign workload vs. CryptoDrop.
+struct BenignRunResult {
+  std::string app;
+  bool detected = false;           ///< Suspended at the configured threshold.
+  bool expected_false_positive = false;
+  int final_score = 0;
+  bool union_triggered = false;
+  core::ProcessReport report;
+};
+
+BenignRunResult run_benign_workload(const Environment& env,
+                                    const sim::BenignWorkload& workload,
+                                    const core::ScoringConfig& config,
+                                    std::uint64_t seed);
+
+// --- aggregation helpers (the numbers the paper reports) ---------------
+
+/// One row of Table I.
+struct FamilyRow {
+  std::string family;
+  std::size_t class_a = 0;
+  std::size_t class_b = 0;
+  std::size_t class_c = 0;
+  std::size_t total = 0;
+  double median_files_lost = 0.0;
+};
+
+/// Groups campaign results per family (Table I rows, family-name order).
+std::vector<FamilyRow> aggregate_table1(const std::vector<RansomwareRunResult>& results);
+
+/// Files-lost values in campaign order (Figure 3's sample set).
+std::vector<double> files_lost_values(const std::vector<RansomwareRunResult>& results);
+
+/// Aggregate extension access frequency: for each extension, how many
+/// samples accessed at least one such file before detection (Figure 5).
+std::vector<std::pair<std::string, std::size_t>> extension_frequency(
+    const std::vector<RansomwareRunResult>& results);
+
+}  // namespace cryptodrop::harness

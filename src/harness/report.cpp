@@ -1,0 +1,115 @@
+#include "harness/report.hpp"
+
+#include "common/stats.hpp"
+
+namespace cryptodrop::harness {
+
+Json to_json(const RansomwareRunResult& result) {
+  Json indicators = Json::object();
+  indicators.set("entropy", result.report.entropy_events)
+      .set("type_change", result.report.type_change_events)
+      .set("similarity_drop", result.report.similarity_drop_events)
+      .set("deletion", result.report.deletion_events)
+      .set("funneling", result.report.funneling_events)
+      .set("burst_rate", result.report.rate_events);
+
+  Json j = Json::object();
+  j.set("family", result.family)
+      .set("class", std::string(sim::behavior_class_name(result.behavior)))
+      .set("detected", result.detected)
+      .set("files_lost", result.files_lost)
+      .set("final_score", result.final_score)
+      .set("union_triggered", result.union_triggered)
+      .set("union_count", result.union_count)
+      .set("files_attacked", result.sample.files_attacked)
+      .set("ran_to_completion", result.sample.ran_to_completion)
+      .set("bytes_destroyed", result.sample.bytes_destroyed)
+      .set("bytes_touched", result.sample.bytes_touched)
+      .set("directories_touched", result.directories_touched.size())
+      .set("indicators", std::move(indicators));
+  return j;
+}
+
+Json to_json(const BenignRunResult& result) {
+  Json j = Json::object();
+  j.set("application", result.app)
+      .set("score", result.final_score)
+      .set("detected", result.detected)
+      .set("expected_false_positive", result.expected_false_positive)
+      .set("union_triggered", result.union_triggered);
+  return j;
+}
+
+Json campaign_report(const Environment& env,
+                     const std::vector<RansomwareRunResult>& results,
+                     bool include_samples) {
+  Json environment = Json::object();
+  environment.set("corpus_files", env.corpus.file_count())
+      .set("corpus_bytes", env.corpus.total_bytes())
+      .set("corpus_root", env.corpus.root);
+
+  std::size_t detected = 0;
+  std::size_t with_union = 0;
+  std::vector<double> losses;
+  for (const RansomwareRunResult& r : results) {
+    detected += r.detected ? 1 : 0;
+    with_union += r.union_triggered ? 1 : 0;
+    losses.push_back(static_cast<double>(r.files_lost));
+  }
+
+  Json families = Json::array();
+  for (const FamilyRow& row : aggregate_table1(results)) {
+    Json family = Json::object();
+    family.set("family", row.family)
+        .set("class_a", row.class_a)
+        .set("class_b", row.class_b)
+        .set("class_c", row.class_c)
+        .set("total", row.total)
+        .set("median_files_lost", row.median_files_lost);
+    families.push(std::move(family));
+  }
+
+  Json aggregate = Json::object();
+  aggregate.set("samples", results.size())
+      .set("detected", detected)
+      .set("detection_rate",
+           results.empty() ? 0.0
+                           : static_cast<double>(detected) /
+                                 static_cast<double>(results.size()))
+      .set("union_rate", results.empty()
+                             ? 0.0
+                             : static_cast<double>(with_union) /
+                                   static_cast<double>(results.size()))
+      .set("median_files_lost", losses.empty() ? 0.0 : median(losses))
+      .set("max_files_lost",
+           losses.empty() ? 0.0 : percentile(losses, 100.0));
+
+  Json j = Json::object();
+  j.set("experiment", "table1_campaign")
+      .set("environment", std::move(environment))
+      .set("aggregate", std::move(aggregate))
+      .set("families", std::move(families));
+  if (include_samples) {
+    Json samples = Json::array();
+    for (const RansomwareRunResult& r : results) samples.push(to_json(r));
+    j.set("samples", std::move(samples));
+  }
+  return j;
+}
+
+Json benign_report(const std::vector<BenignRunResult>& results) {
+  std::size_t false_positives = 0;
+  Json apps = Json::array();
+  for (const BenignRunResult& r : results) {
+    if (r.detected) ++false_positives;
+    apps.push(to_json(r));
+  }
+  Json j = Json::object();
+  j.set("experiment", "benign_suite")
+      .set("applications", results.size())
+      .set("false_positives", false_positives)
+      .set("apps", std::move(apps));
+  return j;
+}
+
+}  // namespace cryptodrop::harness

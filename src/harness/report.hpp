@@ -1,0 +1,30 @@
+// Machine-readable (JSON) experiment reports: per-sample results,
+// campaign aggregates in Table-I shape, and benign-suite summaries —
+// for plotting pipelines and regression tracking outside this repo.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "harness/experiment.hpp"
+
+namespace cryptodrop::harness {
+
+/// One ransomware run as a JSON object (family, class, detection,
+/// files lost, per-indicator counts, union state).
+Json to_json(const RansomwareRunResult& result);
+
+/// One benign run as a JSON object.
+Json to_json(const BenignRunResult& result);
+
+/// Full campaign report: environment summary, per-family Table-I rows,
+/// overall aggregates, and (optionally) every per-sample record.
+Json campaign_report(const Environment& env,
+                     const std::vector<RansomwareRunResult>& results,
+                     bool include_samples = false);
+
+/// Benign-suite report: per-app scores and the false-positive count.
+Json benign_report(const std::vector<BenignRunResult>& results);
+
+}  // namespace cryptodrop::harness

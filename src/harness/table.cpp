@@ -1,0 +1,61 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cryptodrop::harness {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < row.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string fmt_double(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  std::string out(buf);
+  if (digits == 1 && out.size() > 2 && out.ends_with(".0")) {
+    out.resize(out.size() - 2);
+  }
+  return out;
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return std::string(buf);
+}
+
+}  // namespace cryptodrop::harness

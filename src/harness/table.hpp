@@ -1,0 +1,32 @@
+// Plain-text table / figure rendering for the bench binaries, so each
+// bench prints rows directly comparable to the paper's tables and ASCII
+// renderings of its figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cryptodrop::harness {
+
+/// Simple left/right-aligned column table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a header underline; columns sized to the widest cell.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits, trimming a trailing
+/// ".0" for whole numbers when digits == 1.
+std::string fmt_double(double value, int digits);
+
+/// "57.32%"-style percentage.
+std::string fmt_percent(double fraction, int digits = 2);
+
+}  // namespace cryptodrop::harness

@@ -1,0 +1,177 @@
+#include "magic/magic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "entropy/entropy.hpp"
+
+namespace cryptodrop::magic {
+
+namespace {
+
+/// Looks for `needle` anywhere in the first `window` bytes — used to peek
+/// inside ZIP containers for the OOXML/ODF member names, the same trick
+/// file(1) uses to distinguish .docx from plain .zip.
+bool contains_early(ByteView data, std::string_view needle, std::size_t window) {
+  const std::size_t limit = std::min(window, data.size());
+  if (needle.size() > limit) return false;
+  std::string_view haystack(reinterpret_cast<const char*>(data.data()), limit);
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool match_at(ByteView data, std::size_t offset, std::string_view sig) {
+  if (data.size() < offset + sig.size()) return false;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (data[offset + i] != static_cast<std::uint8_t>(sig[i])) return false;
+  }
+  return true;
+}
+
+bool looks_like_text(ByteView data, bool* is_utf8) {
+  // Sample up to 4 KiB: printable ASCII, common whitespace, and valid
+  // UTF-8 multibyte sequences qualify; NUL or dense control bytes do not.
+  const std::size_t limit = std::min<std::size_t>(data.size(), 4096);
+  std::size_t i = 0;
+  std::size_t suspicious = 0;
+  bool saw_multibyte = false;
+  while (i < limit) {
+    const std::uint8_t b = data[i];
+    if (b == 0) return false;
+    if (b == '\t' || b == '\n' || b == '\r' || (b >= 0x20 && b < 0x7f)) {
+      ++i;
+      continue;
+    }
+    if (b >= 0xc2 && b <= 0xf4) {
+      // Possible UTF-8 lead byte; count continuation bytes.
+      const int cont = b >= 0xf0 ? 3 : (b >= 0xe0 ? 2 : 1);
+      bool ok = i + static_cast<std::size_t>(cont) < limit + 1;
+      for (int k = 1; ok && k <= cont; ++k) {
+        if (i + static_cast<std::size_t>(k) >= data.size() ||
+            (data[i + static_cast<std::size_t>(k)] & 0xc0) != 0x80) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        saw_multibyte = true;
+        i += static_cast<std::size_t>(cont) + 1;
+        continue;
+      }
+    }
+    ++suspicious;
+    ++i;
+    if (suspicious * 50 > limit) return false;  // >2% junk: not text
+  }
+  if (is_utf8 != nullptr) *is_utf8 = saw_multibyte;
+  return true;
+}
+
+}  // namespace
+
+std::string_view type_name(TypeId id) {
+  switch (id) {
+    case TypeId::empty: return "empty";
+    case TypeId::ascii_text: return "ASCII text";
+    case TypeId::utf8_text: return "UTF-8 Unicode text";
+    case TypeId::html: return "HTML document";
+    case TypeId::xml: return "XML document";
+    case TypeId::rtf: return "Rich Text Format";
+    case TypeId::pdf: return "PDF document";
+    case TypeId::postscript: return "PostScript document";
+    case TypeId::ms_word_2007: return "Microsoft Word 2007+";
+    case TypeId::ms_excel_2007: return "Microsoft Excel 2007+";
+    case TypeId::ms_powerpoint_2007: return "Microsoft PowerPoint 2007+";
+    case TypeId::opendocument_text: return "OpenDocument Text";
+    case TypeId::ole_compound: return "Composite Document File V2";
+    case TypeId::zip_archive: return "Zip archive data";
+    case TypeId::gzip: return "gzip compressed data";
+    case TypeId::sevenzip: return "7-zip archive data";
+    case TypeId::jpeg: return "JPEG image data";
+    case TypeId::png: return "PNG image data";
+    case TypeId::gif: return "GIF image data";
+    case TypeId::bmp: return "PC bitmap";
+    case TypeId::mp3: return "MPEG ADTS, layer III (MP3)";
+    case TypeId::wav: return "RIFF WAVE audio";
+    case TypeId::flac: return "FLAC audio";
+    case TypeId::ogg: return "Ogg data";
+    case TypeId::m4a: return "ISO Media, MPEG-4 audio";
+    case TypeId::sqlite: return "SQLite 3.x database";
+    case TypeId::pe_executable: return "PE32 executable";
+    case TypeId::high_entropy_data: return "data (high entropy)";
+    case TypeId::unknown_data: return "data";
+  }
+  return "data";
+}
+
+bool is_high_entropy_type(TypeId id) {
+  switch (id) {
+    case TypeId::pdf:
+    case TypeId::ms_word_2007:
+    case TypeId::ms_excel_2007:
+    case TypeId::ms_powerpoint_2007:
+    case TypeId::opendocument_text:
+    case TypeId::zip_archive:
+    case TypeId::gzip:
+    case TypeId::sevenzip:
+    case TypeId::jpeg:
+    case TypeId::png:
+    case TypeId::mp3:
+    case TypeId::flac:
+    case TypeId::ogg:
+    case TypeId::m4a:
+    case TypeId::high_entropy_data:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TypeId identify(ByteView data) {
+  if (data.empty()) return TypeId::empty;
+
+  // ZIP container family: disambiguate by early member names.
+  if (match_at(data, 0, "PK\x03\x04")) {
+    if (contains_early(data, "word/", 512)) return TypeId::ms_word_2007;
+    if (contains_early(data, "xl/", 512)) return TypeId::ms_excel_2007;
+    if (contains_early(data, "ppt/", 512)) return TypeId::ms_powerpoint_2007;
+    if (contains_early(data, "opendocument", 512)) return TypeId::opendocument_text;
+    return TypeId::zip_archive;
+  }
+
+  if (match_at(data, 0, "%PDF-")) return TypeId::pdf;
+  if (match_at(data, 0, "%!PS")) return TypeId::postscript;
+  if (match_at(data, 0, "{\\rtf")) return TypeId::rtf;
+  if (match_at(data, 0, "\xd0\xcf\x11\xe0\xa1\xb1\x1a\xe1")) return TypeId::ole_compound;
+  if (match_at(data, 0, "\x1f\x8b")) return TypeId::gzip;
+  if (match_at(data, 0, "7z\xbc\xaf\x27\x1c")) return TypeId::sevenzip;
+  if (match_at(data, 0, "\xff\xd8\xff")) return TypeId::jpeg;
+  if (match_at(data, 0, "\x89PNG\r\n\x1a\n")) return TypeId::png;
+  if (match_at(data, 0, "GIF8")) return TypeId::gif;
+  if (match_at(data, 0, "BM") && data.size() > 14) return TypeId::bmp;
+  if (match_at(data, 0, "ID3")) return TypeId::mp3;
+  if (data.size() >= 2 && data[0] == 0xff && (data[1] & 0xe0) == 0xe0) return TypeId::mp3;
+  if (match_at(data, 0, "RIFF") && match_at(data, 8, "WAVE")) return TypeId::wav;
+  if (match_at(data, 0, "fLaC")) return TypeId::flac;
+  if (match_at(data, 0, "OggS")) return TypeId::ogg;
+  if (match_at(data, 4, "ftypM4A")) return TypeId::m4a;
+  if (match_at(data, 0, "SQLite format 3")) return TypeId::sqlite;
+  if (match_at(data, 0, "MZ")) return TypeId::pe_executable;
+
+  // Markup before the generic text check.
+  if (contains_early(data, "<!DOCTYPE html", 256) || contains_early(data, "<html", 256)) {
+    return TypeId::html;
+  }
+  if (match_at(data, 0, "<?xml")) return TypeId::xml;
+
+  bool is_utf8 = false;
+  if (looks_like_text(data, &is_utf8)) {
+    return is_utf8 ? TypeId::utf8_text : TypeId::ascii_text;
+  }
+
+  // Ciphertext / unrecognized compressed payloads land here.
+  const std::size_t sample = std::min<std::size_t>(data.size(), 8192);
+  if (entropy::shannon(data.first(sample)) >= 7.2) return TypeId::high_entropy_data;
+  return TypeId::unknown_data;
+}
+
+}  // namespace cryptodrop::magic

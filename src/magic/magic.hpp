@@ -1,0 +1,67 @@
+// File-type identification by content ("magic numbers"), the analogue of
+// the `file(1)` utility the paper uses for its File Type Changes indicator
+// (§III-A).
+//
+// Identification looks only at bytes, never the file name: ransomware
+// routinely renames files, and the indicator must see through that. The
+// signature set covers every type the corpus generator emits plus generic
+// fallbacks (text, data, high-entropy data).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace cryptodrop::magic {
+
+/// Identified content types. `unknown_data` is the catch-all for binary
+/// content with no signature; `high_entropy_data` is what ciphertext and
+/// compressed archives look like (entropy >= 7.2 bits/byte).
+enum class TypeId : std::uint8_t {
+  empty,
+  ascii_text,
+  utf8_text,
+  html,
+  xml,
+  rtf,
+  pdf,
+  postscript,
+  ms_word_2007,    // .docx (OOXML)
+  ms_excel_2007,   // .xlsx
+  ms_powerpoint_2007,  // .pptx
+  opendocument_text,   // .odt
+  ole_compound,    // legacy .doc/.xls/.ppt container
+  zip_archive,
+  gzip,
+  sevenzip,
+  jpeg,
+  png,
+  gif,
+  bmp,
+  mp3,
+  wav,
+  flac,
+  ogg,
+  m4a,
+  sqlite,
+  pe_executable,
+  high_entropy_data,
+  unknown_data,
+};
+
+/// Human-readable description, in the style of file(1) output
+/// (e.g. "Microsoft Word 2007+", "data").
+std::string_view type_name(TypeId id);
+
+/// True for types whose payload is already compressed/encrypted and thus
+/// close to maximal entropy even before ransomware touches it (the paper
+/// notes .pdf/.docx/.pptx "exhibit far less entropy increase when
+/// encrypted").
+bool is_high_entropy_type(TypeId id);
+
+/// Identifies `data` by signatures, falling back to text/entropy
+/// heuristics. Deterministic and side-effect free.
+TypeId identify(ByteView data);
+
+}  // namespace cryptodrop::magic

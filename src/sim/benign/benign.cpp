@@ -1,0 +1,705 @@
+#include "sim/benign/benign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/text.hpp"
+#include "corpus/generators.hpp"
+#include "crypto/chacha20.hpp"
+#include "vfs/path.hpp"
+
+namespace cryptodrop::sim {
+
+namespace {
+
+using corpus::FileKind;
+using corpus::generate_content;
+
+/// Every helper returns false when an operation came back access_denied —
+/// the workload stops immediately, like a real app whose I/O hangs once
+/// CryptoDrop pauses it.
+bool denied(const Status& s) { return s.code() == Errc::access_denied; }
+
+/// Files under the docs root with one of the given extensions (all files
+/// when `exts` is empty), capped at `limit`.
+std::vector<std::string> files_by_ext(const WorkloadContext& ctx,
+                                      const std::vector<std::string>& exts,
+                                      std::size_t limit) {
+  std::vector<std::string> out;
+  for (const std::string& path : ctx.fs.list_files_recursive(ctx.docs_root)) {
+    if (!exts.empty()) {
+      const std::string ext = vfs::path_extension(path);
+      if (std::find(exts.begin(), exts.end(), ext) == exts.end()) continue;
+    }
+    out.push_back(path);
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+/// Filtered whole-file read. Returns false on denial.
+bool app_read(WorkloadContext& ctx, const std::string& path) {
+  auto data = ctx.fs.read_file(ctx.pid, path);
+  return !denied(data.status());
+}
+
+/// Filtered whole-file write (create/truncate). Returns false on denial.
+bool app_write(WorkloadContext& ctx, const std::string& path, ByteView data) {
+  return !denied(ctx.fs.write_file(ctx.pid, path, data));
+}
+
+/// High-entropy filler (compressed output of the simulated app).
+Bytes compressed(Rng& rng, std::size_t n) {
+  crypto::ChaCha20 stream(rng.bytes(32), rng.bytes(12));
+  return stream.keystream(n);
+}
+
+/// What the regenerated region of a rewrite looks like.
+enum class Filler {
+  compressed,  ///< Binary/compressed output (Office containers, databases).
+  text,        ///< Prose (notes apps, logs, configs).
+};
+
+/// Information-preserving in-place rewrite: reads the file through the
+/// filter stack, keeps `preserve_fraction` of its bytes (as a prefix),
+/// regenerates the rest, optionally appends growth. This is how benign
+/// incremental saves look at the byte level.
+bool rewrite_preserving(WorkloadContext& ctx, const std::string& path,
+                        double preserve_fraction, std::size_t append_bytes,
+                        Filler filler = Filler::compressed) {
+  auto handle = ctx.fs.open(ctx.pid, path, vfs::kRead | vfs::kWrite);
+  if (!handle) return !denied(handle.status());
+  auto info = ctx.fs.stat(path);
+  const std::size_t size = info ? static_cast<std::size_t>(info.value().size) : 0;
+  auto old = ctx.fs.read(ctx.pid, handle.value(), size);
+  if (!old) {
+    (void)ctx.fs.close(ctx.pid, handle.value());
+    return !denied(old.status());
+  }
+  Bytes fresh = std::move(old).value();
+  const std::size_t keep =
+      static_cast<std::size_t>(static_cast<double>(fresh.size()) * preserve_fraction);
+  auto make_filler = [&](std::size_t n) {
+    return filler == Filler::compressed ? compressed(ctx.rng, n)
+                                        : to_bytes(synth_prose(ctx.rng, n));
+  };
+  if (keep < fresh.size()) {
+    const Bytes repl = make_filler(fresh.size() - keep);
+    std::copy(repl.begin(), repl.end(),
+              fresh.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  if (append_bytes > 0) append(fresh, ByteView(make_filler(append_bytes)));
+
+  if (Status s = ctx.fs.seek(ctx.pid, handle.value(), 0); !s.is_ok()) {
+    (void)ctx.fs.close(ctx.pid, handle.value());
+    return true;
+  }
+  const Status wrote = ctx.fs.write(ctx.pid, handle.value(), ByteView(fresh));
+  const Status closed = ctx.fs.close(ctx.pid, handle.value());
+  return !denied(wrote) && !denied(closed);
+}
+
+/// LibreOffice-style "safe save": write a temp sibling, delete the
+/// original, rename the temp into place. `content` is the new full file
+/// content. (The delete severs the engine's pre-image linkage; contrast
+/// with replace_file_save below.)
+bool replace_save(WorkloadContext& ctx, const std::string& path, ByteView content) {
+  const std::string tmp = path + ".tmp~";
+  if (!app_write(ctx, tmp, content)) return false;
+  if (denied(ctx.fs.remove(ctx.pid, path))) return false;
+  return !denied(ctx.fs.rename(ctx.pid, tmp, path));
+}
+
+/// Office ReplaceFile()-style save: write a temp sibling and rename it
+/// *over* the original (replacement, no delete), plus an autorecovery
+/// file that is created and cleaned up per save. The rename-over gives
+/// the engine a pre-image to compare against — and the fully recompressed
+/// container legitimately scores near zero similarity.
+bool replace_file_save(WorkloadContext& ctx, const std::string& path,
+                       ByteView content) {
+  const std::string tmp = path + ".tmp~";
+  const std::string autosave = path + ".asd";
+  const std::string backup = path + ".bak~";
+  if (!app_write(ctx, tmp, content)) return false;
+  if (!app_write(ctx, autosave, ByteView(content.first(content.size() / 2)))) {
+    return false;
+  }
+  // ReplaceFile keeps a transient backup of the replaced file, then both
+  // scratch files are cleaned up.
+  if (!app_write(ctx, backup, ByteView(content.first(content.size() / 3)))) {
+    return false;
+  }
+  if (denied(ctx.fs.rename(ctx.pid, tmp, path))) return false;
+  if (denied(ctx.fs.remove(ctx.pid, autosave))) return false;
+  return !denied(ctx.fs.remove(ctx.pid, backup));
+}
+
+// ----------------------------------------------------------------------
+// The five Figure-6 applications, following the paper's test scripts.
+// ----------------------------------------------------------------------
+
+/// "We imported a set of 1,073 JPEG image files ... performed an
+/// 'automatic tone' function on every picture, converted 5 photos to
+/// black-and-white, and exported these 5 photos to the user's documents
+/// folder."  Lightroom edits non-destructively: originals are untouched,
+/// the catalog (SQLite) absorbs every change, and each transaction spins
+/// up and deletes a journal file.
+void run_lightroom(WorkloadContext& ctx) {
+  const auto photos = files_by_ext(ctx, {"jpg"}, 1073);
+  const std::string lr_dir = vfs::path_join(ctx.docs_root, "lightroom");
+  const std::string catalog = vfs::path_join(lr_dir, "catalog.lrcat");
+  (void)ctx.fs.mkdir(ctx.pid, lr_dir);
+
+  // Create the catalog (SQLite database).
+  Bytes db = to_bytes(std::string("SQLite format 3\0", 16));
+  append(db, ByteView(compressed(ctx.rng, 24 * 1024)));
+  if (!app_write(ctx, catalog, ByteView(db))) return;
+
+  // Import: read every photo; extend the catalog in transactions, each
+  // with a journal file that is created and deleted.
+  std::size_t batch = 0;
+  for (const std::string& photo : photos) {
+    ctx.think_ms(3000);  // import + preview render pace (~1 h for 1,073)
+    if (!app_read(ctx, photo)) return;
+    if (++batch % 48 == 0) {
+      const std::string journal = catalog + "-journal";
+      if (!app_write(ctx, journal, ByteView(compressed(ctx.rng, 4096)))) return;
+      if (!rewrite_preserving(ctx, catalog, 0.92, 8 * 1024)) return;
+      if (denied(ctx.fs.remove(ctx.pid, journal))) return;
+    }
+  }
+  // Tone adjustments land in the catalog, not the photos.
+  if (!rewrite_preserving(ctx, catalog, 0.90, 16 * 1024)) return;
+
+  // Export 5 black-and-white conversions as new JPEGs.
+  for (int i = 0; i < 5; ++i) {
+    const std::string out =
+        vfs::path_join(ctx.docs_root, "export_bw_" + std::to_string(i) + ".jpg");
+    if (!app_write(ctx, out,
+                   ByteView(generate_content(FileKind::jpg, 180 * 1024, ctx.rng)))) {
+      return;
+    }
+  }
+}
+
+/// "We performed a batch modification of the same 1,073 JPEG image files,
+/// using the ImageMagick mogrify utility. Each picture was rotated 90
+/// degrees and saved in-place."  Rotation preserves the image
+/// information: headers/EXIF stay, and the entropy-coded payload carries
+/// the same content (modeled as a block permutation with light re-encode
+/// noise), so the similarity digest stays high and the type unchanged.
+void run_imagemagick(WorkloadContext& ctx) {
+  const auto photos = files_by_ext(ctx, {"jpg"}, 1073);
+  for (const std::string& photo : photos) {
+    ctx.think_ms(150);  // decode, rotate, re-encode
+    auto handle = ctx.fs.open(ctx.pid, photo, vfs::kRead | vfs::kWrite);
+    if (!handle) {
+      if (denied(handle.status())) return;
+      continue;  // read-only photos are skipped by mogrify with a warning
+    }
+    auto info = ctx.fs.stat(photo);
+    const std::size_t size = info ? static_cast<std::size_t>(info.value().size) : 0;
+    auto old = ctx.fs.read(ctx.pid, handle.value(), size);
+    if (!old) {
+      (void)ctx.fs.close(ctx.pid, handle.value());
+      if (denied(old.status())) return;
+      continue;
+    }
+    Bytes img = std::move(old).value();
+    // Keep header + EXIF verbatim; locally reorder the entropy-coded
+    // payload (adjacent 4 KiB block swaps) and re-encode ~10% of blocks.
+    // This models a lossless-transform rotation: the compressed segments
+    // survive byte-identically in a new arrangement, so the similarity
+    // digest stays far above the "no match" bar.
+    const std::size_t header = std::min<std::size_t>(img.size(), 8 * 1024);
+    constexpr std::size_t kBlock = 4096;
+    if (img.size() > header + 2 * kBlock) {
+      const std::size_t blocks = (img.size() - header) / kBlock;
+      Bytes rotated(img.begin(), img.begin() + static_cast<std::ptrdiff_t>(header));
+      for (std::size_t pair = 0; pair + 1 < blocks; pair += 2) {
+        for (std::size_t b : {pair + 1, pair}) {  // swap adjacent blocks
+          const std::size_t off = header + b * kBlock;
+          if (ctx.rng.chance(0.10)) {
+            append(rotated, ByteView(compressed(ctx.rng, kBlock)));  // re-encoded
+          } else {
+            rotated.insert(rotated.end(),
+                           img.begin() + static_cast<std::ptrdiff_t>(off),
+                           img.begin() + static_cast<std::ptrdiff_t>(off + kBlock));
+          }
+        }
+      }
+      rotated.resize(img.size(), 0);
+      img = std::move(rotated);
+    }
+    (void)ctx.fs.seek(ctx.pid, handle.value(), 0);
+    const Status wrote = ctx.fs.write(ctx.pid, handle.value(), ByteView(img));
+    const Status closed = ctx.fs.close(ctx.pid, handle.value());
+    if (denied(wrote) || denied(closed)) return;
+  }
+}
+
+/// "We deleted the iTunes library ... imported all 70 of the Coldwell
+/// audio comparison files, and allowed iTunes to convert any files that
+/// were unsupported. We played three songs, then converted all of the
+/// audio files to AAC."  Conversions land in the iTunes media library
+/// *outside* the documents tree; inside it, iTunes only refreshes a
+/// little artwork/metadata cache.
+void run_itunes(WorkloadContext& ctx) {
+  const std::string library = "users/victim/music/itunes";
+  (void)ctx.fs.mkdir(ctx.pid, library);
+  const auto songs = files_by_ext(ctx, {"wav", "mp3", "m4a", "flac"}, 70);
+
+  for (const std::string& song : songs) {
+    ctx.think_ms(800);  // import scan
+    if (!app_read(ctx, song)) return;
+  }
+  // Playback re-reads (three full songs).
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, songs.size()); ++i) {
+    ctx.think_ms(200000);
+    if (!app_read(ctx, songs[i])) return;
+  }
+  // Convert to AAC into the library (unmonitored).
+  for (std::size_t i = 0; i < songs.size(); ++i) {
+    ctx.think_ms(4000);  // transcode time per track
+    if (!app_read(ctx, songs[i])) return;
+    const std::string out = vfs::path_join(library, "track_" + std::to_string(i) + ".m4a");
+    if (!app_write(ctx, out,
+                   ByteView(generate_content(FileKind::m4a, 96 * 1024, ctx.rng)))) {
+      return;
+    }
+  }
+  // Artwork cache refresh inside the documents music folder.
+  const std::string art_dir = vfs::path_join(ctx.docs_root, "album artwork");
+  (void)ctx.fs.mkdir(ctx.pid, art_dir);
+  for (int i = 0; i < 2; ++i) {
+    const std::string itc = vfs::path_join(art_dir, "cache" + std::to_string(i) + ".itc");
+    if (!app_write(ctx, itc, ByteView(compressed(ctx.rng, 48 * 1024)))) return;
+  }
+}
+
+/// "We created a new blank document and entered 5 paragraphs ... saved
+/// ... created a table ... saved again ... imported a photo ... inserted
+/// a 'SmartArt' graphic ... and saved."  Word saves incrementally:
+/// most of the file's bytes survive each save.
+void run_word(WorkloadContext& ctx) {
+  const std::string doc = vfs::path_join(ctx.docs_root, "report.docx");
+  if (!app_write(ctx, doc,
+                 ByteView(generate_content(FileKind::docx, 36 * 1024, ctx.rng)))) {
+    return;
+  }
+  ctx.think_ms(240000);  // five paragraphs of typing
+  if (!rewrite_preserving(ctx, doc, 0.88, 6 * 1024)) return;   // table added
+  ctx.think_ms(180000);
+  if (!app_read(ctx, doc)) return;
+  if (!rewrite_preserving(ctx, doc, 0.85, 180 * 1024)) return; // photo embedded
+  ctx.think_ms(120000);
+  if (!rewrite_preserving(ctx, doc, 0.90, 12 * 1024)) return;  // SmartArt
+}
+
+/// "We created a blank document and filled in two 500-cell columns ...
+/// created a line chart ... saved ... re-opened Excel, added another
+/// column ... a scatter plot ... saved again."  Excel's safe-save
+/// rewrites the whole compressed container through a temp file and
+/// deletes the old copy — every byte changes, so the similarity digest
+/// collapses on each save (this is what puts Excel near, but below, the
+/// detection threshold in Figure 6).
+void run_excel(WorkloadContext& ctx) {
+  const std::string book = vfs::path_join(ctx.docs_root, "budget.xlsx");
+  std::size_t size = 22 * 1024;
+  if (!app_write(ctx, book, ByteView(generate_content(FileKind::xlsx, size, ctx.rng)))) {
+    return;
+  }
+  // Session 1: data + line chart, two saves.
+  for (int save = 0; save < 2; ++save) {
+    ctx.think_ms(150000);  // fill in the columns / build the chart
+    size += 6 * 1024;
+    if (!replace_file_save(ctx, book,
+                           ByteView(generate_content(FileKind::xlsx, size, ctx.rng)))) {
+      return;
+    }
+  }
+  // Session 2: re-open, new column + scatter plot, two saves.
+  if (!app_read(ctx, book)) return;
+  for (int save = 0; save < 2; ++save) {
+    ctx.think_ms(120000);
+    size += 5 * 1024;
+    if (!replace_file_save(ctx, book,
+                           ByteView(generate_content(FileKind::xlsx, size, ctx.rng)))) {
+      return;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// 7-zip — the expected false positive (§V-G).
+// ----------------------------------------------------------------------
+
+/// Archives the entire documents directory: reads every file (dozens of
+/// distinct types) while streaming one high-entropy archive back into the
+/// tree. The paper calls this detection "normal, expected, desirable".
+void run_sevenzip(WorkloadContext& ctx) {
+  const std::string archive = vfs::path_join(ctx.docs_root, "documents.7z");
+  auto handle = ctx.fs.open(ctx.pid, archive, vfs::kWrite | vfs::kCreate);
+  if (!handle) return;
+  // 7z signature, then compressed stream.
+  const Bytes sig = to_bytes(std::string("7z\xbc\xaf\x27\x1c\x00\x04", 8));
+  if (denied(ctx.fs.write(ctx.pid, handle.value(), ByteView(sig)))) {
+    (void)ctx.fs.close(ctx.pid, handle.value());
+    return;
+  }
+  for (const std::string& path : ctx.fs.list_files_recursive(ctx.docs_root)) {
+    if (path == archive) continue;
+    auto data = ctx.fs.read_file(ctx.pid, path);
+    if (!data) {
+      if (denied(data.status())) break;
+      continue;
+    }
+    // ~45% compression ratio, written in 64 KiB chunks.
+    std::size_t out_bytes = std::max<std::size_t>(data.value().size() * 45 / 100, 64);
+    const Bytes chunk_src = compressed(ctx.rng, out_bytes);
+    bool stop = false;
+    for (std::size_t off = 0; off < chunk_src.size(); off += 64 * 1024) {
+      const std::size_t n = std::min<std::size_t>(64 * 1024, chunk_src.size() - off);
+      if (denied(ctx.fs.write(ctx.pid, handle.value(),
+                              ByteView(chunk_src).subspan(off, n)))) {
+        stop = true;
+        break;
+      }
+    }
+    if (stop) break;
+  }
+  (void)ctx.fs.close(ctx.pid, handle.value());
+}
+
+// ----------------------------------------------------------------------
+// The remaining applications: lighter-footprint workloads.
+// ----------------------------------------------------------------------
+
+void run_avast(WorkloadContext& ctx) {
+  // On-demand scan: reads everything, writes only its own logs elsewhere.
+  for (const std::string& path : ctx.fs.list_files_recursive(ctx.docs_root)) {
+    ctx.think_ms(10);  // per-file scan cost
+    if (!app_read(ctx, path)) return;
+  }
+  (void)ctx.fs.write_file(ctx.pid, "programdata/avast/scan.log",
+                          to_bytes(synth_prose(ctx.rng, 4096)));
+}
+
+void run_chocolate_doom(WorkloadContext& ctx) {
+  const std::string saves = vfs::path_join(ctx.docs_root, "doom");
+  (void)ctx.fs.mkdir(ctx.pid, saves);
+  for (int slot = 0; slot < 3; ++slot) {
+    const std::string file = vfs::path_join(saves, "savegame" + std::to_string(slot) + ".dsg");
+    Bytes save = to_bytes(std::string("DOOM SAVE v1\0", 13));
+    append(save, ByteView(ctx.rng.bytes(12 * 1024)));
+    if (!app_write(ctx, file, ByteView(save))) return;
+    if (!app_read(ctx, file)) return;
+    if (!rewrite_preserving(ctx, file, 0.75, 512)) return;  // re-save
+  }
+}
+
+void run_chrome(WorkloadContext& ctx) {
+  // Three downloads into the documents tree; no reads.
+  const std::string downloads = vfs::path_join(ctx.docs_root, "downloads");
+  (void)ctx.fs.mkdir(ctx.pid, downloads);
+  const FileKind kinds[] = {FileKind::pdf, FileKind::zip, FileKind::jpg};
+  int i = 0;
+  for (FileKind kind : kinds) {
+    const std::string name = "download_" + std::to_string(i++) + "." +
+                             std::string(corpus::kind_extension(kind));
+    // Browsers stream to .crdownload and rename when complete.
+    const std::string partial = vfs::path_join(downloads, name + ".crdownload");
+    ctx.think_ms(30000);  // network transfer
+    if (!app_write(ctx, partial,
+                   ByteView(generate_content(kind, 300 * 1024, ctx.rng)))) {
+      return;
+    }
+    if (denied(ctx.fs.rename(ctx.pid, partial, vfs::path_join(downloads, name)))) return;
+  }
+}
+
+void run_dropbox(WorkloadContext& ctx) {
+  // Sync indexing: reads a broad sample of the tree, then materializes a
+  // couple of "conflicted copy" duplicates (content identical).
+  const auto sample = files_by_ext(ctx, {}, 400);
+  for (const std::string& path : sample) {
+    ctx.think_ms(60);  // hash + upload pacing
+    if (!app_read(ctx, path)) return;
+  }
+  for (std::size_t i = 0; i < std::min<std::size_t>(2, sample.size()); ++i) {
+    const std::string& src = sample[i * 37 % sample.size()];
+    auto data = ctx.fs.read_file(ctx.pid, src);
+    if (!data) return;
+    const std::string copy = src + " (conflicted copy)";
+    if (!app_write(ctx, copy, ByteView(data.value()))) return;
+  }
+}
+
+void run_noop_outside_docs(WorkloadContext& ctx) {
+  // Tray utilities (F.lux, VPN clients, Skype, Spotify): config and cache
+  // churn in their own directories, nothing under the documents root.
+  (void)ctx.fs.write_file(ctx.pid, "users/victim/appdata/roaming/app/settings.ini",
+                          to_bytes(synth_prose(ctx.rng, 800)));
+  (void)ctx.fs.write_file(ctx.pid, "users/victim/appdata/local/app/cache.bin",
+                          ctx.rng.bytes(64 * 1024));
+}
+
+void run_gimp(WorkloadContext& ctx) {
+  const auto images = files_by_ext(ctx, {"png", "jpg"}, 4);
+  if (images.empty()) return;
+  if (!app_read(ctx, images[0])) return;
+  // Save working copy as .xcf (new file), then export once over a PNG
+  // (full recompression — similarity legitimately collapses, a single
+  // modest score hit).
+  const std::string xcf = vfs::path_join(ctx.docs_root, "artwork.xcf");
+  Bytes working = to_bytes(std::string("gimp xcf file\0", 14));
+  append(working, ByteView(compressed(ctx.rng, 400 * 1024)));
+  if (!app_write(ctx, xcf, ByteView(working))) return;
+  auto info = ctx.fs.stat(images[0]);
+  const std::size_t size = info ? static_cast<std::size_t>(info.value().size) : 64 * 1024;
+  if (!app_write(ctx, images[0],
+                 ByteView(generate_content(FileKind::png, size, ctx.rng)))) {
+    return;
+  }
+}
+
+void run_launchy(WorkloadContext& ctx) {
+  // Indexer: walks the namespace, opens nothing.
+  std::vector<std::string> stack{ctx.docs_root};
+  while (!stack.empty()) {
+    const std::string dir = stack.back();
+    stack.pop_back();
+    for (const vfs::DirEntry& entry : ctx.fs.list(dir)) {
+      if (entry.is_directory) stack.push_back(vfs::path_join(dir, entry.name));
+    }
+  }
+  (void)ctx.fs.write_file(ctx.pid, "users/victim/appdata/roaming/launchy/index.db",
+                          ctx.rng.bytes(32 * 1024));
+}
+
+/// LibreOffice saves through a temp file + replace, recompressing the
+/// whole container (like Excel) — but the paper's quick benign runs only
+/// include a couple of saves.
+void run_libreoffice(WorkloadContext& ctx, FileKind kind, const std::string& filename) {
+  const std::string doc = vfs::path_join(ctx.docs_root, filename);
+  std::size_t size = 30 * 1024;
+  if (!app_write(ctx, doc, ByteView(generate_content(kind, size, ctx.rng)))) return;
+  for (int save = 0; save < 2; ++save) {
+    size += 4 * 1024;
+    if (!app_read(ctx, doc)) return;
+    if (!replace_save(ctx, doc, ByteView(generate_content(kind, size, ctx.rng)))) return;
+  }
+}
+
+void run_office_viewers(WorkloadContext& ctx) {
+  for (const std::string& path :
+       files_by_ext(ctx, {"doc", "docx", "xls", "xlsx", "ppt", "pptx"}, 20)) {
+    if (!app_read(ctx, path)) return;
+  }
+}
+
+void run_musicbee(WorkloadContext& ctx) {
+  // Library scan + in-place tag edits: only the small tag region at the
+  // head of each file changes.
+  for (const std::string& song : files_by_ext(ctx, {"mp3"}, 40)) {
+    ctx.think_ms(400);  // tag scan
+    if (!app_read(ctx, song)) return;
+  }
+  for (const std::string& song : files_by_ext(ctx, {"mp3"}, 8)) {
+    auto handle = ctx.fs.open(ctx.pid, song, vfs::kRead | vfs::kWrite);
+    if (!handle) {
+      if (denied(handle.status())) return;
+      continue;
+    }
+    Bytes tag = to_bytes(std::string("ID3\x03\x00\x00", 6));
+    append(tag, to_bytes(synth_prose(ctx.rng, 250)));
+    const Status wrote = ctx.fs.write(ctx.pid, handle.value(), ByteView(tag));
+    const Status closed = ctx.fs.close(ctx.pid, handle.value());
+    if (denied(wrote) || denied(closed)) return;
+  }
+}
+
+void run_paintdotnet(WorkloadContext& ctx) {
+  const auto images = files_by_ext(ctx, {"jpg", "png"}, 2);
+  if (images.empty()) return;
+  if (!app_read(ctx, images[0])) return;
+  const std::string pdn = vfs::path_join(ctx.docs_root, "drawing.pdn");
+  Bytes working = to_bytes(std::string("PDN3", 4));
+  append(working, ByteView(compressed(ctx.rng, 200 * 1024)));
+  (void)app_write(ctx, pdn, ByteView(working));
+}
+
+void run_phrase_express(WorkloadContext& ctx) {
+  const std::string phrases = vfs::path_join(ctx.docs_root, "phrases.pxp");
+  if (!app_write(ctx, phrases, to_bytes(synth_prose(ctx.rng, 6 * 1024)))) return;
+  for (int i = 0; i < 2; ++i) {
+    if (!rewrite_preserving(ctx, phrases, 0.9, 256, Filler::text)) return;
+  }
+}
+
+void run_picasa(WorkloadContext& ctx) {
+  // Scans pictures and leaves a .picasa.ini in each directory visited.
+  std::size_t dirs_done = 0;
+  for (const std::string& photo : files_by_ext(ctx, {"jpg", "png", "gif"}, 200)) {
+    ctx.think_ms(250);  // thumbnailing
+    if (!app_read(ctx, photo)) return;
+    const std::string ini = vfs::path_join(vfs::path_parent(photo), ".picasa.ini");
+    if (!ctx.fs.exists(ini)) {
+      std::string body = "[" + std::string(vfs::path_filename(photo)) + "]\nstar=yes\n";
+      if (!app_write(ctx, ini, to_bytes(body))) return;
+      if (++dirs_done >= 20) break;
+    }
+  }
+}
+
+void run_pidgin(WorkloadContext& ctx) {
+  const std::string logs = vfs::path_join(ctx.docs_root, "pidgin logs");
+  (void)ctx.fs.mkdir(ctx.pid, logs);
+  const std::string log = vfs::path_join(logs, "buddy.html");
+  if (!app_write(ctx, log, to_bytes(std::string("<html><body>\n")))) return;
+  for (int msg = 0; msg < 20; ++msg) {
+    ctx.think_ms(static_cast<std::uint64_t>(20000 + ctx.rng.uniform(0, 60000)));
+    auto handle = ctx.fs.open(ctx.pid, log, vfs::kRead | vfs::kWrite);
+    if (!handle) return;
+    auto info = ctx.fs.stat(log);
+    (void)ctx.fs.seek(ctx.pid, handle.value(),
+                      info ? info.value().size : 0);
+    const Status wrote = ctx.fs.write(
+        ctx.pid, handle.value(),
+        to_bytes("<p>" + synth_prose(ctx.rng, 80) + "</p>\n"));
+    const Status closed = ctx.fs.close(ctx.pid, handle.value());
+    if (denied(wrote) || denied(closed)) return;
+  }
+}
+
+void run_ccleaner(WorkloadContext& ctx) {
+  // Cleans caches *outside* the documents tree.
+  for (int i = 0; i < 10; ++i) {
+    const std::string tmp = "users/victim/appdata/local/temp/junk" + std::to_string(i) + ".tmp";
+    (void)ctx.fs.write_file(ctx.pid, tmp, ctx.rng.bytes(2048));
+    (void)ctx.fs.remove(ctx.pid, tmp);
+  }
+}
+
+void run_resoph_notes(WorkloadContext& ctx) {
+  const std::string notes = vfs::path_join(ctx.docs_root, "resophnotes");
+  (void)ctx.fs.mkdir(ctx.pid, notes);
+  for (int i = 0; i < 10; ++i) {
+    ctx.think_ms(25000);  // writing the note
+    const std::string note = vfs::path_join(notes, "note" + std::to_string(i) + ".txt");
+    if (!app_write(ctx, note, to_bytes(synth_prose(ctx.rng, 600)))) return;
+  }
+  for (int i = 0; i < 5; ++i) {
+    const std::string note = vfs::path_join(notes, "note" + std::to_string(i) + ".txt");
+    if (!rewrite_preserving(ctx, note, 0.8, 120, Filler::text)) return;
+  }
+}
+
+void run_sticky_notes(WorkloadContext& ctx) {
+  const std::string snt = vfs::path_join(ctx.docs_root, "StickyNotes.snt");
+  if (!app_write(ctx, snt, to_bytes(synth_prose(ctx.rng, 900)))) return;
+  (void)rewrite_preserving(ctx, snt, 0.85, 100, Filler::text);
+}
+
+void run_sumatra(WorkloadContext& ctx) {
+  for (const std::string& pdf : files_by_ext(ctx, {"pdf"}, 10)) {
+    if (!app_read(ctx, pdf)) return;
+  }
+  (void)ctx.fs.write_file(ctx.pid,
+                          "users/victim/appdata/roaming/sumatrapdf/settings.txt",
+                          to_bytes(synth_prose(ctx.rng, 1200)));
+}
+
+void run_utorrent(WorkloadContext& ctx) {
+  // Streams a download into the documents tree (write-only: no reads, so
+  // the entropy-delta indicator never arms), then renames it complete.
+  const std::string partial = vfs::path_join(ctx.docs_root, "ubuntu.iso.!ut");
+  auto handle = ctx.fs.open(ctx.pid, partial, vfs::kWrite | vfs::kCreate);
+  if (!handle) return;
+  for (int chunk = 0; chunk < 40; ++chunk) {
+    if (denied(ctx.fs.write(ctx.pid, handle.value(),
+                            ByteView(compressed(ctx.rng, 64 * 1024))))) {
+      (void)ctx.fs.close(ctx.pid, handle.value());
+      return;
+    }
+  }
+  if (denied(ctx.fs.close(ctx.pid, handle.value()))) return;
+  (void)ctx.fs.rename(ctx.pid, partial,
+                      vfs::path_join(ctx.docs_root, "ubuntu.iso"));
+}
+
+void run_vlc(WorkloadContext& ctx) {
+  for (const std::string& media : files_by_ext(ctx, {"mp3", "wav", "m4a"}, 6)) {
+    if (!app_read(ctx, media)) return;
+  }
+  std::string playlist = "<?xml version=\"1.0\"?>\n<playlist>\n";
+  for (const std::string& media : files_by_ext(ctx, {"mp3"}, 4)) {
+    playlist += "  <track>" + media + "</track>\n";
+  }
+  playlist += "</playlist>\n";
+  (void)app_write(ctx, vfs::path_join(ctx.docs_root, "favorites.xspf"),
+                  to_bytes(playlist));
+}
+
+}  // namespace
+
+std::vector<BenignWorkload> all_benign_workloads() {
+  std::vector<BenignWorkload> out;
+  auto add = [&](std::string name, std::function<void(WorkloadContext&)> fn,
+                 bool expected_fp = false) {
+    out.push_back(BenignWorkload{std::move(name), expected_fp, std::move(fn)});
+  };
+  add("7-zip", run_sevenzip, /*expected_fp=*/true);
+  add("Adobe Lightroom", run_lightroom);
+  add("Avast Anti-Virus", run_avast);
+  add("Chocolate Doom", run_chocolate_doom);
+  add("Chrome", run_chrome);
+  add("Dropbox", run_dropbox);
+  add("F.lux", run_noop_outside_docs);
+  add("GIMP", run_gimp);
+  add("ImageMagick", run_imagemagick);
+  add("iTunes", run_itunes);
+  add("Launchy", run_launchy);
+  add("LibreOffice Calc", [](WorkloadContext& ctx) {
+    run_libreoffice(ctx, FileKind::odt, "ledger.ods");
+  });
+  add("LibreOffice Writer", [](WorkloadContext& ctx) {
+    run_libreoffice(ctx, FileKind::odt, "essay.odt");
+  });
+  add("Microsoft Excel", run_excel);
+  add("Microsoft Office Viewers", run_office_viewers);
+  add("Microsoft Word", run_word);
+  add("MusicBee", run_musicbee);
+  add("Paint.NET", run_paintdotnet);
+  add("PhraseExpress", run_phrase_express);
+  add("Picasa", run_picasa);
+  add("Pidgin", run_pidgin);
+  add("Piriform CCleaner", run_ccleaner);
+  add("Private Internet Access VPN", run_noop_outside_docs);
+  add("ResophNotes", run_resoph_notes);
+  add("Skype", run_noop_outside_docs);
+  add("Spotify", run_noop_outside_docs);
+  add("Sticky Notes", run_sticky_notes);
+  add("SumatraPDF", run_sumatra);
+  add("uTorrent", run_utorrent);
+  add("VLC Media Player", run_vlc);
+  return out;
+}
+
+std::vector<BenignWorkload> figure6_workloads() {
+  std::vector<BenignWorkload> out;
+  for (const std::string name : {"Adobe Lightroom", "ImageMagick", "iTunes",
+                                 "Microsoft Word", "Microsoft Excel"}) {
+    out.push_back(benign_workload(name));
+  }
+  return out;
+}
+
+BenignWorkload benign_workload(const std::string& name) {
+  for (BenignWorkload& workload : all_benign_workloads()) {
+    if (workload.name == name) return workload;
+  }
+  throw std::out_of_range("unknown benign workload: " + name);
+}
+
+}  // namespace cryptodrop::sim

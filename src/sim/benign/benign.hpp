@@ -1,0 +1,63 @@
+// Benign application workload simulators (paper §V-F).
+//
+// The false-positive evaluation runs thirty common Windows applications'
+// documented file-access patterns against the same corpus and engine as
+// the malware runs. Five are modeled in detail after the paper's own test
+// scripts (Adobe Lightroom, ImageMagick, iTunes, Microsoft Word,
+// Microsoft Excel — Figure 6), plus 7-zip, the paper's single expected
+// false positive; the remainder reproduce each application's typical
+// footprint in the documents tree.
+//
+// Modeling principle: benign software *preserves information*. Edits
+// keep most of a file's bytes (incremental saves, in-place tag edits,
+// header-preserving image rewrites), so the similarity digest stays high
+// and the type never changes. The deliberate exceptions mirror reality:
+// Excel/LibreOffice-style save-via-temp-replace rewrites every compressed
+// byte (similarity collapses) and deletes the old file; 7-zip reads the
+// entire tree while emitting one high-entropy stream — exactly the
+// "bulk transformation" the engine is built to flag.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::sim {
+
+/// Everything a workload needs to execute.
+struct WorkloadContext {
+  vfs::FileSystem& fs;
+  vfs::ProcessId pid;
+  std::string docs_root;  ///< The protected documents directory.
+  Rng rng;
+
+  /// Human/computation pacing on the virtual clock. The paper notes its
+  /// benign tests "took tens of minutes of high disk activity" (Lightroom
+  /// nearly an hour) while ransomware attacks take seconds — the contrast
+  /// the §V-F time-window discussion is about.
+  void think_ms(std::uint64_t ms) { fs.advance_time(ms * 1000); }
+};
+
+/// One benign application workload.
+struct BenignWorkload {
+  std::string name;
+  /// True for 7-zip: the paper expects (and welcomes) this detection.
+  bool expected_false_positive = false;
+  std::function<void(WorkloadContext&)> run;
+};
+
+/// All thirty applications from the paper's benign set, in the paper's
+/// listing order.
+std::vector<BenignWorkload> all_benign_workloads();
+
+/// The five applications analyzed in detail for Figure 6.
+std::vector<BenignWorkload> figure6_workloads();
+
+/// Lookup by name (exact match against the paper's names). Throws
+/// std::out_of_range for unknown names.
+BenignWorkload benign_workload(const std::string& name);
+
+}  // namespace cryptodrop::sim

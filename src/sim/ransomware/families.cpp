@@ -1,0 +1,285 @@
+#include "sim/ransomware/families.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+
+namespace cryptodrop::sim {
+
+namespace {
+
+/// Productivity formats most families prioritize (Figure 5's head).
+const std::vector<std::string> kProductivityFirst = {
+    "pdf", "odt", "docx", "pptx", "xlsx", "doc", "xls", "ppt",
+    "rtf", "txt", "csv",  "md",   "html", "xml",
+};
+
+/// Text-heavy priority (low-entropy sources first: entropy delta fires
+/// from the first file, which is why these families detect fastest).
+const std::vector<std::string> kTextFirst = {
+    "txt", "md", "csv", "log", "rtf", "html", "xml", "doc",
+    "xls", "ppt", "odt", "docx", "xlsx", "pptx", "pdf",
+};
+
+}  // namespace
+
+const std::vector<std::string>& family_names() {
+  static const std::vector<std::string> kNames = {
+      "CryptoDefense",
+      "CryptoFortress",
+      "CryptoLocker",
+      "CryptoLocker (copycat)",
+      "CryptoTorLocker2015",
+      "CryptoWall",
+      "CTB-Locker",
+      "Filecoder",
+      "GPcode",
+      "MBL Advisory",
+      "PoshCoder",
+      "TeslaCrypt",
+      "Virlock",
+      "Xorist",
+      "Ransom-FUE",
+  };
+  return kNames;
+}
+
+RansomwareProfile family_profile(const std::string& family, BehaviorClass behavior) {
+  RansomwareProfile p;
+  p.family = family;
+  p.behavior = behavior;
+
+  if (family == "TeslaCrypt") {
+    // §V-C: depth-first search; writes the ransom demand into a directory
+    // before encrypting there; renames to .vvv.
+    p.traversal = Traversal::depth_first_deepest;
+    p.cipher = CipherKind::chacha20;
+    p.encrypted_extension = ".vvv";
+    p.note_name = "HELP_TO_DECRYPT_YOUR_FILES.txt";
+    p.note_first = true;
+    // Real TeslaCrypt ships an extension list of documents, spreadsheets,
+    // presentations and images (it skips loose text files).
+    p.target_extensions = {"pdf", "odt",  "docx", "pptx", "xlsx", "doc",
+                           "xls", "ppt",  "rtf",  "csv",  "html", "xml",
+                           "jpg", "png",  "gif",  "bmp",  "zip",  "ps"};
+    p.delete_original = false;  // its one Class C sample moves over originals
+  } else if (family == "CTB-Locker") {
+    // §V-C: attacks .txt and .md in ascending order by file size,
+    // globally across the corpus. Class B dominates the family.
+    p.traversal = Traversal::size_ascending;
+    p.cipher = CipherKind::chacha20;
+    p.target_extensions = {"txt", "md"};
+    p.encrypted_extension = ".ctbl";
+    p.return_with_new_name = true;
+    p.note_name = "Decrypt-All-Files.txt";
+    p.note_first = false;
+    p.delete_original = false;
+  } else if (family == "GPcode") {
+    // §V-C: starts at the root and moves down the tree; its Class C
+    // sample could not delete read-only files.
+    p.traversal = Traversal::root_down;
+    p.cipher = CipherKind::aes_ctr;
+    p.encrypted_extension = "._crypt";
+    p.note_name = "HOW_TO_GET_YOUR_FILES_BACK.txt";
+    p.note_first = false;
+    p.delete_original = true;
+  } else if (family == "Xorist") {
+    // Weak repeating-key XOR; goes after text documents first, so the
+    // entropy delta trips immediately (median 3 files lost in Table I).
+    p.traversal = Traversal::extension_priority;
+    p.cipher = CipherKind::xor_weak;
+    p.target_extensions = kTextFirst;
+    p.encrypted_extension = ".EnCiPhErEd";
+    p.note_name = "HOW TO DECRYPT FILES.txt";
+    p.note_first = true;
+  } else if (family == "CryptoTorLocker2015") {
+    p.traversal = Traversal::extension_priority;
+    p.cipher = CipherKind::chacha20;
+    p.target_extensions = kTextFirst;
+    p.encrypted_extension = ".CryptoTorLocker2015!";
+    p.note_name = "HOW TO DECRYPT FILES.txt";
+    p.note_first = true;
+  } else if (family == "CryptoDefense") {
+    // Class C, deletes originals — the union-evading variant the paper
+    // catches via entropy writes + deletions (median 6.5).
+    p.traversal = Traversal::alphabetical;
+    p.cipher = CipherKind::aes_ctr;
+    p.target_extensions = {};
+    p.encrypted_extension = "";
+    p.rename_encrypted = false;
+    p.delete_original = true;
+    p.note_name = "HOW_DECRYPT.txt";
+    p.note_first = true;
+    // CryptoDefense famously wrote ciphertext to <name> while the
+    // original became <name>.bak-like removals; modeled as independent
+    // stream + delete. Output keeps the original name plus a suffix.
+    p.encrypted_extension = ".enc";
+  } else if (family == "CryptoWall") {
+    p.traversal = Traversal::random_order;
+    p.cipher = CipherKind::aes_ctr;
+    p.encrypted_extension = ".aaa";
+    p.note_name = "DECRYPT_INSTRUCTION.txt";
+    p.note_first = true;
+    p.delete_original = true;  // overridden per sample for the move-over pair
+  } else if (family == "CryptoLocker") {
+    p.traversal = Traversal::alphabetical;
+    p.cipher = CipherKind::aes_ctr;
+    p.target_extensions = kProductivityFirst;
+    p.encrypted_extension = ".cryptolocker";
+    p.note_name = "YOUR_FILES_ARE_ENCRYPTED.txt";
+    p.note_first = false;
+    p.delete_original = false;
+  } else if (family == "CryptoLocker (copycat)") {
+    p.traversal = Traversal::alphabetical;
+    p.cipher = CipherKind::chacha20;
+    p.target_extensions = kProductivityFirst;
+    p.encrypted_extension = ".clf";
+    p.note_name = "README_DECRYPT.txt";
+    p.note_first = false;
+    p.return_with_new_name = true;
+    p.delete_original = false;
+  } else if (family == "CryptoFortress") {
+    p.traversal = Traversal::alphabetical;
+    p.cipher = CipherKind::chacha20;
+    p.encrypted_extension = ".frtrss";
+    p.note_name = "READ IF YOU WANT YOUR FILES BACK.html";
+    p.note_first = true;
+  } else if (family == "Filecoder") {
+    // A generic detection name: behaviorally the most diverse family in
+    // the paper. Sample jitter varies its traversal (see table1_samples).
+    p.traversal = Traversal::random_order;
+    p.cipher = CipherKind::chacha20;
+    p.encrypted_extension = ".crypted";
+    p.note_name = "READ_ME_FOR_DECRYPT.txt";
+    p.note_first = false;
+    p.delete_original = false;
+  } else if (family == "MBL Advisory") {
+    p.traversal = Traversal::root_down;
+    p.cipher = CipherKind::aes_ctr;
+    p.encrypted_extension = ".mbl";
+    p.note_name = "WARNING.txt";
+    p.note_first = true;
+    p.delete_original = false;
+  } else if (family == "PoshCoder") {
+    // PowerShell-based (§V-E): behaviorally an ordinary Class A
+    // encryptor — CryptoDrop cares about the data changes, not the
+    // delivery mechanism.
+    p.traversal = Traversal::alphabetical;
+    p.cipher = CipherKind::aes_ctr;
+    p.target_extensions = kProductivityFirst;
+    p.encrypted_extension = ".poshcoder";
+    p.note_name = "UNLOCK_FILES_INSTRUCTIONS.txt";
+    p.note_first = false;
+  } else if (family == "Virlock") {
+    // Polymorphic infector: embeds files in new containers (Class C) and
+    // replaces the originals.
+    p.traversal = Traversal::alphabetical;
+    p.cipher = CipherKind::chacha20;
+    p.encrypted_extension = ".exe";
+    p.rename_encrypted = true;
+    p.write_ransom_note = false;  // Virlock locks the screen instead
+    p.delete_original = false;    // moves infected container over original
+  } else if (family == "Ransom-FUE") {
+    p.traversal = Traversal::random_order;
+    p.cipher = CipherKind::chacha20;
+    p.encrypted_extension = ".fue";
+    p.note_name = "RECOVER_FILES.txt";
+    p.note_first = false;
+  } else {
+    assert(false && "unknown family");
+  }
+  return p;
+}
+
+namespace {
+
+void add_samples(std::vector<SampleSpec>& out, Rng& rng, const std::string& family,
+                 BehaviorClass behavior, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    SampleSpec spec;
+    spec.family = family;
+    spec.behavior = behavior;
+    spec.profile = family_profile(family, behavior);
+    spec.seed = rng.next();
+
+    // Per-sample behavioral jitter, mirroring intra-family variation the
+    // paper observed ("two or fewer samples showed behaviors beyond their
+    // family's primary behavior class" — the class mix itself is encoded
+    // in the counts below; jitter only varies minor habits).
+    Rng jitter(spec.seed);
+    if (family == "Filecoder") {
+      // The grab-bag family: traversal and cipher vary per sample.
+      static const Traversal kTraversals[] = {
+          Traversal::alphabetical, Traversal::random_order,
+          Traversal::root_down, Traversal::extension_priority};
+      spec.profile.traversal = kTraversals[jitter.uniform(0, 3)];
+      if (spec.profile.traversal == Traversal::extension_priority) {
+        spec.profile.target_extensions = kTextFirst;
+      }
+      if (jitter.chance(0.3)) spec.profile.cipher = CipherKind::aes_ctr;
+      if (jitter.chance(0.25)) spec.profile.rename_encrypted = false;
+    }
+    if (behavior == BehaviorClass::B && jitter.chance(0.3)) {
+      spec.profile.return_with_new_name = !spec.profile.return_with_new_name;
+    }
+    if (jitter.chance(0.2)) spec.profile.note_first = !spec.profile.note_first;
+    if (jitter.chance(0.15)) spec.profile.write_chunk = 32 * 1024;
+
+    out.push_back(std::move(spec));
+  }
+}
+
+}  // namespace
+
+std::vector<SampleSpec> table1_samples(std::uint64_t base_seed) {
+  Rng rng(base_seed);
+  std::vector<SampleSpec> out;
+  out.reserve(492);
+
+  add_samples(out, rng, "CryptoDefense", BehaviorClass::C, 18);
+  add_samples(out, rng, "CryptoFortress", BehaviorClass::A, 2);
+  add_samples(out, rng, "CryptoLocker", BehaviorClass::A, 13);
+  add_samples(out, rng, "CryptoLocker", BehaviorClass::B, 16);
+  add_samples(out, rng, "CryptoLocker", BehaviorClass::C, 2);
+  add_samples(out, rng, "CryptoLocker (copycat)", BehaviorClass::B, 1);
+  add_samples(out, rng, "CryptoLocker (copycat)", BehaviorClass::C, 1);
+  add_samples(out, rng, "CryptoTorLocker2015", BehaviorClass::A, 1);
+  add_samples(out, rng, "CryptoWall", BehaviorClass::A, 2);
+  add_samples(out, rng, "CryptoWall", BehaviorClass::C, 6);
+  add_samples(out, rng, "CTB-Locker", BehaviorClass::A, 1);
+  add_samples(out, rng, "CTB-Locker", BehaviorClass::B, 120);
+  add_samples(out, rng, "CTB-Locker", BehaviorClass::C, 1);
+  add_samples(out, rng, "Filecoder", BehaviorClass::A, 51);
+  add_samples(out, rng, "Filecoder", BehaviorClass::B, 9);
+  add_samples(out, rng, "Filecoder", BehaviorClass::C, 12);
+  add_samples(out, rng, "GPcode", BehaviorClass::A, 12);
+  add_samples(out, rng, "GPcode", BehaviorClass::C, 1);
+  add_samples(out, rng, "MBL Advisory", BehaviorClass::C, 1);
+  add_samples(out, rng, "PoshCoder", BehaviorClass::A, 1);
+  add_samples(out, rng, "Ransom-FUE", BehaviorClass::B, 1);
+  add_samples(out, rng, "TeslaCrypt", BehaviorClass::A, 148);
+  add_samples(out, rng, "TeslaCrypt", BehaviorClass::C, 1);
+  add_samples(out, rng, "Virlock", BehaviorClass::C, 20);
+  add_samples(out, rng, "Xorist", BehaviorClass::A, 51);
+
+  // §V-B.2: of the 63 Class C samples, 41 move the ciphertext over the
+  // original (pre-image linkage → union detection) and 22 dispose by
+  // deletion (union evaders). CryptoDefense's 18 and four of CryptoWall's
+  // six delete; everyone else moves over.
+  std::size_t cryptowall_c = 0;
+  for (SampleSpec& spec : out) {
+    if (spec.behavior != BehaviorClass::C) continue;
+    if (spec.family == "CryptoDefense") {
+      spec.profile.delete_original = true;
+    } else if (spec.family == "CryptoWall") {
+      spec.profile.delete_original = ++cryptowall_c <= 4;
+    } else {
+      spec.profile.delete_original = false;
+    }
+  }
+
+  assert(out.size() == 492);
+  return out;
+}
+
+}  // namespace cryptodrop::sim

@@ -1,0 +1,56 @@
+// The 14 ransomware families of the paper's Table I (plus Ransom-FUE,
+// which the paper tested but excluded from family counts), as profile
+// presets, and a factory that reproduces the full 492-sample test set
+// with the paper's per-family, per-class breakdown:
+//
+//   Family                    #A   #B   #C   Total
+//   CryptoDefense              -    -   18     18
+//   CryptoFortress             2    -    -      2
+//   CryptoLocker              13   16    2     31
+//   CryptoLocker (copycat)     -    1    1      2
+//   CryptoTorLocker2015        1    -    -      1
+//   CryptoWall                 2    -    6      8
+//   CTB-Locker                 1  120    1    122
+//   Filecoder                 51    9   12     72
+//   GPcode                    12    -    1     13
+//   MBL Advisory               -    -    1      1
+//   PoshCoder                  1    -    -      1
+//   Ransom-FUE                 -    1    -      1
+//   TeslaCrypt               148    -    1    149
+//   Virlock                    -    -   20     20
+//   Xorist                    51    -    -     51
+//                            282  147   63    492
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ransomware/ransomware.hpp"
+
+namespace cryptodrop::sim {
+
+/// One sample of the experimental set: a family preset specialized to a
+/// behavior class, with a unique seed.
+struct SampleSpec {
+  std::string family;
+  BehaviorClass behavior{};
+  RansomwareProfile profile;
+  std::uint64_t seed = 0;
+};
+
+/// Names of the 14 families (Ransom-FUE listed last, as in the paper's
+/// footnote it is excluded from family counts).
+const std::vector<std::string>& family_names();
+
+/// The family's base profile for a given behavior class. Behavior knobs
+/// (traversal, cipher, note habits, disposal strategy) reproduce what the
+/// paper reports per family in §V.
+RansomwareProfile family_profile(const std::string& family, BehaviorClass behavior);
+
+/// The full 492-sample set with the paper's per-family class mix. Seeded
+/// deterministically from `base_seed`; per-sample jitter (key material,
+/// generated names, random traversal order) comes from each sample's seed.
+std::vector<SampleSpec> table1_samples(std::uint64_t base_seed);
+
+}  // namespace cryptodrop::sim

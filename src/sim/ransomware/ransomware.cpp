@@ -1,0 +1,496 @@
+#include "sim/ransomware/ransomware.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/text.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/xor_cipher.hpp"
+#include "vfs/path.hpp"
+
+namespace cryptodrop::sim {
+
+namespace {
+
+/// Any denied operation means the process was suspended: the sample can
+/// make no further progress.
+bool denied(const Status& status) { return status.code() == Errc::access_denied; }
+
+}  // namespace
+
+std::string_view behavior_class_name(BehaviorClass c) {
+  switch (c) {
+    case BehaviorClass::A: return "A";
+    case BehaviorClass::B: return "B";
+    case BehaviorClass::C: return "C";
+  }
+  return "?";
+}
+
+RansomwareSample::RansomwareSample(RansomwareProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {
+  key_ = rng_.bytes(profile_.cipher == CipherKind::xor_weak ? 16 : 32);
+}
+
+bool RansomwareSample::targets_extension(const std::string& ext) const {
+  if (profile_.target_extensions.empty()) return true;
+  return std::find(profile_.target_extensions.begin(),
+                   profile_.target_extensions.end(),
+                   ext) != profile_.target_extensions.end();
+}
+
+Bytes RansomwareSample::encrypt(ByteView plaintext, SampleRun& result) {
+  // A fresh per-file nonce, like real samples derive per-file IVs.
+  Bytes nonce = rng_.bytes(12);
+  ++file_counter_;
+  auto cipher_bytes = [&](ByteView input) {
+    switch (profile_.cipher) {
+      case CipherKind::chacha20: {
+        crypto::ChaCha20 cipher(key_, nonce);
+        return cipher.transform(input);
+      }
+      case CipherKind::aes_ctr: {
+        crypto::Aes128Ctr cipher(ByteView(key_).first(16), nonce);
+        return cipher.transform(input);
+      }
+      case CipherKind::xor_weak:
+        return crypto::xor_encrypt(key_, input);
+    }
+    return Bytes(input.begin(), input.end());
+  };
+
+  const EvasionConfig& evasion = profile_.evasion;
+  result.bytes_touched += plaintext.size();
+
+  Bytes out;
+  std::uint64_t destroyed = 0;
+  if (!evasion.any()) {
+    out = cipher_bytes(plaintext);
+    destroyed = plaintext.size();
+  } else {
+    // Header preservation: the file keeps its magic bytes (and the
+    // victim keeps that much of the content).
+    const std::size_t header =
+        std::min<std::size_t>(evasion.preserve_header_bytes, plaintext.size());
+    out.assign(plaintext.begin(), plaintext.begin() + static_cast<std::ptrdiff_t>(header));
+    const ByteView body = plaintext.subspan(header);
+
+    if (evasion.preserve_fraction > 0.0 && !body.empty()) {
+      // Interleaved partial encryption in 4 KiB blocks.
+      constexpr std::size_t kBlock = 4096;
+      for (std::size_t off = 0; off < body.size(); off += kBlock) {
+        const std::size_t n = std::min(kBlock, body.size() - off);
+        const ByteView block = body.subspan(off, n);
+        if (rng_.uniform01() < evasion.preserve_fraction) {
+          append(out, block);
+        } else {
+          append(out, ByteView(cipher_bytes(block)));
+          destroyed += n;
+        }
+      }
+    } else {
+      append(out, ByteView(cipher_bytes(body)));
+      destroyed += body.size();
+    }
+
+    if (evasion.pad_low_entropy_bytes > 0) {
+      // Low-entropy filler to drag the write-entropy mean down.
+      append(out, to_bytes(synth_prose(rng_, evasion.pad_low_entropy_bytes)));
+    }
+  }
+  result.bytes_destroyed += destroyed;
+
+  // Key blob + IV the attacker appends so the ransom operator can decrypt
+  // (RSA-wrapped in real families); random-looking bytes either way.
+  append(out, ByteView(nonce));
+  append(out, ByteView(rng_.bytes(116)));
+  return out;
+}
+
+bool RansomwareSample::write_decoys(vfs::FileSystem& fs, vfs::ProcessId pid,
+                                    const std::string& dir, SampleRun& result) {
+  for (std::size_t i = 0; i < profile_.evasion.decoy_writes_per_file; ++i) {
+    const std::string decoy = vfs::path_join(
+        dir, "~decoy_" + std::to_string(file_counter_) + "_" + std::to_string(i) + ".txt");
+    const Status wrote = fs.write_file(
+        pid, decoy, to_bytes(synth_prose(rng_, profile_.evasion.decoy_bytes)));
+    if (denied(wrote)) {
+      ++result.ops_denied;
+      return false;
+    }
+  }
+  return true;
+}
+
+void RansomwareSample::disable_shadow_copies(vfs::FileSystem& fs, vfs::ProcessId pid) {
+  // `vssadmin delete shadows /all` analogue: wipe the shadow-storage
+  // files. They live outside the documents tree, and CryptoDrop ignores
+  // these operations ("they do not directly alter user data").
+  for (const std::string& path : fs.list_files_recursive(profile_.shadow_copy_dir)) {
+    (void)fs.remove(pid, path);
+  }
+}
+
+std::string RansomwareSample::ransom_note_text() {
+  std::string note;
+  note += "!!! YOUR FILES HAVE BEEN ENCRYPTED !!!\r\n\r\n";
+  note += "All of your documents, photos and databases were encrypted with a\r\n";
+  note += "unique key generated for this computer (" + profile_.family + ").\r\n\r\n";
+  note += "To decrypt your files you must obtain the private key.\r\n";
+  note += "Send 1.5 BTC to the address below and e-mail your ID.\r\n\r\n";
+  note += "  payment id: ";
+  for (int i = 0; i < 4; ++i) note += std::to_string(rng_.uniform(100000, 999999));
+  note += "\r\n  bitcoin: 1";
+  note += synth_token(rng_, 24, 30);
+  note += "\r\n  contact via the Tor hidden service listed in your browser.\r\n\r\n";
+  note += "WARNING: do not attempt to rename or restore files yourself,\r\n";
+  note += "or they will be permanently lost. You have 96 hours.\r\n";
+  return note;
+}
+
+std::vector<std::string> RansomwareSample::plan_targets(const vfs::FileSystem& fs,
+                                                        const std::string& root) {
+  // The note file must never be attacked (samples skip their own notes).
+  auto is_note = [&](const std::string& path) {
+    return vfs::path_filename(path) == profile_.note_name;
+  };
+
+  std::vector<std::string> targets;
+  auto add_if_targeted = [&](const std::string& path) {
+    if (is_note(path)) return;
+    if (targets_extension(vfs::path_extension(path))) targets.push_back(path);
+  };
+
+  switch (profile_.traversal) {
+    case Traversal::depth_first_deepest: {
+      // Post-order walk: descend into subdirectories before taking files,
+      // so the deepest directories are attacked first. Sibling order is
+      // per-sample (directory enumeration order is not specified by the
+      // filesystem APIs real samples use, so variants differ here).
+      auto walk = [&](auto&& self, const std::string& dir) -> void {
+        std::vector<std::string> files;
+        std::vector<std::string> subdirs;
+        for (const vfs::DirEntry& entry : fs.list(dir)) {
+          const std::string full = vfs::path_join(dir, entry.name);
+          if (entry.is_directory) {
+            subdirs.push_back(full);
+          } else {
+            files.push_back(full);
+          }
+        }
+        rng_.shuffle(subdirs);
+        rng_.shuffle(files);
+        for (const std::string& sub : subdirs) self(self, sub);
+        for (const std::string& f : files) add_if_targeted(f);
+      };
+      walk(walk, root);
+      break;
+    }
+    case Traversal::size_ascending: {
+      std::vector<std::pair<std::uint64_t, std::string>> sized;
+      for (const std::string& path : fs.list_files_recursive(root)) {
+        if (is_note(path) || !targets_extension(vfs::path_extension(path))) continue;
+        auto info = fs.stat(path);
+        if (info) sized.emplace_back(info.value().size, path);
+      }
+      std::sort(sized.begin(), sized.end());
+      for (auto& [size, path] : sized) {
+        (void)size;
+        targets.push_back(std::move(path));
+      }
+      break;
+    }
+    case Traversal::root_down: {
+      // Breadth-first: the root's own files first, then each level down.
+      // Within a level, enumeration order varies per sample.
+      std::vector<std::string> level{root};
+      while (!level.empty()) {
+        std::vector<std::string> next;
+        std::vector<std::string> level_files;
+        for (const std::string& dir : level) {
+          for (const vfs::DirEntry& entry : fs.list(dir)) {
+            const std::string full = vfs::path_join(dir, entry.name);
+            if (entry.is_directory) {
+              next.push_back(full);
+            } else {
+              level_files.push_back(full);
+            }
+          }
+        }
+        rng_.shuffle(level_files);
+        for (const std::string& f : level_files) add_if_targeted(f);
+        rng_.shuffle(next);
+        level = std::move(next);
+      }
+      break;
+    }
+    case Traversal::alphabetical: {
+      // Pre-order walk, files before subdirectories (names stay sorted —
+      // this is the FindFirstFile-in-name-order variant).
+      auto walk = [&](auto&& self, const std::string& dir) -> void {
+        std::vector<std::string> subdirs;
+        for (const vfs::DirEntry& entry : fs.list(dir)) {
+          const std::string full = vfs::path_join(dir, entry.name);
+          if (entry.is_directory) {
+            subdirs.push_back(full);
+          } else {
+            add_if_targeted(full);
+          }
+        }
+        for (const std::string& sub : subdirs) self(self, sub);
+      };
+      walk(walk, root);
+      break;
+    }
+    case Traversal::random_order: {
+      for (const std::string& path : fs.list_files_recursive(root)) {
+        add_if_targeted(path);
+      }
+      rng_.shuffle(targets);
+      break;
+    }
+    case Traversal::extension_priority: {
+      std::map<std::size_t, std::vector<std::string>> buckets;
+      for (const std::string& path : fs.list_files_recursive(root)) {
+        if (is_note(path)) continue;
+        const std::string ext = vfs::path_extension(path);
+        const auto it = std::find(profile_.target_extensions.begin(),
+                                  profile_.target_extensions.end(), ext);
+        const std::size_t rank =
+            it == profile_.target_extensions.end()
+                ? profile_.target_extensions.size()
+                : static_cast<std::size_t>(it - profile_.target_extensions.begin());
+        buckets[rank].push_back(path);
+      }
+      for (auto& [rank, bucket] : buckets) {
+        (void)rank;
+        rng_.shuffle(bucket);  // per-sample order within a priority rank
+        for (std::string& path : bucket) targets.push_back(std::move(path));
+      }
+      break;
+    }
+  }
+  return targets;
+}
+
+bool RansomwareSample::drop_note(vfs::FileSystem& fs, vfs::ProcessId pid,
+                                 const std::string& dir, SampleRun& result) {
+  const Status status = fs.write_file(pid, vfs::path_join(dir, profile_.note_name),
+                                      to_bytes(ransom_note_text()));
+  if (denied(status)) {
+    ++result.ops_denied;
+    return false;
+  }
+  return true;
+}
+
+bool RansomwareSample::attack_class_a(vfs::FileSystem& fs, vfs::ProcessId pid,
+                                      const std::string& path, SampleRun& result) {
+  auto handle = fs.open(pid, path, vfs::kRead | vfs::kWrite);
+  if (!handle) {
+    if (denied(handle.status())) { ++result.ops_denied; return false; }
+    return true;  // unreadable/locked file: move on, like real samples
+  }
+  auto info = fs.stat(path);
+  const std::size_t size = info ? static_cast<std::size_t>(info.value().size) : 0;
+  auto plaintext = fs.read(pid, handle.value(), size);
+  if (!plaintext) {
+    if (denied(plaintext.status())) {
+      ++result.ops_denied;
+      (void)fs.close(pid, handle.value());
+      return false;
+    }
+    (void)fs.close(pid, handle.value());
+    return true;
+  }
+
+  result.attack_order.push_back(path);
+  ++result.files_attacked;
+
+  const Bytes ciphertext = encrypt(ByteView(plaintext.value()), result);
+  if (Status s = fs.seek(pid, handle.value(), 0); !s.is_ok()) return true;
+  for (std::size_t off = 0; off < ciphertext.size(); off += profile_.write_chunk) {
+    const std::size_t n = std::min(profile_.write_chunk, ciphertext.size() - off);
+    const Status wrote =
+        fs.write(pid, handle.value(), ByteView(ciphertext).subspan(off, n));
+    if (denied(wrote)) {
+      ++result.ops_denied;
+      (void)fs.close(pid, handle.value());
+      return false;
+    }
+    if (!wrote.is_ok()) break;
+  }
+  if (Status closed = fs.close(pid, handle.value()); denied(closed)) {
+    ++result.ops_denied;
+    return false;
+  }
+
+  if (profile_.rename_encrypted && !profile_.encrypted_extension.empty()) {
+    const Status renamed = fs.rename(pid, path, path + profile_.encrypted_extension);
+    if (denied(renamed)) { ++result.ops_denied; return false; }
+  }
+  ++result.files_completed;
+  return true;
+}
+
+bool RansomwareSample::attack_class_b(vfs::FileSystem& fs, vfs::ProcessId pid,
+                                      const std::string& path, SampleRun& result) {
+  // Stage the file outside the documents tree.
+  (void)fs.mkdir(pid, profile_.staging_dir);
+  const std::string staged =
+      vfs::path_join(profile_.staging_dir,
+                     std::string(vfs::path_filename(path)) + "." +
+                         std::to_string(file_counter_) + ".tmp");
+  Status moved = fs.rename(pid, path, staged);
+  if (denied(moved)) { ++result.ops_denied; return false; }
+  if (!moved.is_ok()) return true;  // locked/read-only: skip
+
+  result.attack_order.push_back(path);
+  ++result.files_attacked;
+
+  // Encrypt in the staging area — invisible to a documents-root monitor.
+  auto plaintext = fs.read_file(pid, staged);
+  if (!plaintext) {
+    if (denied(plaintext.status())) { ++result.ops_denied; return false; }
+    return true;
+  }
+  const Status wrote =
+      fs.write_file(pid, staged, encrypt(ByteView(plaintext.value()), result));
+  if (denied(wrote)) { ++result.ops_denied; return false; }
+
+  // Move it back — possibly under a new name.
+  std::string dest;
+  if (profile_.return_with_new_name) {
+    dest = vfs::path_join(vfs::path_parent(path),
+                          synth_token(rng_, 8, 14) + profile_.encrypted_extension);
+  } else {
+    dest = path;
+    if (profile_.rename_encrypted) dest += profile_.encrypted_extension;
+  }
+  const Status back = fs.rename(pid, staged, dest);
+  if (denied(back)) { ++result.ops_denied; return false; }
+  if (back.is_ok()) ++result.files_completed;
+  return true;
+}
+
+bool RansomwareSample::attack_class_c(vfs::FileSystem& fs, vfs::ProcessId pid,
+                                      const std::string& path, SampleRun& result) {
+  auto plaintext = fs.read_file(pid, path);
+  if (!plaintext) {
+    if (denied(plaintext.status())) { ++result.ops_denied; return false; }
+    return true;
+  }
+
+  result.attack_order.push_back(path);
+  ++result.files_attacked;
+
+  // Independent output stream: a brand-new file next to the original.
+  const std::string out_path = path + profile_.encrypted_extension;
+  const Status wrote =
+      fs.write_file(pid, out_path, encrypt(ByteView(plaintext.value()), result));
+  if (denied(wrote)) { ++result.ops_denied; return false; }
+  if (!wrote.is_ok()) return true;
+
+  if (profile_.delete_original) {
+    const Status removed = fs.remove(pid, path);
+    if (denied(removed)) { ++result.ops_denied; return false; }
+    if (removed.code() == Errc::read_only) {
+      // The GPcode quirk: read-only originals survive.
+      ++result.failed_deletes;
+    }
+  } else {
+    // Move the ciphertext over the original — the variant whose pre-image
+    // linkage the engine exploits.
+    const Status replaced = fs.rename(pid, out_path, path);
+    if (denied(replaced)) { ++result.ops_denied; return false; }
+    if (replaced.code() == Errc::read_only) ++result.failed_deletes;
+  }
+  ++result.files_completed;
+  return true;
+}
+
+SampleRun RansomwareSample::run(vfs::FileSystem& fs, vfs::ProcessId pid,
+                                const std::string& root) {
+  SampleRun result;
+
+  if (profile_.delete_shadow_copies) {
+    disable_shadow_copies(fs, pid);
+  }
+
+  // Spawned workers: the attack rotates across the children; the run
+  // ends only when every worker in the family has been paused.
+  std::vector<vfs::ProcessId> actors;
+  if (profile_.worker_processes > 0) {
+    for (std::size_t i = 0; i < profile_.worker_processes; ++i) {
+      actors.push_back(fs.register_process(
+          std::string(fs.process_name(pid)) + ".worker" + std::to_string(i), pid));
+    }
+  } else {
+    actors.push_back(pid);
+  }
+  std::vector<bool> alive(actors.size(), true);
+  std::size_t live_count = actors.size();
+  std::size_t next_actor = 0;
+  auto pick_actor = [&]() -> vfs::ProcessId {
+    while (!alive[next_actor % actors.size()]) ++next_actor;
+    return actors[next_actor++ % actors.size()];
+  };
+  auto actor_died = [&](vfs::ProcessId dead) {
+    for (std::size_t i = 0; i < actors.size(); ++i) {
+      if (actors[i] == dead && alive[i]) {
+        alive[i] = false;
+        --live_count;
+      }
+    }
+    return live_count > 0;
+  };
+
+  const std::vector<std::string> targets = plan_targets(fs, root);
+
+  std::string last_note_dir;
+  std::size_t attacked = 0;
+  for (const std::string& path : targets) {
+    if (attacked >= profile_.max_files) break;
+    if (profile_.evasion.think_micros_per_file > 0) {
+      fs.advance_time(profile_.evasion.think_micros_per_file);
+    }
+    const vfs::ProcessId actor = pick_actor();
+    const std::string dir = vfs::path_parent(path);
+
+    if (profile_.write_ransom_note && profile_.note_first && dir != last_note_dir) {
+      last_note_dir = dir;
+      if (!drop_note(fs, actor, dir, result) && !actor_died(actor)) return result;
+    }
+    if (profile_.evasion.decoy_writes_per_file > 0) {
+      if (!write_decoys(fs, actor, dir, result) && !actor_died(actor)) return result;
+    }
+
+    bool keep_going = true;
+    switch (profile_.behavior) {
+      case BehaviorClass::A:
+        keep_going = attack_class_a(fs, actor, path, result);
+        break;
+      case BehaviorClass::B:
+        keep_going = attack_class_b(fs, actor, path, result);
+        break;
+      case BehaviorClass::C:
+        keep_going = attack_class_c(fs, actor, path, result);
+        break;
+    }
+    if (!keep_going) {
+      if (!actor_died(actor)) return result;
+      continue;  // other workers carry on
+    }
+    ++attacked;
+
+    if (profile_.write_ransom_note && !profile_.note_first && dir != last_note_dir) {
+      last_note_dir = dir;
+      if (!drop_note(fs, actor, dir, result) && !actor_died(actor)) return result;
+    }
+  }
+  result.ran_to_completion = true;
+  return result;
+}
+
+}  // namespace cryptodrop::sim

@@ -1,0 +1,210 @@
+// Parameterized encrypting-ransomware simulator.
+//
+// Stands in for the paper's 492 live VirusTotal samples. The paper's
+// taxonomy (§III) drives the design:
+//
+//   Class A — overwrites the original file in place (open, read, write
+//             encrypted content through the same handle, close), then
+//             optionally renames it.
+//   Class B — moves the file *out* of the documents tree (e.g. to a temp
+//             directory), encrypts it there — invisible to a monitor
+//             scoped to the documents root — then moves it back, possibly
+//             under a different name.
+//   Class C — reads the original and writes an independent encrypted
+//             file, then deletes the original or moves the new file over
+//             it ("two independent access streams").
+//
+// Everything the paper observed about real families is expressible as a
+// RansomwareProfile: traversal order (TeslaCrypt's depth-first descent,
+// CTB-Locker's global size-ascending .txt/.md sweep, GPcode's root-down
+// walk), cipher strength (Xorist's repeating-key XOR vs. ChaCha20/AES),
+// ransom-note placement, rename habits, and Class C disposal strategy.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::sim {
+
+enum class BehaviorClass : std::uint8_t { A, B, C };
+
+std::string_view behavior_class_name(BehaviorClass c);
+
+enum class Traversal : std::uint8_t {
+  depth_first_deepest,  ///< Recurse to the deepest directories first (TeslaCrypt).
+  size_ascending,       ///< All targets globally, smallest file first (CTB-Locker).
+  root_down,            ///< Breadth-first from the documents root (GPcode).
+  alphabetical,         ///< Pre-order walk, files before subdirectories.
+  random_order,         ///< Shuffled target list.
+  extension_priority,   ///< target_extensions order defines attack priority.
+};
+
+enum class CipherKind : std::uint8_t {
+  chacha20,  ///< Strong stream cipher: uniform ciphertext.
+  aes_ctr,   ///< Strong block cipher in CTR mode: uniform ciphertext.
+  xor_weak,  ///< Repeating-key XOR (Xorist): structure leaks through.
+};
+
+/// Indicator-evasion techniques (paper §III-F). Each buys the attacker
+/// stealth against one indicator at a concrete cost in how much victim
+/// data is actually denied — the "very difficult engineering trade-offs"
+/// the paper predicts. bench_evasion quantifies the trade-off.
+struct EvasionConfig {
+  /// Keep this many plaintext bytes at the head of each file (magic
+  /// bytes survive -> the type-change indicator stays silent; the
+  /// preserved region is recoverable by the victim).
+  std::size_t preserve_header_bytes = 0;
+
+  /// Leave this fraction of each file's blocks unencrypted, interleaved
+  /// (weakens similarity loss and entropy delta; the untouched blocks
+  /// are recoverable).
+  double preserve_fraction = 0.0;
+
+  /// Append this many low-entropy filler bytes per encrypted file
+  /// (drags the write-entropy mean down; bloats the attacker's I/O).
+  std::size_t pad_low_entropy_bytes = 0;
+
+  /// Between victim files, write this many decoy files of prose (~4.2
+  /// bits/byte) to keep Pwrite below Pread + threshold.
+  std::size_t decoy_writes_per_file = 0;
+  std::size_t decoy_bytes = 64 * 1024;
+
+  /// Virtual-clock pause between victim files: the slow-attacker evasion
+  /// of any rate/time-window indicator ("it can change its rate of
+  /// attack to overcome the window" — §V-F).
+  std::uint64_t think_micros_per_file = 0;
+
+  [[nodiscard]] bool any() const {
+    return preserve_header_bytes > 0 || preserve_fraction > 0.0 ||
+           pad_low_entropy_bytes > 0 || decoy_writes_per_file > 0;
+  }
+};
+
+struct RansomwareProfile {
+  std::string family;
+  BehaviorClass behavior = BehaviorClass::A;
+  Traversal traversal = Traversal::alphabetical;
+  CipherKind cipher = CipherKind::chacha20;
+
+  /// Extensions to attack (lower-case, no dot). Empty = every file.
+  std::vector<std::string> target_extensions;
+
+  /// Append this to encrypted files' names ("" = keep the name).
+  std::string encrypted_extension = ".encrypted";
+  bool rename_encrypted = true;
+
+  bool write_ransom_note = true;
+  std::string note_name = "HELP_DECRYPT.txt";
+  /// Write the note on first entry to each directory, before touching any
+  /// file there (TeslaCrypt's observed habit).
+  bool note_first = true;
+
+  /// Class B: where files are staged while encrypted (outside the
+  /// protected root, hence invisible to the monitor).
+  std::string staging_dir = "users/victim/appdata/local/temp";
+  /// Class B: move back under a generated name instead of the original.
+  bool return_with_new_name = false;
+
+  /// Class C: true = delete the original after writing the ciphertext
+  /// copy (evades pre-image linkage); false = move the new file over the
+  /// original (the 41/63 variant the engine links and catches).
+  bool delete_original = true;
+
+  /// Bytes written per write operation (ransomware uses ordinary buffered
+  /// I/O; the per-op granularity is what the entropy indicator sees).
+  std::size_t write_chunk = 64 * 1024;
+
+  /// Stop after this many files (simulates crippled/trial variants).
+  std::size_t max_files = std::numeric_limits<std::size_t>::max();
+
+  /// Indicator-evasion behavior (§III-F); default: none.
+  EvasionConfig evasion;
+
+  /// Disable Windows Volume Shadow Copies before attacking (TeslaCrypt's
+  /// documented habit). Modeled as deleting the shadow-storage files
+  /// outside the documents tree — operations CryptoDrop deliberately
+  /// ignores ("they do not directly alter user data").
+  bool delete_shadow_copies = false;
+  std::string shadow_copy_dir = "system volume information/shadow";
+
+  /// Number of worker child processes the sample spawns and spreads its
+  /// file attacks across (0 = single process). Splitting activity across
+  /// a process tree dilutes per-process scores — the evasion that the
+  /// engine's family-level scoring (paper: suspends "the suspicious
+  /// process (or family of processes)") exists to counter.
+  std::size_t worker_processes = 0;
+};
+
+/// Outcome of one sample execution.
+struct SampleRun {
+  /// Files whose encryption was *started* before the run ended.
+  std::size_t files_attacked = 0;
+  /// Files fully processed (encrypted + disposed).
+  std::size_t files_completed = 0;
+  /// True when the sample ran out of targets; false when it was halted by
+  /// a denied operation (CryptoDrop suspension) or an unrecoverable error.
+  bool ran_to_completion = false;
+  /// Operations that came back access_denied.
+  std::size_t ops_denied = 0;
+  /// Delete attempts that failed (read-only files — the GPcode quirk).
+  std::size_t failed_deletes = 0;
+  /// Paths whose encryption started, in attack order.
+  std::vector<std::string> attack_order;
+  /// Victim-data accounting for the evasion trade-off study: bytes the
+  /// sample actually replaced with ciphertext vs. total bytes of the
+  /// files it touched (preserved headers/blocks are recoverable).
+  std::uint64_t bytes_destroyed = 0;
+  std::uint64_t bytes_touched = 0;
+};
+
+class RansomwareSample {
+ public:
+  /// `seed` individualizes this sample within its family (key material,
+  /// tie-breaking, generated names) without changing its behavior class.
+  RansomwareSample(RansomwareProfile profile, std::uint64_t seed);
+
+  /// Unleashes the sample as process `pid` against the documents tree at
+  /// `root`. Returns when every target is processed or the first time an
+  /// operation is denied (the engine suspended the process). When the
+  /// profile asks for worker processes, children are registered as
+  /// children of `pid` and the run stops when the whole family is denied.
+  SampleRun run(vfs::FileSystem& fs, vfs::ProcessId pid, const std::string& root);
+
+  [[nodiscard]] const RansomwareProfile& profile() const { return profile_; }
+
+ private:
+  [[nodiscard]] bool targets_extension(const std::string& ext) const;
+  [[nodiscard]] std::vector<std::string> plan_targets(const vfs::FileSystem& fs,
+                                                      const std::string& root);
+  /// Applies the cipher plus any configured evasion shaping; updates the
+  /// destroyed/touched accounting.
+  Bytes encrypt(ByteView plaintext, SampleRun& result);
+  [[nodiscard]] std::string ransom_note_text();
+  bool write_decoys(vfs::FileSystem& fs, vfs::ProcessId pid, const std::string& dir,
+                    SampleRun& result);
+  void disable_shadow_copies(vfs::FileSystem& fs, vfs::ProcessId pid);
+
+  /// Per-class attack on one file. Returns false when the run must stop
+  /// (operation denied).
+  bool attack_class_a(vfs::FileSystem& fs, vfs::ProcessId pid, const std::string& path,
+                      SampleRun& result);
+  bool attack_class_b(vfs::FileSystem& fs, vfs::ProcessId pid, const std::string& path,
+                      SampleRun& result);
+  bool attack_class_c(vfs::FileSystem& fs, vfs::ProcessId pid, const std::string& path,
+                      SampleRun& result);
+  bool drop_note(vfs::FileSystem& fs, vfs::ProcessId pid, const std::string& dir,
+                 SampleRun& result);
+
+  RansomwareProfile profile_;
+  Rng rng_;
+  Bytes key_;
+  std::uint32_t file_counter_ = 0;
+};
+
+}  // namespace cryptodrop::sim

@@ -1,0 +1,183 @@
+#include "simhash/similarity.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace cryptodrop::simhash {
+
+namespace {
+
+/// FNV-1a over a feature window; the basis for both feature selection and
+/// bloom insertion.
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Rejects degenerate windows (long runs, tiny alphabets) that are common
+/// to unrelated files and would inflate similarity — sdhash does the same
+/// via its entropy-based precedence ranks.
+bool window_is_selectable(const std::uint8_t* p) {
+  std::uint64_t seen[4] = {};
+  int distinct = 0;
+  for (std::size_t i = 0; i < kFeatureSize; ++i) {
+    const std::uint8_t b = p[i];
+    std::uint64_t& word = seen[b >> 6];
+    const std::uint64_t bit = 1ULL << (b & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++distinct;
+    }
+  }
+  return distinct >= 8;
+}
+
+constexpr std::size_t kBloomHashes = 5;
+
+/// Random substitution table for the rolling (buzhash) window hash,
+/// derived deterministically so digests are stable across runs.
+const std::array<std::uint64_t, 256>& buz_table() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    std::uint64_t state = 0x5eed5eed5eed5eedULL;
+    for (auto& v : t) v = mix(state += 0x9e3779b97f4a7c15ULL);
+    return t;
+  }();
+  return table;
+}
+
+inline std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// Content-defined trigger evaluated at *every* byte position via a
+/// rolling hash, so the feature set is invariant under byte insertions
+/// and shifts (sdhash's precedence-rank selection has the same
+/// property). ~1 position in 64 triggers, i.e. roughly one feature per
+/// kFeatureSize bytes.
+constexpr std::uint64_t kSelectMask = 0x3f;
+
+}  // namespace
+
+std::uint32_t SimilarityDigest::Filter::popcount() const {
+  std::uint32_t total = 0;
+  for (std::uint64_t word : bits) {
+    total += static_cast<std::uint32_t>(std::popcount(word));
+  }
+  return total;
+}
+
+std::optional<SimilarityDigest> SimilarityDigest::compute(ByteView data) {
+  if (data.size() < kMinInputSize) return std::nullopt;
+
+  SimilarityDigest digest;
+  digest.filters_.emplace_back();
+
+  const auto& tab = buz_table();
+  // Prime the rolling hash with the first window.
+  std::uint64_t rolling = 0;
+  for (std::size_t k = 0; k < kFeatureSize; ++k) {
+    rolling ^= rotl64(tab[data[k]], static_cast<int>((kFeatureSize - 1 - k) % 64));
+  }
+
+  for (std::size_t pos = 0; pos + kFeatureSize <= data.size(); ++pos) {
+    const std::uint64_t h_select = rolling;
+    // Advance the window before any `continue` below.
+    if (pos + kFeatureSize < data.size()) {
+      rolling = rotl64(rolling, 1) ^ tab[data[pos]] ^ tab[data[pos + kFeatureSize]];
+    }
+    if ((h_select & kSelectMask) != 0) continue;
+    const std::uint8_t* window = data.data() + pos;
+    if (!window_is_selectable(window)) continue;
+    const std::uint64_t h = fnv1a(window, kFeatureSize);
+
+    Filter* filter = &digest.filters_.back();
+    if (filter->features >= kFeaturesPerFilter) {
+      digest.filters_.emplace_back();
+      filter = &digest.filters_.back();
+    }
+    std::uint64_t g = h;
+    for (std::size_t k = 0; k < kBloomHashes; ++k) {
+      g = mix(g + k);
+      const std::size_t bit = static_cast<std::size_t>(g % kFilterBits);
+      filter->bits[bit / 64] |= 1ULL << (bit % 64);
+    }
+    ++filter->features;
+    ++digest.feature_count_;
+  }
+
+  // Too few features to be statistically meaningful (e.g. a file of one
+  // repeated byte): no digest, same as sdhash on degenerate input.
+  if (digest.feature_count_ < 6) return std::nullopt;
+  return digest;
+}
+
+int SimilarityDigest::compare_filters(const Filter& a, const Filter& b) {
+  const std::uint32_t pa = a.popcount();
+  const std::uint32_t pb = b.popcount();
+  if (pa == 0 || pb == 0) return 0;
+
+  std::uint32_t overlap = 0;
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    overlap += static_cast<std::uint32_t>(std::popcount(a.bits[i] & b.bits[i]));
+  }
+
+  // Expected overlap between two *unrelated* filters with pa and pb set
+  // bits: pa*pb/m. Score the excess over that base rate against the best
+  // possible overlap, min(pa, pb). The slack (10%) absorbs sampling
+  // variance so random data reliably scores 0 (sdhash applies an
+  // equivalent cutoff).
+  const double m = static_cast<double>(kFilterBits);
+  const double expected = static_cast<double>(pa) * static_cast<double>(pb) / m;
+  const double max_overlap = static_cast<double>(std::min(pa, pb));
+  // Proportional slack absorbs variance on full filters; the absolute
+  // term keeps sparsely-populated (trailing) filters from scoring on a
+  // handful of coincidental bits.
+  const double cutoff = expected + 0.10 * max_overlap + 6.0;
+  if (static_cast<double>(overlap) <= cutoff) return 0;
+  const double score =
+      100.0 * (static_cast<double>(overlap) - cutoff) / (max_overlap - cutoff);
+  return static_cast<int>(std::clamp(score, 0.0, 100.0) + 0.5);
+}
+
+int SimilarityDigest::compare(const SimilarityDigest& other) const {
+  const auto& shorter = filters_.size() <= other.filters_.size() ? filters_ : other.filters_;
+  const auto& longer = filters_.size() <= other.filters_.size() ? other.filters_ : filters_;
+
+  // sdhash semantics: every filter of the shorter digest is matched
+  // against its best counterpart in the longer one; the score is the
+  // feature-count-weighted mean of those best matches (a trailing filter
+  // holding a handful of features must not outvote full ones).
+  double total = 0.0;
+  double weight = 0.0;
+  for (const Filter& f : shorter) {
+    int best = 0;
+    for (const Filter& g : longer) {
+      best = std::max(best, compare_filters(f, g));
+    }
+    total += static_cast<double>(best) * static_cast<double>(f.features);
+    weight += static_cast<double>(f.features);
+  }
+  if (weight <= 0.0) return 0;
+  return static_cast<int>(total / weight + 0.5);
+}
+
+std::optional<int> similarity_score(ByteView a, ByteView b) {
+  const auto da = SimilarityDigest::compute(a);
+  if (!da) return std::nullopt;
+  const auto db = SimilarityDigest::compute(b);
+  if (!db) return std::nullopt;
+  return da->compare(*db);
+}
+
+}  // namespace cryptodrop::simhash

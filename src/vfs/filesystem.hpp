@@ -1,0 +1,211 @@
+// In-memory filesystem with a minifilter-style interposition stack.
+//
+// This is the substrate standing in for NTFS + the Windows filter manager
+// in the paper's architecture (Fig. 2). Key properties the analysis
+// engine depends on:
+//
+//  * every namespace/data operation is attributed to a ProcessId and
+//    flows through the attached filters (pre: may deny; post: observes);
+//  * each file has a stable FileId that survives rename/move — the paper
+//    stresses that "the state of the file must be carefully tracked each
+//    time a file is moved" (Class B/C ransomware);
+//  * file content is copy-on-write (shared_ptr<const Bytes>), so cloning
+//    a populated volume for the next experiment run is O(#files) pointer
+//    copies, replacing the paper's VM snapshot revert;
+//  * read-only files refuse writes and deletion (the GPcode sample in
+//    §V-C was "uniquely unable to work around" read-only test files).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "vfs/filter.hpp"
+#include "vfs/path.hpp"
+
+namespace cryptodrop::vfs {
+
+/// Result of stat().
+struct FileInfo {
+  FileId id = kNoFile;
+  std::uint64_t size = 0;
+  bool read_only = false;
+};
+
+/// One immediate child of a directory.
+struct DirEntry {
+  std::string name;  ///< Component name, not full path.
+  bool is_directory = false;
+  std::uint64_t size = 0;  ///< 0 for directories.
+};
+
+/// Open-file handle value. Obtained from open(), released by close().
+struct Handle {
+  HandleId id = 0;
+  explicit operator bool() const { return id != 0; }
+};
+
+/// Per-op-type counters (cheap instrumentation for tests and benches).
+struct OpCounters {
+  std::uint64_t opens = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t renames = 0;
+};
+
+class FileSystem {
+ public:
+  FileSystem();
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+  FileSystem(FileSystem&&) = default;
+  FileSystem& operator=(FileSystem&&) = default;
+
+  /// Copy of the volume: directory tree and file metadata are duplicated,
+  /// file *content* is shared copy-on-write. Filters, processes and open
+  /// handles are NOT copied — the clone is a pristine volume, like a
+  /// reverted VM snapshot.
+  [[nodiscard]] FileSystem clone() const;
+
+  // --- processes -----------------------------------------------------
+
+  /// Registers a named process and returns its id (ids are never reused).
+  /// `parent` links the process into a process tree (0 = no parent) —
+  /// the analysis engine scores and suspends whole families ("the
+  /// suspicious process (or family of processes)").
+  ProcessId register_process(std::string name, ProcessId parent = 0);
+  [[nodiscard]] std::string_view process_name(ProcessId pid) const;
+  /// Parent id, or 0 for root processes / unknown pids.
+  [[nodiscard]] ProcessId process_parent(ProcessId pid) const;
+  /// Topmost ancestor of `pid` (itself when parentless).
+  [[nodiscard]] ProcessId process_family_root(ProcessId pid) const;
+
+  // --- filter stack ----------------------------------------------------
+
+  /// Attaches a non-owning filter at the bottom of the stack. The caller
+  /// keeps the filter alive while attached.
+  void attach_filter(Filter* filter);
+  void detach_filter(Filter* filter);
+
+  // --- filtered operations (the "disk requests" of Fig. 2) -------------
+
+  Status mkdir(ProcessId pid, std::string_view raw_path);
+  Result<Handle> open(ProcessId pid, std::string_view raw_path, unsigned mode);
+  /// Reads up to `n` bytes from the handle position, advancing it.
+  Result<Bytes> read(ProcessId pid, Handle h, std::size_t n);
+  /// Writes at the handle position, advancing it; extends the file as
+  /// needed. Requires kWrite mode.
+  Status write(ProcessId pid, Handle h, ByteView data);
+  /// Sets the file size (shrink or zero-extend). Requires kWrite mode.
+  Status truncate(ProcessId pid, Handle h, std::uint64_t new_size);
+  /// Repositions the handle. Positions past EOF are allowed.
+  Status seek(ProcessId pid, Handle h, std::uint64_t pos);
+  Status close(ProcessId pid, Handle h);
+  Status remove(ProcessId pid, std::string_view raw_path);
+  /// Moves/renames a file; silently replaces an existing destination file
+  /// (MoveFileEx + MOVEFILE_REPLACE_EXISTING semantics). Directories
+  /// cannot be renamed. A read-only destination refuses replacement.
+  Status rename(ProcessId pid, std::string_view raw_from, std::string_view raw_to);
+
+  // --- filtered conveniences (compose open/read/write/close) -----------
+
+  /// Whole-file read: open(kRead) + read-to-EOF + close.
+  Result<Bytes> read_file(ProcessId pid, std::string_view raw_path);
+  /// Whole-file write: open(kWrite|kCreate|kTruncate) + write + close.
+  Status write_file(ProcessId pid, std::string_view raw_path, ByteView data);
+
+  // --- unfiltered inspection (host / engine / tests) -------------------
+
+  [[nodiscard]] bool exists(std::string_view raw_path) const;
+  [[nodiscard]] bool is_directory(std::string_view raw_path) const;
+  [[nodiscard]] Result<FileInfo> stat(std::string_view raw_path) const;
+  /// Current content of a file, bypassing the filter stack (what the
+  /// paper's driver does when a locked file must be inspected "using the
+  /// kernel code"). Returns nullptr when the path is not a file.
+  [[nodiscard]] std::shared_ptr<const Bytes> read_unfiltered(std::string_view raw_path) const;
+  /// Immediate children of a directory, names sorted.
+  [[nodiscard]] std::vector<DirEntry> list(std::string_view raw_path) const;
+  /// All file paths under `raw_path` (inclusive subtree), sorted.
+  [[nodiscard]] std::vector<std::string> list_files_recursive(std::string_view raw_path) const;
+  /// All directory paths under `raw_path`, excluding `raw_path` itself.
+  [[nodiscard]] std::vector<std::string> list_dirs_recursive(std::string_view raw_path) const;
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] std::size_t dir_count() const { return dirs_.size(); }
+  [[nodiscard]] std::size_t open_handle_count() const { return handles_.size(); }
+  [[nodiscard]] const OpCounters& counters() const { return counters_; }
+
+  // --- virtual clock ---------------------------------------------------
+
+  /// Simulated time in microseconds. Every filtered operation advances it
+  /// by `kOpCostMicros`; workloads add their own think-time with
+  /// advance_time(). Deterministic, unlike wall-clock time — which is
+  /// what lets rate-based experiments (§V-F's time-window discussion)
+  /// reproduce exactly.
+  [[nodiscard]] std::uint64_t now_micros() const { return clock_micros_; }
+  void advance_time(std::uint64_t micros) { clock_micros_ += micros; }
+
+  /// Simulated cost of one filesystem operation (~50 µs, the order of a
+  /// buffered syscall + page-cache hit).
+  static constexpr std::uint64_t kOpCostMicros = 50;
+
+  // --- unfiltered mutation (corpus construction) -----------------------
+
+  /// Creates a file (parents included) without filter traffic — used to
+  /// lay down the test corpus before any monitored process runs.
+  Status put_file_raw(std::string_view raw_path, Bytes data, bool read_only = false);
+  Status mkdir_raw(std::string_view raw_path);
+  Status set_read_only(std::string_view raw_path, bool read_only);
+
+ private:
+  struct FileNode {
+    std::shared_ptr<const Bytes> data;
+    FileId id = kNoFile;
+    bool read_only = false;
+  };
+
+  struct OpenHandle {
+    std::string path;
+    FileId file_id = kNoFile;
+    ProcessId pid = 0;
+    unsigned mode = 0;
+    std::uint64_t pos = 0;
+    bool wrote = false;
+    std::uint64_t wrote_bytes = 0;
+  };
+
+  /// Runs pre callbacks in attach order; deny wins. On allow, `apply` is
+  /// invoked and post callbacks run in reverse order with its outcome.
+  template <typename ApplyFn>
+  Status run_filtered(OperationEvent& event, ApplyFn&& apply);
+
+  Result<std::string> check_path(std::string_view raw) const;
+  FileNode* find_file(const std::string& path);
+  const FileNode* find_file(const std::string& path) const;
+  Status ensure_parents(const std::string& path);
+
+  std::map<std::string, FileNode> files_;
+  std::set<std::string, std::less<>> dirs_;  // always contains "" (root)
+  struct ProcessInfo {
+    std::string name;
+    ProcessId parent = 0;
+  };
+
+  std::map<HandleId, OpenHandle> handles_;
+  std::vector<Filter*> filters_;
+  std::vector<ProcessInfo> processes_;  // index = pid - 1
+  FileId next_file_id_ = 1;
+  HandleId next_handle_id_ = 1;
+  OpCounters counters_;
+  std::uint64_t clock_micros_ = 0;
+};
+
+}  // namespace cryptodrop::vfs

@@ -1,0 +1,124 @@
+// Filesystem filter interface — the analogue of a Windows minifilter.
+//
+// CryptoDrop's kernel driver "interposes on calls between processes and
+// the filesystem driver" (paper Fig. 2): every operation produces a
+// pre-operation callback (which may deny it — this is how a suspended
+// process is kept from touching the disk) and a post-operation callback
+// carrying the outcome. Filters run in attach order for pre callbacks and
+// in reverse order for post callbacks, mirroring filter-manager altitude
+// stacking; the paper notes the ordering relative to other drivers does
+// not matter for CryptoDrop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace cryptodrop::vfs {
+
+class FileSystem;
+
+using FileId = std::uint64_t;     ///< Stable across rename/move (inode analogue).
+using ProcessId = std::uint32_t;  ///< Assigned by FileSystem::register_process.
+using HandleId = std::uint64_t;
+
+inline constexpr FileId kNoFile = 0;
+
+/// Open-mode bit flags.
+enum OpenMode : unsigned {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kTruncate = 1u << 2,  ///< Clear existing content at open (implies kWrite).
+  kCreate = 1u << 3,    ///< Create if missing (implies kWrite).
+};
+
+enum class OpType : std::uint8_t {
+  open,
+  read,
+  write,
+  truncate,
+  close,
+  remove,
+  rename,
+  mkdir,
+};
+
+/// One filesystem operation as seen by the filter stack.
+///
+/// Field validity by op:
+///  - open:    path, file_id (kNoFile when creating), open_mode
+///  - read:    path, file_id, offset; `data` = bytes read (post only)
+///  - write:   path, file_id, offset, `data` = bytes to be written
+///  - truncate:path, file_id, length = new size
+///  - close:   path, file_id, wrote = any write/truncate happened on the
+///             handle, wrote_bytes = total bytes written through it
+///  - remove:  path, file_id
+///  - rename:  path (source), file_id, dest_path, dest_file_id (kNoFile
+///             when the destination does not exist / is not replaced)
+///  - mkdir:   path
+struct OperationEvent {
+  OpType op{};
+  ProcessId pid{};
+  /// Virtual-clock timestamp (µs) at which the operation was issued.
+  std::uint64_t timestamp = 0;
+  std::string process_name;
+  std::string path;
+  FileId file_id = kNoFile;
+  unsigned open_mode = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  ByteView data{};
+  std::string dest_path;
+  FileId dest_file_id = kNoFile;
+  bool wrote = false;
+  std::uint64_t wrote_bytes = 0;
+};
+
+enum class Verdict : std::uint8_t { allow, deny };
+
+/// Base class for all filters. Callbacks default to allow/no-op so a
+/// filter overrides only what it watches. Filters may read file content
+/// out-of-band through the FileSystem's unfiltered accessors (the paper's
+/// driver does the same "using the kernel code").
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Called before the operation is applied. Returning deny fails the
+  /// operation with Errc::access_denied and suppresses post callbacks.
+  virtual Verdict pre_operation(const OperationEvent& event) {
+    (void)event;
+    return Verdict::allow;
+  }
+
+  /// Called after the operation was applied (success or failure).
+  virtual void post_operation(const OperationEvent& event, const Status& outcome) {
+    (void)event;
+    (void)outcome;
+  }
+
+  /// Invoked when the filter is attached; gives the filter its unfiltered
+  /// view of the volume.
+  virtual void on_attach(FileSystem& fs) { (void)fs; }
+};
+
+/// Short mnemonic for logs ("open", "write", ...).
+std::string_view op_name(OpType op);
+
+inline std::string_view op_name(OpType op_type) {
+  switch (op_type) {
+    case OpType::open: return "open";
+    case OpType::read: return "read";
+    case OpType::write: return "write";
+    case OpType::truncate: return "truncate";
+    case OpType::close: return "close";
+    case OpType::remove: return "remove";
+    case OpType::rename: return "rename";
+    case OpType::mkdir: return "mkdir";
+  }
+  return "?";
+}
+
+}  // namespace cryptodrop::vfs

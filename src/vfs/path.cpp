@@ -1,0 +1,91 @@
+#include "vfs/path.hpp"
+
+#include <cctype>
+
+namespace cryptodrop::vfs {
+
+std::optional<std::string> normalize_path(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    while (i < raw.size() && raw[i] == '/') ++i;
+    const std::size_t start = i;
+    while (i < raw.size() && raw[i] != '/') ++i;
+    const std::string_view comp = raw.substr(start, i - start);
+    if (comp.empty()) continue;
+    if (comp == "." || comp == "..") return std::nullopt;
+    if (comp.find('\0') != std::string_view::npos) return std::nullopt;
+    if (!out.empty()) out.push_back('/');
+    out.append(comp);
+  }
+  return out;
+}
+
+std::string path_join(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out;
+  out.reserve(a.size() + 1 + b.size());
+  out.append(a);
+  out.push_back('/');
+  out.append(b);
+  return out;
+}
+
+std::string path_parent(std::string_view path) {
+  const std::size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) return std::string();
+  return std::string(path.substr(0, pos));
+}
+
+std::string_view path_filename(std::string_view path) {
+  const std::size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) return path;
+  return path.substr(pos + 1);
+}
+
+std::string path_extension(std::string_view path) {
+  const std::string_view name = path_filename(path);
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == name.size()) {
+    return std::string();
+  }
+  std::string ext(name.substr(dot + 1));
+  for (char& c : ext) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return ext;
+}
+
+std::size_t path_depth(std::string_view path) {
+  if (path.empty()) return 0;
+  std::size_t depth = 1;
+  for (char c : path) {
+    if (c == '/') ++depth;
+  }
+  return depth;
+}
+
+std::vector<std::string_view> path_components(std::string_view path) {
+  std::vector<std::string_view> out;
+  if (path.empty()) return out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = path.find('/', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(path.substr(start));
+      break;
+    }
+    out.push_back(path.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool path_is_under(std::string_view path, std::string_view dir) {
+  if (dir.empty()) return true;
+  if (path.size() < dir.size()) return false;
+  if (path.substr(0, dir.size()) != dir) return false;
+  return path.size() == dir.size() || path[dir.size()] == '/';
+}
+
+}  // namespace cryptodrop::vfs

@@ -1,0 +1,44 @@
+// Path handling for the in-memory filesystem.
+//
+// Paths are '/'-separated, relative to the filesystem root, with no
+// leading or trailing slash; the root itself is the empty string. This is
+// deliberately simpler than Windows paths — the analysis engine only needs
+// a stable name hierarchy, and normalizing at the boundary keeps every
+// internal comparison a plain string compare.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cryptodrop::vfs {
+
+/// Normalizes `raw`: collapses repeated '/', strips leading/trailing '/'.
+/// Returns nullopt for components that are empty after splitting, "." or
+/// "..", or for embedded NULs — there is no cwd and no traversal.
+std::optional<std::string> normalize_path(std::string_view raw);
+
+/// Joins two normalized paths. Either side may be the root ("").
+std::string path_join(std::string_view a, std::string_view b);
+
+/// Parent of a normalized path ("" for top-level names and the root).
+std::string path_parent(std::string_view path);
+
+/// Final component ("" for the root).
+std::string_view path_filename(std::string_view path);
+
+/// Lower-cased extension without the dot ("" when absent). "report.PDF"
+/// yields "pdf".
+std::string path_extension(std::string_view path);
+
+/// Number of components (root = 0).
+std::size_t path_depth(std::string_view path);
+
+/// Splits into components; root yields an empty vector.
+std::vector<std::string_view> path_components(std::string_view path);
+
+/// True when `path` equals `dir` or lies beneath it.
+bool path_is_under(std::string_view path, std::string_view dir);
+
+}  // namespace cryptodrop::vfs

@@ -1,0 +1,75 @@
+#include "vfs/recording_filter.hpp"
+
+#include "vfs/path.hpp"
+
+namespace cryptodrop::vfs {
+
+Verdict RecordingFilter::pre_operation(const OperationEvent& event) {
+  (void)event;
+  return Verdict::allow;
+}
+
+void RecordingFilter::post_operation(const OperationEvent& event, const Status& outcome) {
+  RecordedOp rec;
+  rec.op = event.op;
+  rec.pid = event.pid;
+  rec.path = event.path;
+  rec.dest_path = event.dest_path;
+  rec.file_id = event.file_id;
+  rec.bytes = event.op == OpType::read || event.op == OpType::write
+                  ? event.data.size()
+                  : event.wrote_bytes;
+  rec.succeeded = outcome.is_ok();
+  ops_.push_back(std::move(rec));
+}
+
+std::vector<std::string> RecordingFilter::paths_read_by(ProcessId pid) const {
+  std::vector<std::string> out;
+  for (const RecordedOp& rec : ops_) {
+    if (rec.pid == pid && rec.op == OpType::read && rec.succeeded) {
+      out.push_back(rec.path);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> RecordingFilter::paths_modified_by(ProcessId pid) const {
+  std::vector<std::string> out;
+  for (const RecordedOp& rec : ops_) {
+    if (rec.pid != pid || !rec.succeeded) continue;
+    switch (rec.op) {
+      case OpType::write:
+      case OpType::truncate:
+      case OpType::remove:
+      case OpType::rename:
+        out.push_back(rec.path);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::set<std::string> RecordingFilter::directories_touched_by(ProcessId pid) const {
+  std::set<std::string> out;
+  for (const RecordedOp& rec : ops_) {
+    if (rec.pid != pid || !rec.succeeded) continue;
+    switch (rec.op) {
+      case OpType::read:
+      case OpType::write:
+      case OpType::remove:
+        out.insert(path_parent(rec.path));
+        break;
+      case OpType::rename:
+        out.insert(path_parent(rec.path));
+        out.insert(path_parent(rec.dest_path));
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cryptodrop::vfs

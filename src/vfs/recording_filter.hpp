@@ -1,0 +1,46 @@
+// A filter that records the operation stream — used by tests, the
+// harness's per-run telemetry (directories touched, extensions accessed
+// for Figures 4 and 5), and as a worked example of the Filter API.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vfs/filter.hpp"
+
+namespace cryptodrop::vfs {
+
+/// One recorded operation (a compact copy of the event; `data` is not
+/// retained, only its size).
+struct RecordedOp {
+  OpType op{};
+  ProcessId pid{};
+  std::string path;
+  std::string dest_path;
+  FileId file_id = kNoFile;
+  std::uint64_t bytes = 0;
+  bool succeeded = false;
+};
+
+class RecordingFilter : public Filter {
+ public:
+  Verdict pre_operation(const OperationEvent& event) override;
+  void post_operation(const OperationEvent& event, const Status& outcome) override;
+
+  [[nodiscard]] const std::vector<RecordedOp>& ops() const { return ops_; }
+  void clear() { ops_.clear(); }
+
+  /// Paths of files a given process read (successfully).
+  [[nodiscard]] std::vector<std::string> paths_read_by(ProcessId pid) const;
+  /// Paths of files a given process wrote, truncated, removed, or renamed.
+  [[nodiscard]] std::vector<std::string> paths_modified_by(ProcessId pid) const;
+  /// Distinct directories containing any file the process read or wrote.
+  [[nodiscard]] std::set<std::string> directories_touched_by(ProcessId pid) const;
+
+ private:
+  std::vector<RecordedOp> ops_;
+};
+
+}  // namespace cryptodrop::vfs

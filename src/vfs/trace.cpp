@@ -1,0 +1,253 @@
+#include "vfs/trace.hpp"
+
+#include <charconv>
+#include <map>
+
+#include "common/hex.hpp"
+
+namespace cryptodrop::vfs {
+
+void TraceRecorder::post_operation(const OperationEvent& event, const Status& outcome) {
+  if (!outcome.is_ok()) return;
+  TraceEntry entry;
+  entry.op = event.op;
+  entry.pid = event.pid;
+  entry.timestamp = event.timestamp;
+  entry.path = event.path;
+  entry.dest_path = event.dest_path;
+  entry.open_mode = event.open_mode;
+  entry.offset = event.offset;
+  entry.length = event.op == OpType::read || event.op == OpType::write
+                     ? event.data.size()
+                     : event.length;
+  if (capture_content_ && event.op == OpType::write) {
+    entry.data.assign(event.data.begin(), event.data.end());
+  }
+  entries_.push_back(std::move(entry));
+}
+
+namespace {
+
+/// Paths may contain anything but newline in this VFS; escape the field
+/// separator and newlines.
+std::string escape_field(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '|': out += "\\p"; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape_field(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return std::nullopt;
+    switch (s[i]) {
+      case 'p': out.push_back('|'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<OpType> op_from_name(std::string_view name) {
+  for (OpType op : {OpType::open, OpType::read, OpType::write, OpType::truncate,
+                    OpType::close, OpType::remove, OpType::rename, OpType::mkdir}) {
+    if (op_name(op) == name) return op;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string serialize_trace(const std::vector<TraceEntry>& entries) {
+  std::string out = "# cryptodrop trace v1\n";
+  for (const TraceEntry& entry : entries) {
+    out += std::string(op_name(entry.op));
+    out += '|';
+    out += std::to_string(entry.pid);
+    out += '|';
+    out += std::to_string(entry.timestamp);
+    out += '|';
+    out += escape_field(entry.path);
+    out += '|';
+    out += escape_field(entry.dest_path);
+    out += '|';
+    out += std::to_string(entry.open_mode);
+    out += '|';
+    out += std::to_string(entry.offset);
+    out += '|';
+    out += std::to_string(entry.length);
+    out += '|';
+    out += hex_encode(ByteView(entry.data));
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<TraceEntry>> parse_trace(std::string_view text) {
+  std::vector<TraceEntry> entries;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string_view> fields;
+    std::size_t field_start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      // '|' is escaped inside fields as "\p", so raw '|' is a separator.
+      if (i == line.size() || line[i] == '|') {
+        fields.push_back(line.substr(field_start, i - field_start));
+        field_start = i + 1;
+      }
+    }
+    if (fields.size() != 9) return std::nullopt;
+
+    TraceEntry entry;
+    const auto op = op_from_name(fields[0]);
+    const auto pid = parse_u64(fields[1]);
+    const auto timestamp = parse_u64(fields[2]);
+    const auto path = unescape_field(fields[3]);
+    const auto dest = unescape_field(fields[4]);
+    const auto mode = parse_u64(fields[5]);
+    const auto offset = parse_u64(fields[6]);
+    const auto length = parse_u64(fields[7]);
+    const auto data = hex_decode(fields[8]);
+    if (!op || !pid || !timestamp || !path || !dest || !mode || !offset ||
+        !length || !data) {
+      return std::nullopt;
+    }
+    entry.op = *op;
+    entry.pid = static_cast<ProcessId>(*pid);
+    entry.timestamp = *timestamp;
+    entry.path = *path;
+    entry.dest_path = *dest;
+    entry.open_mode = static_cast<unsigned>(*mode);
+    entry.offset = *offset;
+    entry.length = *length;
+    entry.data = *data;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+ReplayResult replay_trace(FileSystem& fs, const std::vector<TraceEntry>& entries) {
+  ReplayResult result;
+  std::map<ProcessId, ProcessId> pid_map;
+  // Open handles are not serialized; each read/write replays through a
+  // short-lived handle positioned at the recorded offset.
+  auto replay_pid = [&](ProcessId original) {
+    auto it = pid_map.find(original);
+    if (it != pid_map.end()) return it->second;
+    const ProcessId fresh =
+        fs.register_process("replay_" + std::to_string(original));
+    pid_map.emplace(original, fresh);
+    return fresh;
+  };
+
+  std::uint64_t last_timestamp = 0;
+  for (const TraceEntry& entry : entries) {
+    if (entry.timestamp > last_timestamp) {
+      // Preserve inter-op pacing (rate-indicator studies depend on it).
+      const std::uint64_t gap = entry.timestamp - last_timestamp;
+      if (gap > FileSystem::kOpCostMicros) {
+        fs.advance_time(gap - FileSystem::kOpCostMicros);
+      }
+      last_timestamp = entry.timestamp;
+    }
+    const ProcessId pid = replay_pid(entry.pid);
+    Status status = Status::ok();
+    switch (entry.op) {
+      case OpType::mkdir:
+        status = fs.mkdir(pid, entry.path);
+        break;
+      case OpType::open:
+      case OpType::close:
+        // Handle lifetimes are reconstructed around reads/writes below;
+        // bare opens and closes carry no replayable state. A recorded
+        // truncating open must still truncate.
+        if (entry.op == OpType::open && (entry.open_mode & kTruncate) != 0) {
+          auto h = fs.open(pid, entry.path, entry.open_mode);
+          if (h) status = fs.close(pid, h.value());
+          else status = h.status();
+        }
+        break;
+      case OpType::read: {
+        auto h = fs.open(pid, entry.path, kRead);
+        if (!h) {
+          status = h.status();
+          break;
+        }
+        (void)fs.seek(pid, h.value(), entry.offset);
+        auto data = fs.read(pid, h.value(), static_cast<std::size_t>(entry.length));
+        status = data ? fs.close(pid, h.value()) : data.status();
+        if (!data) (void)fs.close(pid, h.value());
+        break;
+      }
+      case OpType::write: {
+        auto h = fs.open(pid, entry.path, kWrite | kCreate);
+        if (!h) {
+          status = h.status();
+          break;
+        }
+        (void)fs.seek(pid, h.value(), entry.offset);
+        // Metadata-only traces have no payload: replay zeros of the
+        // recorded length (all a content-free log can reconstruct).
+        Bytes payload = entry.data;
+        if (payload.size() != entry.length) {
+          payload.assign(static_cast<std::size_t>(entry.length), 0);
+        }
+        status = fs.write(pid, h.value(), ByteView(payload));
+        Status closed = fs.close(pid, h.value());
+        if (status.is_ok()) status = closed;
+        break;
+      }
+      case OpType::truncate: {
+        auto h = fs.open(pid, entry.path, kWrite);
+        if (!h) {
+          status = h.status();
+          break;
+        }
+        status = fs.truncate(pid, h.value(), entry.length);
+        Status closed = fs.close(pid, h.value());
+        if (status.is_ok()) status = closed;
+        break;
+      }
+      case OpType::remove:
+        status = fs.remove(pid, entry.path);
+        break;
+      case OpType::rename:
+        status = fs.rename(pid, entry.path, entry.dest_path);
+        break;
+    }
+    if (status.is_ok()) {
+      ++result.applied;
+    } else {
+      ++result.failed;
+    }
+  }
+  return result;
+}
+
+}  // namespace cryptodrop::vfs

@@ -1,0 +1,79 @@
+// Operation-trace recording and replay.
+//
+// Motivated by the paper's §V-F observation that CryptoDrop cannot be
+// evaluated on passively collected activity logs: "techniques used in
+// dynamic malware analysis (e.g., passively observing benign activity on
+// a system and running the detector on it later) will not work since
+// CryptoDrop needs to measure the user's documents before and after each
+// change."
+//
+// The TraceRecorder can capture either a *content-carrying* trace
+// (written bytes included — enough information to reproduce every
+// engine measurement on replay) or a *metadata-only* trace (op, path,
+// sizes — what a typical syscall logger keeps). Replaying the former
+// against a clone of the original volume reproduces detection;
+// replaying the latter demonstrably loses indicators. The text format
+// is line-based and diff-friendly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "vfs/filesystem.hpp"
+#include "vfs/filter.hpp"
+
+namespace cryptodrop::vfs {
+
+/// One recorded operation, replayable.
+struct TraceEntry {
+  OpType op{};
+  ProcessId pid = 0;
+  std::uint64_t timestamp = 0;
+  std::string path;
+  std::string dest_path;
+  unsigned open_mode = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  /// Written bytes (empty in metadata-only traces or for non-writes).
+  Bytes data;
+};
+
+/// A filter that appends successful operations to a trace.
+class TraceRecorder : public Filter {
+ public:
+  /// `capture_content` = content-carrying trace (write payloads kept).
+  explicit TraceRecorder(bool capture_content)
+      : capture_content_(capture_content) {}
+
+  void post_operation(const OperationEvent& event, const Status& outcome) override;
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  bool capture_content_;
+  std::vector<TraceEntry> entries_;
+};
+
+/// Serializes a trace to the line-based text format.
+std::string serialize_trace(const std::vector<TraceEntry>& entries);
+
+/// Parses a serialized trace. Returns nullopt on malformed input.
+std::optional<std::vector<TraceEntry>> parse_trace(std::string_view text);
+
+/// Outcome of a replay.
+struct ReplayResult {
+  std::size_t applied = 0;
+  std::size_t failed = 0;  ///< Ops whose replay returned an error.
+};
+
+/// Replays a trace against `fs`, attributing every operation to a fresh
+/// "replayer" process per original pid (so per-process analysis keyed on
+/// the replayed volume still separates actors). Metadata-only traces
+/// replay writes as zero-filled payloads of the recorded length — the
+/// best a content-free log can do, and exactly why it is not enough.
+ReplayResult replay_trace(FileSystem& fs, const std::vector<TraceEntry>& entries);
+
+}  // namespace cryptodrop::vfs

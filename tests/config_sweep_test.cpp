@@ -1,0 +1,130 @@
+// Property sweep over scoring-configuration subsets: with any two of
+// the three primary indicators active, a stock Class A encryptor must
+// still be detected with bounded loss; and no indicator subset may turn
+// the well-behaved benign editor into a false positive. This pins down
+// the redundancy claim behind §III ("each indicator provides value in
+// isolation, [but] we use union indication to take action faster").
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace cryptodrop {
+namespace {
+
+struct ConfigCase {
+  bool entropy;
+  bool type_change;
+  bool similarity;
+  bool deletion;
+  bool funneling;
+  bool family;
+
+  [[nodiscard]] int primaries() const {
+    return (entropy ? 1 : 0) + (type_change ? 1 : 0) + (similarity ? 1 : 0);
+  }
+  [[nodiscard]] core::ScoringConfig to_config() const {
+    core::ScoringConfig config;
+    config.enable_entropy = entropy;
+    config.enable_type_change = type_change;
+    config.enable_similarity = similarity;
+    config.enable_deletion = deletion;
+    config.enable_funneling = funneling;
+    config.enable_family_scoring = family;
+    return config;
+  }
+  [[nodiscard]] std::string label() const {
+    std::string out;
+    out += entropy ? 'E' : 'e';
+    out += type_change ? 'T' : 't';
+    out += similarity ? 'S' : 's';
+    out += deletion ? 'D' : 'd';
+    out += funneling ? 'F' : 'f';
+    out += family ? 'G' : 'g';
+    return out;
+  }
+};
+
+std::vector<ConfigCase> all_cases() {
+  std::vector<ConfigCase> cases;
+  for (int mask = 0; mask < 32; ++mask) {
+    cases.push_back(ConfigCase{(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0,
+                               (mask & 8) != 0, (mask & 16) != 0,
+                               /*family=*/(mask % 2) == 0});
+  }
+  return cases;
+}
+
+class ConfigSweepTest : public ::testing::TestWithParam<ConfigCase> {
+ protected:
+  static harness::Environment* env;
+
+  static void SetUpTestSuite() {
+    corpus::CorpusSpec spec;
+    spec.total_files = 400;
+    spec.total_dirs = 40;
+    spec.compute_hashes = false;
+    env = new harness::Environment(harness::make_environment(spec, 777));
+  }
+  static void TearDownTestSuite() {
+    delete env;
+    env = nullptr;
+  }
+};
+
+harness::Environment* ConfigSweepTest::env = nullptr;
+
+TEST_P(ConfigSweepTest, TwoPrimariesSufficeAgainstClassA) {
+  const ConfigCase& param = GetParam();
+  if (param.primaries() < 2) {
+    GTEST_SKIP() << "single/zero-indicator configs are covered by bench_ablation";
+  }
+  sim::SampleSpec spec;
+  spec.family = "Filecoder";
+  spec.behavior = sim::BehaviorClass::A;
+  spec.profile = sim::family_profile("Filecoder", sim::BehaviorClass::A);
+  spec.profile.traversal = sim::Traversal::alphabetical;
+  spec.profile.target_extensions.clear();
+  spec.seed = 12345;
+  const auto r = harness::run_ransomware_sample(*env, spec, param.to_config());
+  EXPECT_TRUE(r.detected) << param.label();
+  EXPECT_LT(r.files_lost, env->corpus.file_count() / 4) << param.label();
+}
+
+TEST_P(ConfigSweepTest, BenignEditorNeverFlaggedUnderAnySubset) {
+  const ConfigCase& param = GetParam();
+  const auto r = harness::run_benign_workload(
+      *env, sim::benign_workload("Microsoft Word"), param.to_config(), 5);
+  EXPECT_FALSE(r.detected) << param.label();
+  EXPECT_EQ(r.final_score, 0) << param.label();
+}
+
+TEST_P(ConfigSweepTest, ScoreIsMonotoneInEnabledIndicators) {
+  // Enabling an extra indicator can only raise (or keep) the final score
+  // of a fixed malicious run — configs never interfere destructively.
+  const ConfigCase& param = GetParam();
+  sim::SampleSpec spec;
+  spec.family = "CryptoDefense";
+  spec.behavior = sim::BehaviorClass::C;
+  spec.profile = sim::family_profile("CryptoDefense", sim::BehaviorClass::C);
+  spec.profile.max_files = 4;  // short fixed prefix, no suspension
+  spec.seed = 999;
+
+  core::ScoringConfig base = param.to_config();
+  base.score_threshold = 1 << 30;
+  base.union_threshold = 1 << 30;
+  const auto with = harness::run_ransomware_sample(*env, spec, base);
+
+  core::ScoringConfig stripped = base;
+  stripped.enable_deletion = false;
+  const auto without = harness::run_ransomware_sample(*env, spec, stripped);
+  EXPECT_GE(with.final_score, without.final_score) << param.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, ConfigSweepTest,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<ConfigCase>& info) {
+                           return info.param.label();
+                         });
+
+}  // namespace
+}  // namespace cryptodrop

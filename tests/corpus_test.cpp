@@ -1,0 +1,299 @@
+// Tests for corpus generation and loss accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/builder.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+#include "entropy/entropy.hpp"
+#include "vfs/path.hpp"
+
+namespace cryptodrop::corpus {
+namespace {
+
+CorpusSpec small_spec(std::size_t files = 150, std::size_t dirs = 20) {
+  CorpusSpec spec;
+  spec.total_files = files;
+  spec.total_dirs = dirs;
+  spec.max_depth = 4;
+  return spec;
+}
+
+TEST(CorpusBuilder, BuildsRequestedCounts) {
+  vfs::FileSystem fs;
+  Rng rng(1);
+  const Corpus corpus = build_corpus(fs, small_spec(), rng);
+  EXPECT_EQ(corpus.file_count(), 150u);
+  EXPECT_EQ(fs.file_count(), 150u);
+  // total_dirs includes the corpus root; the fs also has the root's
+  // ancestors ("users", "users/victim") plus the global root "".
+  EXPECT_EQ(fs.list_dirs_recursive(corpus.root).size() + 1, 20u);
+}
+
+TEST(CorpusBuilder, PaperScaleCountsAndTree) {
+  vfs::FileSystem fs;
+  Rng rng(2);
+  CorpusSpec spec;  // paper defaults: 5,099 files, 511 dirs
+  spec.compute_hashes = false;
+  const Corpus corpus = build_corpus(fs, spec, rng);
+  EXPECT_EQ(corpus.file_count(), 5099u);
+  EXPECT_EQ(fs.list_dirs_recursive(corpus.root).size() + 1, 511u);
+  EXPECT_GT(corpus.total_bytes(), 10u * 1024 * 1024);
+}
+
+TEST(CorpusBuilder, DeterministicForSeed) {
+  vfs::FileSystem fs1, fs2;
+  Rng r1(7), r2(7);
+  const Corpus c1 = build_corpus(fs1, small_spec(), r1);
+  const Corpus c2 = build_corpus(fs2, small_spec(), r2);
+  ASSERT_EQ(c1.manifest.size(), c2.manifest.size());
+  for (std::size_t i = 0; i < c1.manifest.size(); ++i) {
+    EXPECT_EQ(c1.manifest[i].path, c2.manifest[i].path);
+    EXPECT_EQ(*c1.manifest[i].original, *c2.manifest[i].original);
+  }
+}
+
+TEST(CorpusBuilder, AllFilesUnderRoot) {
+  vfs::FileSystem fs;
+  Rng rng(3);
+  const Corpus corpus = build_corpus(fs, small_spec(), rng);
+  for (const ManifestEntry& entry : corpus.manifest) {
+    EXPECT_TRUE(vfs::path_is_under(entry.path, corpus.root)) << entry.path;
+    EXPECT_TRUE(fs.exists(entry.path));
+  }
+}
+
+TEST(CorpusBuilder, ManifestHashesMatchContent) {
+  vfs::FileSystem fs;
+  Rng rng(4);
+  const Corpus corpus = build_corpus(fs, small_spec(80, 10), rng);
+  for (const ManifestEntry& entry : corpus.manifest) {
+    const auto data = fs.read_unfiltered(entry.path);
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(crypto::sha256_hex(ByteView(*data)), entry.sha256);
+    EXPECT_EQ(data->size(), entry.size);
+  }
+}
+
+TEST(CorpusBuilder, ExtensionsMatchKinds) {
+  vfs::FileSystem fs;
+  Rng rng(5);
+  const Corpus corpus = build_corpus(fs, small_spec(), rng);
+  for (const ManifestEntry& entry : corpus.manifest) {
+    EXPECT_EQ(vfs::path_extension(entry.path), kind_extension(entry.kind));
+  }
+}
+
+TEST(CorpusBuilder, SomeReadOnlyFiles) {
+  vfs::FileSystem fs;
+  Rng rng(6);
+  CorpusSpec spec = small_spec(400, 30);
+  spec.read_only_fraction = 0.1;
+  const Corpus corpus = build_corpus(fs, spec, rng);
+  std::size_t read_only = 0;
+  for (const ManifestEntry& entry : corpus.manifest) {
+    if (entry.read_only) {
+      ++read_only;
+      EXPECT_TRUE(fs.stat(entry.path).value().read_only);
+    }
+  }
+  EXPECT_GT(read_only, 10u);
+  EXPECT_LT(read_only, 100u);
+}
+
+TEST(CorpusBuilder, TextKindsIncludeSub512ByteFiles) {
+  // The §V-C CTB-Locker experiment depends on small .txt/.md files
+  // existing in the default mix.
+  vfs::FileSystem fs;
+  Rng rng(7);
+  CorpusSpec spec = small_spec(2000, 60);
+  spec.compute_hashes = false;
+  const Corpus corpus = build_corpus(fs, spec, rng);
+  std::size_t small_text = 0;
+  for (const ManifestEntry& entry : corpus.manifest) {
+    if ((entry.kind == FileKind::txt || entry.kind == FileKind::md) &&
+        entry.size < 512) {
+      ++small_text;
+    }
+  }
+  EXPECT_GT(small_text, 5u);
+}
+
+TEST(CorpusBuilder, MinFileSizeFilterEliminatesSmallFiles) {
+  vfs::FileSystem fs;
+  Rng rng(8);
+  CorpusSpec spec = small_spec(500, 30);
+  spec.min_file_size = 512;
+  spec.compute_hashes = false;
+  const Corpus corpus = build_corpus(fs, spec, rng);
+  for (const ManifestEntry& entry : corpus.manifest) {
+    EXPECT_GE(entry.size, 512u) << entry.path;
+  }
+}
+
+TEST(CorpusBuilder, MixContainsAllMajorKindGroups) {
+  vfs::FileSystem fs;
+  Rng rng(9);
+  CorpusSpec spec = small_spec(2000, 50);
+  spec.compute_hashes = false;
+  const Corpus corpus = build_corpus(fs, spec, rng);
+  std::set<FileKind> kinds;
+  for (const ManifestEntry& entry : corpus.manifest) kinds.insert(entry.kind);
+  // All 26 kinds should appear in a 2,000-file draw.
+  EXPECT_GE(kinds.size(), 20u);
+}
+
+TEST(CorpusBuilder, RespectsMaxDepth) {
+  vfs::FileSystem fs;
+  Rng rng(10);
+  CorpusSpec spec = small_spec(200, 40);
+  spec.max_depth = 3;
+  const Corpus corpus = build_corpus(fs, spec, rng);
+  const std::size_t root_depth = vfs::path_depth(spec.root);
+  for (const std::string& dir : fs.list_dirs_recursive(corpus.root)) {
+    EXPECT_LE(vfs::path_depth(dir), root_depth + spec.max_depth);
+  }
+}
+
+// --- loss accounting -----------------------------------------------------
+
+class LossTest : public ::testing::Test {
+ protected:
+  vfs::FileSystem fs;
+  Corpus corpus;
+  vfs::ProcessId pid = 0;
+
+  void SetUp() override {
+    Rng rng(11);
+    corpus = build_corpus(fs, small_spec(60, 8), rng);
+    pid = fs.register_process("mutator");
+  }
+};
+
+TEST_F(LossTest, PristineCorpusHasNoLoss) {
+  EXPECT_EQ(count_files_lost(fs, corpus), 0u);
+}
+
+TEST_F(LossTest, CloneIsAlsoPristine) {
+  vfs::FileSystem clone = fs.clone();
+  EXPECT_EQ(count_files_lost(clone, corpus), 0u);
+}
+
+TEST_F(LossTest, OverwrittenFileIsLost) {
+  const std::string& victim = corpus.manifest[0].path;
+  ASSERT_TRUE(fs.set_read_only(victim, false).is_ok());
+  ASSERT_TRUE(fs.write_file(pid, victim, to_bytes("encrypted!")).is_ok());
+  EXPECT_EQ(count_files_lost(fs, corpus), 1u);
+  const auto lost = lost_file_indices(fs, corpus);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], 0u);
+}
+
+TEST_F(LossTest, DeletedFileIsLost) {
+  const std::string& victim = corpus.manifest[5].path;
+  ASSERT_TRUE(fs.set_read_only(victim, false).is_ok());
+  ASSERT_TRUE(fs.remove(pid, victim).is_ok());
+  EXPECT_EQ(count_files_lost(fs, corpus), 1u);
+}
+
+TEST_F(LossTest, MovedFileIsNotLost) {
+  // Content intact elsewhere (even outside the corpus root) => not lost,
+  // matching the paper's SHA-256 presence check semantics.
+  const std::string& victim = corpus.manifest[3].path;
+  ASSERT_TRUE(fs.rename(pid, victim, "quarantine/moved.bin").is_ok());
+  EXPECT_EQ(count_files_lost(fs, corpus), 0u);
+}
+
+TEST_F(LossTest, RenamedInPlaceIsNotLost) {
+  const std::string& victim = corpus.manifest[4].path;
+  ASSERT_TRUE(fs.rename(pid, victim, victim + ".renamed").is_ok());
+  EXPECT_EQ(count_files_lost(fs, corpus), 0u);
+}
+
+TEST_F(LossTest, EncryptEverythingLosesEverything) {
+  crypto::ChaCha20 cipher(to_bytes("k"), to_bytes("n"));
+  for (const ManifestEntry& entry : corpus.manifest) {
+    ASSERT_TRUE(fs.set_read_only(entry.path, false).is_ok());
+    ASSERT_TRUE(
+        fs.write_file(pid, entry.path, cipher.transform(ByteView(*entry.original)))
+            .is_ok());
+  }
+  EXPECT_EQ(count_files_lost(fs, corpus), corpus.file_count());
+}
+
+TEST_F(LossTest, NewFilesDoNotAffectLoss) {
+  ASSERT_TRUE(fs.write_file(pid, corpus.root + "/RANSOM_NOTE.txt",
+                            to_bytes("pay up")).is_ok());
+  EXPECT_EQ(count_files_lost(fs, corpus), 0u);
+}
+
+// --- generator content sanity (entropy profiles) ---------------------------
+
+TEST(Generators, SizesApproximatelyHonored) {
+  Rng rng(12);
+  for (FileKind kind : all_kinds()) {
+    const Bytes content = generate_content(kind, 20000, rng);
+    EXPECT_GE(content.size(), 19000u) << kind_extension(kind);
+    EXPECT_LE(content.size(), 22000u) << kind_extension(kind);
+  }
+}
+
+TEST(Generators, CompressedKindsAreHighEntropy) {
+  Rng rng(13);
+  for (FileKind kind : {FileKind::pdf, FileKind::docx, FileKind::jpg,
+                        FileKind::mp3, FileKind::zip, FileKind::gz}) {
+    const Bytes content = generate_content(kind, 100000, rng);
+    EXPECT_GT(entropy::shannon(ByteView(content)), 7.0) << kind_extension(kind);
+  }
+}
+
+TEST(Generators, TextKindsAreLowEntropy) {
+  Rng rng(14);
+  for (FileKind kind : {FileKind::txt, FileKind::md, FileKind::csv,
+                        FileKind::log, FileKind::html}) {
+    const Bytes content = generate_content(kind, 50000, rng);
+    EXPECT_LT(entropy::shannon(ByteView(content)), 5.5) << kind_extension(kind);
+  }
+}
+
+TEST(Generators, LegacyOfficeMidEntropy) {
+  Rng rng(15);
+  const Bytes content = generate_content(FileKind::doc, 100000, rng);
+  const double e = entropy::shannon(ByteView(content));
+  EXPECT_GT(e, 3.0);
+  EXPECT_LT(e, 7.5);
+}
+
+TEST(Generators, BmpIsLowEntropyImage) {
+  Rng rng(16);
+  const Bytes content = generate_content(FileKind::bmp, 100000, rng);
+  EXPECT_LT(entropy::shannon(ByteView(content)), 4.0);
+}
+
+TEST(Generators, SampleSizeRespectsKindBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t s = sample_size(FileKind::txt, rng);
+    EXPECT_GE(s, 64u);
+    EXPECT_LE(s, 512u * 1024);
+  }
+}
+
+TEST(Generators, DistinctSeedsDistinctContent) {
+  Rng a(18), b(19);
+  EXPECT_NE(generate_content(FileKind::pdf, 5000, a),
+            generate_content(FileKind::pdf, 5000, b));
+}
+
+TEST(Generators, DefaultWeightsCoverAllKinds) {
+  std::set<FileKind> weighted;
+  for (const KindWeight& kw : default_type_weights()) {
+    EXPECT_GT(kw.weight, 0.0);
+    weighted.insert(kw.kind);
+  }
+  EXPECT_EQ(weighted.size(), all_kinds().size());
+}
+
+}  // namespace
+}  // namespace cryptodrop::corpus

@@ -1,0 +1,238 @@
+// Detection & suspension semantics: threshold crossing, the alert
+// callback, op denial for suspended processes, and user resume.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/text.hpp"
+#include "core/engine.hpp"
+#include "crypto/chacha20.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::core {
+namespace {
+
+constexpr const char* kRoot = "users/victim/documents";
+
+class DetectionTest : public ::testing::Test {
+ protected:
+  vfs::FileSystem fs;
+  ScoringConfig config;
+  std::unique_ptr<AnalysisEngine> engine;
+  vfs::ProcessId pid = 0;
+  std::vector<Alert> alerts;
+  Rng rng{3};
+
+  void SetUp() override {
+    config.protected_root = kRoot;
+  }
+
+  void attach() {
+    engine = std::make_unique<AnalysisEngine>(config);
+    engine->set_alert_callback([this](const Alert& a) { alerts.push_back(a); });
+    fs.attach_filter(engine.get());
+    pid = fs.register_process("suspect");
+  }
+
+  std::string doc(const std::string& name) { return std::string(kRoot) + "/" + name; }
+
+  void put_prose(const std::string& path, std::size_t n) {
+    ASSERT_TRUE(fs.put_file_raw(path, to_bytes(synth_prose(rng, n))).is_ok());
+  }
+
+  /// Encrypt-in-place until the engine suspends us (or files run out).
+  std::size_t encrypt_until_stopped(std::size_t files) {
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < files; ++i) {
+      const std::string path = doc("f" + std::to_string(i) + ".txt");
+      auto data = fs.read_file(pid, path);
+      if (!data) break;
+      const Bytes ct = crypto::chacha20_encrypt(rng.bytes(32), rng.bytes(12),
+                                                ByteView(data.value()));
+      if (!fs.write_file(pid, path, ByteView(ct)).is_ok()) break;
+      ++done;
+    }
+    return done;
+  }
+};
+
+TEST_F(DetectionTest, RansomwareBehaviorGetsSuspended) {
+  config.score_threshold = 100;
+  attach();
+  for (int i = 0; i < 50; ++i) put_prose(doc("f" + std::to_string(i) + ".txt"), 15000);
+  const std::size_t done = encrypt_until_stopped(50);
+  EXPECT_TRUE(engine->is_suspended(pid));
+  EXPECT_LT(done, 50u);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].pid, pid);
+  EXPECT_GE(alerts[0].score, alerts[0].threshold);
+}
+
+TEST_F(DetectionTest, AlertFiresExactlyOnce) {
+  config.score_threshold = 50;
+  attach();
+  for (int i = 0; i < 30; ++i) put_prose(doc("f" + std::to_string(i) + ".txt"), 15000);
+  encrypt_until_stopped(30);
+  // Even though the (blocked) process keeps trying:
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fs.read_file(pid, doc("f29.txt")).code(), Errc::access_denied);
+  }
+  EXPECT_EQ(alerts.size(), 1u);
+}
+
+TEST_F(DetectionTest, SuspendedProcessDeniedEverythingButClose) {
+  config.score_threshold = 40;
+  attach();
+  for (int i = 0; i < 20; ++i) put_prose(doc("f" + std::to_string(i) + ".txt"), 15000);
+  // Hold a handle open across the detection.
+  auto held = fs.open(pid, doc("f19.txt"), vfs::kRead);
+  ASSERT_TRUE(held.is_ok());
+  encrypt_until_stopped(19);
+  ASSERT_TRUE(engine->is_suspended(pid));
+
+  EXPECT_EQ(fs.open(pid, doc("f0.txt"), vfs::kRead).code(), Errc::access_denied);
+  EXPECT_EQ(fs.remove(pid, doc("f1.txt")).code(), Errc::access_denied);
+  EXPECT_EQ(fs.rename(pid, doc("f2.txt"), doc("x")).code(), Errc::access_denied);
+  EXPECT_EQ(fs.mkdir(pid, doc("newdir")).code(), Errc::access_denied);
+  EXPECT_EQ(fs.read(pid, held.value(), 10).code(), Errc::access_denied);
+  // Close still works so handles don't leak.
+  EXPECT_TRUE(fs.close(pid, held.value()).is_ok());
+}
+
+TEST_F(DetectionTest, SuspensionAppliesOutsideRootToo) {
+  // The paper pauses the *process*, not just its in-root accesses.
+  config.score_threshold = 40;
+  attach();
+  for (int i = 0; i < 20; ++i) put_prose(doc("f" + std::to_string(i) + ".txt"), 15000);
+  encrypt_until_stopped(20);
+  ASSERT_TRUE(engine->is_suspended(pid));
+  EXPECT_EQ(fs.write_file(pid, "users/victim/appdata/x.bin", rng.bytes(10)).code(),
+            Errc::access_denied);
+}
+
+TEST_F(DetectionTest, OtherProcessesUnaffectedBySuspension) {
+  config.score_threshold = 40;
+  attach();
+  for (int i = 0; i < 20; ++i) put_prose(doc("f" + std::to_string(i) + ".txt"), 15000);
+  encrypt_until_stopped(20);
+  ASSERT_TRUE(engine->is_suspended(pid));
+  const vfs::ProcessId clean = fs.register_process("clean");
+  EXPECT_TRUE(fs.read_file(clean, doc("f10.txt")).is_ok());
+  EXPECT_FALSE(engine->is_suspended(clean));
+}
+
+TEST_F(DetectionTest, ResumeClearsSuspensionAndScore) {
+  config.score_threshold = 40;
+  attach();
+  for (int i = 0; i < 20; ++i) put_prose(doc("f" + std::to_string(i) + ".txt"), 15000);
+  encrypt_until_stopped(20);
+  ASSERT_TRUE(engine->is_suspended(pid));
+  engine->resume_process(pid);
+  EXPECT_FALSE(engine->is_suspended(pid));
+  EXPECT_EQ(engine->score(pid), 0);
+  EXPECT_TRUE(fs.read_file(pid, doc("f10.txt")).is_ok());
+}
+
+TEST_F(DetectionTest, ResumedProcessCanBeReflagged) {
+  config.score_threshold = 40;
+  attach();
+  for (int i = 0; i < 40; ++i) put_prose(doc("f" + std::to_string(i) + ".txt"), 15000);
+  encrypt_until_stopped(40);
+  ASSERT_TRUE(engine->is_suspended(pid));
+  engine->resume_process(pid);
+  alerts.clear();
+  encrypt_until_stopped(40);
+  EXPECT_TRUE(engine->is_suspended(pid));
+  EXPECT_EQ(alerts.size(), 1u);
+}
+
+TEST_F(DetectionTest, UnionAcceleratesDetection) {
+  // Same workload, union on vs. off: union must never be slower, and the
+  // alert should note it when it is the crossing event.
+  auto run_with = [&](bool enable_union) {
+    vfs::FileSystem local_fs;
+    ScoringConfig cfg;
+    cfg.protected_root = kRoot;
+    cfg.enable_union = enable_union;
+    AnalysisEngine eng(cfg);
+    local_fs.attach_filter(&eng);
+    const vfs::ProcessId p = local_fs.register_process("m");
+    Rng local_rng(99);
+    for (int i = 0; i < 60; ++i) {
+      EXPECT_TRUE(local_fs
+                      .put_file_raw(std::string(kRoot) + "/f" + std::to_string(i) + ".txt",
+                                    to_bytes(synth_prose(local_rng, 15000)))
+                      .is_ok());
+    }
+    std::size_t encrypted = 0;
+    for (int i = 0; i < 60; ++i) {
+      const std::string path = std::string(kRoot) + "/f" + std::to_string(i) + ".txt";
+      auto data = local_fs.read_file(p, path);
+      if (!data) break;
+      const Bytes ct = crypto::chacha20_encrypt(local_rng.bytes(32), local_rng.bytes(12),
+                                                ByteView(data.value()));
+      if (!local_fs.write_file(p, path, ByteView(ct)).is_ok()) break;
+      ++encrypted;
+    }
+    local_fs.detach_filter(&eng);
+    return encrypted;
+  };
+  const std::size_t with_union = run_with(true);
+  const std::size_t without_union = run_with(false);
+  EXPECT_LE(with_union, without_union);
+  EXPECT_LT(with_union, 10u);
+}
+
+TEST_F(DetectionTest, DetectionStopsMidOperationStream) {
+  // The op that crosses the threshold in its pre callback is itself
+  // denied — the engine doesn't wait for the next file.
+  config.score_threshold = 10;  // one entropy hit is enough
+  attach();
+  put_prose(doc("a.txt"), 20000);
+  ASSERT_TRUE(fs.read_file(pid, doc("a.txt")).is_ok());
+  auto h = fs.open(pid, doc("out.bin"), vfs::kCreate);
+  ASSERT_TRUE(h.is_ok());
+  // This write's pre-callback assesses the entropy points, crosses the
+  // threshold, and denies the write itself.
+  EXPECT_EQ(fs.write(pid, h.value(), rng.bytes(8192)).code(), Errc::access_denied);
+  EXPECT_TRUE(fs.close(pid, h.value()).is_ok());
+  EXPECT_EQ(fs.read_unfiltered(doc("out.bin"))->size(), 0u);
+}
+
+TEST_F(DetectionTest, BenignEditorNeverFlagged) {
+  attach();
+  put_prose(doc("novel.txt"), 40000);
+  // 30 editing sessions: read, append a paragraph, save.
+  for (int session = 0; session < 30; ++session) {
+    auto data = fs.read_file(pid, doc("novel.txt"));
+    ASSERT_TRUE(data.is_ok());
+    Bytes next = std::move(data).value();
+    append(next, to_bytes("\n" + synth_prose(rng, 400)));
+    ASSERT_TRUE(fs.write_file(pid, doc("novel.txt"), ByteView(next)).is_ok());
+  }
+  EXPECT_FALSE(engine->is_suspended(pid));
+  EXPECT_EQ(engine->score(pid), 0);
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST_F(DetectionTest, AlertCarriesUnionFlagWhenUnionCrosses) {
+  config.score_threshold = 500;
+  config.union_threshold = 50;
+  config.union_bonus = 60;
+  attach();
+  put_prose(doc("a.txt"), 20000);
+  put_prose(doc("b.txt"), 20000);
+  ASSERT_TRUE(fs.read_file(pid, doc("a.txt")).is_ok());
+  // Encrypt b.txt in place: entropy + type + similarity -> union bonus
+  // carries the score past the lowered threshold.
+  auto data = fs.read_file(pid, doc("b.txt"));
+  ASSERT_TRUE(data.is_ok());
+  const Bytes ct = crypto::chacha20_encrypt(rng.bytes(32), rng.bytes(12),
+                                            ByteView(data.value()));
+  (void)fs.write_file(pid, doc("b.txt"), ByteView(ct));
+  ASSERT_TRUE(engine->is_suspended(pid));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].threshold, 50);
+}
+
+}  // namespace
+}  // namespace cryptodrop::core

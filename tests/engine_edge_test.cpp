@@ -1,0 +1,237 @@
+// Edge-case tests for the analysis engine: handle interleavings, rename
+// chains, boundary conditions on thresholds, and report plumbing.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/text.hpp"
+#include "core/engine.hpp"
+#include "crypto/chacha20.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::core {
+namespace {
+
+constexpr const char* kRoot = "users/victim/documents";
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  vfs::FileSystem fs;
+  ScoringConfig config;
+  std::unique_ptr<AnalysisEngine> engine;
+  vfs::ProcessId pid = 0;
+  Rng rng{23};
+
+  void SetUp() override {
+    config.protected_root = kRoot;
+    config.score_threshold = 1000000;
+    config.union_threshold = 1000000;
+  }
+
+  void attach() {
+    engine = std::make_unique<AnalysisEngine>(config);
+    fs.attach_filter(engine.get());
+    pid = fs.register_process("subject");
+  }
+
+  std::string doc(const std::string& name) { return std::string(kRoot) + "/" + name; }
+
+  void put_prose(const std::string& path, std::size_t n) {
+    ASSERT_TRUE(fs.put_file_raw(path, to_bytes(synth_prose(rng, n))).is_ok());
+  }
+
+  Bytes encrypted(const std::string& path) {
+    return crypto::chacha20_encrypt(rng.bytes(32), rng.bytes(12),
+                                    ByteView(*fs.read_unfiltered(path)));
+  }
+};
+
+TEST_F(EngineEdgeTest, OpenForWriteWithoutWritingScoresNothing) {
+  attach();
+  put_prose(doc("a.txt"), 20000);
+  auto h = fs.open(pid, doc("a.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  EXPECT_EQ(engine->score(pid), 0);
+}
+
+TEST_F(EngineEdgeTest, RenameChainPreservesTracking) {
+  // Move a file twice inside the root, then encrypt it: the comparison
+  // still runs against the original content via the stable file id.
+  attach();
+  put_prose(doc("a/orig.txt"), 20000);
+  ASSERT_TRUE(fs.rename(pid, doc("a/orig.txt"), doc("b/moved.txt")).is_ok());
+  ASSERT_TRUE(fs.rename(pid, doc("b/moved.txt"), doc("c/again.txt")).is_ok());
+  EXPECT_EQ(engine->score(pid), 0);  // moves alone are free
+  auto h = fs.open(pid, doc("c/again.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.write(pid, h.value(), encrypted(doc("c/again.txt"))).is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_EQ(report.type_change_events, 1u);
+  EXPECT_EQ(report.similarity_drop_events, 1u);
+}
+
+TEST_F(EngineEdgeTest, WriteThenRenameBeforeCloseStillEvaluatesOnce) {
+  // A handle stays open across the rename; the close lands on the old
+  // path string. The write itself marked the file pending, and the
+  // rename (same content pointer) evaluates it at the destination.
+  attach();
+  put_prose(doc("d/x.txt"), 20000);
+  auto h = fs.open(pid, doc("d/x.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.write(pid, h.value(), encrypted(doc("d/x.txt"))).is_ok());
+  ASSERT_TRUE(fs.rename(pid, doc("d/x.txt"), doc("d/x.txt.vvv")).is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_EQ(report.type_change_events, 1u);
+  EXPECT_LE(report.similarity_drop_events, 1u);
+}
+
+TEST_F(EngineEdgeTest, SimilarityDropBoundaryIsInclusive) {
+  // A compare score exactly at similarity_drop_max counts as "no match".
+  // Construct via config: raise the bar to 100 so ANY digestible rewrite
+  // (even identical-ish) trips it, proving the <= comparison.
+  config.similarity_drop_max = 100;
+  attach();
+  put_prose(doc("a.txt"), 20000);
+  Bytes nearly = *fs.read_unfiltered(doc("a.txt"));
+  nearly[100] ^= 1;  // one-byte edit: similarity ~100
+  auto h = fs.open(pid, doc("a.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.write(pid, h.value(), ByteView(nearly)).is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  EXPECT_EQ(engine->process_report(pid).similarity_drop_events, 1u);
+}
+
+TEST_F(EngineEdgeTest, ObservedOpsCountsOnlyProtectedTraffic) {
+  attach();
+  put_prose(doc("a.txt"), 1000);
+  ASSERT_TRUE(fs.put_file_raw("outside/b.txt", to_bytes("x")).is_ok());
+  ASSERT_TRUE(fs.read_file(pid, doc("a.txt")).is_ok());       // 3 ops
+  ASSERT_TRUE(fs.read_file(pid, "outside/b.txt").is_ok());    // invisible
+  EXPECT_EQ(engine->observed_ops(), 3u);
+}
+
+TEST_F(EngineEdgeTest, ReadEntropyMeanIsReported) {
+  attach();
+  put_prose(doc("a.txt"), 30000);
+  ASSERT_TRUE(fs.read_file(pid, doc("a.txt")).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_GT(report.read_entropy_mean, 3.5);
+  EXPECT_LT(report.read_entropy_mean, 5.0);
+  EXPECT_DOUBLE_EQ(report.write_entropy_mean, 0.0);
+}
+
+TEST_F(EngineEdgeTest, TwoHandlesSameFileInterleaved) {
+  attach();
+  put_prose(doc("a.txt"), 20000);
+  auto h1 = fs.open(pid, doc("a.txt"), vfs::kRead | vfs::kWrite);
+  auto h2 = fs.open(pid, doc("a.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h1.is_ok());
+  ASSERT_TRUE(h2.is_ok());
+  const Bytes ct = encrypted(doc("a.txt"));
+  ASSERT_TRUE(fs.write(pid, h1.value(), ByteView(ct).first(ct.size() / 2)).is_ok());
+  ASSERT_TRUE(fs.seek(pid, h2.value(), ct.size() / 2).is_ok());
+  ASSERT_TRUE(fs.write(pid, h2.value(), ByteView(ct).subspan(ct.size() / 2)).is_ok());
+  ASSERT_TRUE(fs.close(pid, h1.value()).is_ok());
+  ASSERT_TRUE(fs.close(pid, h2.value()).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  // The full transformation is judged (at the first close with a whole
+  // pending file); no double counting at the second.
+  EXPECT_EQ(report.type_change_events, 1u);
+}
+
+TEST_F(EngineEdgeTest, AlertPayloadIsCoherent) {
+  config.score_threshold = 30;
+  std::vector<Alert> alerts;
+  attach();
+  engine->set_alert_callback([&](const Alert& a) { alerts.push_back(a); });
+  put_prose(doc("a.txt"), 20000);
+  put_prose(doc("b.txt"), 20000);
+  ASSERT_TRUE(fs.read_file(pid, doc("a.txt")).is_ok());
+  auto h = fs.open(pid, doc("b.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  (void)fs.write(pid, h.value(), encrypted(doc("b.txt")));
+  (void)fs.close(pid, h.value());
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].pid, pid);
+  EXPECT_EQ(alerts[0].process_name, "subject");
+  EXPECT_GE(alerts[0].score, alerts[0].threshold);
+  EXPECT_GT(alerts[0].op_seq, 0u);
+}
+
+TEST_F(EngineEdgeTest, ResumeClearsUnionStateToo) {
+  config.score_threshold = 30;
+  config.union_threshold = 25;
+  attach();
+  put_prose(doc("a.txt"), 20000);
+  put_prose(doc("b.txt"), 20000);
+  ASSERT_TRUE(fs.read_file(pid, doc("a.txt")).is_ok());
+  auto h = fs.open(pid, doc("b.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  (void)fs.write(pid, h.value(), encrypted(doc("b.txt")));
+  (void)fs.close(pid, h.value());
+  ASSERT_TRUE(engine->is_suspended(pid));
+  ASSERT_TRUE(engine->process_report(pid).union_triggered);
+  engine->resume_process(pid);
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_FALSE(report.union_triggered);
+  EXPECT_EQ(report.threshold, config.score_threshold);
+  EXPECT_EQ(report.score, 0);
+}
+
+TEST_F(EngineEdgeTest, EmptyFileOperationsAreHarmless) {
+  attach();
+  ASSERT_TRUE(fs.put_file_raw(doc("empty"), Bytes{}).is_ok());
+  ASSERT_TRUE(fs.read_file(pid, doc("empty")).is_ok());
+  auto h = fs.open(pid, doc("empty"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  ASSERT_TRUE(fs.remove(pid, doc("empty")).is_ok());
+  // Only the deletion scores.
+  EXPECT_EQ(engine->score(pid), config.points_deletion);
+}
+
+TEST_F(EngineEdgeTest, TruncateToZeroThenRefillIsJudgedAgainstPreImage) {
+  attach();
+  put_prose(doc("a.txt"), 20000);
+  auto h = fs.open(pid, doc("a.txt"), vfs::kWrite | vfs::kTruncate);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.write(pid, h.value(), rng.bytes(20000)).is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_EQ(report.type_change_events, 1u);
+  EXPECT_EQ(report.similarity_drop_events, 1u);
+}
+
+TEST_F(EngineEdgeTest, ChildReportEqualsFamilyRootReport) {
+  attach();
+  const vfs::ProcessId child = fs.register_process("worker", pid);
+  put_prose(doc("a.txt"), 1000);
+  ASSERT_TRUE(fs.remove(child, doc("a.txt")).is_ok());
+  const ProcessReport via_child = engine->process_report(child);
+  const ProcessReport via_root = engine->process_report(pid);
+  EXPECT_EQ(via_child.score, via_root.score);
+  EXPECT_EQ(via_child.deletion_events, via_root.deletion_events);
+}
+
+TEST_F(EngineEdgeTest, FamilyScoringDisabledSeparatesChildren) {
+  config.enable_family_scoring = false;
+  attach();
+  const vfs::ProcessId child = fs.register_process("worker", pid);
+  put_prose(doc("a.txt"), 1000);
+  ASSERT_TRUE(fs.remove(child, doc("a.txt")).is_ok());
+  EXPECT_EQ(engine->score(pid), 0);
+  EXPECT_GT(engine->score(child), 0);
+}
+
+TEST_F(EngineEdgeTest, DetachedEngineSeesNothingMore) {
+  attach();
+  put_prose(doc("a.txt"), 1000);
+  fs.detach_filter(engine.get());
+  ASSERT_TRUE(fs.remove(pid, doc("a.txt")).is_ok());
+  EXPECT_EQ(engine->score(pid), 0);
+}
+
+}  // namespace
+}  // namespace cryptodrop::core

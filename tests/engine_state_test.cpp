@@ -1,0 +1,236 @@
+// State-tracking tests: the rename/move bookkeeping that catches Class B
+// (move out, encrypt, move back) and Class C (new file moved over the
+// original) ransomware — §IV-C's "the state of the file must be carefully
+// tracked each time a file is moved".
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/text.hpp"
+#include "core/engine.hpp"
+#include "crypto/chacha20.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::core {
+namespace {
+
+constexpr const char* kRoot = "users/victim/documents";
+constexpr const char* kTemp = "users/victim/appdata/temp";
+
+class EngineStateTest : public ::testing::Test {
+ protected:
+  vfs::FileSystem fs;
+  ScoringConfig config;
+  std::unique_ptr<AnalysisEngine> engine;
+  vfs::ProcessId pid = 0;
+  Rng rng{7};
+
+  void SetUp() override {
+    config.protected_root = kRoot;
+    config.score_threshold = 1000000;
+    config.union_threshold = 1000000;
+  }
+
+  void attach() {
+    engine = std::make_unique<AnalysisEngine>(config);
+    fs.attach_filter(engine.get());
+    pid = fs.register_process("subject");
+  }
+
+  std::string doc(const std::string& name) { return std::string(kRoot) + "/" + name; }
+  std::string tmp(const std::string& name) { return std::string(kTemp) + "/" + name; }
+
+  void put_prose(const std::string& path, std::size_t n) {
+    ASSERT_TRUE(fs.put_file_raw(path, to_bytes(synth_prose(rng, n))).is_ok());
+  }
+
+  Bytes encrypt(ByteView plain) {
+    return crypto::chacha20_encrypt(rng.bytes(32), rng.bytes(12), plain);
+  }
+};
+
+// --- Class B: move out, transform, move back -----------------------------
+
+TEST_F(EngineStateTest, ClassBRoundTripDetectsTypeAndSimilarity) {
+  attach();
+  put_prose(doc("a/report.txt"), 30000);
+  ASSERT_TRUE(fs.rename(pid, doc("a/report.txt"), tmp("stage.tmp")).is_ok());
+  // Encrypt in the staging area: none of these ops are under the root,
+  // so the engine sees nothing...
+  const Bytes ct = encrypt(ByteView(*fs.read_unfiltered(tmp("stage.tmp"))));
+  ASSERT_TRUE(fs.write_file(pid, tmp("stage.tmp"), ByteView(ct)).is_ok());
+  EXPECT_EQ(engine->process_report(pid).type_change_events, 0u);
+  // ...until the file returns. The comparison runs against the tracked
+  // pre-departure state despite the name change.
+  ASSERT_TRUE(fs.rename(pid, tmp("stage.tmp"), doc("a/QQQQ.ctbl")).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_EQ(report.type_change_events, 1u);
+  EXPECT_EQ(report.similarity_drop_events, 1u);
+}
+
+TEST_F(EngineStateTest, ClassBUnmodifiedRoundTripScoresNothing) {
+  // A file parked outside and brought back untouched (sync tools do
+  // this) must not score: content pointer identity short-circuits.
+  attach();
+  put_prose(doc("b/file.txt"), 20000);
+  ASSERT_TRUE(fs.rename(pid, doc("b/file.txt"), tmp("parked")).is_ok());
+  ASSERT_TRUE(fs.rename(pid, tmp("parked"), doc("b/file.txt")).is_ok());
+  EXPECT_EQ(engine->score(pid), 0);
+}
+
+TEST_F(EngineStateTest, ClassBEntropyFoldsAcrossBoundary) {
+  // Departing plaintext feeds the read mean; arriving ciphertext feeds
+  // the write mean — the delta fires even though the process never
+  // issues a read or write op inside the root.
+  attach();
+  for (int i = 0; i < 3; ++i) {
+    put_prose(doc("c/f" + std::to_string(i) + ".txt"), 25000);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::string src = doc("c/f" + std::to_string(i) + ".txt");
+    const std::string staged = tmp("s" + std::to_string(i));
+    ASSERT_TRUE(fs.rename(pid, src, staged).is_ok());
+    const Bytes ct = encrypt(ByteView(*fs.read_unfiltered(staged)));
+    ASSERT_TRUE(fs.write_file(pid, staged, ByteView(ct)).is_ok());
+    ASSERT_TRUE(fs.rename(pid, staged, src + ".enc").is_ok());
+  }
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_GE(report.entropy_events, 1u);
+  EXPECT_GT(report.write_entropy_mean, report.read_entropy_mean);
+}
+
+TEST_F(EngineStateTest, ClassBCanReachUnion) {
+  attach();
+  for (int i = 0; i < 3; ++i) {
+    put_prose(doc("d/f" + std::to_string(i) + ".txt"), 25000);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::string src = doc("d/f" + std::to_string(i) + ".txt");
+    const std::string staged = tmp("u" + std::to_string(i));
+    ASSERT_TRUE(fs.rename(pid, src, staged).is_ok());
+    const Bytes ct = encrypt(ByteView(*fs.read_unfiltered(staged)));
+    ASSERT_TRUE(fs.write_file(pid, staged, ByteView(ct)).is_ok());
+    ASSERT_TRUE(fs.rename(pid, staged, src).is_ok());
+  }
+  EXPECT_TRUE(engine->process_report(pid).union_triggered);
+}
+
+// --- Class C: independent output stream ------------------------------------
+
+TEST_F(EngineStateTest, ClassCMoveOverOriginalLinksPreImage) {
+  // The 41/63 variant: ciphertext written to a new file, then renamed
+  // over the original. The engine judges the incoming content against
+  // the replaced file's pre-image.
+  attach();
+  put_prose(doc("e/data.txt"), 30000);
+  const Bytes plain = *fs.read_unfiltered(doc("e/data.txt"));
+  ASSERT_TRUE(fs.write_file(pid, doc("e/data.txt.enc"), encrypt(ByteView(plain))).is_ok());
+  ASSERT_TRUE(fs.rename(pid, doc("e/data.txt.enc"), doc("e/data.txt")).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_EQ(report.type_change_events, 1u);
+  EXPECT_EQ(report.similarity_drop_events, 1u);
+}
+
+TEST_F(EngineStateTest, ClassCDeleteOriginalEvadesLinkageButScoresDeletes) {
+  // The 22/63 union-evading variant: no pre-image linkage is possible,
+  // but deletions and high-entropy writes still accumulate.
+  attach();
+  put_prose(doc("f/data.txt"), 30000);
+  const Bytes plain = *fs.read_unfiltered(doc("f/data.txt"));
+  ASSERT_TRUE(fs.read_file(pid, doc("f/data.txt")).is_ok());
+  ASSERT_TRUE(fs.write_file(pid, doc("f/data.txt.enc"), encrypt(ByteView(plain))).is_ok());
+  ASSERT_TRUE(fs.remove(pid, doc("f/data.txt")).is_ok());
+  const ProcessReport report = engine->process_report(pid);
+  EXPECT_EQ(report.type_change_events, 0u);
+  EXPECT_EQ(report.similarity_drop_events, 0u);
+  EXPECT_EQ(report.deletion_events, 1u);
+  EXPECT_GE(report.entropy_events, 1u);
+  EXPECT_FALSE(report.union_triggered);
+}
+
+// --- misc state-machine behaviors -----------------------------------------
+
+TEST_F(EngineStateTest, MoveWithinRootWithoutChangeScoresNothing) {
+  attach();
+  put_prose(doc("g/a.txt"), 20000);
+  ASSERT_TRUE(fs.rename(pid, doc("g/a.txt"), doc("g/renamed.txt")).is_ok());
+  ASSERT_TRUE(fs.rename(pid, doc("g/renamed.txt"), doc("h/moved.txt")).is_ok());
+  EXPECT_EQ(engine->score(pid), 0);
+}
+
+TEST_F(EngineStateTest, InPlaceRenameAfterEncryptionStillCompares) {
+  // Class A with rename habit: encrypt through a handle, close (compare
+  // happens), then rename — the rename must not double-score.
+  attach();
+  put_prose(doc("i/a.txt"), 20000);
+  auto h = fs.open(pid, doc("i/a.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.write(pid, h.value(),
+                       encrypt(ByteView(*fs.read_unfiltered(doc("i/a.txt")))))
+                  .is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  const auto after_close = engine->process_report(pid);
+  ASSERT_TRUE(fs.rename(pid, doc("i/a.txt"), doc("i/a.txt.vvv")).is_ok());
+  const auto after_rename = engine->process_report(pid);
+  EXPECT_EQ(after_close.type_change_events, after_rename.type_change_events);
+  EXPECT_EQ(after_close.similarity_drop_events, after_rename.similarity_drop_events);
+}
+
+TEST_F(EngineStateTest, RemovedFileStateIsDropped) {
+  attach();
+  put_prose(doc("j/a.txt"), 20000);
+  ASSERT_TRUE(fs.remove(pid, doc("j/a.txt")).is_ok());
+  // Re-creating a file at the same path gets a fresh id and no stale
+  // baseline: writing ciphertext there is "new file creation", no
+  // type-change comparison.
+  ASSERT_TRUE(fs.write_file(pid, doc("j/a.txt"), rng.bytes(20000)).is_ok());
+  EXPECT_EQ(engine->process_report(pid).type_change_events, 0u);
+}
+
+TEST_F(EngineStateTest, TwoProcessesScoredIndependently) {
+  attach();
+  const vfs::ProcessId other = fs.register_process("bystander");
+  put_prose(doc("k/a.txt"), 20000);
+  put_prose(doc("k/b.txt"), 20000);
+  // Subject encrypts a.txt; bystander reads b.txt.
+  ASSERT_TRUE(fs.read_file(other, doc("k/b.txt")).is_ok());
+  auto h = fs.open(pid, doc("k/a.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(h.is_ok());
+  ASSERT_TRUE(fs.write(pid, h.value(),
+                       encrypt(ByteView(*fs.read_unfiltered(doc("k/a.txt")))))
+                  .is_ok());
+  ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+  EXPECT_GT(engine->score(pid), 0);
+  EXPECT_EQ(engine->score(other), 0);
+  const auto pids = engine->observed_processes();
+  EXPECT_EQ(pids.size(), 2u);
+}
+
+TEST_F(EngineStateTest, ReportForUnknownProcessIsEmpty) {
+  attach();
+  const ProcessReport report = engine->process_report(424242);
+  EXPECT_EQ(report.score, 0);
+  EXPECT_FALSE(report.suspended);
+  EXPECT_EQ(report.threshold, config.score_threshold);
+}
+
+TEST_F(EngineStateTest, BaselineSharedAcrossProcessesByFile) {
+  // Process A opens for write (baseline captured); process B encrypts.
+  // B is the one scored — indicators attribute to the acting process.
+  attach();
+  const vfs::ProcessId b = fs.register_process("b");
+  put_prose(doc("l/a.txt"), 20000);
+  auto ha = fs.open(pid, doc("l/a.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(ha.is_ok());
+  ASSERT_TRUE(fs.close(pid, ha.value()).is_ok());
+  auto hb = fs.open(b, doc("l/a.txt"), vfs::kRead | vfs::kWrite);
+  ASSERT_TRUE(hb.is_ok());
+  ASSERT_TRUE(fs.write(b, hb.value(),
+                       encrypt(ByteView(*fs.read_unfiltered(doc("l/a.txt")))))
+                  .is_ok());
+  ASSERT_TRUE(fs.close(b, hb.value()).is_ok());
+  EXPECT_EQ(engine->score(pid), 0);
+  EXPECT_GT(engine->score(b), 0);
+}
+
+}  // namespace
+}  // namespace cryptodrop::core

@@ -1,0 +1,171 @@
+// Tests for the Shannon entropy indicator and the paper's weighted mean.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "entropy/entropy.hpp"
+
+namespace cryptodrop::entropy {
+namespace {
+
+TEST(Shannon, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(shannon(ByteView()), 0.0);
+}
+
+TEST(Shannon, SingleByteValueIsZero) {
+  const Bytes b(1000, 0x41);
+  EXPECT_DOUBLE_EQ(shannon(ByteView(b)), 0.0);
+}
+
+TEST(Shannon, TwoEqualValuesIsOne) {
+  Bytes b;
+  for (int i = 0; i < 500; ++i) {
+    b.push_back(0);
+    b.push_back(1);
+  }
+  EXPECT_NEAR(shannon(ByteView(b)), 1.0, 1e-12);
+}
+
+TEST(Shannon, AllByteValuesEquallyIsEight) {
+  Bytes b;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int v = 0; v < 256; ++v) b.push_back(static_cast<std::uint8_t>(v));
+  }
+  EXPECT_NEAR(shannon(ByteView(b)), 8.0, 1e-12);
+}
+
+TEST(Shannon, RandomDataNearEight) {
+  Rng rng(1);
+  EXPECT_GT(shannon(ByteView(rng.bytes(100000))), 7.99);
+}
+
+TEST(Shannon, EnglishTextMidRange) {
+  Bytes b;
+  for (int i = 0; i < 100; ++i) {
+    append(b, std::string_view("the quick brown fox jumps over the lazy dog "));
+  }
+  const double e = shannon(ByteView(b));
+  EXPECT_GT(e, 3.5);
+  EXPECT_LT(e, 5.0);
+}
+
+TEST(Shannon, BoundedByLog2OfLength) {
+  // n distinct bytes can't exceed log2(n) bits/byte.
+  Bytes b = {0, 1, 2, 3};
+  EXPECT_LE(shannon(ByteView(b)), 2.0 + 1e-12);
+}
+
+TEST(Shannon, AlwaysInRange) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes b = rng.bytes(rng.uniform(1, 5000));
+    const double e = shannon(ByteView(b));
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 8.0);
+  }
+}
+
+TEST(Histogram, MatchesOneShotAcrossChunks) {
+  Rng rng(3);
+  const Bytes data = rng.bytes(10000);
+  Histogram hist;
+  for (std::size_t off = 0; off < data.size(); off += 123) {
+    const std::size_t n = std::min<std::size_t>(123, data.size() - off);
+    hist.add(ByteView(data).subspan(off, n));
+  }
+  EXPECT_NEAR(hist.entropy(), shannon(ByteView(data)), 1e-12);
+  EXPECT_EQ(hist.total(), data.size());
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram hist;
+  EXPECT_DOUBLE_EQ(hist.entropy(), 0.0);
+  EXPECT_EQ(hist.total(), 0u);
+}
+
+// --- the paper's weighted mean (w = 0.125 * round(e) * b) ------------------
+
+TEST(WeightedMean, EmptyIsZero) {
+  WeightedEntropyMean m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(WeightedMean, SingleOperation) {
+  WeightedEntropyMean m;
+  m.add(6.0, 1000);
+  EXPECT_DOUBLE_EQ(m.mean(), 6.0);
+  EXPECT_EQ(m.operations(), 1u);
+}
+
+TEST(WeightedMean, ZeroEntropyOpsHaveZeroWeight) {
+  // round(0.3) == 0: the op contributes nothing to the mean — the exact
+  // property the paper wants for tiny low-entropy ransom-note writes.
+  WeightedEntropyMean m;
+  m.add(7.9, 100000);
+  m.add(0.3, 100000);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.9);
+}
+
+TEST(WeightedMean, LargeHighEntropyOpDominates) {
+  WeightedEntropyMean m;
+  m.add(4.0, 100);     // small ransom note
+  m.add(8.0, 100000);  // bulk ciphertext
+  EXPECT_GT(m.mean(), 7.9);
+}
+
+TEST(WeightedMean, EqualWeightsAverage) {
+  WeightedEntropyMean m;
+  // Same rounded entropy and same size => equal weights.
+  m.add(6.2, 1000);
+  m.add(5.8, 1000);
+  EXPECT_NEAR(m.mean(), 6.0, 1e-9);
+}
+
+TEST(WeightedMean, BoundedByInputRange) {
+  Rng rng(4);
+  WeightedEntropyMean m;
+  double lo = 8.0, hi = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double e = rng.uniform01() * 8.0;
+    m.add(e, 1 + rng.uniform(0, 10000));
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_GE(m.mean() + 1e-9, 0.0);
+  EXPECT_LE(m.mean(), hi + 1e-9);
+}
+
+TEST(WeightedMean, PaperWeightFormula) {
+  // w = 0.125 * round(e) * b. Two ops: (e=8, b=100) and (e=4, b=400)
+  // have weights 100 and 200 -> mean = (8*100 + 4*200)/300 = 5.333...
+  WeightedEntropyMean m;
+  m.add(8.0, 100);
+  m.add(4.0, 400);
+  EXPECT_NEAR(m.mean(), (8.0 * 100 + 4.0 * 200) / 300.0, 1e-9);
+}
+
+TEST(WeightedMean, AddByteViewComputesEntropy) {
+  WeightedEntropyMean m;
+  Bytes uniform;
+  for (int v = 0; v < 256; ++v) uniform.push_back(static_cast<std::uint8_t>(v));
+  m.add(ByteView(uniform));
+  EXPECT_NEAR(m.mean(), 8.0, 1e-9);
+}
+
+TEST(WeightedMean, RansomNoteScenario) {
+  // The exact situation §IV-C.1 describes: many small low-entropy note
+  // writes must not drag the mean below the suspicion threshold.
+  WeightedEntropyMean writes;
+  WeightedEntropyMean reads;
+  for (int dir = 0; dir < 50; ++dir) {
+    writes.add(4.3, 1500);   // ransom note per directory
+    writes.add(8.0, 80000);  // encrypted file
+    reads.add(7.9, 80000);   // original (already-compressed) file
+  }
+  EXPECT_GE(writes.mean() - reads.mean(), 0.05);
+}
+
+}  // namespace
+}  // namespace cryptodrop::entropy

@@ -1,0 +1,225 @@
+// Tests for magic-number file-type identification, including the
+// round-trip property against every corpus generator (the File Type
+// Changes indicator depends on this mapping being stable).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "corpus/generators.hpp"
+#include "crypto/chacha20.hpp"
+#include "magic/magic.hpp"
+
+namespace cryptodrop::magic {
+namespace {
+
+TEST(Magic, EmptyBuffer) {
+  EXPECT_EQ(identify(ByteView()), TypeId::empty);
+}
+
+TEST(Magic, AsciiText) {
+  const Bytes b = to_bytes("Just a plain note.\nSecond line.\n");
+  EXPECT_EQ(identify(ByteView(b)), TypeId::ascii_text);
+}
+
+TEST(Magic, Utf8Text) {
+  const Bytes b = to_bytes("Grü\xc3\x9f" "e aus M\xc3\xbcnchen");
+  EXPECT_EQ(identify(ByteView(b)), TypeId::utf8_text);
+}
+
+TEST(Magic, NulByteIsNotText) {
+  Bytes b = to_bytes("looks like text");
+  b.push_back(0);
+  append(b, std::string_view("but has a nul"));
+  EXPECT_NE(identify(ByteView(b)), TypeId::ascii_text);
+}
+
+TEST(Magic, PdfSignature) {
+  const Bytes b = to_bytes("%PDF-1.7\nrest of file");
+  EXPECT_EQ(identify(ByteView(b)), TypeId::pdf);
+}
+
+TEST(Magic, HtmlDetectedDespiteTextHeuristic) {
+  const Bytes b = to_bytes("<!DOCTYPE html><html><body>hi</body></html>");
+  EXPECT_EQ(identify(ByteView(b)), TypeId::html);
+}
+
+TEST(Magic, XmlProlog) {
+  const Bytes b = to_bytes("<?xml version=\"1.0\"?><root/>");
+  EXPECT_EQ(identify(ByteView(b)), TypeId::xml);
+}
+
+TEST(Magic, ZipVsOoxmlDisambiguation) {
+  Bytes plain_zip = to_bytes(std::string("PK\x03\x04", 4));
+  append(plain_zip, std::string_view("randomname.dat payload here"));
+  EXPECT_EQ(identify(ByteView(plain_zip)), TypeId::zip_archive);
+
+  Bytes docx = to_bytes(std::string("PK\x03\x04", 4));
+  append(docx, std::string_view("xxxx word/document.xml more bytes"));
+  EXPECT_EQ(identify(ByteView(docx)), TypeId::ms_word_2007);
+
+  Bytes xlsx = to_bytes(std::string("PK\x03\x04", 4));
+  append(xlsx, std::string_view("xxxx xl/workbook.xml more bytes"));
+  EXPECT_EQ(identify(ByteView(xlsx)), TypeId::ms_excel_2007);
+
+  Bytes pptx = to_bytes(std::string("PK\x03\x04", 4));
+  append(pptx, std::string_view("xxxx ppt/slides/slide1.xml"));
+  EXPECT_EQ(identify(ByteView(pptx)), TypeId::ms_powerpoint_2007);
+
+  Bytes odt = to_bytes(std::string("PK\x03\x04", 4));
+  append(odt, std::string_view("mimetypeapplication/vnd.oasis.opendocument.text"));
+  EXPECT_EQ(identify(ByteView(odt)), TypeId::opendocument_text);
+}
+
+TEST(Magic, OleCompound) {
+  Bytes b = {0xd0, 0xcf, 0x11, 0xe0, 0xa1, 0xb1, 0x1a, 0xe1};
+  b.resize(512, 0);
+  EXPECT_EQ(identify(ByteView(b)), TypeId::ole_compound);
+}
+
+TEST(Magic, Jpeg) {
+  Bytes b = {0xff, 0xd8, 0xff, 0xe0};
+  b.resize(64, 0x10);
+  EXPECT_EQ(identify(ByteView(b)), TypeId::jpeg);
+}
+
+TEST(Magic, Png) {
+  Bytes b = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'};
+  b.resize(64, 0);
+  EXPECT_EQ(identify(ByteView(b)), TypeId::png);
+}
+
+TEST(Magic, Mp3WithId3AndWithFrameSync) {
+  Bytes id3 = to_bytes("ID3");
+  id3.resize(64, 0);
+  EXPECT_EQ(identify(ByteView(id3)), TypeId::mp3);
+
+  Bytes sync = {0xff, 0xfb, 0x90, 0x00};
+  sync.resize(64, 0x22);
+  EXPECT_EQ(identify(ByteView(sync)), TypeId::mp3);
+}
+
+TEST(Magic, WavNeedsBothRiffAndWave) {
+  Bytes wav = to_bytes("RIFFxxxxWAVEfmt ");
+  EXPECT_EQ(identify(ByteView(wav)), TypeId::wav);
+  Bytes riff_only = to_bytes("RIFFxxxxAVI LIST");
+  EXPECT_NE(identify(ByteView(riff_only)), TypeId::wav);
+}
+
+TEST(Magic, CiphertextIsHighEntropyData) {
+  const Bytes plain(50000, 'A');
+  const Bytes ct = crypto::chacha20_encrypt(to_bytes("k"), to_bytes("n"), plain);
+  EXPECT_EQ(identify(ByteView(ct)), TypeId::high_entropy_data);
+}
+
+TEST(Magic, SmallCiphertextIsStillNotItsOriginalType) {
+  // A tiny encrypted blob can't reach the 7.2 bits/byte bar, but it must
+  // at least stop being "text".
+  const Bytes plain = to_bytes("short note body here");
+  const Bytes ct = crypto::chacha20_encrypt(to_bytes("k"), to_bytes("n"), plain);
+  const TypeId id = identify(ByteView(ct));
+  EXPECT_TRUE(id == TypeId::unknown_data || id == TypeId::high_entropy_data)
+      << type_name(id);
+}
+
+TEST(Magic, LowEntropyBinaryIsData) {
+  Bytes b;
+  for (int i = 0; i < 1000; ++i) {
+    b.push_back(static_cast<std::uint8_t>(i % 7));
+    b.push_back(0x80);  // non-text, low entropy
+  }
+  EXPECT_EQ(identify(ByteView(b)), TypeId::unknown_data);
+}
+
+TEST(Magic, TypeNamesAreNonEmptyAndDistinctish) {
+  EXPECT_EQ(type_name(TypeId::pdf), "PDF document");
+  EXPECT_EQ(type_name(TypeId::unknown_data), "data");
+  EXPECT_FALSE(type_name(TypeId::sevenzip).empty());
+}
+
+TEST(Magic, HighEntropyTypeClassification) {
+  EXPECT_TRUE(is_high_entropy_type(TypeId::pdf));
+  EXPECT_TRUE(is_high_entropy_type(TypeId::ms_word_2007));
+  EXPECT_TRUE(is_high_entropy_type(TypeId::jpeg));
+  EXPECT_FALSE(is_high_entropy_type(TypeId::ascii_text));
+  EXPECT_FALSE(is_high_entropy_type(TypeId::bmp));
+  EXPECT_FALSE(is_high_entropy_type(TypeId::wav));
+}
+
+// --- round-trip: every corpus generator identifies as itself ------------
+
+struct KindExpectation {
+  corpus::FileKind kind;
+  std::vector<TypeId> accepted;
+};
+
+class GeneratorIdentifyTest : public ::testing::TestWithParam<KindExpectation> {};
+
+TEST_P(GeneratorIdentifyTest, GeneratedContentIdentifiesAsItsType) {
+  const auto& param = GetParam();
+  Rng rng(seed_from_string(std::string(corpus::kind_extension(param.kind))));
+  for (std::size_t size : {1024u, 8192u, 100000u}) {
+    const Bytes content = corpus::generate_content(param.kind, size, rng);
+    const TypeId id = identify(ByteView(content));
+    EXPECT_TRUE(std::find(param.accepted.begin(), param.accepted.end(), id) !=
+                param.accepted.end())
+        << "kind " << corpus::kind_extension(param.kind) << " size " << size
+        << " identified as " << type_name(id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, GeneratorIdentifyTest,
+    ::testing::Values(
+        KindExpectation{corpus::FileKind::txt, {TypeId::ascii_text}},
+        KindExpectation{corpus::FileKind::md, {TypeId::ascii_text}},
+        KindExpectation{corpus::FileKind::csv, {TypeId::ascii_text}},
+        KindExpectation{corpus::FileKind::log, {TypeId::ascii_text}},
+        KindExpectation{corpus::FileKind::html, {TypeId::html}},
+        KindExpectation{corpus::FileKind::xml, {TypeId::xml}},
+        KindExpectation{corpus::FileKind::rtf, {TypeId::rtf}},
+        KindExpectation{corpus::FileKind::ps, {TypeId::postscript}},
+        KindExpectation{corpus::FileKind::pdf, {TypeId::pdf}},
+        KindExpectation{corpus::FileKind::docx, {TypeId::ms_word_2007}},
+        KindExpectation{corpus::FileKind::xlsx, {TypeId::ms_excel_2007}},
+        KindExpectation{corpus::FileKind::pptx, {TypeId::ms_powerpoint_2007}},
+        KindExpectation{corpus::FileKind::odt, {TypeId::opendocument_text}},
+        KindExpectation{corpus::FileKind::doc, {TypeId::ole_compound}},
+        KindExpectation{corpus::FileKind::xls, {TypeId::ole_compound}},
+        KindExpectation{corpus::FileKind::ppt, {TypeId::ole_compound}},
+        KindExpectation{corpus::FileKind::jpg, {TypeId::jpeg}},
+        KindExpectation{corpus::FileKind::png, {TypeId::png}},
+        KindExpectation{corpus::FileKind::gif, {TypeId::gif}},
+        KindExpectation{corpus::FileKind::bmp, {TypeId::bmp}},
+        KindExpectation{corpus::FileKind::mp3, {TypeId::mp3}},
+        KindExpectation{corpus::FileKind::wav, {TypeId::wav}},
+        KindExpectation{corpus::FileKind::m4a, {TypeId::m4a}},
+        KindExpectation{corpus::FileKind::flac, {TypeId::flac}},
+        KindExpectation{corpus::FileKind::zip, {TypeId::zip_archive}},
+        KindExpectation{corpus::FileKind::gz, {TypeId::gzip}}),
+    [](const ::testing::TestParamInfo<KindExpectation>& info) {
+      return std::string(corpus::kind_extension(info.param.kind));
+    });
+
+/// The core transformation the indicator must catch: encrypting ANY
+/// generated file changes its identified type.
+class EncryptionChangesTypeTest
+    : public ::testing::TestWithParam<corpus::FileKind> {};
+
+TEST_P(EncryptionChangesTypeTest, EncryptedContentChangesType) {
+  Rng rng(99);
+  const Bytes content = corpus::generate_content(GetParam(), 50000, rng);
+  const TypeId before = identify(ByteView(content));
+  const Bytes ct = crypto::chacha20_encrypt(to_bytes("key"), to_bytes("nonce"),
+                                            ByteView(content));
+  const TypeId after = identify(ByteView(ct));
+  EXPECT_NE(before, after) << type_name(before);
+  EXPECT_EQ(after, TypeId::high_entropy_data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EncryptionChangesTypeTest,
+                         ::testing::ValuesIn(corpus::all_kinds()),
+                         [](const ::testing::TestParamInfo<corpus::FileKind>& info) {
+                           return std::string(corpus::kind_extension(info.param));
+                         });
+
+}  // namespace
+}  // namespace cryptodrop::magic

@@ -1,0 +1,89 @@
+// Tests for VFS path normalization and decomposition.
+#include <gtest/gtest.h>
+
+#include "vfs/path.hpp"
+
+namespace cryptodrop::vfs {
+namespace {
+
+TEST(Path, NormalizeSimple) {
+  EXPECT_EQ(normalize_path("a/b/c"), "a/b/c");
+}
+
+TEST(Path, NormalizeStripsSlashes) {
+  EXPECT_EQ(normalize_path("/a/b/"), "a/b");
+  EXPECT_EQ(normalize_path("a//b///c"), "a/b/c");
+  EXPECT_EQ(normalize_path("///"), "");
+}
+
+TEST(Path, NormalizeEmptyIsRoot) {
+  EXPECT_EQ(normalize_path(""), "");
+}
+
+TEST(Path, NormalizeRejectsDotComponents) {
+  EXPECT_FALSE(normalize_path("a/./b").has_value());
+  EXPECT_FALSE(normalize_path("a/../b").has_value());
+  EXPECT_FALSE(normalize_path("..").has_value());
+}
+
+TEST(Path, NormalizeRejectsEmbeddedNul) {
+  const std::string bad("a/b\0c", 5);
+  EXPECT_FALSE(normalize_path(bad).has_value());
+}
+
+TEST(Path, JoinHandlesRoot) {
+  EXPECT_EQ(path_join("", "x"), "x");
+  EXPECT_EQ(path_join("a/b", ""), "a/b");
+  EXPECT_EQ(path_join("a", "b/c"), "a/b/c");
+}
+
+TEST(Path, Parent) {
+  EXPECT_EQ(path_parent("a/b/c"), "a/b");
+  EXPECT_EQ(path_parent("a"), "");
+  EXPECT_EQ(path_parent(""), "");
+}
+
+TEST(Path, Filename) {
+  EXPECT_EQ(path_filename("a/b/c.txt"), "c.txt");
+  EXPECT_EQ(path_filename("c.txt"), "c.txt");
+  EXPECT_EQ(path_filename(""), "");
+}
+
+TEST(Path, ExtensionLowercasesAndStripsDot) {
+  EXPECT_EQ(path_extension("a/report.PDF"), "pdf");
+  EXPECT_EQ(path_extension("a/archive.tar.GZ"), "gz");
+}
+
+TEST(Path, ExtensionEdgeCases) {
+  EXPECT_EQ(path_extension("a/noext"), "");
+  EXPECT_EQ(path_extension("a/.hidden"), "");      // leading dot only
+  EXPECT_EQ(path_extension("a/trailing."), "");    // empty after dot
+  EXPECT_EQ(path_extension("dir.d/file"), "");     // dot in directory
+}
+
+TEST(Path, Depth) {
+  EXPECT_EQ(path_depth(""), 0u);
+  EXPECT_EQ(path_depth("a"), 1u);
+  EXPECT_EQ(path_depth("a/b/c"), 3u);
+}
+
+TEST(Path, Components) {
+  const auto comps = path_components("a/bb/ccc");
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], "a");
+  EXPECT_EQ(comps[1], "bb");
+  EXPECT_EQ(comps[2], "ccc");
+  EXPECT_TRUE(path_components("").empty());
+}
+
+TEST(Path, IsUnder) {
+  EXPECT_TRUE(path_is_under("docs/a/b.txt", "docs"));
+  EXPECT_TRUE(path_is_under("docs", "docs"));
+  EXPECT_TRUE(path_is_under("anything", ""));
+  EXPECT_FALSE(path_is_under("docs2/a", "docs"));   // prefix but not component
+  EXPECT_FALSE(path_is_under("doc", "docs"));
+  EXPECT_FALSE(path_is_under("other/docs/a", "docs"));
+}
+
+}  // namespace
+}  // namespace cryptodrop::vfs

@@ -1,0 +1,380 @@
+// Tests for the ransomware simulator: behavior classes, traversal
+// orders, family presets, and the Table-I sample factory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "corpus/builder.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/ransomware/families.hpp"
+#include "sim/ransomware/ransomware.hpp"
+#include "vfs/path.hpp"
+
+namespace cryptodrop::sim {
+namespace {
+
+/// Small unprotected environment: no engine attached, so samples run to
+/// completion and we can verify their raw behavior.
+class RansomwareSimTest : public ::testing::Test {
+ protected:
+  vfs::FileSystem fs;
+  corpus::Corpus corp;
+  vfs::ProcessId pid = 0;
+
+  void SetUp() override {
+    corpus::CorpusSpec spec;
+    spec.total_files = 80;
+    spec.total_dirs = 12;
+    spec.max_depth = 3;
+    spec.read_only_fraction = 0.0;
+    spec.compute_hashes = false;
+    Rng rng(5);
+    corp = corpus::build_corpus(fs, spec, rng);
+    pid = fs.register_process("malware");
+  }
+
+  RansomwareProfile base_profile(BehaviorClass cls) {
+    RansomwareProfile p;
+    p.family = "Test";
+    p.behavior = cls;
+    p.note_name = "NOTE.txt";
+    return p;
+  }
+};
+
+TEST_F(RansomwareSimTest, ClassAEncryptsEverythingUnopposed) {
+  RansomwareSample sample(base_profile(BehaviorClass::A), 1);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  EXPECT_TRUE(run.ran_to_completion);
+  EXPECT_EQ(run.files_attacked, corp.file_count());
+  EXPECT_EQ(run.files_completed, corp.file_count());
+  EXPECT_EQ(corpus::count_files_lost(fs, corp), corp.file_count());
+  EXPECT_EQ(run.ops_denied, 0u);
+}
+
+TEST_F(RansomwareSimTest, ClassBEncryptsEverythingUnopposed) {
+  RansomwareSample sample(base_profile(BehaviorClass::B), 2);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  EXPECT_TRUE(run.ran_to_completion);
+  EXPECT_EQ(corpus::count_files_lost(fs, corp), corp.file_count());
+}
+
+TEST_F(RansomwareSimTest, ClassCEncryptsEverythingUnopposed) {
+  auto profile = base_profile(BehaviorClass::C);
+  profile.delete_original = true;
+  RansomwareSample sample(profile, 3);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  EXPECT_TRUE(run.ran_to_completion);
+  EXPECT_EQ(corpus::count_files_lost(fs, corp), corp.file_count());
+}
+
+TEST_F(RansomwareSimTest, EncryptedContentFailsShaVerification) {
+  // The paper's per-run check: SHA-256 of attacked documents no longer
+  // matches the manifest.
+  corpus::CorpusSpec spec;
+  spec.total_files = 20;
+  spec.total_dirs = 4;
+  spec.read_only_fraction = 0.0;  // read-only files would survive Class A
+  vfs::FileSystem fresh;
+  Rng rng(6);
+  const corpus::Corpus small = corpus::build_corpus(fresh, spec, rng);
+  const vfs::ProcessId p = fresh.register_process("m");
+  RansomwareSample sample(base_profile(BehaviorClass::A), 4);
+  (void)sample.run(fresh, p, small.root);
+  std::size_t mismatches = 0;
+  for (const auto& entry : small.manifest) {
+    const auto data = fresh.read_unfiltered(entry.path);
+    if (data == nullptr || crypto::sha256_hex(ByteView(*data)) != entry.sha256) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, small.file_count());
+}
+
+TEST_F(RansomwareSimTest, RansomNotesAreDropped) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.write_ransom_note = true;
+  profile.note_first = true;
+  RansomwareSample sample(profile, 5);
+  (void)sample.run(fs, pid, corp.root);
+  std::size_t notes = 0;
+  for (const std::string& path : fs.list_files_recursive(corp.root)) {
+    if (vfs::path_filename(path) == "NOTE.txt") ++notes;
+  }
+  EXPECT_GT(notes, 0u);
+}
+
+TEST_F(RansomwareSimTest, NotesAreNeverAttacked) {
+  auto profile = base_profile(BehaviorClass::A);
+  RansomwareSample sample(profile, 6);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  for (const std::string& path : run.attack_order) {
+    EXPECT_NE(vfs::path_filename(path), "NOTE.txt");
+  }
+}
+
+TEST_F(RansomwareSimTest, RenameAppendsExtension) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.encrypted_extension = ".vvv";
+  profile.rename_encrypted = true;
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 7);
+  (void)sample.run(fs, pid, corp.root);
+  std::size_t renamed = 0;
+  for (const std::string& path : fs.list_files_recursive(corp.root)) {
+    if (path.ends_with(".vvv")) ++renamed;
+  }
+  EXPECT_EQ(renamed, corp.file_count());
+}
+
+TEST_F(RansomwareSimTest, TargetExtensionsRestrictAttack) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.target_extensions = {"txt", "md"};
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 8);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  std::size_t text_files = 0;
+  for (const auto& entry : corp.manifest) {
+    const std::string ext = vfs::path_extension(entry.path);
+    if (ext == "txt" || ext == "md") ++text_files;
+  }
+  EXPECT_EQ(run.files_attacked, text_files);
+  EXPECT_EQ(corpus::count_files_lost(fs, corp), text_files);
+}
+
+TEST_F(RansomwareSimTest, MaxFilesCapsDamage) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.max_files = 5;
+  RansomwareSample sample(profile, 9);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  EXPECT_EQ(run.files_attacked, 5u);
+  EXPECT_EQ(corpus::count_files_lost(fs, corp), 5u);
+}
+
+TEST_F(RansomwareSimTest, SizeAscendingAttacksSmallestFirst) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.traversal = Traversal::size_ascending;
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 10);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  std::map<std::string, std::size_t> sizes;
+  for (const auto& entry : corp.manifest) sizes[entry.path] = entry.size;
+  for (std::size_t i = 1; i < run.attack_order.size(); ++i) {
+    EXPECT_LE(sizes[run.attack_order[i - 1]], sizes[run.attack_order[i]])
+        << "at index " << i;
+  }
+}
+
+TEST_F(RansomwareSimTest, RootDownAttacksShallowFirst) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.traversal = Traversal::root_down;
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 11);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  // Depth must be non-decreasing along the attack order.
+  for (std::size_t i = 1; i < run.attack_order.size(); ++i) {
+    EXPECT_LE(vfs::path_depth(run.attack_order[i - 1]),
+              vfs::path_depth(run.attack_order[i]));
+  }
+}
+
+TEST_F(RansomwareSimTest, DepthFirstReachesDeepDirectoriesEarly) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.traversal = Traversal::depth_first_deepest;
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 12);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  ASSERT_FALSE(run.attack_order.empty());
+  // The very last files in a post-order walk are the root's own files.
+  const std::size_t root_depth = vfs::path_depth(corp.root) + 1;
+  EXPECT_EQ(vfs::path_depth(run.attack_order.back()), root_depth);
+}
+
+TEST_F(RansomwareSimTest, ExtensionPriorityHonorsList) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.traversal = Traversal::extension_priority;
+  profile.target_extensions = {"pdf", "txt"};
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 13);
+  const SampleRun run = sample.run(fs, pid, corp.root);
+  // All pdf files come before all txt files, which come before the rest.
+  std::size_t last_pdf = 0, first_txt = run.attack_order.size(), first_other = run.attack_order.size();
+  for (std::size_t i = 0; i < run.attack_order.size(); ++i) {
+    const std::string ext = vfs::path_extension(run.attack_order[i]);
+    if (ext == "pdf") last_pdf = i;
+    else if (ext == "txt") first_txt = std::min(first_txt, i);
+    else first_other = std::min(first_other, i);
+  }
+  EXPECT_LT(last_pdf, first_txt);
+  EXPECT_LT(first_txt, first_other);
+}
+
+TEST_F(RansomwareSimTest, RandomOrderIsSeedDeterministic) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.traversal = Traversal::random_order;
+  profile.write_ransom_note = false;
+  vfs::FileSystem fs2 = fs.clone();
+  const vfs::ProcessId p2 = fs2.register_process("m2");
+  RansomwareSample s1(profile, 14);
+  RansomwareSample s2(profile, 14);
+  const SampleRun r1 = s1.run(fs, pid, corp.root);
+  const SampleRun r2 = s2.run(fs2, p2, corp.root);
+  EXPECT_EQ(r1.attack_order, r2.attack_order);
+}
+
+TEST_F(RansomwareSimTest, ClassBStagesOutsideRootAndReturns) {
+  auto profile = base_profile(BehaviorClass::B);
+  profile.return_with_new_name = true;
+  profile.encrypted_extension = ".enc";
+  profile.max_files = 3;
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 15);
+  (void)sample.run(fs, pid, corp.root);
+  // Staging dir exists but holds nothing after the round trips.
+  EXPECT_TRUE(fs.exists(profile.staging_dir));
+  EXPECT_TRUE(fs.list_files_recursive(profile.staging_dir).empty());
+  // Three .enc artifacts back under the root.
+  std::size_t enc = 0;
+  for (const std::string& path : fs.list_files_recursive(corp.root)) {
+    if (path.ends_with(".enc")) ++enc;
+  }
+  EXPECT_EQ(enc, 3u);
+}
+
+TEST_F(RansomwareSimTest, ClassCMoveOverKeepsFileCount) {
+  auto profile = base_profile(BehaviorClass::C);
+  profile.delete_original = false;  // move-over-original
+  profile.write_ransom_note = false;
+  RansomwareSample sample(profile, 16);
+  (void)sample.run(fs, pid, corp.root);
+  EXPECT_EQ(fs.list_files_recursive(corp.root).size(), corp.file_count());
+  EXPECT_EQ(corpus::count_files_lost(fs, corp), corp.file_count());
+}
+
+TEST_F(RansomwareSimTest, ClassCDeleteFailsOnReadOnlyOriginals) {
+  // The GPcode quirk: read-only originals survive a Class C deleter.
+  vfs::FileSystem fresh;
+  corpus::CorpusSpec spec;
+  spec.total_files = 30;
+  spec.total_dirs = 5;
+  spec.read_only_fraction = 0.5;
+  spec.compute_hashes = false;
+  Rng rng(17);
+  const corpus::Corpus rc = corpus::build_corpus(fresh, spec, rng);
+  std::size_t read_only = 0;
+  for (const auto& e : rc.manifest) read_only += e.read_only ? 1 : 0;
+  ASSERT_GT(read_only, 0u);
+
+  auto profile = base_profile(BehaviorClass::C);
+  profile.delete_original = true;
+  profile.write_ransom_note = false;
+  const vfs::ProcessId p = fresh.register_process("gpcode");
+  RansomwareSample sample(profile, 18);
+  const SampleRun run = sample.run(fresh, p, rc.root);
+  EXPECT_EQ(run.failed_deletes, read_only);
+  EXPECT_EQ(corpus::count_files_lost(fresh, rc), rc.file_count() - read_only);
+}
+
+TEST_F(RansomwareSimTest, XoristOutputDiffersFromStrongCipher) {
+  auto profile = base_profile(BehaviorClass::A);
+  profile.cipher = CipherKind::xor_weak;
+  profile.write_ransom_note = false;
+  profile.rename_encrypted = false;
+  profile.target_extensions = {"txt"};
+  RansomwareSample sample(profile, 19);
+  (void)sample.run(fs, pid, corp.root);
+  // XOR-ed text is still recognizably non-uniform for short key spans;
+  // at minimum the files changed.
+  EXPECT_GT(corpus::count_files_lost(fs, corp), 0u);
+}
+
+// --- family presets & Table-I factory ---------------------------------------
+
+TEST(Families, AllNamesHaveProfiles) {
+  for (const std::string& name : family_names()) {
+    const RansomwareProfile p = family_profile(name, BehaviorClass::A);
+    EXPECT_EQ(p.family, name);
+  }
+}
+
+TEST(Families, PresetTraversalsMatchPaperObservations) {
+  EXPECT_EQ(family_profile("TeslaCrypt", BehaviorClass::A).traversal,
+            Traversal::depth_first_deepest);
+  EXPECT_EQ(family_profile("CTB-Locker", BehaviorClass::B).traversal,
+            Traversal::size_ascending);
+  EXPECT_EQ(family_profile("GPcode", BehaviorClass::A).traversal,
+            Traversal::root_down);
+  EXPECT_EQ(family_profile("Xorist", BehaviorClass::A).cipher,
+            CipherKind::xor_weak);
+}
+
+TEST(Families, CtbLockerTargetsTxtAndMd) {
+  const auto exts = family_profile("CTB-Locker", BehaviorClass::B).target_extensions;
+  EXPECT_EQ(exts, (std::vector<std::string>{"txt", "md"}));
+}
+
+TEST(Families, Table1SampleCountsMatchPaper) {
+  const auto samples = table1_samples(1);
+  ASSERT_EQ(samples.size(), 492u);
+  std::map<std::string, std::size_t> per_family;
+  std::size_t a = 0, b = 0, c = 0;
+  for (const SampleSpec& s : samples) {
+    ++per_family[s.family];
+    switch (s.behavior) {
+      case BehaviorClass::A: ++a; break;
+      case BehaviorClass::B: ++b; break;
+      case BehaviorClass::C: ++c; break;
+    }
+  }
+  EXPECT_EQ(a, 282u);
+  EXPECT_EQ(b, 147u);
+  EXPECT_EQ(c, 63u);
+  EXPECT_EQ(per_family["TeslaCrypt"], 149u);
+  EXPECT_EQ(per_family["CTB-Locker"], 122u);
+  EXPECT_EQ(per_family["Filecoder"], 72u);
+  EXPECT_EQ(per_family["Xorist"], 51u);
+  EXPECT_EQ(per_family["CryptoLocker"], 31u);
+  EXPECT_EQ(per_family["Virlock"], 20u);
+  EXPECT_EQ(per_family["Ransom-FUE"], 1u);
+}
+
+TEST(Families, ClassCDisposalSplitIs41MoveOver22Delete) {
+  const auto samples = table1_samples(2);
+  std::size_t move_over = 0, deleters = 0;
+  for (const SampleSpec& s : samples) {
+    if (s.behavior != BehaviorClass::C) continue;
+    if (s.profile.delete_original) ++deleters;
+    else ++move_over;
+  }
+  EXPECT_EQ(move_over, 41u);
+  EXPECT_EQ(deleters, 22u);
+}
+
+TEST(Families, SampleSeedsAreUnique) {
+  const auto samples = table1_samples(3);
+  std::set<std::uint64_t> seeds;
+  for (const SampleSpec& s : samples) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), samples.size());
+}
+
+TEST(Families, FactoryIsDeterministic) {
+  const auto s1 = table1_samples(4);
+  const auto s2 = table1_samples(4);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].seed, s2[i].seed);
+    EXPECT_EQ(s1[i].family, s2[i].family);
+    EXPECT_EQ(s1[i].profile.traversal, s2[i].profile.traversal);
+  }
+}
+
+TEST(Families, BehaviorClassNames) {
+  EXPECT_EQ(behavior_class_name(BehaviorClass::A), "A");
+  EXPECT_EQ(behavior_class_name(BehaviorClass::B), "B");
+  EXPECT_EQ(behavior_class_name(BehaviorClass::C), "C");
+}
+
+}  // namespace
+}  // namespace cryptodrop::sim

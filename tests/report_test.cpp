@@ -1,0 +1,199 @@
+// Tests for the JSON builder, the machine-readable reports, multi-root
+// protection, and the engine's latency self-instrumentation.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/text.hpp"
+#include "harness/report.hpp"
+
+namespace cryptodrop {
+namespace {
+
+// --- Json builder -----------------------------------------------------------
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).to_string(), "null");
+  EXPECT_EQ(Json(true).to_string(), "true");
+  EXPECT_EQ(Json(false).to_string(), "false");
+  EXPECT_EQ(Json(42).to_string(), "42");
+  EXPECT_EQ(Json(2.5).to_string(), "2.5");
+  EXPECT_EQ(Json("hi").to_string(), "\"hi\"");
+}
+
+TEST(Json, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(Json(std::size_t{5099}).to_string(), "5099");
+  EXPECT_EQ(Json(std::uint64_t{0}).to_string(), "0");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").to_string(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("a\\b").to_string(), "\"a\\\\b\"");
+  EXPECT_EQ(Json("line\nbreak\t!").to_string(), "\"line\\nbreak\\t!\"");
+  EXPECT_EQ(Json(std::string("ctl\x01", 4)).to_string(), "\"ctl\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("z", 1).set("a", 2);
+  EXPECT_EQ(j.to_string(), "{\"z\":1,\"a\":2}");
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_TRUE(j.is_object());
+}
+
+TEST(Json, ArrayAndNesting) {
+  Json arr = Json::array();
+  arr.push(1).push("two").push(Json::object().set("three", 3.0));
+  EXPECT_EQ(arr.to_string(), "[1,\"two\",{\"three\":3}]");
+  EXPECT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.size(), 3u);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().to_string(), "{}");
+  EXPECT_EQ(Json::array().to_string(), "[]");
+}
+
+TEST(Json, PrettyPrintingIndents) {
+  Json j = Json::object();
+  j.set("k", Json::array().push(1).push(2));
+  const std::string pretty = j.to_pretty_string();
+  EXPECT_NE(pretty.find("{\n  \"k\": [\n    1,\n    2\n  ]\n}"), std::string::npos);
+}
+
+// --- harness reports ---------------------------------------------------------
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static harness::Environment* env;
+
+  static void SetUpTestSuite() {
+    corpus::CorpusSpec spec;
+    spec.total_files = 300;
+    spec.total_dirs = 30;
+    spec.compute_hashes = false;
+    env = new harness::Environment(harness::make_environment(spec, 66));
+  }
+  static void TearDownTestSuite() {
+    delete env;
+    env = nullptr;
+  }
+};
+
+harness::Environment* ReportTest::env = nullptr;
+
+TEST_F(ReportTest, SampleJsonHasExpectedFields) {
+  sim::SampleSpec spec;
+  spec.family = "Xorist";
+  spec.behavior = sim::BehaviorClass::A;
+  spec.profile = sim::family_profile("Xorist", sim::BehaviorClass::A);
+  spec.seed = 3;
+  const auto r = harness::run_ransomware_sample(*env, spec, core::ScoringConfig{});
+  const std::string json = harness::to_json(r).to_string();
+  EXPECT_NE(json.find("\"family\":\"Xorist\""), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"A\""), std::string::npos);
+  EXPECT_NE(json.find("\"detected\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"indicators\":{"), std::string::npos);
+}
+
+TEST_F(ReportTest, CampaignReportAggregates) {
+  std::vector<sim::SampleSpec> specs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::SampleSpec spec;
+    spec.family = "Virlock";
+    spec.behavior = sim::BehaviorClass::C;
+    spec.profile = sim::family_profile("Virlock", sim::BehaviorClass::C);
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  const auto results = harness::run_campaign(*env, specs, core::ScoringConfig{});
+  const Json report = harness::campaign_report(*env, results);
+  const std::string json = report.to_string();
+  EXPECT_NE(json.find("\"samples\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"detection_rate\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"family\":\"Virlock\""), std::string::npos);
+  // Per-sample records only with the flag.
+  EXPECT_EQ(json.find("\"files_attacked\""), std::string::npos);
+  const std::string with_samples =
+      harness::campaign_report(*env, results, /*include_samples=*/true).to_string();
+  EXPECT_NE(with_samples.find("\"files_attacked\""), std::string::npos);
+}
+
+TEST_F(ReportTest, BenignReportCountsFalsePositives) {
+  std::vector<harness::BenignRunResult> results(3);
+  results[0].app = "A";
+  results[1].app = "B";
+  results[1].detected = true;
+  results[2].app = "C";
+  const std::string json = harness::benign_report(results).to_string();
+  EXPECT_NE(json.find("\"false_positives\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"applications\":3"), std::string::npos);
+}
+
+// --- multi-root protection -----------------------------------------------
+
+TEST(MultiRoot, AdditionalRootsAreMonitored) {
+  vfs::FileSystem fs;
+  core::ScoringConfig config;
+  config.protected_root = "users/victim/documents";
+  config.additional_roots = {"users/victim/desktop", "users/victim/pictures"};
+  config.score_threshold = 1000000;
+  config.union_threshold = 1000000;
+  core::AnalysisEngine engine(config);
+  fs.attach_filter(&engine);
+  const vfs::ProcessId pid = fs.register_process("p");
+  Rng rng(4);
+
+  ASSERT_TRUE(fs.put_file_raw("users/victim/desktop/todo.txt",
+                              to_bytes(synth_prose(rng, 2000))).is_ok());
+  ASSERT_TRUE(fs.put_file_raw("users/victim/music/song.txt",
+                              to_bytes(synth_prose(rng, 2000))).is_ok());
+
+  // Deleting under an additional root scores; an unlisted sibling doesn't.
+  ASSERT_TRUE(fs.remove(pid, "users/victim/desktop/todo.txt").is_ok());
+  const int after_desktop = engine.score(pid);
+  EXPECT_GT(after_desktop, 0);
+  ASSERT_TRUE(fs.remove(pid, "users/victim/music/song.txt").is_ok());
+  EXPECT_EQ(engine.score(pid), after_desktop);
+  fs.detach_filter(&engine);
+}
+
+// --- latency self-instrumentation -----------------------------------------
+
+TEST(LatencyStats, BucketsAccumulatePerOpType) {
+  vfs::FileSystem fs;
+  core::AnalysisEngine engine{core::ScoringConfig{}};
+  fs.attach_filter(&engine);
+  const vfs::ProcessId pid = fs.register_process("p");
+  Rng rng(5);
+  ASSERT_TRUE(fs.put_file_raw("users/victim/documents/a.txt",
+                              to_bytes(synth_prose(rng, 20000))).is_ok());
+  ASSERT_TRUE(fs.read_file(pid, "users/victim/documents/a.txt").is_ok());
+  ASSERT_TRUE(fs.write_file(pid, "users/victim/documents/a.txt",
+                            rng.bytes(20000)).is_ok());
+
+  const core::LatencyStats& stats = engine.latency_stats();
+  EXPECT_GT(stats.open.count, 0u);
+  EXPECT_GT(stats.read.count, 0u);
+  EXPECT_GT(stats.write.count, 0u);
+  EXPECT_GT(stats.close.count, 0u);
+  // A modified file's close runs the digest comparison — the expensive
+  // path (paper §V-H: write/rename/close carry the measurement).
+  EXPECT_GT(stats.close.max_ns, stats.open.max_ns);
+  EXPECT_LE(stats.open.mean_micros(), 1000.0);  // far under the paper's 1 ms
+  fs.detach_filter(&engine);
+}
+
+TEST(LatencyStats, UnmonitoredOpsCostNothing) {
+  vfs::FileSystem fs;
+  core::AnalysisEngine engine{core::ScoringConfig{}};
+  fs.attach_filter(&engine);
+  const vfs::ProcessId pid = fs.register_process("p");
+  ASSERT_TRUE(fs.write_file(pid, "elsewhere/x.bin", to_bytes("data")).is_ok());
+  const core::LatencyStats& stats = engine.latency_stats();
+  EXPECT_EQ(stats.open.count + stats.write.count + stats.close.count, 0u);
+  fs.detach_filter(&engine);
+}
+
+}  // namespace
+}  // namespace cryptodrop

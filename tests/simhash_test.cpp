@@ -1,0 +1,210 @@
+// Tests for the similarity digest — the contract the paper relies on:
+// self-similarity ~100, ciphertext vs. plaintext ~0, no digest under
+// 512 bytes, robustness to edits and shifts.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/text.hpp"
+#include "corpus/generators.hpp"
+#include "crypto/chacha20.hpp"
+#include "simhash/similarity.hpp"
+
+namespace cryptodrop::simhash {
+namespace {
+
+Bytes prose(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  return to_bytes(synth_prose(rng, n));
+}
+
+TEST(Simhash, SelfComparisonIsHundred) {
+  const Bytes data = prose(1, 20000);
+  const auto digest = SimilarityDigest::compute(ByteView(data));
+  ASSERT_TRUE(digest.has_value());
+  EXPECT_EQ(digest->compare(*digest), 100);
+}
+
+TEST(Simhash, IdenticalContentScoresHundred) {
+  const Bytes a = prose(2, 50000);
+  const Bytes b = a;
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(*score, 100);
+}
+
+TEST(Simhash, PlaintextVsCiphertextScoresZero) {
+  // §III-B: "statistically comparable to that of two blobs of random
+  // data" — the key insight the indicator is built on.
+  const Bytes plain = prose(3, 100000);
+  const Bytes ct = crypto::chacha20_encrypt(to_bytes("key"), to_bytes("nonce"),
+                                            ByteView(plain));
+  const auto score = similarity_score(ByteView(plain), ByteView(ct));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_LE(*score, 2);
+}
+
+TEST(Simhash, TwoRandomBlobsScoreZero) {
+  Rng rng(4);
+  const Bytes a = rng.bytes(80000);
+  const Bytes b = rng.bytes(80000);
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_LE(*score, 2);
+}
+
+TEST(Simhash, UnrelatedProseScoresLow) {
+  // Different documents from the same language model share words but not
+  // 64-byte feature windows.
+  const auto score = similarity_score(ByteView(prose(5, 60000)),
+                                      ByteView(prose(6, 60000)));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_LE(*score, 30);
+}
+
+TEST(Simhash, SmallFilesHaveNoDigest) {
+  // The sdhash limitation §V-C leans on: < 512 bytes cannot be scored.
+  const Bytes small = prose(7, 511);
+  EXPECT_FALSE(SimilarityDigest::compute(ByteView(small)).has_value());
+  const Bytes big = prose(8, 2048);
+  EXPECT_FALSE(similarity_score(ByteView(small), ByteView(big)).has_value());
+  EXPECT_FALSE(similarity_score(ByteView(big), ByteView(small)).has_value());
+}
+
+TEST(Simhash, AtLeast512DigestsFine) {
+  const Bytes data = prose(9, 1024);
+  EXPECT_TRUE(SimilarityDigest::compute(ByteView(data)).has_value());
+}
+
+TEST(Simhash, DegenerateContentHasNoDigest) {
+  // A run of one byte value offers no selectable features.
+  const Bytes zeros(10000, 0x00);
+  EXPECT_FALSE(SimilarityDigest::compute(ByteView(zeros)).has_value());
+}
+
+TEST(Simhash, SmallEditKeepsHighScore) {
+  Bytes a = prose(10, 40000);
+  Bytes b = a;
+  // Flip a 100-byte region in the middle.
+  for (std::size_t i = 20000; i < 20100; ++i) b[i] ^= 0x55;
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GE(*score, 70);
+}
+
+TEST(Simhash, PrefixInsertionSurvives) {
+  // Content-defined feature selection must tolerate byte shifts.
+  const Bytes a = prose(11, 40000);
+  Bytes b = to_bytes("INSERTED HEADER OF ODD LENGTH 37 b!");
+  append(b, ByteView(a));
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GE(*score, 70);
+}
+
+TEST(Simhash, AppendGrowthKeepsHighScore) {
+  const Bytes a = prose(12, 30000);
+  Bytes b = a;
+  append(b, ByteView(prose(13, 6000)));
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GE(*score, 60);
+}
+
+TEST(Simhash, HalfRewrittenScoresIntermediate) {
+  Bytes a = prose(14, 40000);
+  Bytes b = a;
+  Rng rng(15);
+  const Bytes repl = rng.bytes(20000);
+  std::copy(repl.begin(), repl.end(), b.begin() + 20000);
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GT(*score, 10);
+  EXPECT_LT(*score, 95);
+}
+
+TEST(Simhash, ComparisonIsSymmetric) {
+  const Bytes a = prose(16, 25000);
+  Bytes b = a;
+  append(b, ByteView(prose(17, 50000)));
+  const auto ab = similarity_score(ByteView(a), ByteView(b));
+  const auto ba = similarity_score(ByteView(b), ByteView(a));
+  ASSERT_TRUE(ab.has_value());
+  ASSERT_TRUE(ba.has_value());
+  EXPECT_EQ(*ab, *ba);
+}
+
+TEST(Simhash, GlobalBlockPermutationRetainsSubstantialSimilarity) {
+  // Full reversal of 4 KiB blocks: features survive but are regrouped
+  // across filter boundaries, so the score degrades — yet stays far
+  // above the ciphertext "no match" bar (same behavior as sdhash).
+  const Bytes a = prose(18, 64 * 1024);
+  Bytes b;
+  for (std::size_t block = 16; block-- > 0;) {
+    append(b, ByteView(a).subspan(block * 4096, 4096));
+  }
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GE(*score, 30);
+}
+
+TEST(Simhash, LocalBlockSwapsPreserveHighSimilarity) {
+  // The benign lossless-transform model (ImageMagick rotation): adjacent
+  // block swaps keep every feature; some land in neighboring filters, so
+  // the score sits in the "clearly related" band — an order of magnitude
+  // above the engine's similarity_drop_max of 2.
+  const Bytes a = prose(23, 64 * 1024);
+  Bytes b;
+  for (std::size_t pair = 0; pair + 1 < 16; pair += 2) {
+    append(b, ByteView(a).subspan((pair + 1) * 4096, 4096));
+    append(b, ByteView(a).subspan(pair * 4096, 4096));
+  }
+  const auto score = similarity_score(ByteView(a), ByteView(b));
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GE(*score, 40);
+}
+
+TEST(Simhash, FilterCountGrowsWithInput) {
+  const auto small = SimilarityDigest::compute(ByteView(prose(19, 2000)));
+  const auto large = SimilarityDigest::compute(ByteView(prose(20, 400000)));
+  ASSERT_TRUE(small.has_value());
+  ASSERT_TRUE(large.has_value());
+  EXPECT_GT(large->filter_count(), small->filter_count());
+  EXPECT_GT(large->feature_count(), small->feature_count());
+}
+
+TEST(Simhash, DeterministicDigest) {
+  const Bytes data = prose(21, 30000);
+  const auto d1 = SimilarityDigest::compute(ByteView(data));
+  const auto d2 = SimilarityDigest::compute(ByteView(data));
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_EQ(d1->compare(*d2), 100);
+  EXPECT_EQ(d1->feature_count(), d2->feature_count());
+}
+
+// --- parameterized: the ciphertext-vs-plaintext contract holds for every
+// corpus file kind (the engine applies it to all of them) ----------------
+
+class CiphertextDissimilarityTest
+    : public ::testing::TestWithParam<corpus::FileKind> {};
+
+TEST_P(CiphertextDissimilarityTest, EncryptedVersionScoresAtMostTwo) {
+  Rng rng(22);
+  const Bytes content = corpus::generate_content(GetParam(), 60000, rng);
+  const auto original = SimilarityDigest::compute(ByteView(content));
+  if (!original.has_value()) GTEST_SKIP() << "kind not digestible at this size";
+  const Bytes ct = crypto::chacha20_encrypt(to_bytes("key"), to_bytes("nonce"),
+                                            ByteView(content));
+  const auto encrypted = SimilarityDigest::compute(ByteView(ct));
+  ASSERT_TRUE(encrypted.has_value());
+  EXPECT_LE(original->compare(*encrypted), 2)
+      << corpus::kind_extension(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CiphertextDissimilarityTest,
+                         ::testing::ValuesIn(corpus::all_kinds()),
+                         [](const ::testing::TestParamInfo<corpus::FileKind>& info) {
+                           return std::string(corpus::kind_extension(info.param));
+                         });
+
+}  // namespace
+}  // namespace cryptodrop::simhash
