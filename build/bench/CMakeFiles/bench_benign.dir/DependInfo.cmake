@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_benign.cpp" "bench/CMakeFiles/bench_benign.dir/bench_benign.cpp.o" "gcc" "bench/CMakeFiles/bench_benign.dir/bench_benign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/cryptodrop_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/cryptodrop_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cryptodrop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cryptodrop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cryptodrop_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cryptodrop_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/magic/CMakeFiles/cryptodrop_magic.dir/DependInfo.cmake"
+  "/root/repo/build/src/entropy/CMakeFiles/cryptodrop_entropy.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhash/CMakeFiles/cryptodrop_simhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptodrop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cryptodrop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

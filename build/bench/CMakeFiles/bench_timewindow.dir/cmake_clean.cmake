@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timewindow.dir/bench_timewindow.cpp.o"
+  "CMakeFiles/bench_timewindow.dir/bench_timewindow.cpp.o.d"
+  "bench_timewindow"
+  "bench_timewindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timewindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benign_apps.dir/benign_apps.cpp.o"
+  "CMakeFiles/benign_apps.dir/benign_apps.cpp.o.d"
+  "benign_apps"
+  "benign_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benign_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

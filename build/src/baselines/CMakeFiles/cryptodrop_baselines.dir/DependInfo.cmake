@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/integrity_monitor.cpp" "src/baselines/CMakeFiles/cryptodrop_baselines.dir/integrity_monitor.cpp.o" "gcc" "src/baselines/CMakeFiles/cryptodrop_baselines.dir/integrity_monitor.cpp.o.d"
+  "/root/repo/src/baselines/signature_av.cpp" "src/baselines/CMakeFiles/cryptodrop_baselines.dir/signature_av.cpp.o" "gcc" "src/baselines/CMakeFiles/cryptodrop_baselines.dir/signature_av.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cryptodrop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptodrop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cryptodrop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cryptodrop_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cryptodrop_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_baselines.dir/integrity_monitor.cpp.o"
+  "CMakeFiles/cryptodrop_baselines.dir/integrity_monitor.cpp.o.d"
+  "CMakeFiles/cryptodrop_baselines.dir/signature_av.cpp.o"
+  "CMakeFiles/cryptodrop_baselines.dir/signature_av.cpp.o.d"
+  "libcryptodrop_baselines.a"
+  "libcryptodrop_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_common.dir/hex.cpp.o"
+  "CMakeFiles/cryptodrop_common.dir/hex.cpp.o.d"
+  "CMakeFiles/cryptodrop_common.dir/rng.cpp.o"
+  "CMakeFiles/cryptodrop_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cryptodrop_common.dir/stats.cpp.o"
+  "CMakeFiles/cryptodrop_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cryptodrop_common.dir/text.cpp.o"
+  "CMakeFiles/cryptodrop_common.dir/text.cpp.o.d"
+  "libcryptodrop_common.a"
+  "libcryptodrop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

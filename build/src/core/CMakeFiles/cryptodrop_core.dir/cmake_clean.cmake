@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_core.dir/engine.cpp.o"
+  "CMakeFiles/cryptodrop_core.dir/engine.cpp.o.d"
+  "libcryptodrop_core.a"
+  "libcryptodrop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/builder.cpp" "src/corpus/CMakeFiles/cryptodrop_corpus.dir/builder.cpp.o" "gcc" "src/corpus/CMakeFiles/cryptodrop_corpus.dir/builder.cpp.o.d"
+  "/root/repo/src/corpus/generators.cpp" "src/corpus/CMakeFiles/cryptodrop_corpus.dir/generators.cpp.o" "gcc" "src/corpus/CMakeFiles/cryptodrop_corpus.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cryptodrop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptodrop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cryptodrop_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_corpus.dir/builder.cpp.o"
+  "CMakeFiles/cryptodrop_corpus.dir/builder.cpp.o.d"
+  "CMakeFiles/cryptodrop_corpus.dir/generators.cpp.o"
+  "CMakeFiles/cryptodrop_corpus.dir/generators.cpp.o.d"
+  "libcryptodrop_corpus.a"
+  "libcryptodrop_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_crypto.dir/aes.cpp.o"
+  "CMakeFiles/cryptodrop_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/cryptodrop_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/cryptodrop_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/cryptodrop_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cryptodrop_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/cryptodrop_crypto.dir/xor_cipher.cpp.o"
+  "CMakeFiles/cryptodrop_crypto.dir/xor_cipher.cpp.o.d"
+  "libcryptodrop_crypto.a"
+  "libcryptodrop_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

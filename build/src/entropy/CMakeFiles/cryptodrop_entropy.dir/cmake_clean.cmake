@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_entropy.dir/entropy.cpp.o"
+  "CMakeFiles/cryptodrop_entropy.dir/entropy.cpp.o.d"
+  "libcryptodrop_entropy.a"
+  "libcryptodrop_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_harness.dir/experiment.cpp.o"
+  "CMakeFiles/cryptodrop_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/cryptodrop_harness.dir/report.cpp.o"
+  "CMakeFiles/cryptodrop_harness.dir/report.cpp.o.d"
+  "CMakeFiles/cryptodrop_harness.dir/table.cpp.o"
+  "CMakeFiles/cryptodrop_harness.dir/table.cpp.o.d"
+  "libcryptodrop_harness.a"
+  "libcryptodrop_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_magic.dir/magic.cpp.o"
+  "CMakeFiles/cryptodrop_magic.dir/magic.cpp.o.d"
+  "libcryptodrop_magic.a"
+  "libcryptodrop_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/benign/benign.cpp" "src/sim/CMakeFiles/cryptodrop_sim.dir/benign/benign.cpp.o" "gcc" "src/sim/CMakeFiles/cryptodrop_sim.dir/benign/benign.cpp.o.d"
+  "/root/repo/src/sim/ransomware/families.cpp" "src/sim/CMakeFiles/cryptodrop_sim.dir/ransomware/families.cpp.o" "gcc" "src/sim/CMakeFiles/cryptodrop_sim.dir/ransomware/families.cpp.o.d"
+  "/root/repo/src/sim/ransomware/ransomware.cpp" "src/sim/CMakeFiles/cryptodrop_sim.dir/ransomware/ransomware.cpp.o" "gcc" "src/sim/CMakeFiles/cryptodrop_sim.dir/ransomware/ransomware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cryptodrop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptodrop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cryptodrop_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cryptodrop_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_sim.dir/benign/benign.cpp.o"
+  "CMakeFiles/cryptodrop_sim.dir/benign/benign.cpp.o.d"
+  "CMakeFiles/cryptodrop_sim.dir/ransomware/families.cpp.o"
+  "CMakeFiles/cryptodrop_sim.dir/ransomware/families.cpp.o.d"
+  "CMakeFiles/cryptodrop_sim.dir/ransomware/ransomware.cpp.o"
+  "CMakeFiles/cryptodrop_sim.dir/ransomware/ransomware.cpp.o.d"
+  "libcryptodrop_sim.a"
+  "libcryptodrop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_simhash.dir/similarity.cpp.o"
+  "CMakeFiles/cryptodrop_simhash.dir/similarity.cpp.o.d"
+  "libcryptodrop_simhash.a"
+  "libcryptodrop_simhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_simhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

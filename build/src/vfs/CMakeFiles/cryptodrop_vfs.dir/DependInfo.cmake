@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/filesystem.cpp" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/filesystem.cpp.o" "gcc" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/vfs/path.cpp" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/path.cpp.o" "gcc" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/path.cpp.o.d"
+  "/root/repo/src/vfs/recording_filter.cpp" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/recording_filter.cpp.o" "gcc" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/recording_filter.cpp.o.d"
+  "/root/repo/src/vfs/trace.cpp" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/trace.cpp.o" "gcc" "src/vfs/CMakeFiles/cryptodrop_vfs.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cryptodrop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_vfs.dir/filesystem.cpp.o"
+  "CMakeFiles/cryptodrop_vfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/cryptodrop_vfs.dir/path.cpp.o"
+  "CMakeFiles/cryptodrop_vfs.dir/path.cpp.o.d"
+  "CMakeFiles/cryptodrop_vfs.dir/recording_filter.cpp.o"
+  "CMakeFiles/cryptodrop_vfs.dir/recording_filter.cpp.o.d"
+  "CMakeFiles/cryptodrop_vfs.dir/trace.cpp.o"
+  "CMakeFiles/cryptodrop_vfs.dir/trace.cpp.o.d"
+  "libcryptodrop_vfs.a"
+  "libcryptodrop_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

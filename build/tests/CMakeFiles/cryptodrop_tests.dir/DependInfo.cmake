@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/benign_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/benign_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/benign_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/config_sweep_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/config_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/config_sweep_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/engine_detection_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/engine_detection_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/engine_detection_test.cpp.o.d"
+  "/root/repo/tests/engine_edge_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/engine_edge_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/engine_edge_test.cpp.o.d"
+  "/root/repo/tests/engine_indicator_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/engine_indicator_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/engine_indicator_test.cpp.o.d"
+  "/root/repo/tests/engine_state_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/engine_state_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/engine_state_test.cpp.o.d"
+  "/root/repo/tests/entropy_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/entropy_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/entropy_test.cpp.o.d"
+  "/root/repo/tests/evasion_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/evasion_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/evasion_test.cpp.o.d"
+  "/root/repo/tests/generator_sweep_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/generator_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/generator_sweep_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/magic_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/magic_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/magic_test.cpp.o.d"
+  "/root/repo/tests/path_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/path_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/path_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/ransomware_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/ransomware_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/ransomware_test.cpp.o.d"
+  "/root/repo/tests/rate_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/rate_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/rate_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/simhash_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/simhash_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/simhash_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/vfs_filter_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/vfs_filter_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/vfs_filter_test.cpp.o.d"
+  "/root/repo/tests/vfs_test.cpp" "tests/CMakeFiles/cryptodrop_tests.dir/vfs_test.cpp.o" "gcc" "tests/CMakeFiles/cryptodrop_tests.dir/vfs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/cryptodrop_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/cryptodrop_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cryptodrop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cryptodrop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cryptodrop_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cryptodrop_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhash/CMakeFiles/cryptodrop_simhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/magic/CMakeFiles/cryptodrop_magic.dir/DependInfo.cmake"
+  "/root/repo/build/src/entropy/CMakeFiles/cryptodrop_entropy.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptodrop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cryptodrop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

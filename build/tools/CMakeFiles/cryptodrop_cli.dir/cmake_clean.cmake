@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptodrop_cli.dir/cryptodrop_cli.cpp.o"
+  "CMakeFiles/cryptodrop_cli.dir/cryptodrop_cli.cpp.o.d"
+  "cryptodrop"
+  "cryptodrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptodrop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
