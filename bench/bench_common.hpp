@@ -5,15 +5,20 @@
 //   argv[1] — corpus file count   (default 5099, the paper's corpus)
 //   argv[2] — max samples to run  (default 492, the full Table-I set;
 //             subsampling keeps per-family proportions)
+//   --jobs N — worker threads for the trial pool (default: one per
+//             hardware thread; also CRYPTODROP_JOBS=N). Results are
+//             bit-identical at any job count.
 // or the environment variable CRYPTODROP_FAST=1 for a quick smoke run.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
 
 namespace cryptodrop::benchutil {
@@ -24,6 +29,7 @@ struct BenchScale {
   std::size_t max_samples = 492;
   std::uint64_t corpus_seed = 20160627;  // ICDCS 2016 week
   std::uint64_t campaign_seed = 1;
+  std::size_t jobs = 0;  // 0 → one worker per hardware thread
 };
 
 inline BenchScale parse_scale(int argc, char** argv) {
@@ -33,12 +39,36 @@ inline BenchScale parse_scale(int argc, char** argv) {
     scale.corpus_dirs = 80;
     scale.max_samples = 60;
   }
-  if (argc > 1) scale.corpus_files = std::strtoul(argv[1], nullptr, 10);
-  if (argc > 2) scale.max_samples = std::strtoul(argv[2], nullptr, 10);
+  if (const char* jobs_env = std::getenv("CRYPTODROP_JOBS")) {
+    scale.jobs = std::strtoul(jobs_env, nullptr, 10);
+  }
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      scale.jobs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (positional == 0) {
+      scale.corpus_files = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    } else if (positional == 1) {
+      scale.max_samples = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    }
+  }
   if (scale.corpus_files != 5099) {
     scale.corpus_dirs = std::max<std::size_t>(scale.corpus_files / 10, 16);
   }
   return scale;
+}
+
+inline harness::RunnerOptions runner_options(const BenchScale& scale) {
+  harness::RunnerOptions options;
+  options.jobs = scale.jobs;
+  options.progress = [](std::size_t done, std::size_t total) {
+    if (done % 100 == 0 || done == total) {
+      std::fprintf(stderr, "[bench]   %zu/%zu\n", done, total);
+    }
+  };
+  return options;
 }
 
 inline harness::Environment build_environment(const BenchScale& scale) {
@@ -70,13 +100,9 @@ inline std::vector<harness::RansomwareRunResult> run_standard_campaign(
     const harness::Environment& env, const BenchScale& scale,
     const core::ScoringConfig& config = {}) {
   const auto specs = campaign_specs(scale);
-  std::fprintf(stderr, "[bench] running %zu samples...\n", specs.size());
-  return harness::run_campaign(env, specs, config,
-                               [](std::size_t done, std::size_t total) {
-                                 if (done % 100 == 0 || done == total) {
-                                   std::fprintf(stderr, "[bench]   %zu/%zu\n", done, total);
-                                 }
-                               });
+  std::fprintf(stderr, "[bench] running %zu samples on %zu workers...\n",
+               specs.size(), harness::effective_jobs(scale.jobs));
+  return harness::run_campaign_parallel(env, specs, config, runner_options(scale));
 }
 
 }  // namespace cryptodrop::benchutil

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
        "root-down: shallow directories first"},
   };
 
-  std::printf("== Figure 4: directory footprint before detection ==\n");
+  std::vector<sim::SampleSpec> specs;
   for (const Subject& subject : subjects) {
     sim::SampleSpec spec;
     spec.family = subject.family;
@@ -62,7 +62,15 @@ int main(int argc, char** argv) {
     spec.profile = sim::family_profile(subject.family, subject.behavior);
     spec.profile.behavior = subject.behavior;
     spec.seed = 404;
-    const auto r = harness::run_ransomware_sample(env, spec, core::ScoringConfig{});
+    specs.push_back(std::move(spec));
+  }
+  const auto results = harness::run_campaign_parallel(
+      env, specs, core::ScoringConfig{}, benchutil::runner_options(scale));
+
+  std::printf("== Figure 4: directory footprint before detection ==\n");
+  for (std::size_t i = 0; i < std::size(subjects); ++i) {
+    const Subject& subject = subjects[i];
+    const harness::RansomwareRunResult& r = results[i];
 
     const std::size_t total_dirs = env.base_fs.list_dirs_recursive(env.corpus.root).size() + 1;
     std::printf("\n-- %s (Class %s) --\n", subject.family,

@@ -30,9 +30,12 @@ int main(int argc, char** argv) {
   };
 
   std::vector<AppScore> apps;
-  for (const sim::BenignWorkload& workload : sim::figure6_workloads()) {
-    std::fprintf(stderr, "[bench] running %s...\n", workload.name.c_str());
-    const auto r = harness::run_benign_workload(env, workload, unbounded, 9);
+  std::fprintf(stderr, "[bench] running %zu apps on %zu workers...\n",
+               sim::figure6_workloads().size(),
+               harness::effective_jobs(scale.jobs));
+  for (const auto& r : harness::run_benign_suite_parallel(
+           env, sim::figure6_workloads(), unbounded, /*seed=*/9,
+           benchutil::runner_options(scale))) {
     apps.push_back({r.app, r.final_score, paper_scores.at(r.app)});
   }
 

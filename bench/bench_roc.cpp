@@ -25,10 +25,12 @@ int main(int argc, char** argv) {
   core::ScoringConfig unbounded;
   unbounded.score_threshold = 1 << 30;
   unbounded.union_threshold = 1 << 30;
+  std::fprintf(stderr, "[bench] benign suite on %zu workers...\n",
+               harness::effective_jobs(scale.jobs));
   std::vector<std::pair<std::string, int>> benign_scores;
-  for (const sim::BenignWorkload& workload : sim::all_benign_workloads()) {
-    std::fprintf(stderr, "[bench] benign: %s\n", workload.name.c_str());
-    const auto r = harness::run_benign_workload(env, workload, unbounded, 9);
+  for (const auto& r : harness::run_benign_suite_parallel(
+           env, sim::all_benign_workloads(), unbounded, /*seed=*/9,
+           benchutil::runner_options(scale))) {
     benign_scores.emplace_back(r.app, r.final_score);
   }
 
@@ -42,8 +44,8 @@ int main(int argc, char** argv) {
     config.union_threshold = std::min(config.union_threshold, threshold);
     std::size_t detected = 0;
     std::vector<double> losses;
-    for (const sim::SampleSpec& spec : specs) {
-      const auto r = harness::run_ransomware_sample(env, spec, config);
+    for (const auto& r : harness::run_campaign_parallel(
+             env, specs, config, benchutil::runner_options(scale))) {
       detected += r.detected ? 1 : 0;
       losses.push_back(static_cast<double>(r.files_lost));
     }

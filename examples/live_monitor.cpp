@@ -64,7 +64,7 @@ int main() {
     std::printf("   score is now %d\n", engine.score(evil));
   }
 
-  const core::ProcessReport report = engine.process_report(evil);
+  const core::ProcessReport report = engine.snapshot().report_for(evil);
   std::printf("\nsuspended=%s score=%d events: entropy=%llu type=%llu sim=%llu\n",
               report.suspended ? "yes" : "no", report.score,
               static_cast<unsigned long long>(report.entropy_events),

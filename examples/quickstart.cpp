@@ -1,14 +1,15 @@
 // Quickstart: the five-minute tour of the CryptoDrop library.
 //
-//  1. build a victim documents corpus in the in-memory filesystem,
-//  2. attach the CryptoDrop analysis engine as a filesystem filter,
+//  1. open a MonitorSession (fresh volume + attached analysis engine),
+//  2. build a victim documents corpus on its in-memory filesystem,
 //  3. unleash one simulated TeslaCrypt sample,
-//  4. watch the engine suspend it, and count the files lost.
+//  4. watch the engine suspend it, and count the files lost via an
+//     atomic engine snapshot.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/engine.hpp"
+#include "core/session.hpp"
 #include "corpus/builder.hpp"
 #include "sim/ransomware/families.hpp"
 #include "vfs/filesystem.hpp"
@@ -16,46 +17,47 @@
 using namespace cryptodrop;
 
 int main() {
-  // --- 1. a small victim corpus (400 files across 60 directories) ------
-  vfs::FileSystem fs;
-  corpus::CorpusSpec spec;
-  spec.total_files = 400;
-  spec.total_dirs = 60;
-  Rng rng(/*seed=*/42);
-  const corpus::Corpus corpus = corpus::build_corpus(fs, spec, rng);
-  std::printf("corpus: %zu files in %zu directories (%.1f MiB)\n",
-              corpus.file_count(), fs.dir_count(),
-              static_cast<double>(corpus.total_bytes()) / (1024.0 * 1024.0));
-
-  // --- 2. attach CryptoDrop ---------------------------------------------
+  // --- 1. one monitored volume, RAII-style ------------------------------
   core::ScoringConfig config;  // defaults: threshold 200, union enabled
-  core::AnalysisEngine engine(config);
-  engine.set_alert_callback([](const core::Alert& alert) {
+  core::MonitorSession session(config);
+  session.engine().set_alert_callback([](const core::Alert& alert) {
     std::printf("\n*** CryptoDrop ALERT: process '%s' (pid %u) suspended\n"
                 "    score %d reached threshold %d%s\n\n",
                 alert.process_name.c_str(), alert.pid, alert.score,
                 alert.threshold, alert.via_union ? " via UNION indication" : "");
   });
-  fs.attach_filter(&engine);
+
+  // --- 2. a small victim corpus (400 files across 60 directories) ------
+  // Corpus building uses the raw (unfiltered) API, so it does not score.
+  corpus::CorpusSpec spec;
+  spec.total_files = 400;
+  spec.total_dirs = 60;
+  Rng rng(/*seed=*/42);
+  const corpus::Corpus corpus = corpus::build_corpus(session.fs(), spec, rng);
+  std::printf("corpus: %zu files in %zu directories (%.1f MiB)\n",
+              corpus.file_count(), session.fs().dir_count(),
+              static_cast<double>(corpus.total_bytes()) / (1024.0 * 1024.0));
 
   // --- 3. run one TeslaCrypt sample ----------------------------------------
-  const vfs::ProcessId pid = fs.register_process("teslacrypt.exe");
+  const vfs::ProcessId pid = session.spawn("teslacrypt.exe");
   sim::RansomwareProfile profile =
       sim::family_profile("TeslaCrypt", sim::BehaviorClass::A);
   sim::RansomwareSample sample(profile, /*seed=*/7);
-  const sim::SampleRun run = sample.run(fs, pid, corpus.root);
+  const sim::SampleRun run = sample.run(session.fs(), pid, corpus.root);
 
   // --- 4. damage report -----------------------------------------------------
-  const core::ProcessReport report = engine.process_report(pid);
-  const std::size_t lost = corpus::count_files_lost(fs, corpus);
+  const core::EngineSnapshot snap = session.snapshot();
+  const core::ProcessReport report = snap.report_for(pid);
+  const std::size_t lost = corpus::count_files_lost(session.fs(), corpus);
   std::printf("sample halted: %s\n",
               run.ran_to_completion ? "no (ran to completion!)" : "yes");
   std::printf("files lost before detection: %zu of %zu (%.2f%%)\n", lost,
               corpus.file_count(),
               100.0 * static_cast<double>(lost) /
                   static_cast<double>(corpus.file_count()));
-  std::printf("final reputation score: %d (threshold %d)\n", report.score,
-              report.threshold);
+  std::printf("final reputation score: %d (threshold %d) after %llu observed ops\n",
+              report.score, report.threshold,
+              static_cast<unsigned long long>(snap.observed_ops));
   std::printf("indicators: entropy=%llu type_change=%llu similarity=%llu "
               "deletion=%llu funneling=%llu union=%s\n",
               static_cast<unsigned long long>(report.entropy_events),

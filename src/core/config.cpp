@@ -1,0 +1,76 @@
+#include "core/config.hpp"
+
+namespace cryptodrop::core {
+
+namespace {
+
+Status invalid(std::string message) {
+  return Status(Errc::invalid_argument, std::move(message));
+}
+
+}  // namespace
+
+Status ScoringConfig::validate() const {
+  if (protected_root.empty()) {
+    return invalid("protected_root must not be empty");
+  }
+  for (const std::string& root : additional_roots) {
+    if (root.empty()) {
+      return invalid("additional_roots entries must not be empty");
+    }
+  }
+
+  if (points_entropy_write < 0) return invalid("points_entropy_write < 0");
+  if (points_type_change < 0) return invalid("points_type_change < 0");
+  if (points_similarity_drop < 0) return invalid("points_similarity_drop < 0");
+  if (points_deletion < 0) return invalid("points_deletion < 0");
+  if (points_funneling < 0) return invalid("points_funneling < 0");
+  if (points_rate < 0) return invalid("points_rate < 0");
+  if (union_bonus < 0) return invalid("union_bonus < 0");
+
+  if (score_threshold < 1) {
+    return invalid("score_threshold must be >= 1 (every process starts at 0)");
+  }
+  if (enable_union) {
+    if (union_threshold < 1) {
+      return invalid("union_threshold must be >= 1");
+    }
+    if (union_threshold > score_threshold) {
+      return invalid(
+          "union_threshold exceeds score_threshold; union indication is "
+          "documented to *lower* a process's detection threshold");
+    }
+  }
+
+  if (entropy_delta_threshold < 0.0) {
+    return invalid("entropy_delta_threshold < 0");
+  }
+  if (entropy_full_points_bytes == 0) {
+    return invalid("entropy_full_points_bytes must be >= 1");
+  }
+  if (entropy_full_points_delta < 0.0) {
+    return invalid("entropy_full_points_delta < 0");
+  }
+  if (similarity_drop_max < 0 || similarity_drop_max > 100) {
+    return invalid("similarity_drop_max must be within the 0..100 score range");
+  }
+  if (dynamic_unavailable_boost < 0.0) {
+    return invalid("dynamic_unavailable_boost < 0");
+  }
+
+  if (funnel_min_read_types == 0) {
+    return invalid("funnel_min_read_types must be >= 1");
+  }
+  if (enable_rate_indicator) {
+    if (rate_window_micros == 0) {
+      return invalid("rate_window_micros must be a non-zero window");
+    }
+    if (rate_min_files == 0) {
+      return invalid("rate_min_files must be >= 1");
+    }
+  }
+
+  return Status::ok();
+}
+
+}  // namespace cryptodrop::core

@@ -12,8 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/result.hpp"
 
 namespace cryptodrop::core {
 
@@ -117,6 +120,21 @@ struct ScoringConfig {
   /// benign runs; the harness enables it when it needs Figure-6-style
   /// threshold sweeps).
   bool record_timeline = true;
+
+  /// Serve baseline similarity digests from the process-wide cache keyed
+  /// by content hash. The experiment zoo reuses one corpus across
+  /// hundreds of trials; copy-on-write means every trial's pristine
+  /// baselines are byte-identical, so each distinct content is digested
+  /// once instead of once per trial.
+  bool share_digest_cache = true;
+
+  /// Checks the configuration for values the scoring model cannot
+  /// meaningfully run with (negative points, a union threshold above the
+  /// base threshold, an empty protected root, zero-size windows).
+  /// Everything constructing an engine — the engine constructor itself,
+  /// CLI flag parsing, the experiment harness — calls this so a bad
+  /// sweep fails fast with a message instead of producing junk curves.
+  [[nodiscard]] Status validate() const;
 };
 
 }  // namespace cryptodrop::core

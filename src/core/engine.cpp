@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
 
+#include "simhash/digest_cache.hpp"
 #include "vfs/path.hpp"
 
 namespace cryptodrop::core {
@@ -39,31 +41,83 @@ LatencyStats::PerOp& LatencyStats::for_op(vfs::OpType op) {
   return mkdir;
 }
 
+const ProcessReport* EngineSnapshot::find(vfs::ProcessId pid) const {
+  const auto it = std::lower_bound(
+      processes.begin(), processes.end(), pid,
+      [](const ProcessReport& r, vfs::ProcessId p) { return r.pid < p; });
+  return it != processes.end() && it->pid == pid ? &*it : nullptr;
+}
+
+ProcessReport EngineSnapshot::report_for(vfs::ProcessId pid) const {
+  if (const ProcessReport* report = find(pid)) return *report;
+  ProcessReport report;
+  report.pid = pid;
+  report.threshold = default_threshold;
+  return report;
+}
+
 namespace {
 
-/// Accumulates the elapsed scope time into one LatencyStats bucket.
+/// Accumulates the elapsed scope time into one LatencyStats bucket,
+/// serialized by the engine's latency mutex at scope exit.
 class ScopedLatency {
  public:
-  explicit ScopedLatency(LatencyStats::PerOp& bucket)
-      : bucket_(bucket), start_(std::chrono::steady_clock::now()) {}
+  ScopedLatency(LatencyStats& stats, std::mutex& mu, vfs::OpType op)
+      : stats_(stats), mu_(mu), op_(op),
+        start_(std::chrono::steady_clock::now()) {}
   ~ScopedLatency() {
     const auto ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start_)
             .count());
-    ++bucket_.count;
-    bucket_.total_ns += ns;
-    bucket_.max_ns = std::max(bucket_.max_ns, ns);
+    std::lock_guard<std::mutex> lock(mu_);
+    LatencyStats::PerOp& bucket = stats_.for_op(op_);
+    ++bucket.count;
+    bucket.total_ns += ns;
+    bucket.max_ns = std::max(bucket.max_ns, ns);
   }
 
  private:
-  LatencyStats::PerOp& bucket_;
+  LatencyStats& stats_;
+  std::mutex& mu_;
+  vfs::OpType op_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Alerts raised while scoreboard locks are held are parked here and
+/// delivered after the locks are released (so a callback may query the
+/// engine freely). The sink is scoped to one pre/post callback; engine
+/// callbacks never nest on a thread, so one slot suffices.
+thread_local std::vector<Alert>* t_alert_sink = nullptr;
+
+class AlertScope {
+ public:
+  explicit AlertScope(const std::function<void(const Alert&)>& callback)
+      : callback_(callback) {
+    previous_ = t_alert_sink;
+    t_alert_sink = &fired_;
+  }
+  ~AlertScope() {
+    t_alert_sink = previous_;
+    if (callback_) {
+      for (const Alert& alert : fired_) callback_(alert);
+    }
+  }
+
+ private:
+  const std::function<void(const Alert&)>& callback_;
+  std::vector<Alert> fired_;
+  std::vector<Alert>* previous_ = nullptr;
 };
 
 }  // namespace
 
-AnalysisEngine::AnalysisEngine(ScoringConfig config) : config_(std::move(config)) {}
+AnalysisEngine::AnalysisEngine(ScoringConfig config) : config_(std::move(config)) {
+  const Status valid = config_.validate();
+  if (!valid.is_ok()) {
+    throw std::invalid_argument("invalid ScoringConfig: " + valid.to_string());
+  }
+}
 
 void AnalysisEngine::set_alert_callback(std::function<void(const Alert&)> callback) {
   alert_callback_ = std::move(callback);
@@ -89,44 +143,51 @@ vfs::ProcessId AnalysisEngine::scoreboard_key(vfs::ProcessId pid) const {
   return pid;
 }
 
-AnalysisEngine::ProcessState& AnalysisEngine::state_for(const vfs::OperationEvent& event) {
-  auto [it, inserted] = processes_.try_emplace(scoreboard_key(event.pid));
+AnalysisEngine::LockedProcess AnalysisEngine::lock_state_for(
+    const vfs::OperationEvent& event) {
+  LockedProcess locked;
+  locked.key = scoreboard_key(event.pid);
+  ScoreboardShard& shard = shard_for_key(locked.key);
+  locked.lock = std::unique_lock<std::mutex>(shard.mu);
+  auto [it, inserted] = shard.states.try_emplace(locked.key);
   if (inserted) {
     it->second.name = event.process_name;
     it->second.threshold = config_.score_threshold;
   }
-  return it->second;
+  locked.proc = &it->second;
+  return locked;
 }
 
 bool AnalysisEngine::is_suspended(vfs::ProcessId pid) const {
-  auto it = processes_.find(scoreboard_key(pid));
-  return it != processes_.end() && it->second.suspended;
+  const vfs::ProcessId key = scoreboard_key(pid);
+  ScoreboardShard& shard = shard_for_key(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.states.find(key);
+  return it != shard.states.end() && it->second.suspended;
 }
 
 int AnalysisEngine::score(vfs::ProcessId pid) const {
-  auto it = processes_.find(scoreboard_key(pid));
-  return it == processes_.end() ? 0 : it->second.score;
-}
-
-std::vector<vfs::ProcessId> AnalysisEngine::observed_processes() const {
-  std::vector<vfs::ProcessId> out;
-  out.reserve(processes_.size());
-  for (const auto& [pid, state] : processes_) {
-    (void)state;
-    out.push_back(pid);
-  }
-  return out;
+  const vfs::ProcessId key = scoreboard_key(pid);
+  ScoreboardShard& shard = shard_for_key(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.states.find(key);
+  return it == shard.states.end() ? 0 : it->second.score;
 }
 
 ProcessReport AnalysisEngine::process_report(vfs::ProcessId pid) const {
-  ProcessReport report;
-  report.pid = pid;
-  auto it = processes_.find(scoreboard_key(pid));
-  if (it == processes_.end()) {
+  const vfs::ProcessId key = scoreboard_key(pid);
+  ScoreboardShard& shard = shard_for_key(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.states.find(key);
+  if (it == shard.states.end()) {
+    ProcessReport report;
+    report.pid = pid;
     report.threshold = config_.score_threshold;
     return report;
   }
   const ProcessState& s = it->second;
+  ProcessReport report;
+  report.pid = pid;
   report.name = s.name;
   report.score = s.score;
   report.threshold = s.threshold;
@@ -147,9 +208,77 @@ ProcessReport AnalysisEngine::process_report(vfs::ProcessId pid) const {
   return report;
 }
 
+EngineSnapshot AnalysisEngine::snapshot() const {
+  EngineSnapshot snap;
+  snap.default_threshold = config_.score_threshold;
+
+  // Stop the world: take every scoreboard shard in index order (the
+  // only place more than one scoreboard lock is ever held — see the
+  // lock-order contract in DESIGN.md §9).
+  std::array<std::unique_lock<std::mutex>, kScoreboardShards> locks;
+  for (std::size_t i = 0; i < kScoreboardShards; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(scoreboard_shards_[i].mu);
+  }
+  snap.observed_ops = op_seq_.load(std::memory_order_relaxed);
+  for (const ScoreboardShard& shard : scoreboard_shards_) {
+    for (const auto& [key, s] : shard.states) {
+      ProcessReport report;
+      report.pid = key;
+      report.name = s.name;
+      report.score = s.score;
+      report.threshold = s.threshold;
+      report.suspended = s.suspended;
+      report.union_triggered = s.union_triggered;
+      report.union_count = s.union_count;
+      report.entropy_events = s.entropy_events;
+      report.type_change_events = s.type_change_events;
+      report.similarity_drop_events = s.similarity_drop_events;
+      report.deletion_events = s.deletion_events;
+      report.funneling_events = s.funneling_events;
+      report.rate_events = s.rate_events;
+      report.read_entropy_mean = s.read_mean.mean();
+      report.write_entropy_mean = s.write_mean.mean();
+      report.read_extensions = s.read_extensions;
+      report.write_extensions = s.write_extensions;
+      report.timeline = s.timeline;
+      snap.processes.push_back(std::move(report));
+    }
+  }
+  for (std::size_t i = kScoreboardShards; i > 0; --i) locks[i - 1].unlock();
+
+  std::sort(snap.processes.begin(), snap.processes.end(),
+            [](const ProcessReport& a, const ProcessReport& b) { return a.pid < b.pid; });
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    snap.latency = latency_;
+  }
+  return snap;
+}
+
+std::vector<vfs::ProcessId> AnalysisEngine::observed_processes() const {
+  std::vector<vfs::ProcessId> out;
+  for (const ScoreboardShard& shard : scoreboard_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [pid, state] : shard.states) {
+      (void)state;
+      out.push_back(pid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LatencyStats AnalysisEngine::latency_stats() const {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  return latency_;
+}
+
 void AnalysisEngine::resume_process(vfs::ProcessId pid) {
-  auto it = processes_.find(scoreboard_key(pid));
-  if (it == processes_.end()) return;
+  const vfs::ProcessId key = scoreboard_key(pid);
+  ScoreboardShard& shard = shard_for_key(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.states.find(key);
+  if (it == shard.states.end()) return;
   ProcessState& s = it->second;
   s.suspended = false;
   s.score = 0;
@@ -159,7 +288,7 @@ void AnalysisEngine::resume_process(vfs::ProcessId pid) {
 }
 
 // ----------------------------------------------------------------------
-// Scoring plumbing
+// Scoring plumbing (callers hold the process's scoreboard shard lock)
 // ----------------------------------------------------------------------
 
 void AnalysisEngine::add_points(ProcessState& proc, vfs::ProcessId pid,
@@ -167,7 +296,8 @@ void AnalysisEngine::add_points(ProcessState& proc, vfs::ProcessId pid,
                                 const std::string& path) {
   proc.score += points;
   if (config_.record_timeline) {
-    proc.timeline.push_back(ScoreEvent{op_seq_, indicator, points, path});
+    proc.timeline.push_back(ScoreEvent{op_seq_.load(std::memory_order_relaxed),
+                                       indicator, points, path});
   }
   (void)pid;
 }
@@ -188,14 +318,18 @@ void AnalysisEngine::maybe_detect(ProcessState& proc, vfs::ProcessId pid,
                                   bool via_union) {
   if (proc.suspended || proc.score < proc.threshold) return;
   proc.suspended = true;
-  if (alert_callback_) {
-    Alert alert;
-    alert.pid = pid;
-    alert.process_name = proc.name;
-    alert.score = proc.score;
-    alert.threshold = proc.threshold;
-    alert.via_union = via_union;
-    alert.op_seq = op_seq_;
+  Alert alert;
+  alert.pid = pid;
+  alert.process_name = proc.name;
+  alert.score = proc.score;
+  alert.threshold = proc.threshold;
+  alert.via_union = via_union;
+  alert.op_seq = op_seq_.load(std::memory_order_relaxed);
+  if (t_alert_sink != nullptr) {
+    // Normal path: deliver after the enclosing pre/post callback has
+    // released its locks.
+    t_alert_sink->push_back(std::move(alert));
+  } else if (alert_callback_) {
     alert_callback_(alert);
   }
 }
@@ -203,7 +337,9 @@ void AnalysisEngine::maybe_detect(ProcessState& proc, vfs::ProcessId pid,
 void AnalysisEngine::capture_baseline(vfs::FileId id,
                                       const std::shared_ptr<const Bytes>& content) {
   if (id == vfs::kNoFile || content == nullptr) return;
-  auto [it, inserted] = files_.try_emplace(id);
+  FileShard& shard = shard_for_file(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.files.try_emplace(id);
   if (!inserted && it->second.baseline != nullptr) return;  // already tracked
   it->second.baseline = content;
   it->second.baseline_type = magic::identify(ByteView(*content));
@@ -211,13 +347,42 @@ void AnalysisEngine::capture_baseline(vfs::FileId id,
   it->second.digest_attempted = false;
 }
 
+void AnalysisEngine::forget_file(vfs::FileId id) {
+  if (id == vfs::kNoFile) return;
+  FileShard& shard = shard_for_file(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.files.erase(id);
+}
+
+bool AnalysisEngine::mark_pending_check(vfs::FileId id) {
+  if (id == vfs::kNoFile) return false;
+  FileShard& shard = shard_for_file(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.files.find(id);
+  if (it == shard.files.end() || it->second.baseline == nullptr) return false;
+  it->second.pending_check = true;
+  return true;
+}
+
+std::optional<simhash::SimilarityDigest> AnalysisEngine::baseline_digest_for(
+    ByteView data) const {
+  // Corpus baselines recur across trials (the zoo reuses one corpus for
+  // hundreds of runs); the shared cache computes each distinct content's
+  // digest once, process-wide.
+  if (config_.share_digest_cache) {
+    return simhash::DigestCache::global().get_or_compute(data);
+  }
+  return simhash::SimilarityDigest::compute(data);
+}
+
 void AnalysisEngine::evaluate_modification(
     ProcessState& proc, vfs::ProcessId pid, vfs::FileId id,
     const std::string& path, const std::shared_ptr<const Bytes>& content) {
-  auto it = files_.find(id);
-  if (it == files_.end() || it->second.baseline == nullptr || content == nullptr) {
-    return;
-  }
+  if (id == vfs::kNoFile || content == nullptr) return;
+  FileShard& shard = shard_for_file(id);
+  std::lock_guard<std::mutex> file_lock(shard.mu);
+  auto it = shard.files.find(id);
+  if (it == shard.files.end() || it->second.baseline == nullptr) return;
   FileState& file = it->second;
   if (file.baseline == content) {
     // Content untouched (e.g. moved out of and back into the protected
@@ -233,7 +398,7 @@ void AnalysisEngine::evaluate_modification(
 
   if (config_.enable_similarity) {
     if (!file.digest_attempted) {
-      file.baseline_digest = simhash::SimilarityDigest::compute(ByteView(*file.baseline));
+      file.baseline_digest = baseline_digest_for(ByteView(*file.baseline));
       file.digest_attempted = true;
     }
     if (file.baseline_digest.has_value()) {
@@ -293,6 +458,7 @@ void AnalysisEngine::evaluate_modification(
 // ----------------------------------------------------------------------
 
 vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
+  AlertScope alerts(alert_callback_);
   // A suspended process's disk accesses stay paused until the user
   // resumes it. Closing handles is still permitted (not a disk access).
   if (event.op != vfs::OpType::close && is_suspended(event.pid)) {
@@ -304,8 +470,8 @@ vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
       event.op == vfs::OpType::rename && under_root(event.dest_path);
   if (!src_protected && !dst_protected) return vfs::Verdict::allow;
 
-  ScopedLatency timer(latency_.for_op(event.op));
-  ++op_seq_;
+  ScopedLatency timer(latency_, latency_mu_, event.op);
+  op_seq_.fetch_add(1, std::memory_order_relaxed);
   switch (event.op) {
     case vfs::OpType::open:
       handle_open_pre(event);
@@ -337,7 +503,8 @@ void AnalysisEngine::post_operation(const vfs::OperationEvent& event,
       event.op == vfs::OpType::rename && under_root(event.dest_path);
   if (!src_protected && !dst_protected) return;
 
-  ScopedLatency timer(latency_.for_op(event.op));
+  AlertScope alerts(alert_callback_);
+  ScopedLatency timer(latency_, latency_mu_, event.op);
   switch (event.op) {
     case vfs::OpType::read:
       handle_read_post(event);
@@ -425,19 +592,19 @@ void AnalysisEngine::note_modification(ProcessState& proc, vfs::ProcessId pid,
 }
 
 void AnalysisEngine::handle_write_pre(const vfs::OperationEvent& event) {
-  ProcessState& proc = state_for(event);
-  score_write_entropy(proc, event.pid, event.data, event.path);
-  note_modification(proc, event.pid, event.timestamp, event.file_id, event.path);
+  LockedProcess locked = lock_state_for(event);
+  score_write_entropy(*locked.proc, event.pid, event.data, event.path);
+  note_modification(*locked.proc, event.pid, event.timestamp, event.file_id,
+                    event.path);
+  locked.lock.unlock();
 
   // Defer type/similarity comparison to close, when the content is whole.
-  auto it = files_.find(event.file_id);
-  if (it != files_.end() && it->second.baseline != nullptr) {
-    it->second.pending_check = true;
-  }
+  (void)mark_pending_check(event.file_id);
 }
 
 void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
-  ProcessState& proc = state_for(event);
+  LockedProcess locked = lock_state_for(event);
+  ProcessState& proc = *locked.proc;
   if (config_.enable_entropy) {
     proc.read_mean.add(event.data);
   }
@@ -462,13 +629,22 @@ void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
 
 void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
   if (!event.wrote) return;
-  ProcessState& proc = state_for(event);
   assert(fs_ != nullptr);
   const auto content = fs_->read_unfiltered(event.path);
 
-  auto it = files_.find(event.file_id);
-  if (it != files_.end() && it->second.baseline != nullptr && it->second.pending_check) {
-    evaluate_modification(proc, event.pid, event.file_id, event.path, content);
+  bool tracked_pending = false;
+  if (event.file_id != vfs::kNoFile) {
+    FileShard& shard = shard_for_file(event.file_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.files.find(event.file_id);
+    tracked_pending = it != shard.files.end() &&
+                      it->second.baseline != nullptr && it->second.pending_check;
+  }
+
+  LockedProcess locked = lock_state_for(event);
+  if (tracked_pending) {
+    evaluate_modification(*locked.proc, event.pid, event.file_id, event.path,
+                          content);
     return;
   }
 
@@ -476,23 +652,27 @@ void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
   // written output for funneling, and becomes tracked from here on.
   if (content != nullptr) {
     const magic::TypeId type_now = magic::identify(ByteView(*content));
-    proc.write_types.insert(type_now);
+    locked.proc->write_types.insert(type_now);
     const std::string ext = vfs::path_extension(event.path);
-    if (!ext.empty()) proc.write_extensions.insert(ext);
+    if (!ext.empty()) locked.proc->write_extensions.insert(ext);
+    locked.lock.unlock();
     capture_baseline(event.file_id, content);
   }
 }
 
 void AnalysisEngine::handle_remove_post(const vfs::OperationEvent& event) {
-  ProcessState& proc = state_for(event);
-  note_modification(proc, event.pid, event.timestamp, event.file_id, event.path);
-  if (config_.enable_deletion) {
-    ++proc.deletion_events;
-    add_points(proc, event.pid, Indicator::deletion, config_.points_deletion,
-               event.path);
-    maybe_detect(proc, event.pid, /*via_union=*/false);
+  {
+    LockedProcess locked = lock_state_for(event);
+    ProcessState& proc = *locked.proc;
+    note_modification(proc, event.pid, event.timestamp, event.file_id, event.path);
+    if (config_.enable_deletion) {
+      ++proc.deletion_events;
+      add_points(proc, event.pid, Indicator::deletion, config_.points_deletion,
+                 event.path);
+      maybe_detect(proc, event.pid, /*via_union=*/false);
+    }
   }
-  files_.erase(event.file_id);
+  forget_file(event.file_id);
 }
 
 void AnalysisEngine::handle_rename_pre(const vfs::OperationEvent& event) {
@@ -510,22 +690,26 @@ void AnalysisEngine::handle_rename_pre(const vfs::OperationEvent& event) {
 }
 
 void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
-  ProcessState& proc = state_for(event);
   assert(fs_ != nullptr);
   const bool src_protected = under_root(event.path);
   const bool dst_protected = under_root(event.dest_path);
   const auto content = fs_->read_unfiltered(event.dest_path);
+
+  LockedProcess locked = lock_state_for(event);
+  ProcessState& proc = *locked.proc;
 
   if (dst_protected && event.dest_file_id != vfs::kNoFile) {
     // Replacement: the incoming file (event.file_id) now sits where the
     // old file (dest_file_id) was. Judge the new content against the
     // *replaced* file's pre-image — this is the linkage that catches the
     // 41/63 Class C samples that move ciphertext over the original.
-    evaluate_modification(proc, event.pid, event.dest_file_id, event.dest_path, content);
+    evaluate_modification(proc, event.pid, event.dest_file_id, event.dest_path,
+                          content);
+    locked.lock.unlock();
     // The replaced file's identity is gone; the survivor keeps tracking
     // under its own id with its current content as baseline.
-    files_.erase(event.dest_file_id);
-    files_.erase(event.file_id);
+    forget_file(event.dest_file_id);
+    forget_file(event.file_id);
     capture_baseline(event.file_id, content);
     return;
   }
@@ -538,7 +722,8 @@ void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
     if (content != nullptr && !content->empty()) {
       score_write_entropy(proc, event.pid, ByteView(*content), event.dest_path);
     }
-    note_modification(proc, event.pid, event.timestamp, event.file_id, event.dest_path);
+    note_modification(proc, event.pid, event.timestamp, event.file_id,
+                      event.dest_path);
     evaluate_modification(proc, event.pid, event.file_id, event.dest_path, content);
     maybe_detect(proc, event.pid, /*via_union=*/false);
     return;
@@ -555,15 +740,21 @@ void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
         proc.read_mean.add(ByteView(*departing));
       }
     }
-    auto it = files_.find(event.file_id);
-    if (it != files_.end()) it->second.pending_check = true;
+    locked.lock.unlock();
+    (void)mark_pending_check(event.file_id);
     return;
   }
 
   // Move within the protected tree without replacement: content is
   // untouched; evaluate only if a write already flagged it.
-  auto it = files_.find(event.file_id);
-  if (it != files_.end() && it->second.pending_check) {
+  bool pending = false;
+  if (event.file_id != vfs::kNoFile) {
+    FileShard& shard = shard_for_file(event.file_id);
+    std::lock_guard<std::mutex> file_lock(shard.mu);
+    auto it = shard.files.find(event.file_id);
+    pending = it != shard.files.end() && it->second.pending_check;
+  }
+  if (pending) {
     evaluate_modification(proc, event.pid, event.file_id, event.dest_path, content);
   }
 }

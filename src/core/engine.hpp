@@ -15,13 +15,25 @@
 //  * link a Class C "new file moved over the original" to the original's
 //    pre-image (the paper reports 41 of 63 Class C samples were caught
 //    exactly this way).
+//
+// Threading model (DESIGN.md §9): the engine may be driven concurrently
+// from many threads. The per-process scoreboard and the per-file baseline
+// table are each split into fixed shards behind their own mutexes; an
+// operation locks exactly one scoreboard shard and at most one file shard
+// at a time, always in that order. snapshot() takes every scoreboard
+// shard (in index order) for one consistent view. Alert callbacks are
+// invoked with no engine lock held, on the thread whose operation crossed
+// the threshold, before that operation returns.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -59,7 +71,7 @@ struct ScoreEvent {
 };
 
 /// Point-in-time view of one process's reputation (returned by
-/// process_report()).
+/// process_report() and inside EngineSnapshot).
 struct ProcessReport {
   vfs::ProcessId pid = 0;
   std::string name;
@@ -108,6 +120,26 @@ struct LatencyStats {
   PerOp& for_op(vfs::OpType op);
 };
 
+/// One consistent view of everything the engine has measured: every
+/// process report, the operation count, and the latency breakdown, all
+/// captured atomically (no operation is half-reflected across entries).
+/// This replaces the racy observed_processes() + N× process_report()
+/// query dance.
+struct EngineSnapshot {
+  /// Reports in ascending scoreboard-key order (the family root's pid
+  /// when family scoring is enabled).
+  std::vector<ProcessReport> processes;
+  std::uint64_t observed_ops = 0;
+  LatencyStats latency;
+  int default_threshold = 0;  ///< config.score_threshold at capture time.
+
+  /// Report for `pid`'s scoreboard entry, or nullptr if never scored.
+  [[nodiscard]] const ProcessReport* find(vfs::ProcessId pid) const;
+  /// Like find(), but absent pids yield an empty report carrying the
+  /// default threshold (mirrors process_report() semantics).
+  [[nodiscard]] ProcessReport report_for(vfs::ProcessId pid) const;
+};
+
 /// Details passed to the alert callback at the moment of detection.
 struct Alert {
   vfs::ProcessId pid = 0;
@@ -120,10 +152,14 @@ struct Alert {
 
 class AnalysisEngine : public vfs::Filter {
  public:
+  /// Throws std::invalid_argument when `config.validate()` fails — an
+  /// engine never runs on a nonsensical scoring configuration.
   explicit AnalysisEngine(ScoringConfig config);
 
   /// Invoked once, synchronously, when a process is first suspended —
-  /// the "alert the user" hook.
+  /// the "alert the user" hook. Runs with no engine lock held. Must be
+  /// set before operations are driven through the engine (it is read
+  /// without synchronization on the hot path).
   void set_alert_callback(std::function<void(const Alert&)> callback);
 
   // --- vfs::Filter ------------------------------------------------------
@@ -136,12 +172,20 @@ class AnalysisEngine : public vfs::Filter {
   [[nodiscard]] bool is_suspended(vfs::ProcessId pid) const;
   [[nodiscard]] int score(vfs::ProcessId pid) const;
   [[nodiscard]] ProcessReport process_report(vfs::ProcessId pid) const;
+  /// Atomically captures every process report, the observed-op count and
+  /// the latency stats under one (stop-the-world) lock acquisition.
+  [[nodiscard]] EngineSnapshot snapshot() const;
   /// Pids of every process the engine has scored so far.
+  [[deprecated("iterate snapshot().processes instead — a pid list is stale "
+               "by the time it is re-queried")]]
   [[nodiscard]] std::vector<vfs::ProcessId> observed_processes() const;
   /// Total operations the engine observed under the protected root.
-  [[nodiscard]] std::uint64_t observed_ops() const { return op_seq_; }
+  [[nodiscard]] std::uint64_t observed_ops() const {
+    return op_seq_.load(std::memory_order_relaxed);
+  }
   /// Per-op-type cost of the engine's own callbacks (§V-H analogue).
-  [[nodiscard]] const LatencyStats& latency_stats() const { return latency_; }
+  /// Returned by value: the engine's internal stats are lock-guarded.
+  [[nodiscard]] LatencyStats latency_stats() const;
 
   // --- user decisions ------------------------------------------------------
   /// The user chose to let the flagged process continue: clears the
@@ -195,16 +239,47 @@ class AnalysisEngine : public vfs::Filter {
     magic::TypeId baseline_type = magic::TypeId::empty;
     /// Lazily computed digest of `baseline` (similarity comparisons are
     /// the engine's most expensive step; skip them until needed).
-    mutable std::optional<simhash::SimilarityDigest> baseline_digest;
-    mutable bool digest_attempted = false;
+    std::optional<simhash::SimilarityDigest> baseline_digest;
+    bool digest_attempted = false;
     bool pending_check = false;  ///< A write/move happened; compare on close/rename.
   };
+
+  /// Shard counts are fixed powers of two; ids are assigned densely by
+  /// the VFS, so a plain modulus spreads them evenly.
+  static constexpr std::size_t kScoreboardShards = 16;
+  static constexpr std::size_t kFileShards = 16;
+
+  struct ScoreboardShard {
+    mutable std::mutex mu;
+    std::map<vfs::ProcessId, ProcessState> states;
+  };
+  struct FileShard {
+    mutable std::mutex mu;
+    std::map<vfs::FileId, FileState> files;
+  };
+
+  /// A scoreboard shard lock pinned to one process entry. While it lives,
+  /// the shard's mutex is held and `proc` may be mutated.
+  struct LockedProcess {
+    std::unique_lock<std::mutex> lock;
+    ProcessState* proc = nullptr;
+    vfs::ProcessId key = 0;
+  };
+
+  [[nodiscard]] ScoreboardShard& shard_for_key(vfs::ProcessId key) const {
+    return scoreboard_shards_[key % kScoreboardShards];
+  }
+  [[nodiscard]] FileShard& shard_for_file(vfs::FileId id) const {
+    return file_shards_[id % kFileShards];
+  }
 
   [[nodiscard]] bool under_root(std::string_view path) const;
   /// Resolves a pid to its scoreboard entry key (the family root when
   /// family scoring is on).
   [[nodiscard]] vfs::ProcessId scoreboard_key(vfs::ProcessId pid) const;
-  ProcessState& state_for(const vfs::OperationEvent& event);
+  /// Locks the scoreboard shard of `event.pid`'s key and pins (creating
+  /// if needed) its state entry.
+  LockedProcess lock_state_for(const vfs::OperationEvent& event);
 
   void add_points(ProcessState& proc, vfs::ProcessId pid, Indicator indicator,
                   int points, const std::string& path);
@@ -219,12 +294,22 @@ class AnalysisEngine : public vfs::Filter {
   void maybe_detect(ProcessState& proc, vfs::ProcessId pid, bool via_union);
 
   /// Captures the pre-image of file `id` (if not already captured).
+  /// Locks the file's shard; call with no file-shard lock held.
   void capture_baseline(vfs::FileId id, const std::shared_ptr<const Bytes>& content);
   /// Runs the type-change and similarity checks of `content` against the
-  /// tracked baseline of `id`, scoring `proc`.
+  /// tracked baseline of `id`, scoring `proc`. Locks the file's shard;
+  /// call with the process shard lock held and no file-shard lock held.
   void evaluate_modification(ProcessState& proc, vfs::ProcessId pid, vfs::FileId id,
                              const std::string& path,
                              const std::shared_ptr<const Bytes>& content);
+  /// Computes (or fetches from the shared digest cache) `data`'s digest.
+  [[nodiscard]] std::optional<simhash::SimilarityDigest> baseline_digest_for(
+      ByteView data) const;
+  /// Drops file `id` from the baseline table.
+  void forget_file(vfs::FileId id);
+  /// Marks `id` for comparison at close/rename time. Returns false when
+  /// the file has no tracked baseline.
+  bool mark_pending_check(vfs::FileId id);
 
   void handle_open_pre(const vfs::OperationEvent& event);
   void handle_rename_pre(const vfs::OperationEvent& event);
@@ -236,11 +321,12 @@ class AnalysisEngine : public vfs::Filter {
 
   ScoringConfig config_;
   vfs::FileSystem* fs_ = nullptr;  ///< Set on attach; unfiltered inspection.
-  std::map<vfs::ProcessId, ProcessState> processes_;
-  std::map<vfs::FileId, FileState> files_;
+  mutable std::array<ScoreboardShard, kScoreboardShards> scoreboard_shards_;
+  mutable std::array<FileShard, kFileShards> file_shards_;
   std::function<void(const Alert&)> alert_callback_;
-  std::uint64_t op_seq_ = 0;
+  std::atomic<std::uint64_t> op_seq_{0};
   LatencyStats latency_;
+  mutable std::mutex latency_mu_;
 };
 
 }  // namespace cryptodrop::core

@@ -1,0 +1,22 @@
+#include "core/session.hpp"
+
+namespace cryptodrop::core {
+
+MonitorSession::MonitorSession(const vfs::FileSystem& base, ScoringConfig config)
+    : fs_(base.clone()),
+      engine_(std::make_unique<AnalysisEngine>(std::move(config))) {
+  fs_.attach_filter(engine_.get());
+}
+
+MonitorSession::MonitorSession(ScoringConfig config)
+    : engine_(std::make_unique<AnalysisEngine>(std::move(config))) {
+  fs_.attach_filter(engine_.get());
+}
+
+MonitorSession::~MonitorSession() {
+  if (engine_ != nullptr) {
+    fs_.detach_filter(engine_.get());
+  }
+}
+
+}  // namespace cryptodrop::core

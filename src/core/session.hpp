@@ -1,0 +1,63 @@
+// MonitorSession — one monitored volume, RAII-style.
+//
+// The library's primitive objects (FileSystem, AnalysisEngine) compose
+// manually: clone a volume, construct an engine, attach, remember to
+// detach before either dies. Every call site in the harness, benches,
+// CLI and examples repeated that dance. A session bundles it:
+//
+//   core::MonitorSession session(base_fs, config);   // clone + attach
+//   vfs::ProcessId pid = session.spawn("sample.exe");
+//   ... drive operations through session.fs() ...
+//   core::EngineSnapshot snap = session.snapshot();  // consistent view
+//
+// The engine is heap-allocated so the session is movable, and detached
+// on destruction, so neither order of death dangles. A session is the
+// unit of parallelism in the experiment runner: each trial owns one, and
+// sessions never share mutable state (file content is shared
+// copy-on-write, which is immutable).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::core {
+
+class MonitorSession {
+ public:
+  /// A session over a pristine clone of `base` (the VM-snapshot-revert
+  /// analogue: every trial starts from the same bytes). Throws
+  /// std::invalid_argument when the config does not validate.
+  MonitorSession(const vfs::FileSystem& base, ScoringConfig config);
+
+  /// A session over a fresh empty volume.
+  explicit MonitorSession(ScoringConfig config);
+
+  MonitorSession(MonitorSession&&) = default;
+  MonitorSession& operator=(MonitorSession&&) = default;
+  MonitorSession(const MonitorSession&) = delete;
+  MonitorSession& operator=(const MonitorSession&) = delete;
+
+  ~MonitorSession();
+
+  [[nodiscard]] vfs::FileSystem& fs() { return fs_; }
+  [[nodiscard]] const vfs::FileSystem& fs() const { return fs_; }
+  [[nodiscard]] AnalysisEngine& engine() { return *engine_; }
+  [[nodiscard]] const AnalysisEngine& engine() const { return *engine_; }
+
+  /// Registers a process on the session's volume.
+  vfs::ProcessId spawn(std::string name, vfs::ProcessId parent = 0) {
+    return fs_.register_process(std::move(name), parent);
+  }
+
+  /// One consistent view of everything the engine has measured.
+  [[nodiscard]] EngineSnapshot snapshot() const { return engine_->snapshot(); }
+
+ private:
+  vfs::FileSystem fs_;
+  std::unique_ptr<AnalysisEngine> engine_;
+};
+
+}  // namespace cryptodrop::core

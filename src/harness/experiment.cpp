@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/stats.hpp"
+#include "core/session.hpp"
 #include "vfs/path.hpp"
 #include "vfs/recording_filter.hpp"
 
@@ -32,13 +33,12 @@ corpus::CorpusSpec small_corpus_spec(std::size_t files, std::size_t dirs) {
 RansomwareRunResult run_ransomware_sample(const Environment& env,
                                           const sim::SampleSpec& spec,
                                           const core::ScoringConfig& config) {
-  vfs::FileSystem fs = env.base_fs.clone();
-  core::AnalysisEngine engine(config);
+  core::MonitorSession session(env.base_fs, config);
+  vfs::FileSystem& fs = session.fs();
   vfs::RecordingFilter recorder;
-  fs.attach_filter(&engine);
   fs.attach_filter(&recorder);
 
-  const vfs::ProcessId pid = fs.register_process(spec.family);
+  const vfs::ProcessId pid = session.spawn(spec.family);
   sim::RansomwareSample sample(spec.profile, spec.seed);
 
   RansomwareRunResult result;
@@ -46,7 +46,7 @@ RansomwareRunResult run_ransomware_sample(const Environment& env,
   result.behavior = spec.behavior;
   result.sample = sample.run(fs, pid, env.corpus.root);
   result.files_lost = corpus::count_files_lost(fs, env.corpus);
-  result.report = engine.process_report(pid);
+  result.report = session.snapshot().report_for(pid);
   // With family scoring, the root's report covers spawned workers; when
   // an ablation disables it, a run halted by denials still counts as
   // detected (every worker was individually flagged).
@@ -79,7 +79,6 @@ RansomwareRunResult run_ransomware_sample(const Environment& env,
   }
 
   fs.detach_filter(&recorder);
-  fs.detach_filter(&engine);
   return result;
 }
 
@@ -100,22 +99,19 @@ BenignRunResult run_benign_workload(const Environment& env,
                                     const sim::BenignWorkload& workload,
                                     const core::ScoringConfig& config,
                                     std::uint64_t seed) {
-  vfs::FileSystem fs = env.base_fs.clone();
-  core::AnalysisEngine engine(config);
-  fs.attach_filter(&engine);
+  core::MonitorSession session(env.base_fs, config);
 
-  const vfs::ProcessId pid = fs.register_process(workload.name);
-  sim::WorkloadContext ctx{fs, pid, env.corpus.root, Rng(seed)};
+  const vfs::ProcessId pid = session.spawn(workload.name);
+  sim::WorkloadContext ctx{session.fs(), pid, env.corpus.root, Rng(seed)};
   workload.run(ctx);
 
   BenignRunResult result;
   result.app = workload.name;
   result.expected_false_positive = workload.expected_false_positive;
-  result.report = engine.process_report(pid);
+  result.report = session.snapshot().report_for(pid);
   result.detected = result.report.suspended;
   result.final_score = result.report.score;
   result.union_triggered = result.report.union_triggered;
-  fs.detach_filter(&engine);
   return result;
 }
 

@@ -1,0 +1,72 @@
+#include "simhash/digest_cache.hpp"
+
+#include <algorithm>
+
+namespace cryptodrop::simhash {
+
+DigestCache::DigestCache(std::size_t capacity)
+    : per_shard_capacity_(std::max<std::size_t>(1, (capacity + kShards - 1) / kShards)) {}
+
+std::optional<SimilarityDigest> DigestCache::get_or_compute(ByteView data) {
+  const crypto::Sha256Digest key = crypto::sha256(data);
+  Shard& shard = shards_[key[0] % kShards];
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+    ++shard.misses;
+  }
+
+  // Compute outside the lock: digests of large files are the expensive
+  // part, and two threads racing on the same content just do the work
+  // twice — both arrive at the identical deterministic digest.
+  std::optional<SimilarityDigest> digest = SimilarityDigest::compute(data);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Lost the race; the existing entry is equivalent.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+  shard.lru.emplace_front(key, digest);
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return digest;
+}
+
+void DigestCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+DigestCacheStats DigestCache::stats() const {
+  DigestCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+DigestCache& DigestCache::global() {
+  static DigestCache cache;
+  return cache;
+}
+
+}  // namespace cryptodrop::simhash

@@ -105,10 +105,8 @@ class Filter {
 };
 
 /// Short mnemonic for logs ("open", "write", ...).
-std::string_view op_name(OpType op);
-
-inline std::string_view op_name(OpType op_type) {
-  switch (op_type) {
+inline std::string_view op_name(OpType op) {
+  switch (op) {
     case OpType::open: return "open";
     case OpType::read: return "read";
     case OpType::write: return "write";

@@ -27,6 +27,9 @@ class DetectionTest : public ::testing::Test {
   }
 
   void attach() {
+    // Tests here lower score_threshold freely; keep the config valid
+    // (union <= base) without changing the effective threshold.
+    config.union_threshold = std::min(config.union_threshold, config.score_threshold);
     engine = std::make_unique<AnalysisEngine>(config);
     engine->set_alert_callback([this](const Alert& a) { alerts.push_back(a); });
     fs.attach_filter(engine.get());

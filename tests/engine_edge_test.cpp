@@ -143,6 +143,7 @@ TEST_F(EngineEdgeTest, TwoHandlesSameFileInterleaved) {
 
 TEST_F(EngineEdgeTest, AlertPayloadIsCoherent) {
   config.score_threshold = 30;
+  config.union_threshold = 30;
   std::vector<Alert> alerts;
   attach();
   engine->set_alert_callback([&](const Alert& a) { alerts.push_back(a); });

@@ -149,6 +149,7 @@ TEST(FamilyScoring, SuspensionCoversTheWholeTree) {
   vfs::FileSystem fs;
   core::ScoringConfig config;
   config.score_threshold = 10;
+  config.union_threshold = 10;
   core::AnalysisEngine engine(config);
   fs.attach_filter(&engine);
   const vfs::ProcessId parent = fs.register_process("dropper");
@@ -170,6 +171,7 @@ TEST(FamilyScoring, UnrelatedProcessesUnaffected) {
   vfs::FileSystem fs;
   core::ScoringConfig config;
   config.score_threshold = 10;
+  config.union_threshold = 10;
   core::AnalysisEngine engine(config);
   fs.attach_filter(&engine);
   const vfs::ProcessId bad = fs.register_process("bad");

@@ -160,8 +160,7 @@ class TraceAnalysisTest : public ::testing::Test {
     // All replayer pids map to one family-less process each; aggregate
     // the report of the busiest one.
     core::ProcessReport best;
-    for (ProcessId pid : engine.observed_processes()) {
-      const auto report = engine.process_report(pid);
+    for (const core::ProcessReport& report : engine.snapshot().processes) {
       if (report.score >= best.score) best = report;
     }
     fs.detach_filter(&engine);

@@ -3,22 +3,29 @@
 //   cryptodrop sample   --family TeslaCrypt [--class A|B|C] [--seed N]
 //                       [--corpus N] [--json]
 //   cryptodrop benign   --app "Microsoft Word" [--corpus N] [--json]
-//   cryptodrop campaign [--corpus N] [--samples N] [--json] [--full]
+//   cryptodrop campaign [--corpus N] [--samples N] [--jobs N] [--json] [--full]
 //   cryptodrop corpus   [--corpus N] [--seed N]
 //   cryptodrop families
 //   cryptodrop apps
 //
-// Everything is deterministic in the seeds; --json emits the harness's
+// Scoring flags (sample/benign/campaign): --threshold N,
+// --union-threshold N. The assembled config is validated before any
+// trial runs; a nonsensical combination exits 2 with the reason.
+//
+// Everything is deterministic in the seeds (campaign results are
+// bit-identical at any --jobs count); --json emits the harness's
 // machine-readable report instead of tables.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "common/stats.hpp"
 #include "entropy/entropy.hpp"
 #include "harness/report.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "vfs/path.hpp"
 
@@ -57,6 +64,25 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
+/// Scoring config from the CLI flags, validated before anything runs.
+core::ScoringConfig scoring_config(const Args& args) {
+  core::ScoringConfig config;
+  config.score_threshold = static_cast<int>(
+      args.get_size("threshold", static_cast<std::size_t>(config.score_threshold)));
+  if (args.options.contains("union-threshold")) {
+    config.union_threshold =
+        static_cast<int>(args.get_size("union-threshold", 0));
+  } else {
+    // Keep the invariant union <= base when only --threshold is lowered.
+    config.union_threshold = std::min(config.union_threshold, config.score_threshold);
+  }
+  const Status valid = config.validate();
+  if (!valid.is_ok()) {
+    throw std::invalid_argument("scoring config: " + valid.to_string());
+  }
+  return config;
+}
+
 harness::Environment build_env(const Args& args, std::size_t default_files) {
   corpus::CorpusSpec spec;
   spec.total_files = args.get_size("corpus", default_files);
@@ -81,7 +107,7 @@ int cmd_sample(const Args& args) {
   spec.profile.behavior = cls;
   spec.seed = args.get_size("seed", 7);
 
-  const auto r = harness::run_ransomware_sample(env, spec, core::ScoringConfig{});
+  const auto r = harness::run_ransomware_sample(env, spec, scoring_config(args));
   if (args.flag("json")) {
     std::printf("%s", harness::to_json(r).to_pretty_string().c_str());
     return r.detected ? 0 : 1;
@@ -104,7 +130,7 @@ int cmd_benign(const Args& args) {
   const std::string app = args.get("app", "Microsoft Word");
   const harness::Environment env = build_env(args, 1500);
   const auto r = harness::run_benign_workload(env, sim::benign_workload(app),
-                                              core::ScoringConfig{},
+                                              scoring_config(args),
                                               args.get_size("seed", 9));
   if (args.flag("json")) {
     std::printf("%s", harness::to_json(r).to_pretty_string().c_str());
@@ -132,12 +158,17 @@ int cmd_campaign(const Args& args) {
     }
     specs = std::move(picked);
   }
-  const auto results = harness::run_campaign(
-      env, specs, core::ScoringConfig{}, [](std::size_t done, std::size_t total) {
-        if (done % 50 == 0 || done == total) {
-          std::fprintf(stderr, "  %zu/%zu\n", done, total);
-        }
-      });
+  harness::RunnerOptions options;
+  options.jobs = args.get_size("jobs", 0);
+  options.progress = [](std::size_t done, std::size_t total) {
+    if (done % 50 == 0 || done == total) {
+      std::fprintf(stderr, "  %zu/%zu\n", done, total);
+    }
+  };
+  std::fprintf(stderr, "running %zu samples on %zu workers...\n", specs.size(),
+               harness::effective_jobs(options.jobs));
+  const auto results =
+      harness::run_campaign_parallel(env, specs, scoring_config(args), options);
   if (args.flag("json")) {
     std::printf("%s", harness::campaign_report(env, results, args.flag("per-sample"))
                           .to_pretty_string()
@@ -223,10 +254,11 @@ void usage() {
                "usage: cryptodrop <command> [options]\n"
                "  sample   --family NAME [--class A|B|C] [--seed N] [--corpus N] [--json]\n"
                "  benign   --app NAME [--corpus N] [--seed N] [--json]\n"
-               "  campaign [--corpus N] [--samples N] [--full] [--json] [--per-sample]\n"
+               "  campaign [--corpus N] [--samples N] [--jobs N] [--full] [--json] [--per-sample]\n"
                "  corpus   [--corpus N] [--seed N]\n"
                "  families\n"
-               "  apps\n");
+               "  apps\n"
+               "scoring flags (sample/benign/campaign): --threshold N, --union-threshold N\n");
 }
 
 }  // namespace
