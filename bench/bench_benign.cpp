@@ -17,11 +17,13 @@ int main(int argc, char** argv) {
                             "Del", "Funnel", "Union", "Detected"});
   std::size_t false_positives = 0;
   std::size_t union_count = 0;
+  std::vector<harness::BenignRunResult> results;
   for (const sim::BenignWorkload& workload : sim::all_benign_workloads()) {
     std::fprintf(stderr, "[bench] %s...\n", workload.name.c_str());
     const auto r = harness::run_benign_workload(env, workload, core::ScoringConfig{}, 9);
     if (r.detected) ++false_positives;
     if (r.union_triggered) ++union_count;
+    results.push_back(r);
     table.add_row({r.app, std::to_string(r.final_score),
                    std::to_string(r.report.entropy_events),
                    std::to_string(r.report.type_change_events),
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
                    r.detected ? (r.expected_false_positive ? "yes (expected)" : "YES")
                               : "no"});
   }
+  benchutil::maybe_write_metrics(scale, results);
   std::printf("%s\n", table.to_string().c_str());
   std::printf("false positives: %zu   [paper: 1 (7-zip)]\n", false_positives);
   std::printf("benign apps triggering union: %zu   [paper: 0]\n", union_count);

@@ -8,6 +8,11 @@
 //   --jobs N — worker threads for the trial pool (default: one per
 //             hardware thread; also CRYPTODROP_JOBS=N). Results are
 //             bit-identical at any job count.
+//   --metrics-out FILE — write the campaign's instrumentation sidecar
+//             (merged engine metrics + per-run forensic timelines, see
+//             docs/OBSERVABILITY.md) as JSON; also
+//             CRYPTODROP_METRICS_OUT=FILE. Benches that run several
+//             campaigns number the second and later files FILE.2, ...
 // or the environment variable CRYPTODROP_FAST=1 for a quick smoke run.
 #pragma once
 
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
 
@@ -30,6 +36,7 @@ struct BenchScale {
   std::uint64_t corpus_seed = 20160627;  // ICDCS 2016 week
   std::uint64_t campaign_seed = 1;
   std::size_t jobs = 0;  // 0 → one worker per hardware thread
+  std::string metrics_out;  // empty → no instrumentation sidecar
 };
 
 inline BenchScale parse_scale(int argc, char** argv) {
@@ -42,10 +49,15 @@ inline BenchScale parse_scale(int argc, char** argv) {
   if (const char* jobs_env = std::getenv("CRYPTODROP_JOBS")) {
     scale.jobs = std::strtoul(jobs_env, nullptr, 10);
   }
+  if (const char* metrics_env = std::getenv("CRYPTODROP_METRICS_OUT")) {
+    scale.metrics_out = metrics_env;
+  }
   std::size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       scale.jobs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      scale.metrics_out = argv[++i];
     } else if (positional == 0) {
       scale.corpus_files = std::strtoul(argv[i], nullptr, 10);
       ++positional;
@@ -96,13 +108,39 @@ inline std::vector<sim::SampleSpec> campaign_specs(const BenchScale& scale) {
   return picked;
 }
 
+/// Writes one campaign's instrumentation sidecar when --metrics-out was
+/// given. A bench running several campaigns gets one file per call: the
+/// second and later writes go to FILE.2, FILE.3, ...
+template <typename Result>
+void maybe_write_metrics(const BenchScale& scale,
+                         const std::vector<Result>& results) {
+  if (scale.metrics_out.empty()) return;
+  static std::size_t campaign_index = 0;
+  std::string path = scale.metrics_out;
+  if (++campaign_index > 1) path += "." + std::to_string(campaign_index);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write metrics file %s\n", path.c_str());
+    return;
+  }
+  const std::string text =
+      harness::metrics_report(results).to_pretty_string();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] metrics written to %s\n", path.c_str());
+}
+
 inline std::vector<harness::RansomwareRunResult> run_standard_campaign(
     const harness::Environment& env, const BenchScale& scale,
     const core::ScoringConfig& config = {}) {
   const auto specs = campaign_specs(scale);
   std::fprintf(stderr, "[bench] running %zu samples on %zu workers...\n",
                specs.size(), harness::effective_jobs(scale.jobs));
-  return harness::run_campaign_parallel(env, specs, config, runner_options(scale));
+  auto results =
+      harness::run_campaign_parallel(env, specs, config, runner_options(scale));
+  maybe_write_metrics(scale, results);
+  return results;
 }
 
 }  // namespace cryptodrop::benchutil

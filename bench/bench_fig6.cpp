@@ -33,9 +33,11 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[bench] running %zu apps on %zu workers...\n",
                sim::figure6_workloads().size(),
                harness::effective_jobs(scale.jobs));
-  for (const auto& r : harness::run_benign_suite_parallel(
-           env, sim::figure6_workloads(), unbounded, /*seed=*/9,
-           benchutil::runner_options(scale))) {
+  const auto results = harness::run_benign_suite_parallel(
+      env, sim::figure6_workloads(), unbounded, /*seed=*/9,
+      benchutil::runner_options(scale));
+  benchutil::maybe_write_metrics(scale, results);
+  for (const auto& r : results) {
     apps.push_back({r.app, r.final_score, paper_scores.at(r.app)});
   }
 

@@ -205,6 +205,17 @@ void print_engine_internal_latency() {
   std::printf("[paper's unoptimized prototype: open/read < 1 ms, close +1.58 ms,\n"
               " write +9 ms, rename +16 ms — write/rename/close carry the\n"
               " measurement, opens and reads are nearly free]\n");
+
+  // The same cost, stage by stage, from the observability layer: which
+  // part of the measurement (digest, entropy, type sniff) the per-op
+  // latency above is actually spent in.
+  const obs::MetricsSnapshot metrics = fx.engine->metrics_snapshot();
+  std::printf("\n== stage latency (obs histograms) ==\n");
+  std::printf("%-34s %10s %14s\n", "stage", "samples", "mean (us)");
+  for (const obs::HistogramSnapshot& h : metrics.histograms) {
+    std::printf("%-34s %10llu %14.2f\n", h.name.c_str(),
+                static_cast<unsigned long long>(h.count), h.mean());
+  }
 }
 
 }  // namespace

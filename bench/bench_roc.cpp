@@ -44,8 +44,10 @@ int main(int argc, char** argv) {
     config.union_threshold = std::min(config.union_threshold, threshold);
     std::size_t detected = 0;
     std::vector<double> losses;
-    for (const auto& r : harness::run_campaign_parallel(
-             env, specs, config, benchutil::runner_options(scale))) {
+    const auto results = harness::run_campaign_parallel(
+        env, specs, config, benchutil::runner_options(scale));
+    benchutil::maybe_write_metrics(scale, results);  // one sidecar per threshold
+    for (const auto& r : results) {
       detected += r.detected ? 1 : 0;
       losses.push_back(static_cast<double>(r.files_lost));
     }

@@ -20,6 +20,9 @@
 
 namespace cryptodrop::core {
 
+/// Every tunable of the analysis engine, with paper-calibrated defaults.
+/// Validate with validate(); AnalysisEngine's constructor rejects an
+/// invalid config. Plain value type — copy freely.
 struct ScoringConfig {
   /// Only operations on files under this root are observed ("CryptoDrop
   /// does not inspect files outside of the user's documents directory").
@@ -116,10 +119,14 @@ struct ScoringConfig {
   bool enable_deletion = true;
   bool enable_funneling = true;
 
-  /// Keep a per-process timeline of score events (memory-heavy for long
-  /// benign runs; the harness enables it when it needs Figure-6-style
-  /// threshold sweeps).
+  /// Keep per-process score-event timelines: the legacy ScoreEvent
+  /// vector (unbounded; Figure-6-style threshold sweeps) and the bounded
+  /// forensic ring behind AnalysisEngine::explain() — see
+  /// docs/OBSERVABILITY.md.
   bool record_timeline = true;
+  /// Capacity of each process's forensic timeline ring (oldest events
+  /// are evicted beyond this). Must be >= 1 while record_timeline is on.
+  std::size_t timeline_capacity = 128;
 
   /// Serve baseline similarity digests from the process-wide cache keyed
   /// by content hash. The experiment zoo reuses one corpus across

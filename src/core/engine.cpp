@@ -59,17 +59,23 @@ ProcessReport EngineSnapshot::report_for(vfs::ProcessId pid) const {
 namespace {
 
 /// Accumulates the elapsed scope time into one LatencyStats bucket,
-/// serialized by the engine's latency mutex at scope exit.
+/// serialized by the engine's latency mutex at scope exit. The same
+/// timestamps feed the lock-free dispatch histogram (if given) so the
+/// metrics layer adds no clock reads of its own to the dispatch path.
 class ScopedLatency {
  public:
-  ScopedLatency(LatencyStats& stats, std::mutex& mu, vfs::OpType op)
-      : stats_(stats), mu_(mu), op_(op),
+  ScopedLatency(LatencyStats& stats, std::mutex& mu, vfs::OpType op,
+                obs::Histogram* dispatch_hist = nullptr)
+      : stats_(stats), mu_(mu), op_(op), hist_(dispatch_hist),
         start_(std::chrono::steady_clock::now()) {}
   ~ScopedLatency() {
     const auto ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start_)
             .count());
+    if constexpr (obs::kMetricsEnabled) {
+      if (hist_ != nullptr) hist_->record(static_cast<double>(ns) / 1000.0);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     LatencyStats::PerOp& bucket = stats_.for_op(op_);
     ++bucket.count;
@@ -81,6 +87,7 @@ class ScopedLatency {
   LatencyStats& stats_;
   std::mutex& mu_;
   vfs::OpType op_;
+  obs::Histogram* hist_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -89,6 +96,21 @@ class ScopedLatency {
 /// engine freely). The sink is scoped to one pre/post callback; engine
 /// callbacks never nest on a thread, so one slot suffices.
 thread_local std::vector<Alert>* t_alert_sink = nullptr;
+
+/// Maps a scoring indicator onto its forensic timeline event kind (the
+/// first seven TimelineEventKind values mirror the Indicator enum).
+obs::TimelineEventKind timeline_kind(Indicator ind) {
+  switch (ind) {
+    case Indicator::entropy_delta: return obs::TimelineEventKind::entropy_delta;
+    case Indicator::type_change: return obs::TimelineEventKind::type_change;
+    case Indicator::similarity_drop: return obs::TimelineEventKind::similarity_drop;
+    case Indicator::deletion: return obs::TimelineEventKind::deletion;
+    case Indicator::funneling: return obs::TimelineEventKind::funneling;
+    case Indicator::union_indication: return obs::TimelineEventKind::union_indication;
+    case Indicator::burst_rate: return obs::TimelineEventKind::burst_rate;
+  }
+  return obs::TimelineEventKind::entropy_delta;
+}
 
 class AlertScope {
  public:
@@ -117,6 +139,81 @@ AnalysisEngine::AnalysisEngine(ScoringConfig config) : config_(std::move(config)
   if (!valid.is_ok()) {
     throw std::invalid_argument("invalid ScoringConfig: " + valid.to_string());
   }
+  register_metrics();
+}
+
+void AnalysisEngine::register_metrics() {
+  // Names, units and help strings here are the schema of record; the
+  // docs-check tool cross-checks docs/OBSERVABILITY.md against this list.
+  m_ops_observed_ = &metrics_.counter(
+      "ops_observed_total",
+      "Filtered operations observed under a protected root", "operations");
+  m_ops_denied_ = &metrics_.counter(
+      "ops_denied_total",
+      "Operations denied because the issuing process was suspended",
+      "operations");
+  m_suspensions_ = &metrics_.counter(
+      "suspensions_total", "Detection verdicts (processes newly suspended)",
+      "processes");
+  m_resumes_ = &metrics_.counter(
+      "resumes_total", "User resume decisions applied to suspended processes",
+      "processes");
+  m_baselines_ = &metrics_.counter(
+      "baselines_captured_total", "Pre-modification file baselines captured",
+      "files");
+  m_digests_ = &metrics_.counter(
+      "similarity_digests_total",
+      "Similarity digests obtained (computed, or served by the shared cache)",
+      "digests");
+  static constexpr Indicator kAll[] = {
+      Indicator::entropy_delta,  Indicator::type_change,
+      Indicator::similarity_drop, Indicator::deletion,
+      Indicator::funneling,       Indicator::union_indication,
+      Indicator::burst_rate,
+  };
+  for (Indicator ind : kAll) {
+    const std::string label(indicator_name(ind));
+    const auto idx = static_cast<std::size_t>(ind);
+    m_indicator_events_[idx] = &metrics_.counter(
+        "indicator_events_total." + label,
+        "Score events attributed to the " + label + " indicator", "events");
+    m_indicator_points_[idx] = &metrics_.counter(
+        "points_assessed_total." + label,
+        "Reputation points assessed by the " + label + " indicator", "points");
+  }
+  const std::vector<double> buckets = obs::MetricsRegistry::latency_buckets_us();
+  h_sdhash_ = &metrics_.histogram(
+      "stage_latency_us.sdhash_digest",
+      "Wall time obtaining one similarity digest", "microseconds", buckets);
+  h_entropy_ = &metrics_.histogram(
+      "stage_latency_us.entropy",
+      "Wall time folding one buffer into an entropy mean", "microseconds",
+      buckets);
+  h_magic_ = &metrics_.histogram(
+      "stage_latency_us.magic_sniff",
+      "Wall time identifying one buffer's file type", "microseconds", buckets);
+  h_dispatch_ = &metrics_.histogram(
+      "stage_latency_us.filter_dispatch",
+      "Wall time of one whole engine pre/post filter callback", "microseconds",
+      buckets);
+  g_processes_ = &metrics_.gauge(
+      "processes_tracked", "Scoreboard entries at the last snapshot",
+      "processes");
+  g_files_ = &metrics_.gauge(
+      "files_tracked", "Files with a captured baseline at the last snapshot",
+      "files");
+  g_cache_hits_ = &metrics_.gauge(
+      "digest_cache_hits", "Shared digest-cache hits (process-wide cache)",
+      "lookups");
+  g_cache_misses_ = &metrics_.gauge(
+      "digest_cache_misses", "Shared digest-cache misses (process-wide cache)",
+      "lookups");
+  g_cache_entries_ = &metrics_.gauge(
+      "digest_cache_entries", "Digests resident in the shared cache",
+      "digests");
+  g_cache_evictions_ = &metrics_.gauge(
+      "digest_cache_evictions", "Digests evicted from the shared cache",
+      "digests");
 }
 
 void AnalysisEngine::set_alert_callback(std::function<void(const Alert&)> callback) {
@@ -153,6 +250,8 @@ AnalysisEngine::LockedProcess AnalysisEngine::lock_state_for(
   if (inserted) {
     it->second.name = event.process_name;
     it->second.threshold = config_.score_threshold;
+    it->second.forensic = obs::TimelineRing(
+        config_.record_timeline ? config_.timeline_capacity : 0);
   }
   locked.proc = &it->second;
   return locked;
@@ -205,7 +304,64 @@ ProcessReport AnalysisEngine::process_report(vfs::ProcessId pid) const {
   report.read_extensions = s.read_extensions;
   report.write_extensions = s.write_extensions;
   report.timeline = s.timeline;
+  report.forensic = make_forensic(key, s);
   return report;
+}
+
+obs::ForensicTimeline AnalysisEngine::make_forensic(vfs::ProcessId key,
+                                                    const ProcessState& proc) const {
+  obs::ForensicTimeline timeline;
+  timeline.pid = key;
+  timeline.process_name = proc.name;
+  timeline.suspended = proc.suspended;
+  timeline.final_score = proc.score;
+  timeline.threshold = proc.threshold;
+  timeline.events_recorded = proc.forensic.total_recorded();
+  timeline.events_dropped = proc.forensic.dropped();
+  timeline.events.assign(proc.forensic.events().begin(),
+                         proc.forensic.events().end());
+  return timeline;
+}
+
+obs::ForensicTimeline AnalysisEngine::explain(vfs::ProcessId pid) const {
+  const vfs::ProcessId key = scoreboard_key(pid);
+  ScoreboardShard& shard = shard_for_key(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.states.find(key);
+  if (it == shard.states.end()) {
+    obs::ForensicTimeline timeline;
+    timeline.pid = key;
+    timeline.threshold = config_.score_threshold;
+    return timeline;
+  }
+  return make_forensic(key, it->second);
+}
+
+void AnalysisEngine::refresh_gauges(std::size_t tracked_processes) const {
+  g_processes_->set(static_cast<double>(tracked_processes));
+  std::size_t files = 0;
+  for (const FileShard& shard : file_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    files += shard.files.size();
+  }
+  g_files_->set(static_cast<double>(files));
+  if (config_.share_digest_cache) {
+    const simhash::DigestCacheStats stats = simhash::DigestCache::global().stats();
+    g_cache_hits_->set(static_cast<double>(stats.hits));
+    g_cache_misses_->set(static_cast<double>(stats.misses));
+    g_cache_entries_->set(static_cast<double>(stats.entries));
+    g_cache_evictions_->set(static_cast<double>(stats.evictions));
+  }
+}
+
+obs::MetricsSnapshot AnalysisEngine::metrics_snapshot() const {
+  std::size_t processes = 0;
+  for (const ScoreboardShard& shard : scoreboard_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    processes += shard.states.size();
+  }
+  refresh_gauges(processes);
+  return metrics_.snapshot();
 }
 
 EngineSnapshot AnalysisEngine::snapshot() const {
@@ -241,6 +397,7 @@ EngineSnapshot AnalysisEngine::snapshot() const {
       report.read_extensions = s.read_extensions;
       report.write_extensions = s.write_extensions;
       report.timeline = s.timeline;
+      report.forensic = make_forensic(key, s);
       snap.processes.push_back(std::move(report));
     }
   }
@@ -252,6 +409,8 @@ EngineSnapshot AnalysisEngine::snapshot() const {
     std::lock_guard<std::mutex> lock(latency_mu_);
     snap.latency = latency_;
   }
+  refresh_gauges(snap.processes.size());
+  snap.metrics = metrics_.snapshot();
   return snap;
 }
 
@@ -280,11 +439,21 @@ void AnalysisEngine::resume_process(vfs::ProcessId pid) {
   auto it = shard.states.find(key);
   if (it == shard.states.end()) return;
   ProcessState& s = it->second;
+  const int score_before = s.score;
   s.suspended = false;
   s.score = 0;
   s.threshold = config_.score_threshold;
   s.saw_entropy = s.saw_type_change = s.saw_similarity_drop = false;
   s.union_triggered = false;
+  m_resumes_->add();
+  obs::TimelineEvent event;
+  event.op_seq = op_seq_.load(std::memory_order_relaxed);
+  event.kind = obs::TimelineEventKind::resume;
+  event.score_before = score_before;
+  event.score_after = 0;
+  event.detail = s.threshold;
+  event.note = "user resumed the process; reputation reset";
+  s.forensic.push(std::move(event));
 }
 
 // ----------------------------------------------------------------------
@@ -293,11 +462,26 @@ void AnalysisEngine::resume_process(vfs::ProcessId pid) {
 
 void AnalysisEngine::add_points(ProcessState& proc, vfs::ProcessId pid,
                                 Indicator indicator, int points,
-                                const std::string& path) {
+                                const std::string& path, double detail,
+                                std::string note) {
+  const int score_before = proc.score;
   proc.score += points;
+  const auto idx = static_cast<std::size_t>(indicator);
+  m_indicator_events_[idx]->add();
+  m_indicator_points_[idx]->add(static_cast<std::uint64_t>(std::max(points, 0)));
   if (config_.record_timeline) {
-    proc.timeline.push_back(ScoreEvent{op_seq_.load(std::memory_order_relaxed),
-                                       indicator, points, path});
+    const std::uint64_t op_seq = op_seq_.load(std::memory_order_relaxed);
+    proc.timeline.push_back(ScoreEvent{op_seq, indicator, points, path});
+    obs::TimelineEvent event;
+    event.op_seq = op_seq;
+    event.kind = timeline_kind(indicator);
+    event.points = points;
+    event.score_before = score_before;
+    event.score_after = proc.score;
+    event.path = path;
+    event.detail = detail;
+    event.note = std::move(note);
+    proc.forensic.push(std::move(event));
   }
   (void)pid;
 }
@@ -308,7 +492,9 @@ void AnalysisEngine::check_union(ProcessState& proc, vfs::ProcessId pid,
   if (proc.union_triggered) return;
   if (proc.saw_entropy && proc.saw_type_change && proc.saw_similarity_drop) {
     proc.union_triggered = true;
-    add_points(proc, pid, Indicator::union_indication, config_.union_bonus, path);
+    add_points(proc, pid, Indicator::union_indication, config_.union_bonus, path,
+               /*detail=*/config_.union_threshold,
+               "all three primary indicators have fired; threshold lowered");
     proc.threshold = std::min(proc.threshold, config_.union_threshold);
     maybe_detect(proc, pid, /*via_union=*/true);
   }
@@ -318,6 +504,19 @@ void AnalysisEngine::maybe_detect(ProcessState& proc, vfs::ProcessId pid,
                                   bool via_union) {
   if (proc.suspended || proc.score < proc.threshold) return;
   proc.suspended = true;
+  m_suspensions_->add();
+  {
+    // Terminal verdict event: every explainable timeline ends with one.
+    obs::TimelineEvent event;
+    event.op_seq = op_seq_.load(std::memory_order_relaxed);
+    event.kind = obs::TimelineEventKind::suspension;
+    event.score_before = proc.score;
+    event.score_after = proc.score;
+    event.detail = proc.threshold;
+    event.note = via_union ? "score crossed the union-lowered threshold"
+                           : "score crossed the detection threshold";
+    proc.forensic.push(std::move(event));
+  }
   Alert alert;
   alert.pid = pid;
   alert.process_name = proc.name;
@@ -342,9 +541,15 @@ void AnalysisEngine::capture_baseline(vfs::FileId id,
   auto [it, inserted] = shard.files.try_emplace(id);
   if (!inserted && it->second.baseline != nullptr) return;  // already tracked
   it->second.baseline = content;
-  it->second.baseline_type = magic::identify(ByteView(*content));
+  it->second.baseline_type = sniff_type(ByteView(*content));
   it->second.baseline_digest.reset();
   it->second.digest_attempted = false;
+  m_baselines_->add();
+}
+
+magic::TypeId AnalysisEngine::sniff_type(ByteView data) const {
+  obs::ScopedTimer timer(h_magic_);
+  return magic::identify(data);
 }
 
 void AnalysisEngine::forget_file(vfs::FileId id) {
@@ -369,6 +574,8 @@ std::optional<simhash::SimilarityDigest> AnalysisEngine::baseline_digest_for(
   // Corpus baselines recur across trials (the zoo reuses one corpus for
   // hundreds of runs); the shared cache computes each distinct content's
   // digest once, process-wide.
+  obs::ScopedTimer timer(h_sdhash_);
+  m_digests_->add();
   if (config_.share_digest_cache) {
     return simhash::DigestCache::global().get_or_compute(data);
   }
@@ -391,7 +598,7 @@ void AnalysisEngine::evaluate_modification(
     return;
   }
 
-  const magic::TypeId type_now = magic::identify(ByteView(*content));
+  const magic::TypeId type_now = sniff_type(ByteView(*content));
   bool fired_type = false;
   bool fired_similarity = false;
   bool similarity_available = false;
@@ -402,17 +609,25 @@ void AnalysisEngine::evaluate_modification(
       file.digest_attempted = true;
     }
     if (file.baseline_digest.has_value()) {
-      const auto new_digest = simhash::SimilarityDigest::compute(ByteView(*content));
+      std::optional<simhash::SimilarityDigest> new_digest;
+      {
+        obs::ScopedTimer digest_timer(h_sdhash_);
+        m_digests_->add();
+        new_digest = simhash::SimilarityDigest::compute(ByteView(*content));
+      }
       // Both versions must be digestible; sdhash yields no score for
       // sub-512-byte files, leaving this indicator silent (§V-C).
       if (new_digest.has_value()) {
         similarity_available = true;
-        if (file.baseline_digest->compare(*new_digest) <= config_.similarity_drop_max) {
+        const int similarity = file.baseline_digest->compare(*new_digest);
+        if (similarity <= config_.similarity_drop_max) {
           fired_similarity = true;
           proc.saw_similarity_drop = true;
           ++proc.similarity_drop_events;
           add_points(proc, pid, Indicator::similarity_drop,
-                     config_.points_similarity_drop, path);
+                     config_.points_similarity_drop, path,
+                     /*detail=*/similarity,
+                     "post-modification sdhash score vs. baseline");
         }
       }
     }
@@ -423,14 +638,18 @@ void AnalysisEngine::evaluate_modification(
     proc.saw_type_change = true;
     ++proc.type_change_events;
     int points = config_.points_type_change;
+    std::string note = std::string(magic::type_name(file.baseline_type)) +
+                       " -> " + std::string(magic::type_name(type_now));
     if (config_.enable_dynamic_scoring && config_.enable_similarity &&
         !similarity_available) {
       // §V-C dynamic scoring: the similarity indicator cannot weigh in
       // on this file (too small to digest), so the one that can counts
       // for more.
       points = static_cast<int>(points * config_.dynamic_unavailable_boost);
+      note += " (boosted: similarity unavailable)";
     }
-    add_points(proc, pid, Indicator::type_change, points, path);
+    add_points(proc, pid, Indicator::type_change, points, path, /*detail=*/0.0,
+               std::move(note));
   }
 
   // Funneling bookkeeping: the process has produced a file of this type.
@@ -462,6 +681,7 @@ vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
   // A suspended process's disk accesses stay paused until the user
   // resumes it. Closing handles is still permitted (not a disk access).
   if (event.op != vfs::OpType::close && is_suspended(event.pid)) {
+    m_ops_denied_->add();
     return vfs::Verdict::deny;
   }
 
@@ -470,8 +690,9 @@ vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
       event.op == vfs::OpType::rename && under_root(event.dest_path);
   if (!src_protected && !dst_protected) return vfs::Verdict::allow;
 
-  ScopedLatency timer(latency_, latency_mu_, event.op);
+  ScopedLatency timer(latency_, latency_mu_, event.op, h_dispatch_);
   op_seq_.fetch_add(1, std::memory_order_relaxed);
+  m_ops_observed_->add();
   switch (event.op) {
     case vfs::OpType::open:
       handle_open_pre(event);
@@ -489,6 +710,7 @@ vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
   // Points assessed during this pre callback may have crossed the
   // threshold; if so, this very operation is the first one paused.
   if (event.op != vfs::OpType::close && is_suspended(event.pid)) {
+    m_ops_denied_->add();
     return vfs::Verdict::deny;
   }
   return vfs::Verdict::allow;
@@ -504,7 +726,7 @@ void AnalysisEngine::post_operation(const vfs::OperationEvent& event,
   if (!src_protected && !dst_protected) return;
 
   AlertScope alerts(alert_callback_);
-  ScopedLatency timer(latency_, latency_mu_, event.op);
+  ScopedLatency timer(latency_, latency_mu_, event.op, h_dispatch_);
   switch (event.op) {
     case vfs::OpType::read:
       handle_read_post(event);
@@ -552,14 +774,18 @@ int AnalysisEngine::scaled_entropy_points(std::size_t op_bytes, double delta) co
 void AnalysisEngine::score_write_entropy(ProcessState& proc, vfs::ProcessId pid,
                                          ByteView data, const std::string& path) {
   if (!config_.enable_entropy) return;
-  proc.write_mean.add(data);
+  {
+    obs::ScopedTimer timer(h_entropy_);
+    proc.write_mean.add(data);
+  }
   if (proc.read_mean.empty() || proc.write_mean.empty()) return;
   const double delta = proc.write_mean.mean() - proc.read_mean.mean();
   if (delta < config_.entropy_delta_threshold) return;
   proc.saw_entropy = true;
   ++proc.entropy_events;
   add_points(proc, pid, Indicator::entropy_delta,
-             scaled_entropy_points(data.size(), delta), path);
+             scaled_entropy_points(data.size(), delta), path, /*detail=*/delta,
+             "write-mean minus read-mean entropy");
   check_union(proc, pid, path);
   maybe_detect(proc, pid, /*via_union=*/false);
 }
@@ -586,7 +812,9 @@ void AnalysisEngine::note_modification(ProcessState& proc, vfs::ProcessId pid,
   if (new_file_in_window &&
       proc.window_file_counts.size() >= config_.rate_min_files) {
     ++proc.rate_events;
-    add_points(proc, pid, Indicator::burst_rate, config_.points_rate, path);
+    add_points(proc, pid, Indicator::burst_rate, config_.points_rate, path,
+               /*detail=*/static_cast<double>(proc.window_file_counts.size()),
+               "distinct files modified inside the rate window");
     maybe_detect(proc, pid, /*via_union=*/false);
   }
 }
@@ -606,10 +834,11 @@ void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
   LockedProcess locked = lock_state_for(event);
   ProcessState& proc = *locked.proc;
   if (config_.enable_entropy) {
+    obs::ScopedTimer timer(h_entropy_);
     proc.read_mean.add(event.data);
   }
   if (event.offset == 0 && !event.data.empty()) {
-    proc.read_types.insert(magic::identify(event.data));
+    proc.read_types.insert(sniff_type(event.data));
     const std::string ext = vfs::path_extension(event.path);
     if (!ext.empty()) proc.read_extensions.insert(ext);
   }
@@ -622,7 +851,10 @@ void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
     proc.funneling_fired = true;
     ++proc.funneling_events;
     add_points(proc, event.pid, Indicator::funneling, config_.points_funneling,
-               event.path);
+               event.path,
+               /*detail=*/static_cast<double>(proc.read_types.size()),
+               "distinct types read vs. " +
+                   std::to_string(proc.write_types.size()) + " written");
     maybe_detect(proc, event.pid, /*via_union=*/false);
   }
 }
@@ -651,7 +883,7 @@ void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
   // Newly created file: no pre-image to compare, but it still counts as
   // written output for funneling, and becomes tracked from here on.
   if (content != nullptr) {
-    const magic::TypeId type_now = magic::identify(ByteView(*content));
+    const magic::TypeId type_now = sniff_type(ByteView(*content));
     locked.proc->write_types.insert(type_now);
     const std::string ext = vfs::path_extension(event.path);
     if (!ext.empty()) locked.proc->write_extensions.insert(ext);
@@ -668,7 +900,8 @@ void AnalysisEngine::handle_remove_post(const vfs::OperationEvent& event) {
     if (config_.enable_deletion) {
       ++proc.deletion_events;
       add_points(proc, event.pid, Indicator::deletion, config_.points_deletion,
-                 event.path);
+                 event.path, /*detail=*/0.0,
+                 "protected file removed");
       maybe_detect(proc, event.pid, /*via_union=*/false);
     }
   }
@@ -737,6 +970,7 @@ void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
     if (config_.enable_entropy) {
       const auto departing = fs_->read_unfiltered(event.dest_path);
       if (departing != nullptr && !departing->empty()) {
+        obs::ScopedTimer entropy_timer(h_entropy_);
         proc.read_mean.add(ByteView(*departing));
       }
     }

@@ -43,6 +43,8 @@
 #include "core/config.hpp"
 #include "entropy/entropy.hpp"
 #include "magic/magic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "simhash/similarity.hpp"
 #include "vfs/filesystem.hpp"
 #include "vfs/filter.hpp"
@@ -60,6 +62,8 @@ enum class Indicator : std::uint8_t {
   burst_rate,  ///< Extension: §V-F time-window indicator (off by default).
 };
 
+/// Stable lowercase label for an indicator ("entropy_delta", "union", ...)
+/// — used in reports, metric names, and forensic-timeline JSON.
 std::string_view indicator_name(Indicator ind);
 
 /// One reputation-score increment.
@@ -97,6 +101,11 @@ struct ProcessReport {
   std::set<std::string> write_extensions;  ///< Extensions written under the root.
 
   std::vector<ScoreEvent> timeline;  ///< Present when config.record_timeline.
+
+  /// Bounded forensic event history (docs/OBSERVABILITY.md): the same
+  /// score changes as `timeline` but with score-before/after and
+  /// indicator detail, plus suspension/resume verdict events.
+  obs::ForensicTimeline forensic;
 };
 
 /// Wall-clock cost of the engine's own measurement work, per operation
@@ -104,10 +113,12 @@ struct ProcessReport {
 /// and reported the added latency per operation (open/read < 1 ms,
 /// close 1.58 ms, write 9 ms, rename 16 ms on their prototype).
 struct LatencyStats {
+  /// Accumulated callback cost for one operation type.
   struct PerOp {
     std::uint64_t count = 0;
     std::uint64_t total_ns = 0;
     std::uint64_t max_ns = 0;
+    /// Mean callback cost in microseconds (0 when no samples).
     [[nodiscard]] double mean_micros() const {
       return count == 0 ? 0.0
                         : static_cast<double>(total_ns) / 1000.0 /
@@ -116,7 +127,9 @@ struct LatencyStats {
   };
   PerOp open, read, write, truncate, close, remove, rename, mkdir;
 
+  /// The accumulator for `op` (every OpType maps to exactly one field).
   [[nodiscard]] const PerOp& for_op(vfs::OpType op) const;
+  /// Mutable variant of for_op().
   PerOp& for_op(vfs::OpType op);
 };
 
@@ -131,6 +144,10 @@ struct EngineSnapshot {
   std::vector<ProcessReport> processes;
   std::uint64_t observed_ops = 0;
   LatencyStats latency;
+  /// Every engine metric (counters, gauges, stage-latency histograms),
+  /// merged across write shards at capture time — the machine-readable
+  /// side of this snapshot (obs::to_json serializes it).
+  obs::MetricsSnapshot metrics;
   int default_threshold = 0;  ///< config.score_threshold at capture time.
 
   /// Report for `pid`'s scoreboard entry, or nullptr if never scored.
@@ -150,6 +167,12 @@ struct Alert {
   std::uint64_t op_seq = 0;
 };
 
+/// The CryptoDrop detector (§IV): a vfs::Filter that scores every
+/// process's file activity against the paper's indicators and suspends
+/// a process whose reputation crosses the threshold. Fully thread-safe:
+/// state is sharded 16 ways (scoreboard and file baselines), callbacks
+/// on different processes/files proceed in parallel, and all queries may
+/// run concurrently with operations.
 class AnalysisEngine : public vfs::Filter {
  public:
   /// Throws std::invalid_argument when `config.validate()` fails — an
@@ -163,18 +186,40 @@ class AnalysisEngine : public vfs::Filter {
   void set_alert_callback(std::function<void(const Alert&)> callback);
 
   // --- vfs::Filter ------------------------------------------------------
+  /// Denies every disk access (except close) of a suspended process and
+  /// captures pre-images where measurement needs them. Thread-safe.
   vfs::Verdict pre_operation(const vfs::OperationEvent& event) override;
+  /// Scores the completed operation (entropy, type, similarity, deletion,
+  /// funneling, rate) and fires the alert callback on a new suspension.
+  /// Thread-safe.
   void post_operation(const vfs::OperationEvent& event, const Status& outcome) override;
+  /// Called by FileSystem::attach_filter; records the owning filesystem.
   void on_attach(vfs::FileSystem& fs) override;
 
   // --- queries ----------------------------------------------------------
+  /// The validated configuration this engine was built with (immutable).
   [[nodiscard]] const ScoringConfig& config() const { return config_; }
+  /// Whether `pid`'s scoreboard entry is currently suspended. Thread-safe.
   [[nodiscard]] bool is_suspended(vfs::ProcessId pid) const;
+  /// `pid`'s current reputation score (0 if never scored). Thread-safe.
   [[nodiscard]] int score(vfs::ProcessId pid) const;
+  /// Point-in-time report for one process (empty report with the default
+  /// threshold when `pid` was never scored). Thread-safe.
   [[nodiscard]] ProcessReport process_report(vfs::ProcessId pid) const;
   /// Atomically captures every process report, the observed-op count and
   /// the latency stats under one (stop-the-world) lock acquisition.
   [[nodiscard]] EngineSnapshot snapshot() const;
+  /// "Why was pid X suspended?" — the bounded forensic event history of
+  /// `pid`'s scoreboard entry (score deltas with before/after values,
+  /// indicator detail, and any suspension/resume verdicts). A never-seen
+  /// pid yields an empty timeline carrying the default threshold.
+  /// Thread-safe; locks only that pid's scoreboard shard.
+  [[nodiscard]] obs::ForensicTimeline explain(vfs::ProcessId pid) const;
+  /// Current value of every engine metric, merged across write shards.
+  /// Thread-safe; may run concurrently with operations (counters already
+  /// incremented are visible, in-flight ones may not be). Gauges are
+  /// refreshed (shard walk) as part of the call.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
   /// Pids of every process the engine has scored so far.
   [[deprecated("iterate snapshot().processes instead — a pid list is stale "
                "by the time it is re-queried")]]
@@ -230,6 +275,10 @@ class AnalysisEngine : public vfs::Filter {
     std::set<std::string> write_extensions;
 
     std::vector<ScoreEvent> timeline;
+    /// Bounded forensic ring (capacity fixed at entry creation from
+    /// config.timeline_capacity; 0 = recording disabled). Mutated only
+    /// under this entry's shard lock, so it needs no atomics of its own.
+    obs::TimelineRing forensic{0};
   };
 
   /// Pre-modification snapshot of a protected file, keyed by FileId so it
@@ -281,8 +330,13 @@ class AnalysisEngine : public vfs::Filter {
   /// if needed) its state entry.
   LockedProcess lock_state_for(const vfs::OperationEvent& event);
 
+  /// Adds `points` to `proc`, bumps the per-indicator metrics, and (when
+  /// timelines are on) appends both the legacy ScoreEvent and a forensic
+  /// TimelineEvent. `detail` is the indicator's measured magnitude
+  /// (entropy delta, similarity score, ...); `note` is free-form context.
   void add_points(ProcessState& proc, vfs::ProcessId pid, Indicator indicator,
-                  int points, const std::string& path);
+                  int points, const std::string& path, double detail = 0.0,
+                  std::string note = {});
   [[nodiscard]] int scaled_entropy_points(std::size_t op_bytes, double delta) const;
   void score_write_entropy(ProcessState& proc, vfs::ProcessId pid, ByteView data,
                            const std::string& path);
@@ -311,6 +365,19 @@ class AnalysisEngine : public vfs::Filter {
   /// the file has no tracked baseline.
   bool mark_pending_check(vfs::FileId id);
 
+  /// Registers every engine metric with `metrics_` and caches the
+  /// instrument pointers used on the hot path (constructor only).
+  void register_metrics();
+  /// Walks the file shards (and the shared digest cache, if enabled) to
+  /// bring the point-in-time gauges up to date before a metrics snapshot.
+  void refresh_gauges(std::size_t tracked_processes) const;
+  /// Copies one scoreboard entry's forensic ring into a standalone
+  /// timeline. Call with `key`'s shard lock held.
+  [[nodiscard]] obs::ForensicTimeline make_forensic(vfs::ProcessId key,
+                                                    const ProcessState& proc) const;
+  /// magic::identify wrapped in the magic_sniff stage timer.
+  [[nodiscard]] magic::TypeId sniff_type(ByteView data) const;
+
   void handle_open_pre(const vfs::OperationEvent& event);
   void handle_rename_pre(const vfs::OperationEvent& event);
   void handle_read_post(const vfs::OperationEvent& event);
@@ -327,6 +394,29 @@ class AnalysisEngine : public vfs::Filter {
   std::atomic<std::uint64_t> op_seq_{0};
   LatencyStats latency_;
   mutable std::mutex latency_mu_;
+
+  // --- observability (docs/OBSERVABILITY.md) ----------------------------
+  // The registry owns the instruments; the pointers below are stable
+  // hot-path handles cached by register_metrics() in the constructor.
+  mutable obs::MetricsRegistry metrics_;
+  obs::Counter* m_ops_observed_ = nullptr;
+  obs::Counter* m_ops_denied_ = nullptr;
+  obs::Counter* m_suspensions_ = nullptr;
+  obs::Counter* m_resumes_ = nullptr;
+  obs::Counter* m_baselines_ = nullptr;
+  obs::Counter* m_digests_ = nullptr;
+  std::array<obs::Counter*, 7> m_indicator_events_{};
+  std::array<obs::Counter*, 7> m_indicator_points_{};
+  obs::Histogram* h_sdhash_ = nullptr;
+  obs::Histogram* h_entropy_ = nullptr;
+  obs::Histogram* h_magic_ = nullptr;
+  obs::Histogram* h_dispatch_ = nullptr;
+  obs::Gauge* g_processes_ = nullptr;
+  obs::Gauge* g_files_ = nullptr;
+  obs::Gauge* g_cache_hits_ = nullptr;
+  obs::Gauge* g_cache_misses_ = nullptr;
+  obs::Gauge* g_cache_entries_ = nullptr;
+  obs::Gauge* g_cache_evictions_ = nullptr;
 };
 
 }  // namespace cryptodrop::core

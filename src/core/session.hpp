@@ -25,6 +25,10 @@
 
 namespace cryptodrop::core {
 
+/// One monitored volume with its engine attached, RAII-style (see the
+/// file comment). Movable, not copyable; detaches on destruction. A
+/// session is single-owner: drive operations and queries from one thread,
+/// or rely on the engine's own thread-safety for concurrent queries.
 class MonitorSession {
  public:
   /// A session over a pristine clone of `base` (the VM-snapshot-revert
@@ -42,9 +46,13 @@ class MonitorSession {
 
   ~MonitorSession();
 
+  /// The session's private volume (drive operations through this).
   [[nodiscard]] vfs::FileSystem& fs() { return fs_; }
+  /// Const view of the session's volume.
   [[nodiscard]] const vfs::FileSystem& fs() const { return fs_; }
+  /// The attached engine (valid for the session's lifetime).
   [[nodiscard]] AnalysisEngine& engine() { return *engine_; }
+  /// Const view of the attached engine.
   [[nodiscard]] const AnalysisEngine& engine() const { return *engine_; }
 
   /// Registers a process on the session's volume.
@@ -54,6 +62,19 @@ class MonitorSession {
 
   /// One consistent view of everything the engine has measured.
   [[nodiscard]] EngineSnapshot snapshot() const { return engine_->snapshot(); }
+
+  /// "Why was pid X suspended?" — the process's forensic timeline
+  /// (forwards to AnalysisEngine::explain; locks one scoreboard shard).
+  [[nodiscard]] obs::ForensicTimeline explain(vfs::ProcessId pid) const {
+    return engine_->explain(pid);
+  }
+
+  /// Current value of every engine metric, gauges refreshed (forwards to
+  /// AnalysisEngine::metrics_snapshot). Cheaper than snapshot() when the
+  /// process reports are not needed.
+  [[nodiscard]] obs::MetricsSnapshot metrics() const {
+    return engine_->metrics_snapshot();
+  }
 
  private:
   vfs::FileSystem fs_;

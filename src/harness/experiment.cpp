@@ -46,7 +46,9 @@ RansomwareRunResult run_ransomware_sample(const Environment& env,
   result.behavior = spec.behavior;
   result.sample = sample.run(fs, pid, env.corpus.root);
   result.files_lost = corpus::count_files_lost(fs, env.corpus);
-  result.report = session.snapshot().report_for(pid);
+  const core::EngineSnapshot snap = session.snapshot();
+  result.report = snap.report_for(pid);
+  result.metrics = snap.metrics;
   // With family scoring, the root's report covers spawned workers; when
   // an ablation disables it, a run halted by denials still counts as
   // detected (every worker was individually flagged).
@@ -108,11 +110,25 @@ BenignRunResult run_benign_workload(const Environment& env,
   BenignRunResult result;
   result.app = workload.name;
   result.expected_false_positive = workload.expected_false_positive;
-  result.report = session.snapshot().report_for(pid);
+  const core::EngineSnapshot snap = session.snapshot();
+  result.report = snap.report_for(pid);
+  result.metrics = snap.metrics;
   result.detected = result.report.suspended;
   result.final_score = result.report.score;
   result.union_triggered = result.report.union_triggered;
   return result;
+}
+
+obs::MetricsSnapshot merged_metrics(const std::vector<RansomwareRunResult>& results) {
+  obs::MetricsSnapshot merged;
+  for (const RansomwareRunResult& r : results) merged.merge(r.metrics);
+  return merged;
+}
+
+obs::MetricsSnapshot merged_metrics(const std::vector<BenignRunResult>& results) {
+  obs::MetricsSnapshot merged;
+  for (const BenignRunResult& r : results) merged.merge(r.metrics);
+  return merged;
 }
 
 std::vector<FamilyRow> aggregate_table1(const std::vector<RansomwareRunResult>& results) {

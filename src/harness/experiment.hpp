@@ -30,6 +30,7 @@ struct Environment {
 /// Builds the standard 5,099-file / 511-directory environment (or a
 /// custom `spec`). Deterministic in `seed`.
 Environment make_environment(const corpus::CorpusSpec& spec, std::uint64_t seed);
+/// make_environment() with the paper's default corpus spec.
 Environment make_default_environment(std::uint64_t seed);
 
 /// A scaled-down environment for unit/integration tests (fast to build).
@@ -45,6 +46,10 @@ struct RansomwareRunResult {
   bool union_triggered = false;
   std::uint64_t union_count = 0;
   core::ProcessReport report;
+  /// The trial engine's full metrics at the end of the run (counters,
+  /// gauges, stage-latency histograms). Merge across trials with
+  /// merged_metrics().
+  obs::MetricsSnapshot metrics;
   sim::SampleRun sample;
   /// Directories (under the corpus root) where the sample read or wrote
   /// at least one file before being stopped — Figure 4's shading.
@@ -53,6 +58,9 @@ struct RansomwareRunResult {
   std::set<std::string> extensions_accessed;
 };
 
+/// Runs one ransomware sample in a fresh MonitorSession over a pristine
+/// clone of `env.base_fs` and reports the outcome. Deterministic in the
+/// spec's seed.
 RansomwareRunResult run_ransomware_sample(const Environment& env,
                                           const sim::SampleSpec& spec,
                                           const core::ScoringConfig& config);
@@ -72,14 +80,24 @@ struct BenignRunResult {
   int final_score = 0;
   bool union_triggered = false;
   core::ProcessReport report;
+  /// The trial engine's full metrics at the end of the run.
+  obs::MetricsSnapshot metrics;
 };
 
+/// Runs one benign workload in a fresh MonitorSession; deterministic in
+/// `seed`.
 BenignRunResult run_benign_workload(const Environment& env,
                                     const sim::BenignWorkload& workload,
                                     const core::ScoringConfig& config,
                                     std::uint64_t seed);
 
 // --- aggregation helpers (the numbers the paper reports) ---------------
+
+/// Sums the per-trial metrics of a campaign into one snapshot: counters
+/// and histogram counts add across trials, gauges keep their maximum.
+obs::MetricsSnapshot merged_metrics(const std::vector<RansomwareRunResult>& results);
+/// merged_metrics() over the benign suite's per-trial metrics.
+obs::MetricsSnapshot merged_metrics(const std::vector<BenignRunResult>& results);
 
 /// One row of Table I.
 struct FamilyRow {

@@ -97,6 +97,38 @@ Json campaign_report(const Environment& env,
   return j;
 }
 
+namespace {
+
+/// Shared shape of both metrics_report overloads: merged metrics up
+/// front, then one forensic timeline per run (suspended runs are where
+/// the "why was pid X suspended?" answer lives).
+template <typename Result>
+Json metrics_report_impl(const char* experiment,
+                         const std::vector<Result>& results) {
+  obs::MetricsSnapshot merged;
+  Json timelines = Json::array();
+  for (const Result& r : results) {
+    merged.merge(r.metrics);
+    timelines.push(obs::to_json(r.report.forensic));
+  }
+  Json j = Json::object();
+  j.set("experiment", experiment)
+      .set("runs", results.size())
+      .set("metrics", obs::to_json(merged))
+      .set("timelines", std::move(timelines));
+  return j;
+}
+
+}  // namespace
+
+Json metrics_report(const std::vector<RansomwareRunResult>& results) {
+  return metrics_report_impl("table1_campaign", results);
+}
+
+Json metrics_report(const std::vector<BenignRunResult>& results) {
+  return metrics_report_impl("benign_suite", results);
+}
+
 Json benign_report(const std::vector<BenignRunResult>& results) {
   std::size_t false_positives = 0;
   Json apps = Json::array();

@@ -27,4 +27,11 @@ Json campaign_report(const Environment& env,
 /// Benign-suite report: per-app scores and the false-positive count.
 Json benign_report(const std::vector<BenignRunResult>& results);
 
+/// Instrumentation sidecar (the `--metrics-out` payload): the campaign's
+/// merged metrics plus every run's forensic timeline — see
+/// docs/OBSERVABILITY.md for the schema.
+Json metrics_report(const std::vector<RansomwareRunResult>& results);
+/// metrics_report() for a benign-suite run.
+Json metrics_report(const std::vector<BenignRunResult>& results);
+
 }  // namespace cryptodrop::harness

@@ -22,6 +22,8 @@
 
 namespace cryptodrop::harness {
 
+/// Knobs for the parallel trial runner (shared by every *_parallel entry
+/// point). Plain value type.
 struct RunnerOptions {
   /// Worker threads; 0 means one per hardware thread.
   std::size_t jobs = 0;

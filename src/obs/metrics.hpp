@@ -1,0 +1,313 @@
+// Observability metrics: a lock-cheap registry of counters, gauges and
+// fixed-bucket histograms, built for the engine's hot path.
+//
+// Design (DESIGN.md §10):
+//  * Writes are sharded 16 ways (matching the engine's scoreboard/file
+//    sharding): each counter/histogram keeps one cache-line-aligned cell
+//    per shard, a thread picks its shard once (thread-local), and every
+//    increment is a single relaxed atomic add — no mutex, no contention
+//    between threads on different shards, TSan-clean.
+//  * Reads merge on snapshot: value() / snapshot() sum the cells. A
+//    snapshot is not a cross-metric atomic cut (each metric is summed
+//    independently); per-metric totals are exact.
+//  * Registration (registry.counter("name", ...)) is mutex-guarded and
+//    idempotent; hot paths hold direct references obtained once, so the
+//    registry lookup never appears on the operation path.
+//  * Compile-time kill switch: building with -DCRYPTODROP_NO_METRICS
+//    turns every mutation (add/set/record, and ScopedTimer's clock
+//    reads) into an empty inline body. Registration and snapshots keep
+//    working — metrics simply all read zero — so instrumented code and
+//    the docs-check tooling compile unchanged.
+//
+// Naming convention (docs/OBSERVABILITY.md): flat lowercase names with a
+// unit suffix (`_total` for counters, `_us` for microsecond histograms)
+// and a dotted label suffix for per-indicator / per-stage families, e.g.
+// `indicator_events_total.entropy_delta`, `stage_latency_us.sdhash_digest`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace cryptodrop::obs {
+
+#ifdef CRYPTODROP_NO_METRICS
+inline constexpr bool kMetricsEnabled = false;
+#else
+/// True unless built with -DCRYPTODROP_NO_METRICS.
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// Write-side shard count; matches the engine's 16-way sharding so a
+/// workload that spreads across engine shards also spreads here.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// This thread's metric shard (assigned round-robin on first use and
+/// cached thread-local; stable for the thread's lifetime).
+std::size_t metric_shard_index();
+
+// --- snapshots ---------------------------------------------------------
+
+/// Point-in-time value of one counter (merged across shards).
+struct CounterSnapshot {
+  std::string name;
+  std::string unit;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+/// Point-in-time value of one gauge (last value set).
+struct GaugeSnapshot {
+  std::string name;
+  std::string unit;
+  std::string help;
+  double value = 0.0;
+};
+
+/// Point-in-time state of one histogram (bucket counts merged across
+/// shards). `counts` has one entry per upper bound plus a final overflow
+/// bucket; a recorded value v lands in the first bucket with v <= bound.
+struct HistogramSnapshot {
+  std::string name;
+  std::string unit;
+  std::string help;
+  std::vector<double> bounds;         ///< Ascending finite upper bounds.
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (last = overflow).
+  std::uint64_t count = 0;            ///< Total recorded samples.
+  double sum = 0.0;                   ///< Sum of recorded values.
+
+  /// Mean of recorded values (0 when empty).
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Everything one registry has measured, merged and self-describing.
+/// Snapshots from different registries (e.g. one engine per parallel
+/// trial) combine with merge(); to_json() serializes for export.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      ///< Registration order.
+  std::vector<GaugeSnapshot> gauges;          ///< Registration order.
+  std::vector<HistogramSnapshot> histograms;  ///< Registration order.
+
+  /// Finds a counter by exact name, or nullptr.
+  [[nodiscard]] const CounterSnapshot* counter(std::string_view name) const;
+  /// Finds a gauge by exact name, or nullptr.
+  [[nodiscard]] const GaugeSnapshot* gauge(std::string_view name) const;
+  /// Finds a histogram by exact name, or nullptr.
+  [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
+
+  /// Folds `other` in by metric name: counter values and histogram
+  /// bucket counts add; gauges keep the maximum (they describe sizes /
+  /// cache states, where the high-water mark is the useful aggregate).
+  /// Metrics present only in `other` are appended.
+  void merge(const MetricsSnapshot& other);
+};
+
+/// Serializes a snapshot: {"counters": {...}, "gauges": {...},
+/// "histograms": {...}} per the schema in docs/OBSERVABILITY.md.
+Json to_json(const MetricsSnapshot& snapshot);
+
+// --- instruments -------------------------------------------------------
+
+/// Monotonically increasing event count. add() is one relaxed atomic
+/// increment on the calling thread's shard cell; value() sums the cells.
+/// Thread-safe; never negative.
+class Counter {
+ public:
+  /// Adds `n` (relaxed; no ordering is implied toward other metrics).
+  void add(std::uint64_t n = 1) {
+#ifndef CRYPTODROP_NO_METRICS
+    cells_[metric_shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  /// Sum over all shard cells. Concurrent adds may or may not be
+  /// reflected (relaxed reads); the value is exact once writers quiesce.
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kMetricShards> cells_{};
+};
+
+/// Last-write-wins instantaneous value (table sizes, cache occupancy).
+/// set()/value() are single relaxed atomic accesses; thread-safe.
+class Gauge {
+ public:
+  /// Replaces the current value.
+  void set(double v) {
+#ifndef CRYPTODROP_NO_METRICS
+    bits_.store(encode(v), std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  /// The most recently set value (0 until first set).
+  [[nodiscard]] double value() const {
+    return decode(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static std::uint64_t encode(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double decode(std::uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket distribution. Bucket edges are upper bounds: a recorded
+/// value v lands in the first bucket with v <= bound, or the overflow
+/// bucket past the last bound. record() touches only the calling
+/// thread's shard (two relaxed adds + one CAS-add for the sum);
+/// thread-safe.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Folds one sample into the distribution.
+  void record(double v);
+
+  /// Bucket upper bounds (shared by every shard).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Merged view of the distribution (name/help/unit fields left empty;
+  /// the registry fills them in its snapshot).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::size_t stride_ = 0;  ///< Padded per-shard bucket-array length.
+  /// kMetricShards consecutive bucket arrays of `stride_` atomics each.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bucket_cells_;
+  std::array<Cell, kMetricShards> totals_{};
+};
+
+/// RAII wall-clock timer: records the enclosing scope's duration, in
+/// microseconds, into a histogram at scope exit. A null histogram (or a
+/// -DCRYPTODROP_NO_METRICS build) makes it a true no-op — the clock is
+/// never read.
+class ScopedTimer {
+ public:
+  /// Starts timing immediately; `histogram` may be null (no-op timer).
+  explicit ScopedTimer(Histogram* histogram)
+#ifndef CRYPTODROP_NO_METRICS
+      : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = now_ns();
+  }
+#else
+  {
+    (void)histogram;
+  }
+#endif
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+#ifndef CRYPTODROP_NO_METRICS
+    if (histogram_ != nullptr) {
+      histogram_->record(static_cast<double>(now_ns() - start_) / 1000.0);
+    }
+#endif
+  }
+
+ private:
+#ifndef CRYPTODROP_NO_METRICS
+  static std::uint64_t now_ns();
+  Histogram* histogram_ = nullptr;
+  std::uint64_t start_ = 0;
+#endif
+};
+
+// --- registry ----------------------------------------------------------
+
+/// Owner and directory of a related set of metrics (one per engine).
+/// Registration is mutex-guarded, idempotent by name, and returns
+/// references that stay valid for the registry's lifetime — callers
+/// register once (e.g. at engine construction) and mutate lock-free
+/// thereafter. snapshot() merges every instrument. Thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a counter. `unit` defaults to "count".
+  Counter& counter(std::string_view name, std::string_view help,
+                   std::string_view unit = "count");
+
+  /// Registers (or finds) a gauge.
+  Gauge& gauge(std::string_view name, std::string_view help,
+               std::string_view unit = "count");
+
+  /// Registers (or finds) a histogram with the given bucket upper
+  /// bounds. Bounds are fixed at registration; re-registering an
+  /// existing name returns the original instrument (bounds argument
+  /// ignored).
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::string_view unit, std::vector<double> bounds);
+
+  /// Merged point-in-time view of every registered metric, in
+  /// registration order.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Default bucket edges for stage-latency histograms: 1 µs … 65.536 ms
+  /// in powers of two (17 finite buckets + overflow).
+  static std::vector<double> latency_buckets_us();
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::string unit;
+    T instrument;
+    Entry(std::string n, std::string h, std::string u)
+        : name(std::move(n)), help(std::move(h)), unit(std::move(u)) {}
+    Entry(std::string n, std::string h, std::string u, std::vector<double> b)
+        : name(std::move(n)), help(std::move(h)), unit(std::move(u)),
+          instrument(std::move(b)) {}
+  };
+
+  mutable std::mutex mu_;
+  // Deques: references handed out must survive later registrations.
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Histogram>> histograms_;
+};
+
+}  // namespace cryptodrop::obs

@@ -12,6 +12,10 @@
 // --union-threshold N. The assembled config is validated before any
 // trial runs; a nonsensical combination exits 2 with the reason.
 //
+// Observability: sample/benign/campaign accept --metrics-out FILE and
+// write the instrumentation sidecar there — merged engine metrics plus
+// one forensic timeline per run (schema in docs/OBSERVABILITY.md).
+//
 // Everything is deterministic in the seeds (campaign results are
 // bit-identical at any --jobs count); --json emits the harness's
 // machine-readable report instead of tables.
@@ -83,6 +87,21 @@ core::ScoringConfig scoring_config(const Args& args) {
   return config;
 }
 
+/// Writes the --metrics-out sidecar (pretty JSON) if the flag was given.
+void maybe_write_metrics(const Args& args, const Json& payload) {
+  const std::string path = args.get("metrics-out", "");
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open metrics file for writing: " + path);
+  }
+  const std::string text = payload.to_pretty_string();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+}
+
 harness::Environment build_env(const Args& args, std::size_t default_files) {
   corpus::CorpusSpec spec;
   spec.total_files = args.get_size("corpus", default_files);
@@ -108,6 +127,8 @@ int cmd_sample(const Args& args) {
   spec.seed = args.get_size("seed", 7);
 
   const auto r = harness::run_ransomware_sample(env, spec, scoring_config(args));
+  maybe_write_metrics(args, harness::metrics_report(
+                                std::vector<harness::RansomwareRunResult>{r}));
   if (args.flag("json")) {
     std::printf("%s", harness::to_json(r).to_pretty_string().c_str());
     return r.detected ? 0 : 1;
@@ -132,6 +153,8 @@ int cmd_benign(const Args& args) {
   const auto r = harness::run_benign_workload(env, sim::benign_workload(app),
                                               scoring_config(args),
                                               args.get_size("seed", 9));
+  maybe_write_metrics(args, harness::metrics_report(
+                                std::vector<harness::BenignRunResult>{r}));
   if (args.flag("json")) {
     std::printf("%s", harness::to_json(r).to_pretty_string().c_str());
   } else {
@@ -169,6 +192,7 @@ int cmd_campaign(const Args& args) {
                harness::effective_jobs(options.jobs));
   const auto results =
       harness::run_campaign_parallel(env, specs, scoring_config(args), options);
+  maybe_write_metrics(args, harness::metrics_report(results));
   if (args.flag("json")) {
     std::printf("%s", harness::campaign_report(env, results, args.flag("per-sample"))
                           .to_pretty_string()
@@ -258,7 +282,9 @@ void usage() {
                "  corpus   [--corpus N] [--seed N]\n"
                "  families\n"
                "  apps\n"
-               "scoring flags (sample/benign/campaign): --threshold N, --union-threshold N\n");
+               "scoring flags (sample/benign/campaign): --threshold N, --union-threshold N\n"
+               "observability (sample/benign/campaign): --metrics-out FILE writes merged\n"
+               "  engine metrics + per-run forensic timelines as JSON\n");
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+// docs-check: the documentation gate, run as a tier-1 ctest.
+//
+// Two invariants, checked against the living code so the docs cannot
+// silently rot:
+//
+//  1. Metric parity. The metrics schema table in docs/OBSERVABILITY.md
+//     (between the `<!-- metrics-schema:begin -->` / `end` markers) must
+//     name exactly the metrics a freshly constructed AnalysisEngine
+//     registers — nothing missing, nothing stale. Per-indicator counter
+//     families are documented once as `name.<indicator>`.
+//
+//  2. Doc comments. Every public type and function in the repo's public
+//     headers (the fixed list below) must carry a comment on the
+//     preceding line. The scan is a deliberately simple heuristic — it
+//     tracks brace depth, public/private sections, and statement
+//     starts — so keep header formatting conventional.
+//
+// Usage: docs_check <repo-root>   (exit 0 = docs in sync)
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using cryptodrop::core::AnalysisEngine;
+using cryptodrop::core::Indicator;
+using cryptodrop::core::ScoringConfig;
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "docs-check: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// --- invariant 1: metric parity ----------------------------------------
+
+/// Indicator labels, for collapsing per-indicator metric families into
+/// one documented `family.<indicator>` row.
+std::vector<std::string> indicator_labels() {
+  static constexpr Indicator kAll[] = {
+      Indicator::entropy_delta,   Indicator::type_change,
+      Indicator::similarity_drop, Indicator::deletion,
+      Indicator::funneling,       Indicator::union_indication,
+      Indicator::burst_rate,
+  };
+  std::vector<std::string> labels;
+  for (Indicator ind : kAll) {
+    labels.emplace_back(cryptodrop::core::indicator_name(ind));
+  }
+  return labels;
+}
+
+/// Replaces a per-indicator suffix with the `<indicator>` placeholder,
+/// e.g. "indicator_events_total.entropy_delta" -> "indicator_events_total.<indicator>".
+std::string collapse_family(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) return name;
+  const std::string suffix = name.substr(dot + 1);
+  for (const std::string& label : indicator_labels()) {
+    if (suffix == label) return name.substr(0, dot) + ".<indicator>";
+  }
+  return name;
+}
+
+/// Every metric name a default-config engine registers, families
+/// collapsed, sorted and deduplicated.
+std::set<std::string> registered_metric_names() {
+  const AnalysisEngine engine{ScoringConfig{}};
+  const cryptodrop::obs::MetricsSnapshot snap = engine.metrics_snapshot();
+  std::set<std::string> names;
+  for (const auto& c : snap.counters) names.insert(collapse_family(c.name));
+  for (const auto& g : snap.gauges) names.insert(collapse_family(g.name));
+  for (const auto& h : snap.histograms) names.insert(collapse_family(h.name));
+  return names;
+}
+
+/// Metric names documented in OBSERVABILITY.md: the first `backticked`
+/// token of every table row between the metrics-schema markers.
+std::set<std::string> documented_metric_names(const std::string& doc_path) {
+  std::set<std::string> names;
+  bool in_schema = false;
+  for (const std::string& raw : read_lines(doc_path)) {
+    const std::string line = trim(raw);
+    if (line.find("metrics-schema:begin") != std::string::npos) {
+      in_schema = true;
+      continue;
+    }
+    if (line.find("metrics-schema:end") != std::string::npos) in_schema = false;
+    if (!in_schema || line.empty() || line[0] != '|') continue;
+    const std::size_t open = line.find('`');
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string token = line.substr(open + 1, close - open - 1);
+    if (!token.empty() && token.find(' ') == std::string::npos) {
+      names.insert(token);
+    }
+  }
+  return names;
+}
+
+int check_metric_parity(const std::string& root) {
+  const std::string doc_path = root + "/docs/OBSERVABILITY.md";
+  const std::set<std::string> registered = registered_metric_names();
+  const std::set<std::string> documented = documented_metric_names(doc_path);
+  int failures = 0;
+  for (const std::string& name : registered) {
+    if (documented.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: metric `%s` is registered by the engine but "
+                   "missing from the docs/OBSERVABILITY.md schema table\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : documented) {
+    if (registered.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: docs/OBSERVABILITY.md documents metric `%s` "
+                   "but no engine registers it\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("docs-check: metric schema in sync (%zu metrics)\n",
+                registered.size());
+  }
+  return failures;
+}
+
+// --- invariant 2: header doc comments ----------------------------------
+
+/// One lexical scope opened by '{': a namespace, a class/struct body
+/// (with its current access level), or anything else (function bodies,
+/// enums, initializers) whose contents are never doc candidates.
+struct Scope {
+  enum Kind { ns, record, other } kind = other;
+  bool is_public = true;  ///< Current access level (records only).
+};
+
+struct HeaderScanner {
+  std::vector<Scope> scopes;
+  bool in_block_comment = false;
+  bool prev_line_was_comment = false;
+  bool statement_open = false;   ///< Mid-statement (previous code line did not end one).
+  std::string statement_text;    ///< Code accumulated since the statement start.
+  int failures = 0;
+
+  /// True when a declaration here is part of the public API surface.
+  [[nodiscard]] bool in_public_scope() const {
+    if (scopes.empty()) return false;  // require at least a namespace
+    for (const Scope& s : scopes) {
+      if (s.kind == Scope::other) return false;
+      if (s.kind == Scope::record && !s.is_public) return false;
+    }
+    return true;
+  }
+
+  /// Strips comments (tracking block-comment state) and string literals.
+  std::string code_of(const std::string& line) {
+    std::string out;
+    bool in_string = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_string) {
+        if (line[i] == '\\') {
+          ++i;
+        } else if (line[i] == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (line[i] == '"') {
+        in_string = true;
+        out += '"';  // keep a placeholder so "..." still reads as a token
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      out += line[i];
+    }
+    return out;
+  }
+
+  /// Classifies the scope a '{' opens from the statement that led to it.
+  [[nodiscard]] static Scope classify(const std::string& statement) {
+    const std::string t = trim(statement);
+    if (starts_with(t, "namespace") || t.find(" namespace ") != std::string::npos) {
+      return Scope{Scope::ns, true};
+    }
+    if (starts_with(t, "enum")) return Scope{Scope::other, true};
+    if (starts_with(t, "struct") || starts_with(t, "class") ||
+        starts_with(t, "template")) {
+      // Struct members default public, class members private.
+      return Scope{Scope::record, t.find("struct") != std::string::npos};
+    }
+    return Scope{Scope::other, true};
+  }
+
+  /// A statement-start line that opens a public declaration needing a
+  /// doc comment: a function (contains '(') or a record definition.
+  [[nodiscard]] static bool needs_doc(const std::string& code) {
+    const std::string t = trim(code);
+    if (t.empty() || t[0] == '#' || t[0] == '}' || t[0] == ')' ||
+        t[0] == '{' || t[0] == '~') {
+      return false;  // continuations, closers, destructors
+    }
+    if (starts_with(t, "public:") || starts_with(t, "private:") ||
+        starts_with(t, "protected:")) {
+      return false;
+    }
+    if (starts_with(t, "namespace") || starts_with(t, "using namespace")) return false;
+    if (starts_with(t, "friend") || starts_with(t, "typedef")) return false;
+    if (t.find("= default") != std::string::npos ||
+        t.find("= delete") != std::string::npos) {
+      return false;
+    }
+    if (starts_with(t, "struct") || starts_with(t, "class") ||
+        starts_with(t, "enum")) {
+      // Definitions only; `class X;` forward declarations are exempt.
+      return t.find('{') != std::string::npos || t.back() != ';';
+    }
+    return t.find('(') != std::string::npos;
+  }
+
+  void scan(const std::string& path, const std::string& display_name) {
+    const std::vector<std::string> lines = read_lines(path);
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      const std::string& raw = lines[n];
+      const bool was_in_block = in_block_comment;
+      const std::string code = code_of(raw);
+      const std::string tcode = trim(code);
+      if (tcode.empty()) {
+        // Blank or pure-comment line. Blank lines break a doc block.
+        prev_line_was_comment = was_in_block || in_block_comment ||
+                                !trim(raw).empty();
+        continue;
+      }
+
+      if (!statement_open) {
+        statement_text.clear();
+        if (in_public_scope() && needs_doc(code) && !prev_line_was_comment) {
+          std::fprintf(stderr,
+                       "docs-check: %s:%zu: public declaration lacks a doc "
+                       "comment: %s\n",
+                       display_name.c_str(), n + 1,
+                       trim(raw).substr(0, 60).c_str());
+          ++failures;
+        }
+      }
+
+      // Walk the code to keep brace depth and statement state current.
+      statement_text += ' ';
+      for (char c : code) {
+        if (c == '{') {
+          scopes.push_back(classify(statement_text));
+          statement_text.clear();
+        } else if (c == '}') {
+          if (!scopes.empty()) scopes.pop_back();
+          statement_text.clear();
+        } else {
+          statement_text += c;
+        }
+      }
+
+      const char last = tcode.back();
+      statement_open = !(last == ';' || last == '{' || last == '}' || last == ':');
+      if (!statement_open) statement_text.clear();
+
+      // Access specifiers flip the innermost record's visibility.
+      if (!scopes.empty() && scopes.back().kind == Scope::record) {
+        if (starts_with(tcode, "public:")) scopes.back().is_public = true;
+        if (starts_with(tcode, "private:") || starts_with(tcode, "protected:")) {
+          scopes.back().is_public = false;
+        }
+      }
+      prev_line_was_comment = false;
+    }
+    scopes.clear();
+    statement_open = false;
+    statement_text.clear();
+    prev_line_was_comment = false;
+  }
+};
+
+int check_header_docs(const std::string& root) {
+  static const char* kPublicHeaders[] = {
+      "src/obs/metrics.hpp",      "src/obs/timeline.hpp",
+      "src/core/engine.hpp",      "src/core/session.hpp",
+      "src/core/config.hpp",      "src/harness/runner.hpp",
+      "src/harness/experiment.hpp", "src/harness/report.hpp",
+  };
+  HeaderScanner scanner;
+  for (const char* header : kPublicHeaders) {
+    scanner.scan(root + "/" + header, header);
+  }
+  if (scanner.failures == 0) {
+    std::printf("docs-check: all public declarations documented (%zu headers)\n",
+                std::size(kPublicHeaders));
+  }
+  return scanner.failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  int failures = 0;
+  failures += check_metric_parity(root);
+  failures += check_header_docs(root);
+  if (failures != 0) {
+    std::fprintf(stderr, "docs-check: %d failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}
