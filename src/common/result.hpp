@@ -24,6 +24,8 @@ enum class Errc {
   not_a_directory,  ///< Path component is a file.
   is_a_directory,   ///< File operation applied to a directory.
   not_empty,        ///< Directory removal with children.
+  io_error,         ///< Device-level failure (sharing violation, bad sector,
+                    ///< or an injected fault — see vfs/fault_filter.hpp).
 };
 
 /// Human-readable name for an error code (for logs and test messages).
@@ -90,6 +92,7 @@ inline std::string_view errc_name(Errc e) {
     case Errc::not_a_directory: return "not_a_directory";
     case Errc::is_a_directory: return "is_a_directory";
     case Errc::not_empty: return "not_empty";
+    case Errc::io_error: return "io_error";
   }
   return "unknown";
 }

@@ -51,6 +51,11 @@ Status ScoringConfig::validate() const {
   if (entropy_full_points_delta < 0.0) {
     return invalid("entropy_full_points_delta < 0");
   }
+  if (entropy_min_score_bytes > entropy_full_points_bytes) {
+    return invalid(
+        "entropy_min_score_bytes exceeds entropy_full_points_bytes; writes "
+        "large enough for full points would be exempt from scoring");
+  }
   if (similarity_drop_max < 0 || similarity_drop_max > 100) {
     return invalid("similarity_drop_max must be within the 0..100 score range");
   }

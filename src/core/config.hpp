@@ -48,6 +48,14 @@ struct ScoringConfig {
   /// "delay... for samples which attack high entropy files first") and
   /// earns proportionally fewer points until it reaches plainer files.
   double entropy_full_points_delta = 0.5;
+  /// Writes smaller than this never earn entropy points (the delta check
+  /// is skipped entirely; the write still feeds the entropy means). The
+  /// size-scaled points floor at 1, so without a cutoff thousands of
+  /// tiny benign high-entropy writes (compressed thumbnails, sqlite WAL
+  /// pages) each score a point and creep toward the threshold. Must be
+  /// <= entropy_full_points_bytes. The default of 1 skips only
+  /// zero-byte writes, which carry no evidence of encryption at all.
+  std::size_t entropy_min_score_bytes = 1;
 
   // --- primary indicator: file type change (§III-A) --------------------
   /// Points when the magic-identified type of a tracked file differs

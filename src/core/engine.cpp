@@ -165,6 +165,11 @@ void AnalysisEngine::register_metrics() {
       "similarity_digests_total",
       "Similarity digests obtained (computed, or served by the shared cache)",
       "digests");
+  m_degraded_ = &metrics_.counter(
+      "degraded_measurements_total",
+      "Measurements skipped because an input was unavailable (unreadable "
+      "content or an undigestible version); the indicator stays silent",
+      "measurements");
   static constexpr Indicator kAll[] = {
       Indicator::entropy_delta,  Indicator::type_change,
       Indicator::similarity_drop, Indicator::deletion,
@@ -535,7 +540,14 @@ void AnalysisEngine::maybe_detect(ProcessState& proc, vfs::ProcessId pid,
 
 void AnalysisEngine::capture_baseline(vfs::FileId id,
                                       const std::shared_ptr<const Bytes>& content) {
-  if (id == vfs::kNoFile || content == nullptr) return;
+  if (id == vfs::kNoFile) return;
+  if (content == nullptr) {
+    // The file exists but its content could not be read back (e.g. the
+    // volume is misbehaving): degraded — no pre-image this round, but
+    // the engine stays alive and may capture one on a later operation.
+    m_degraded_->add();
+    return;
+  }
   FileShard& shard = shard_for_file(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto [it, inserted] = shard.files.try_emplace(id);
@@ -585,7 +597,14 @@ std::optional<simhash::SimilarityDigest> AnalysisEngine::baseline_digest_for(
 void AnalysisEngine::evaluate_modification(
     ProcessState& proc, vfs::ProcessId pid, vfs::FileId id,
     const std::string& path, const std::shared_ptr<const Bytes>& content) {
-  if (id == vfs::kNoFile || content == nullptr) return;
+  if (id == vfs::kNoFile) return;
+  if (content == nullptr) {
+    // Post-modification content unreadable: the type/similarity checks
+    // cannot run. Skip them (degraded), keep the baseline for the next
+    // attempt rather than crashing or comparing against garbage.
+    m_degraded_->add();
+    return;
+  }
   FileShard& shard = shard_for_file(id);
   std::lock_guard<std::mutex> file_lock(shard.mu);
   auto it = shard.files.find(id);
@@ -607,6 +626,9 @@ void AnalysisEngine::evaluate_modification(
     if (!file.digest_attempted) {
       file.baseline_digest = baseline_digest_for(ByteView(*file.baseline));
       file.digest_attempted = true;
+      // Undigestible baseline (sub-512-byte files yield no sdhash):
+      // similarity is silent for this file until the baseline changes.
+      if (!file.baseline_digest.has_value()) m_degraded_->add();
     }
     if (file.baseline_digest.has_value()) {
       std::optional<simhash::SimilarityDigest> new_digest;
@@ -617,6 +639,7 @@ void AnalysisEngine::evaluate_modification(
       }
       // Both versions must be digestible; sdhash yields no score for
       // sub-512-byte files, leaving this indicator silent (§V-C).
+      if (!new_digest.has_value()) m_degraded_->add();
       if (new_digest.has_value()) {
         similarity_available = true;
         const int similarity = file.baseline_digest->compare(*new_digest);
@@ -697,13 +720,15 @@ vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
     case vfs::OpType::open:
       handle_open_pre(event);
       break;
-    case vfs::OpType::write:
-      handle_write_pre(event);
+    case vfs::OpType::truncate:
+      handle_truncate_pre(event);
       break;
     case vfs::OpType::rename:
       handle_rename_pre(event);
       break;
     default:
+      // Writes capture no pre-image (open already did) and are scored
+      // exclusively in the post callback, once the bytes actually land.
       break;
   }
 
@@ -730,6 +755,12 @@ void AnalysisEngine::post_operation(const vfs::OperationEvent& event,
   switch (event.op) {
     case vfs::OpType::read:
       handle_read_post(event);
+      break;
+    case vfs::OpType::write:
+      handle_write_post(event);
+      break;
+    case vfs::OpType::truncate:
+      handle_truncate_post(event);
       break;
     case vfs::OpType::close:
       handle_close_post(event);
@@ -778,6 +809,12 @@ void AnalysisEngine::score_write_entropy(ProcessState& proc, vfs::ProcessId pid,
     obs::ScopedTimer timer(h_entropy_);
     proc.write_mean.add(data);
   }
+  // Below the size cutoff the write still weighs into the mean (above)
+  // but earns no points: the size-scaled points floor at 1, so without
+  // a cutoff a stream of tiny high-entropy writes — compressed
+  // thumbnails, WAL pages — would creep toward the threshold a point
+  // at a time.
+  if (data.size() < config_.entropy_min_score_bytes) return;
   if (proc.read_mean.empty() || proc.write_mean.empty()) return;
   const double delta = proc.write_mean.mean() - proc.read_mean.mean();
   if (delta < config_.entropy_delta_threshold) return;
@@ -819,14 +856,42 @@ void AnalysisEngine::note_modification(ProcessState& proc, vfs::ProcessId pid,
   }
 }
 
-void AnalysisEngine::handle_write_pre(const vfs::OperationEvent& event) {
+void AnalysisEngine::handle_write_post(const vfs::OperationEvent& event) {
+  // Scoring runs in the post callback so a write that failed below the
+  // engine (denied, faulted) assesses nothing: post_operation drops
+  // non-ok outcomes before dispatching here. For short writes,
+  // event.data is the surviving prefix — the bytes that actually landed
+  // — not the caller's full request (event.length).
   LockedProcess locked = lock_state_for(event);
+  if (locked.proc->suspended) return;
   score_write_entropy(*locked.proc, event.pid, event.data, event.path);
+  if (locked.proc->suspended) return;  // this write crossed the threshold
   note_modification(*locked.proc, event.pid, event.timestamp, event.file_id,
                     event.path);
   locked.lock.unlock();
 
   // Defer type/similarity comparison to close, when the content is whole.
+  (void)mark_pending_check(event.file_id);
+}
+
+void AnalysisEngine::handle_truncate_pre(const vfs::OperationEvent& event) {
+  if (event.file_id == vfs::kNoFile) return;
+  // A truncate destroys content just like an overwrite (truncate-to-zero
+  // is a deletion in all but name): snapshot the pre-image before it is
+  // cut down, exactly as a write-mode open does.
+  assert(fs_ != nullptr);
+  capture_baseline(event.file_id, fs_->read_unfiltered(event.path));
+}
+
+void AnalysisEngine::handle_truncate_post(const vfs::OperationEvent& event) {
+  LockedProcess locked = lock_state_for(event);
+  if (locked.proc->suspended) return;
+  note_modification(*locked.proc, event.pid, event.timestamp, event.file_id,
+                    event.path);
+  locked.lock.unlock();
+
+  // No bytes to fold into the entropy mean, but the mutation must still
+  // be judged: compare type/similarity against the pre-image at close.
   (void)mark_pending_check(event.file_id);
 }
 
@@ -874,6 +939,9 @@ void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
   }
 
   LockedProcess locked = lock_state_for(event);
+  if (locked.proc->suspended) return;  // verdict delivered; the permitted
+                                       // close of a suspended process is
+                                       // not measured further
   if (tracked_pending) {
     evaluate_modification(*locked.proc, event.pid, event.file_id, event.path,
                           content);
@@ -889,6 +957,10 @@ void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
     if (!ext.empty()) locked.proc->write_extensions.insert(ext);
     locked.lock.unlock();
     capture_baseline(event.file_id, content);
+  } else {
+    // The handle wrote, yet the content cannot be read back: the close
+    // measurement is lost, but never fatal.
+    m_degraded_->add();
   }
 }
 

@@ -191,7 +191,9 @@ class AnalysisEngine : public vfs::Filter {
   vfs::Verdict pre_operation(const vfs::OperationEvent& event) override;
   /// Scores the completed operation (entropy, type, similarity, deletion,
   /// funneling, rate) and fires the alert callback on a new suspension.
-  /// Thread-safe.
+  /// Operations with a non-ok outcome (denied, or failed below the
+  /// engine) are dropped unscored: reputation points are only ever
+  /// assessed for operations that actually happened. Thread-safe.
   void post_operation(const vfs::OperationEvent& event, const Status& outcome) override;
   /// Called by FileSystem::attach_filter; records the owning filesystem.
   void on_attach(vfs::FileSystem& fs) override;
@@ -380,8 +382,10 @@ class AnalysisEngine : public vfs::Filter {
 
   void handle_open_pre(const vfs::OperationEvent& event);
   void handle_rename_pre(const vfs::OperationEvent& event);
+  void handle_truncate_pre(const vfs::OperationEvent& event);
   void handle_read_post(const vfs::OperationEvent& event);
-  void handle_write_pre(const vfs::OperationEvent& event);
+  void handle_write_post(const vfs::OperationEvent& event);
+  void handle_truncate_post(const vfs::OperationEvent& event);
   void handle_close_post(const vfs::OperationEvent& event);
   void handle_remove_post(const vfs::OperationEvent& event);
   void handle_rename_post(const vfs::OperationEvent& event);
@@ -405,6 +409,7 @@ class AnalysisEngine : public vfs::Filter {
   obs::Counter* m_resumes_ = nullptr;
   obs::Counter* m_baselines_ = nullptr;
   obs::Counter* m_digests_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
   std::array<obs::Counter*, 7> m_indicator_events_{};
   std::array<obs::Counter*, 7> m_indicator_points_{};
   obs::Histogram* h_sdhash_ = nullptr;

@@ -1,0 +1,77 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cryptodrop::harness {
+
+RansomwareRunResult run_ransomware_sample_faulted(
+    const Environment& env, const sim::SampleSpec& spec,
+    const core::ScoringConfig& config, const FaultCampaignOptions& options) {
+  sim::SampleSpec faulted = spec;
+  faulted.profile.give_up_after_denials =
+      std::max<std::size_t>(options.sample_give_up_after_denials, 1);
+
+  vfs::FaultInjectionFilter filter(options.plan.reseeded(spec.seed));
+  RansomwareRunResult result =
+      run_ransomware_sample_filtered(env, faulted, config, &filter);
+
+  // Injected denials halt a sample exactly like a suspension does, so
+  // the fault-free harness's "halted by denials" fallback would credit
+  // the fault filter's noise to the detector. Under chaos, only the
+  // engine's own verdict counts.
+  result.detected = result.report.suspended;
+  result.metrics.merge(filter.metrics_snapshot());
+  return result;
+}
+
+std::vector<RansomwareRunResult> run_campaign_faulted(
+    const Environment& env, const std::vector<sim::SampleSpec>& specs,
+    const core::ScoringConfig& config, const FaultCampaignOptions& options,
+    const RunnerOptions& runner) {
+  if (Status s = config.validate(); !s.is_ok()) {
+    throw std::invalid_argument("run_campaign_faulted: " + s.to_string());
+  }
+  if (Status s = options.plan.validate(); !s.is_ok()) {
+    throw std::invalid_argument("run_campaign_faulted: " + s.to_string());
+  }
+  std::vector<RansomwareRunResult> results(specs.size());
+  parallel_for(specs.size(), runner, [&](std::size_t i) {
+    results[i] = run_ransomware_sample_faulted(env, specs[i], config, options);
+  });
+  return results;
+}
+
+BenignRunResult run_benign_workload_faulted(const Environment& env,
+                                            const sim::BenignWorkload& workload,
+                                            const core::ScoringConfig& config,
+                                            std::uint64_t seed,
+                                            const FaultCampaignOptions& options) {
+  // Per-workload fault stream, independent of trial order: salt the plan
+  // with the workload's name and the suite seed.
+  vfs::FaultInjectionFilter filter(
+      options.plan.reseeded(seed_from_string(workload.name) + seed));
+  BenignRunResult result =
+      run_benign_workload_filtered(env, workload, config, seed, &filter);
+  result.metrics.merge(filter.metrics_snapshot());
+  return result;
+}
+
+std::vector<BenignRunResult> run_benign_suite_faulted(
+    const Environment& env, const std::vector<sim::BenignWorkload>& workloads,
+    const core::ScoringConfig& config, std::uint64_t seed,
+    const FaultCampaignOptions& options, const RunnerOptions& runner) {
+  if (Status s = config.validate(); !s.is_ok()) {
+    throw std::invalid_argument("run_benign_suite_faulted: " + s.to_string());
+  }
+  if (Status s = options.plan.validate(); !s.is_ok()) {
+    throw std::invalid_argument("run_benign_suite_faulted: " + s.to_string());
+  }
+  std::vector<BenignRunResult> results(workloads.size());
+  parallel_for(workloads.size(), runner, [&](std::size_t i) {
+    results[i] = run_benign_workload_faulted(env, workloads[i], config, seed, options);
+  });
+  return results;
+}
+
+}  // namespace cryptodrop::harness

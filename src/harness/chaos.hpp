@@ -1,0 +1,69 @@
+// Chaos campaigns: the experiment harness replayed over a faulted
+// volume.
+//
+// Each trial gets its own FaultInjectionFilter stacked below the engine,
+// seeded from the campaign's FaultPlan re-derived with the trial's own
+// seed — so trials are independent of execution order and a parallel
+// campaign is bit-identical to the serial one, exactly like the
+// fault-free runner. Detection is judged strictly by engine suspension
+// here: an injected denial halts a sample just like a suspension would,
+// so the fault-free harness's "halted by denials" fallback would count
+// the substrate's faults as the detector's work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "vfs/fault_filter.hpp"
+
+namespace cryptodrop::harness {
+
+/// Knobs of one chaos campaign. Plain value type.
+struct FaultCampaignOptions {
+  /// Base fault schedule; each trial runs under plan.reseeded(<trial
+  /// seed>), so the faults a sample sees depend only on the plan and
+  /// that sample's own seed.
+  vfs::FaultPlan plan;
+  /// Samples tolerate this many consecutive denied attacks before
+  /// giving up (RansomwareProfile::give_up_after_denials override).
+  /// Under spurious injected denials a first-denial quitter would stop
+  /// with near-zero files lost on its own — masking the detector — so
+  /// chaos samples are configured more stubborn than the default 1.
+  std::size_t sample_give_up_after_denials = 4;
+};
+
+/// One ransomware trial under faults: the sample (hardened with the
+/// campaign's give-up tolerance) runs over a per-trial fault filter, the
+/// filter's faults_injected_total counters are merged into the result's
+/// metrics, and `detected` means the engine suspended the process —
+/// nothing else. Deterministic in (options.plan, spec.seed).
+RansomwareRunResult run_ransomware_sample_faulted(
+    const Environment& env, const sim::SampleSpec& spec,
+    const core::ScoringConfig& config, const FaultCampaignOptions& options);
+
+/// The zoo campaign under faults: one faulted trial per spec, results in
+/// spec order, parallel per `runner` (bit-identical at any job count).
+std::vector<RansomwareRunResult> run_campaign_faulted(
+    const Environment& env, const std::vector<sim::SampleSpec>& specs,
+    const core::ScoringConfig& config, const FaultCampaignOptions& options,
+    const RunnerOptions& runner = {});
+
+/// One benign trial under faults. The workload may be halted early by an
+/// injected denial (benign apps do not retry); `detected` still means
+/// engine suspension only. Fault stream depends on the workload's name
+/// and `seed`, not on trial order.
+BenignRunResult run_benign_workload_faulted(const Environment& env,
+                                            const sim::BenignWorkload& workload,
+                                            const core::ScoringConfig& config,
+                                            std::uint64_t seed,
+                                            const FaultCampaignOptions& options);
+
+/// The benign suite under faults, results in workload order, parallel
+/// per `runner`.
+std::vector<BenignRunResult> run_benign_suite_faulted(
+    const Environment& env, const std::vector<sim::BenignWorkload>& workloads,
+    const core::ScoringConfig& config, std::uint64_t seed,
+    const FaultCampaignOptions& options, const RunnerOptions& runner = {});
+
+}  // namespace cryptodrop::harness

@@ -33,10 +33,22 @@ corpus::CorpusSpec small_corpus_spec(std::size_t files, std::size_t dirs) {
 RansomwareRunResult run_ransomware_sample(const Environment& env,
                                           const sim::SampleSpec& spec,
                                           const core::ScoringConfig& config) {
+  return run_ransomware_sample_filtered(env, spec, config, nullptr);
+}
+
+RansomwareRunResult run_ransomware_sample_filtered(const Environment& env,
+                                                   const sim::SampleSpec& spec,
+                                                   const core::ScoringConfig& config,
+                                                   vfs::Filter* below_engine) {
   core::MonitorSession session(env.base_fs, config);
   vfs::FileSystem& fs = session.fs();
   vfs::RecordingFilter recorder;
   fs.attach_filter(&recorder);
+  // Stack order: engine, recorder, then the caller's filter — lowest.
+  // A fault injected there fails the op before it reaches the volume,
+  // and both the engine and the recorder observe the failed outcome in
+  // their post callbacks.
+  if (below_engine != nullptr) fs.attach_filter(below_engine);
 
   const vfs::ProcessId pid = session.spawn(spec.family);
   sim::RansomwareSample sample(spec.profile, spec.seed);
@@ -80,6 +92,7 @@ RansomwareRunResult run_ransomware_sample(const Environment& env,
     if (!ext.empty()) result.extensions_accessed.insert(ext);
   }
 
+  if (below_engine != nullptr) fs.detach_filter(below_engine);
   fs.detach_filter(&recorder);
   return result;
 }
@@ -101,7 +114,16 @@ BenignRunResult run_benign_workload(const Environment& env,
                                     const sim::BenignWorkload& workload,
                                     const core::ScoringConfig& config,
                                     std::uint64_t seed) {
+  return run_benign_workload_filtered(env, workload, config, seed, nullptr);
+}
+
+BenignRunResult run_benign_workload_filtered(const Environment& env,
+                                             const sim::BenignWorkload& workload,
+                                             const core::ScoringConfig& config,
+                                             std::uint64_t seed,
+                                             vfs::Filter* below_engine) {
   core::MonitorSession session(env.base_fs, config);
+  if (below_engine != nullptr) session.fs().attach_filter(below_engine);
 
   const vfs::ProcessId pid = session.spawn(workload.name);
   sim::WorkloadContext ctx{session.fs(), pid, env.corpus.root, Rng(seed)};
@@ -116,6 +138,7 @@ BenignRunResult run_benign_workload(const Environment& env,
   result.detected = result.report.suspended;
   result.final_score = result.report.score;
   result.union_triggered = result.report.union_triggered;
+  if (below_engine != nullptr) session.fs().detach_filter(below_engine);
   return result;
 }
 

@@ -65,6 +65,17 @@ RansomwareRunResult run_ransomware_sample(const Environment& env,
                                           const sim::SampleSpec& spec,
                                           const core::ScoringConfig& config);
 
+/// run_ransomware_sample() with an extra filter stacked *below* the
+/// engine (attached after it, nearer the volume) for the trial — the
+/// slot a FaultInjectionFilter occupies in a chaos run. `below_engine`
+/// may be null (plain run); it is attached before the sample starts and
+/// detached before returning, so one caller-owned filter serves exactly
+/// one trial.
+RansomwareRunResult run_ransomware_sample_filtered(const Environment& env,
+                                                   const sim::SampleSpec& spec,
+                                                   const core::ScoringConfig& config,
+                                                   vfs::Filter* below_engine);
+
 /// Runs the full Table-I campaign (all `specs`) and returns per-sample
 /// results. `progress` (nullable) is invoked after each sample.
 std::vector<RansomwareRunResult> run_campaign(
@@ -90,6 +101,14 @@ BenignRunResult run_benign_workload(const Environment& env,
                                     const sim::BenignWorkload& workload,
                                     const core::ScoringConfig& config,
                                     std::uint64_t seed);
+
+/// run_benign_workload() with an extra filter stacked below the engine
+/// for the trial (see run_ransomware_sample_filtered).
+BenignRunResult run_benign_workload_filtered(const Environment& env,
+                                             const sim::BenignWorkload& workload,
+                                             const core::ScoringConfig& config,
+                                             std::uint64_t seed,
+                                             vfs::Filter* below_engine);
 
 // --- aggregation helpers (the numbers the paper reports) ---------------
 

@@ -445,6 +445,20 @@ SampleRun RansomwareSample::run(vfs::FileSystem& fs, vfs::ProcessId pid,
     }
     return live_count > 0;
   };
+  auto index_of = [&](vfs::ProcessId id) -> std::size_t {
+    for (std::size_t i = 0; i < actors.size(); ++i) {
+      if (actors[i] == id) return i;
+    }
+    return 0;
+  };
+  // One more denial for `actor`. Returns false when the whole run must
+  // stop (the actor's patience ran out and it was the last one alive).
+  std::vector<std::size_t> denial_streak(actors.size(), 0);
+  auto shrug_off_denial = [&](vfs::ProcessId actor) {
+    const std::size_t limit = std::max<std::size_t>(profile_.give_up_after_denials, 1);
+    if (++denial_streak[index_of(actor)] < limit) return true;  // retry later
+    return actor_died(actor);
+  };
 
   const std::vector<std::string> targets = plan_targets(fs, root);
 
@@ -460,10 +474,10 @@ SampleRun RansomwareSample::run(vfs::FileSystem& fs, vfs::ProcessId pid,
 
     if (profile_.write_ransom_note && profile_.note_first && dir != last_note_dir) {
       last_note_dir = dir;
-      if (!drop_note(fs, actor, dir, result) && !actor_died(actor)) return result;
+      if (!drop_note(fs, actor, dir, result) && !shrug_off_denial(actor)) return result;
     }
     if (profile_.evasion.decoy_writes_per_file > 0) {
-      if (!write_decoys(fs, actor, dir, result) && !actor_died(actor)) return result;
+      if (!write_decoys(fs, actor, dir, result) && !shrug_off_denial(actor)) return result;
     }
 
     bool keep_going = true;
@@ -479,14 +493,15 @@ SampleRun RansomwareSample::run(vfs::FileSystem& fs, vfs::ProcessId pid,
         break;
     }
     if (!keep_going) {
-      if (!actor_died(actor)) return result;
-      continue;  // other workers carry on
+      if (!shrug_off_denial(actor)) return result;
+      continue;  // retry with the next file, or let other workers carry on
     }
     ++attacked;
+    denial_streak[index_of(actor)] = 0;  // progress: the denial was transient
 
     if (profile_.write_ransom_note && !profile_.note_first && dir != last_note_dir) {
       last_note_dir = dir;
-      if (!drop_note(fs, actor, dir, result) && !actor_died(actor)) return result;
+      if (!drop_note(fs, actor, dir, result) && !shrug_off_denial(actor)) return result;
     }
   }
   result.ran_to_completion = true;

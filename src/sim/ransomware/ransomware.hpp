@@ -123,6 +123,14 @@ struct RansomwareProfile {
   /// Stop after this many files (simulates crippled/trial variants).
   std::size_t max_files = std::numeric_limits<std::size_t>::max();
 
+  /// Consecutive denied attacks an actor shrugs off before concluding it
+  /// has been suspended and halting. 1 (the default) gives up at the
+  /// first denial — the paper's model, where every denial means
+  /// suspension. Chaos campaigns raise it so a sample survives spurious
+  /// denials injected by a fault filter (a real suspension still stops
+  /// it: every subsequent operation is denied, so the streak fills).
+  std::size_t give_up_after_denials = 1;
+
   /// Indicator-evasion behavior (§III-F); default: none.
   EvasionConfig evasion;
 

@@ -1,0 +1,149 @@
+#include "vfs/fault_filter.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "vfs/filesystem.hpp"
+
+namespace cryptodrop::vfs {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::io_error: return "io_error";
+    case FaultKind::access_denied: return "access_denied";
+    case FaultKind::short_write: return "short_write";
+    case FaultKind::delay_post: return "delay_post";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::uniform(double rate, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  const FaultRates common{rate, rate / 4.0, 0.0, rate};
+  plan.open = common;
+  plan.read = common;
+  plan.write = common;
+  plan.write.short_write = rate;
+  plan.truncate = common;
+  plan.close = common;
+  plan.remove = common;
+  plan.rename = common;
+  return plan;
+}
+
+FaultPlan FaultPlan::reseeded(std::uint64_t salt) const {
+  FaultPlan plan = *this;
+  // Two splitmix rounds decorrelate nearby (seed, salt) pairs — trial
+  // seeds are often small consecutive integers.
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  splitmix64(state);
+  plan.seed = splitmix64(state);
+  return plan;
+}
+
+Status FaultPlan::validate() const {
+  const struct {
+    const FaultRates& rates;
+    std::string_view op;
+  } all[] = {{open, "open"},         {read, "read"},     {write, "write"},
+             {truncate, "truncate"}, {close, "close"},   {remove, "remove"},
+             {rename, "rename"}};
+  for (const auto& entry : all) {
+    const double probs[] = {entry.rates.io_error, entry.rates.access_denied,
+                            entry.rates.short_write, entry.rates.delay_post};
+    for (double p : probs) {
+      if (!(p >= 0.0 && p <= 1.0)) {
+        return Status(Errc::invalid_argument,
+                      "fault probability for " + std::string(entry.op) +
+                          " outside [0, 1]");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+const FaultRates* FaultPlan::rates_for(OpType op) const {
+  switch (op) {
+    case OpType::open: return &open;
+    case OpType::read: return &read;
+    case OpType::write: return &write;
+    case OpType::truncate: return &truncate;
+    case OpType::close: return &close;
+    case OpType::remove: return &remove;
+    case OpType::rename: return &rename;
+    case OpType::mkdir: return nullptr;
+  }
+  return nullptr;
+}
+
+FaultInjectionFilter::FaultInjectionFilter(FaultPlan plan)
+    : plan_(plan), rng_(plan.seed) {
+  if (Status s = plan_.validate(); !s.is_ok()) {
+    throw std::invalid_argument("FaultPlan: " + s.to_string());
+  }
+  const FaultKind kinds[] = {FaultKind::io_error, FaultKind::access_denied,
+                             FaultKind::short_write, FaultKind::delay_post};
+  for (FaultKind kind : kinds) {
+    m_faults_[static_cast<std::size_t>(kind)] = &metrics_.counter(
+        "faults_injected_total." + std::string(fault_kind_name(kind)),
+        "Faults injected by the fault-injection filter, by fault kind.",
+        "faults");
+  }
+}
+
+void FaultInjectionFilter::on_attach(FileSystem& fs) { fs_ = &fs; }
+
+Status FaultInjectionFilter::pre_operation_mut(OperationEvent& event) {
+  const FaultRates* rates = plan_.rates_for(event.op);
+  if (rates == nullptr) return Status::ok();
+  // Draw order is part of the replay contract: io_error, then denial,
+  // then short write. Each op consumes the same number of Rng draws on
+  // every replay of the same plan regardless of which fault fires, so
+  // one injected fault never shifts the schedule of later ones.
+  const bool hit_io = rng_.chance(rates->io_error);
+  const bool hit_denied = rng_.chance(rates->access_denied);
+  const bool hit_short = rng_.chance(rates->short_write);
+  if (hit_io) {
+    m_faults_[static_cast<std::size_t>(FaultKind::io_error)]->add();
+    return Status(Errc::io_error, "injected I/O error");
+  }
+  if (hit_denied) {
+    m_faults_[static_cast<std::size_t>(FaultKind::access_denied)]->add();
+    return Status(Errc::access_denied, "injected denial");
+  }
+  if (hit_short && event.op == OpType::write && event.data.size() >= 2) {
+    // Strict prefix: at least 1 byte survives, at least 1 is dropped.
+    const std::uint64_t keep = rng_.uniform(1, event.data.size() - 1);
+    event.data = event.data.first(static_cast<std::size_t>(keep));
+    m_faults_[static_cast<std::size_t>(FaultKind::short_write)]->add();
+  }
+  return Status::ok();
+}
+
+void FaultInjectionFilter::post_operation(const OperationEvent& event,
+                                          const Status& outcome) {
+  (void)outcome;  // Completions are delayed whether the op succeeded or not.
+  const FaultRates* rates = plan_.rates_for(event.op);
+  if (rates == nullptr) return;
+  if (rng_.chance(rates->delay_post)) {
+    m_faults_[static_cast<std::size_t>(FaultKind::delay_post)]->add();
+    if (fs_ != nullptr) fs_->advance_time(plan_.delay_micros);
+  }
+}
+
+std::uint64_t FaultInjectionFilter::faults_injected() const {
+  std::uint64_t total = 0;
+  for (const obs::Counter* c : m_faults_) total += c->value();
+  return total;
+}
+
+std::uint64_t FaultInjectionFilter::faults_injected(FaultKind kind) const {
+  return m_faults_[static_cast<std::size_t>(kind)]->value();
+}
+
+obs::MetricsSnapshot FaultInjectionFilter::metrics_snapshot() const {
+  return metrics_.snapshot();
+}
+
+}  // namespace cryptodrop::vfs

@@ -1,0 +1,140 @@
+// Deterministic fault injection for the filter stack.
+//
+// The paper's detector lives in the kernel I/O path, where operations
+// fail constantly: sharing violations, short writes, AV filters racing
+// for the same file, transient device errors. The engine must keep its
+// measurements honest on that substrate — reputation points may only be
+// assessed for operations that actually happened. FaultInjectionFilter
+// makes the hostile substrate reproducible: stacked below the engine
+// (attached after it), it fails, truncates, or delays operations with
+// per-op-type probabilities drawn from a seeded Rng, so every chaos
+// campaign replays bit-identically from its FaultPlan.
+//
+// Fault classes (the `faults_injected_total.<fault>` metric family):
+//  * io_error      — the op fails in pre with Errc::io_error; the engine
+//                    sees the failed outcome in its post callback and
+//                    must not score it.
+//  * access_denied — a spurious denial, indistinguishable (by status)
+//                    from a suspension-driven denial by another filter.
+//  * short_write   — writes only: event.data is shrunk to a strict
+//                    prefix, the op succeeds, and post callbacks carry
+//                    the byte count that actually hit the disk.
+//  * delay_post    — the post callback stalls the virtual clock by
+//                    FaultPlan::delay_micros (a slow lower filter),
+//                    stretching the inter-op timing the burst-rate
+//                    indicator measures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "vfs/filter.hpp"
+
+namespace cryptodrop::vfs {
+
+/// Which fault a FaultInjectionFilter injected (metric label / log tag).
+enum class FaultKind : std::uint8_t {
+  io_error,
+  access_denied,
+  short_write,
+  delay_post,
+};
+
+/// Number of FaultKind values (array sizing).
+inline constexpr std::size_t kFaultKindCount = 4;
+
+/// Stable lowercase label for a fault kind ("io_error", "short_write", ...).
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Per-op-type fault probabilities, each in [0, 1]. short_write only
+/// applies to write operations (other ops have nothing to truncate).
+struct FaultRates {
+  double io_error = 0.0;       ///< Fail the op in pre with Errc::io_error.
+  double access_denied = 0.0;  ///< Fail the op in pre with a spurious denial.
+  double short_write = 0.0;    ///< Shrink event.data to a strict prefix.
+  double delay_post = 0.0;     ///< Stall the post callback (virtual clock).
+};
+
+/// The seeded, replayable schedule of one FaultInjectionFilter: which
+/// operation types fault, how often, and the Rng stream deciding when.
+/// Plain value type — copy freely; same plan, same op sequence => same
+/// injected faults, bit for bit.
+struct FaultPlan {
+  /// Seed of the filter's private Rng stream. Derive per-trial seeds
+  /// with reseeded() so parallel campaigns stay order-independent.
+  std::uint64_t seed = 0;
+  /// Virtual-clock stall applied per delayed post callback.
+  std::uint64_t delay_micros = 500;
+
+  FaultRates open;      ///< Faults for open operations.
+  FaultRates read;      ///< Faults for read operations.
+  FaultRates write;     ///< Faults for write operations (incl. short writes).
+  FaultRates truncate;  ///< Faults for truncate operations.
+  FaultRates close;     ///< Faults for close operations (a lost measurement
+                        ///< window: the engine evaluates files at close).
+  FaultRates remove;    ///< Faults for remove operations.
+  FaultRates rename;    ///< Faults for rename operations.
+
+  /// The canonical chaos-campaign plan: every fallible op gets io_error,
+  /// short_write (writes) and delay_post at `rate`; spurious denials run
+  /// at a quarter of `rate`, because a denial is the engine's suspension
+  /// signal — a substrate that denies everything makes every process
+  /// look suspended, which tests the samples' patience, not the engine.
+  static FaultPlan uniform(double rate, std::uint64_t seed);
+
+  /// This plan with its Rng stream re-derived for one trial: mixes
+  /// `salt` (e.g. the sample spec's seed) into `seed`. Deterministic and
+  /// independent of trial execution order.
+  [[nodiscard]] FaultPlan reseeded(std::uint64_t salt) const;
+
+  /// Rejects probabilities outside [0, 1] (invalid_argument status).
+  [[nodiscard]] Status validate() const;
+
+  /// The rates governing `op`, or nullptr when `op` is never faulted
+  /// (mkdir — namespace-only, nothing to lose).
+  [[nodiscard]] const FaultRates* rates_for(OpType op) const;
+};
+
+/// A vfs::Filter that injects FaultPlan-scheduled faults. Attach it
+/// *after* the engine so the engine observes every injected failure in
+/// its post callbacks (the fault models the storage stack below the
+/// detector's altitude). One filter serves one (single-threaded) volume:
+/// the fault Rng is intentionally unsynchronized, like every simulator
+/// in this repo — parallel campaigns give each trial its own filter.
+class FaultInjectionFilter : public Filter {
+ public:
+  /// Throws std::invalid_argument when `plan.validate()` fails.
+  explicit FaultInjectionFilter(FaultPlan plan);
+
+  /// Draws this operation's faults: may fail it (io_error / spurious
+  /// denial) or shrink a write to a short write.
+  Status pre_operation_mut(OperationEvent& event) override;
+  /// Draws the delay_post fault: stalls the virtual clock, modeling a
+  /// slow lower filter completing the request late.
+  void post_operation(const OperationEvent& event, const Status& outcome) override;
+  /// Records the owning filesystem (delay_post needs its clock).
+  void on_attach(FileSystem& fs) override;
+
+  /// The plan this filter was built with (immutable).
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// Total faults injected so far, across all kinds.
+  [[nodiscard]] std::uint64_t faults_injected() const;
+  /// Faults injected of one kind.
+  [[nodiscard]] std::uint64_t faults_injected(FaultKind kind) const;
+  /// The filter's `faults_injected_total.<fault>` counters, snapshotted.
+  /// Merge into an engine's snapshot to report a trial's full picture.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FileSystem* fs_ = nullptr;
+  mutable obs::MetricsRegistry metrics_;
+  std::array<obs::Counter*, kFaultKindCount> m_faults_{};
+};
+
+}  // namespace cryptodrop::vfs

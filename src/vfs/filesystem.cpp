@@ -60,13 +60,13 @@ Status FileSystem::run_filtered(OperationEvent& event, ApplyFn&& apply) {
   event.process_name = std::string(process_name(event.pid));
   std::size_t ran = 0;
   for (; ran < filters_.size(); ++ran) {
-    if (filters_[ran]->pre_operation(event) == Verdict::deny) {
-      Status denied(Errc::access_denied, "denied by filter");
-      // Filters that already saw the pre callback observe the denial.
+    Status verdict = filters_[ran]->pre_operation_mut(event);
+    if (!verdict.is_ok()) {
+      // Filters that already saw the pre callback observe the failure.
       for (std::size_t i = ran + 1; i-- > 0;) {
-        filters_[i]->post_operation(event, denied);
+        filters_[i]->post_operation(event, verdict);
       }
-      return denied;
+      return verdict;
     }
   }
   Status outcome = apply();
@@ -247,7 +247,11 @@ Status FileSystem::write(ProcessId pid, Handle h, ByteView data) {
   return run_filtered(event, [&]() -> Status {
     FileNode* node = find_file(oh.path);
     if (node == nullptr) return Status(Errc::not_found, oh.path);
-    const std::uint64_t end = oh.pos + data.size();
+    // Apply event.data, not the caller's buffer: a pre-callback filter
+    // may have shrunk the event to a prefix (short write), and only the
+    // surviving bytes may reach the disk.
+    const ByteView put = event.data;
+    const std::uint64_t end = oh.pos + put.size();
     // Copy-on-write with an exclusive-ownership fast path: when this
     // node is the only holder of the buffer (no snapshot clones, no
     // engine baselines referencing it), mutate in place — this is what
@@ -257,7 +261,7 @@ Status FileSystem::write(ProcessId pid, Handle h, ByteView data) {
     if (node->data.use_count() == 1) {
       Bytes& buf = const_cast<Bytes&>(*node->data);
       if (buf.size() < end) buf.resize(static_cast<std::size_t>(end), 0);
-      std::copy(data.begin(), data.end(),
+      std::copy(put.begin(), put.end(),
                 buf.begin() + static_cast<std::ptrdiff_t>(oh.pos));
     } else {
       const Bytes& old = *node->data;
@@ -265,13 +269,13 @@ Status FileSystem::write(ProcessId pid, Handle h, ByteView data) {
       fresh->reserve(static_cast<std::size_t>(std::max<std::uint64_t>(end, old.size())));
       fresh->assign(old.begin(), old.end());
       if (fresh->size() < end) fresh->resize(static_cast<std::size_t>(end), 0);
-      std::copy(data.begin(), data.end(),
+      std::copy(put.begin(), put.end(),
                 fresh->begin() + static_cast<std::ptrdiff_t>(oh.pos));
       node->data = std::move(fresh);
     }
     oh.pos = end;
     oh.wrote = true;
-    oh.wrote_bytes += data.size();
+    oh.wrote_bytes += put.size();
     ++counters_.writes;
     return Status::ok();
   });

@@ -50,7 +50,11 @@ enum class OpType : std::uint8_t {
 /// Field validity by op:
 ///  - open:    path, file_id (kNoFile when creating), open_mode
 ///  - read:    path, file_id, offset; `data` = bytes read (post only)
-///  - write:   path, file_id, offset, `data` = bytes to be written
+///  - write:   path, file_id, offset, `data` = bytes to be written;
+///             `length` = bytes the caller requested. A stacked filter may
+///             shrink `data` to a prefix in its pre callback (a short
+///             write): the filesystem applies, and post callbacks see,
+///             only the surviving `data` bytes
 ///  - truncate:path, file_id, length = new size
 ///  - close:   path, file_id, wrote = any write/truncate happened on the
 ///             handle, wrote_bytes = total bytes written through it
@@ -91,6 +95,20 @@ class Filter {
   virtual Verdict pre_operation(const OperationEvent& event) {
     (void)event;
     return Verdict::allow;
+  }
+
+  /// The mutating/full-status variant of the pre callback — what the
+  /// filter manager actually invokes. A filter may fail the operation
+  /// with any status (not just access_denied; a fault filter returns
+  /// io_error) and may mutate the event within its documented contract
+  /// (shrinking a write's `data` to a prefix models a short write).
+  /// Default: bridges to pre_operation(), so ordinary filters override
+  /// only the const form.
+  virtual Status pre_operation_mut(OperationEvent& event) {
+    if (pre_operation(event) == Verdict::deny) {
+      return Status(Errc::access_denied, "denied by filter");
+    }
+    return Status::ok();
   }
 
   /// Called after the operation was applied (success or failure).

@@ -1,0 +1,178 @@
+// Chaos campaigns (ctest label: chaos): the zoo and the benign suite
+// replayed over a faulted substrate. The detector's results must hold —
+// full TPR, no new false positives, comparable files lost — and the
+// whole campaign must stay bit-identical at any job count, fault stream
+// included.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "harness/chaos.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+#include "sim/benign/benign.hpp"
+#include "sim/ransomware/families.hpp"
+
+namespace cryptodrop::harness {
+namespace {
+
+constexpr double kFaultRate = 0.10;
+constexpr std::uint64_t kFaultSeed = 2016;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static Environment* env;
+
+  static void SetUpTestSuite() {
+    corpus::CorpusSpec spec;
+    spec.total_files = 400;
+    spec.total_dirs = 40;
+    spec.compute_hashes = false;
+    env = new Environment(make_environment(spec, 123));
+  }
+  static void TearDownTestSuite() {
+    delete env;
+    env = nullptr;
+  }
+
+  /// An even slice through the Table-I zoo (preserves family variety).
+  static std::vector<sim::SampleSpec> zoo_subset(std::size_t count) {
+    const std::vector<sim::SampleSpec> all = sim::table1_samples(1);
+    std::vector<sim::SampleSpec> picked;
+    const double stride =
+        static_cast<double>(all.size()) / static_cast<double>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      picked.push_back(all[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+    }
+    return picked;
+  }
+
+  static FaultCampaignOptions chaos_options() {
+    FaultCampaignOptions options;
+    options.plan = vfs::FaultPlan::uniform(kFaultRate, kFaultSeed);
+    return options;
+  }
+};
+
+Environment* ChaosTest::env = nullptr;
+
+std::uint64_t total_faults(const obs::MetricsSnapshot& snap) {
+  std::uint64_t total = 0;
+  for (const obs::CounterSnapshot& c : snap.counters) {
+    if (c.name.rfind("faults_injected_total.", 0) == 0) total += c.value;
+  }
+  return total;
+}
+
+TEST_F(ChaosTest, ZooKeepsFullTPRUnderFaults) {
+  const auto specs = zoo_subset(10);
+  const auto results =
+      run_campaign_faulted(*env, specs, core::ScoringConfig{}, chaos_options());
+  ASSERT_EQ(results.size(), specs.size());
+  std::size_t detected = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.detected) << r.family << " escaped under faults";
+    detected += r.detected ? 1 : 0;
+  }
+  EXPECT_EQ(detected, specs.size());  // 100% TPR at a 10% fault rate
+  EXPECT_GT(total_faults(merged_metrics(results)), 0u)
+      << "campaign ran fault-free; the chaos plan was not applied";
+}
+
+TEST_F(ChaosTest, FilesLostStaysComparableToFaultFree) {
+  const auto specs = zoo_subset(10);
+  const core::ScoringConfig config;
+  const auto faulted =
+      run_campaign_faulted(*env, specs, config, chaos_options());
+  const auto clean = run_campaign_parallel(*env, specs, config);
+  const double faulted_median = median(files_lost_values(faulted));
+  const double clean_median = median(files_lost_values(clean));
+  // Faults can nudge loss both ways (failed encryption writes lose
+  // fewer files; delayed detection loses more) but must not change its
+  // order of magnitude.
+  EXPECT_LE(faulted_median, clean_median * 2.0 + 4.0);
+  EXPECT_GE(faulted_median + 4.0, clean_median / 2.0);
+}
+
+TEST_F(ChaosTest, BenignSuiteAddsNoNewFalsePositives) {
+  const auto workloads = sim::all_benign_workloads();
+  const core::ScoringConfig config;
+  const auto faulted =
+      run_benign_suite_faulted(*env, workloads, config, 9, chaos_options());
+  const auto clean = run_benign_suite_parallel(*env, workloads, config, 9);
+  ASSERT_EQ(faulted.size(), clean.size());
+  for (std::size_t i = 0; i < faulted.size(); ++i) {
+    EXPECT_EQ(faulted[i].app, clean[i].app);
+    if (faulted[i].detected && !faulted[i].expected_false_positive) {
+      EXPECT_TRUE(clean[i].detected)
+          << faulted[i].app << " became a false positive only under faults";
+    }
+  }
+}
+
+TEST_F(ChaosTest, CampaignIsBitIdenticalAcrossJobCounts) {
+  const auto specs = zoo_subset(8);
+  const core::ScoringConfig config;
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 3;
+  const auto r1 =
+      run_campaign_faulted(*env, specs, config, chaos_options(), serial);
+  const auto r3 =
+      run_campaign_faulted(*env, specs, config, chaos_options(), parallel);
+  ASSERT_EQ(r1.size(), r3.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].detected, r3[i].detected) << i;
+    EXPECT_EQ(r1[i].files_lost, r3[i].files_lost) << i;
+    EXPECT_EQ(r1[i].final_score, r3[i].final_score) << i;
+    EXPECT_EQ(r1[i].union_triggered, r3[i].union_triggered) << i;
+  }
+  // The full counter picture — engine counters and injected-fault
+  // counters alike — is part of the determinism contract.
+  const obs::MetricsSnapshot m1 = merged_metrics(r1);
+  const obs::MetricsSnapshot m3 = merged_metrics(r3);
+  ASSERT_EQ(m1.counters.size(), m3.counters.size());
+  for (std::size_t i = 0; i < m1.counters.size(); ++i) {
+    EXPECT_EQ(m1.counters[i].name, m3.counters[i].name);
+    EXPECT_EQ(m1.counters[i].value, m3.counters[i].value) << m1.counters[i].name;
+  }
+  EXPECT_GT(total_faults(m1), 0u);
+}
+
+TEST_F(ChaosTest, BenignSuiteIsBitIdenticalAcrossJobCounts) {
+  const auto workloads = sim::all_benign_workloads();
+  const core::ScoringConfig config;
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 3;
+  const auto r1 =
+      run_benign_suite_faulted(*env, workloads, config, 9, chaos_options(), serial);
+  const auto r3 =
+      run_benign_suite_faulted(*env, workloads, config, 9, chaos_options(), parallel);
+  ASSERT_EQ(r1.size(), r3.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].detected, r3[i].detected) << r1[i].app;
+    EXPECT_EQ(r1[i].final_score, r3[i].final_score) << r1[i].app;
+  }
+  const obs::MetricsSnapshot m1 = merged_metrics(r1);
+  const obs::MetricsSnapshot m3 = merged_metrics(r3);
+  ASSERT_EQ(m1.counters.size(), m3.counters.size());
+  for (std::size_t i = 0; i < m1.counters.size(); ++i) {
+    EXPECT_EQ(m1.counters[i].value, m3.counters[i].value) << m1.counters[i].name;
+  }
+}
+
+TEST_F(ChaosTest, InvalidPlanIsRejectedBeforeAnyTrialRuns) {
+  FaultCampaignOptions options;
+  options.plan.write.io_error = 7.0;
+  EXPECT_THROW(run_campaign_faulted(*env, zoo_subset(2), core::ScoringConfig{},
+                                    options),
+               std::invalid_argument);
+  EXPECT_THROW(run_benign_suite_faulted(*env, sim::all_benign_workloads(),
+                                        core::ScoringConfig{}, 9, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cryptodrop::harness

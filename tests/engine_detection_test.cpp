@@ -186,19 +186,23 @@ TEST_F(DetectionTest, UnionAcceleratesDetection) {
 }
 
 TEST_F(DetectionTest, DetectionStopsMidOperationStream) {
-  // The op that crosses the threshold in its pre callback is itself
-  // denied — the engine doesn't wait for the next file.
+  // Writes are scored in their post callback, once the bytes actually
+  // land (a denied or faulted write must assess nothing), so the op
+  // that crosses the threshold completes — and every disk access after
+  // it is denied. Detection lags the crossing write by exactly one op,
+  // never by a whole file.
   config.score_threshold = 10;  // one entropy hit is enough
   attach();
   put_prose(doc("a.txt"), 20000);
   ASSERT_TRUE(fs.read_file(pid, doc("a.txt")).is_ok());
   auto h = fs.open(pid, doc("out.bin"), vfs::kCreate);
   ASSERT_TRUE(h.is_ok());
-  // This write's pre-callback assesses the entropy points, crosses the
-  // threshold, and denies the write itself.
+  EXPECT_TRUE(fs.write(pid, h.value(), rng.bytes(8192)).is_ok());
+  EXPECT_TRUE(engine->is_suspended(pid));
   EXPECT_EQ(fs.write(pid, h.value(), rng.bytes(8192)).code(), Errc::access_denied);
-  EXPECT_TRUE(fs.close(pid, h.value()).is_ok());
-  EXPECT_EQ(fs.read_unfiltered(doc("out.bin"))->size(), 0u);
+  EXPECT_TRUE(fs.close(pid, h.value()).is_ok());  // close is always allowed
+  EXPECT_EQ(fs.read_unfiltered(doc("out.bin"))->size(), 8192u);
+  EXPECT_EQ(fs.open(pid, doc("a.txt"), vfs::kRead).code(), Errc::access_denied);
 }
 
 TEST_F(DetectionTest, BenignEditorNeverFlagged) {

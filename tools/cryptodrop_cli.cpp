@@ -12,6 +12,13 @@
 // --union-threshold N. The assembled config is validated before any
 // trial runs; a nonsensical combination exits 2 with the reason.
 //
+// Fault injection (sample/benign/campaign): --fault-rate R stacks a
+// FaultInjectionFilter below the engine with FaultPlan::uniform(R)
+// faults (I/O errors, spurious denials, short writes, delayed posts);
+// --fault-seed N seeds the fault stream (default 2016). Faulted runs
+// judge detection strictly by engine suspension and fold the filter's
+// faults_injected_total counters into the metrics sidecar.
+//
 // Observability: sample/benign/campaign accept --metrics-out FILE and
 // write the instrumentation sidecar there — merged engine metrics plus
 // one forensic timeline per run (schema in docs/OBSERVABILITY.md).
@@ -23,11 +30,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "common/stats.hpp"
 #include "entropy/entropy.hpp"
+#include "harness/chaos.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
@@ -49,6 +58,11 @@ struct Args {
     auto it = options.find(name);
     return it == options.end() ? fallback
                                : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double get_double(const std::string& name, double fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
   }
 };
 
@@ -85,6 +99,19 @@ core::ScoringConfig scoring_config(const Args& args) {
     throw std::invalid_argument("scoring config: " + valid.to_string());
   }
   return config;
+}
+
+/// Fault-injection options from --fault-rate / --fault-seed, or nullopt
+/// when neither flag was given (fault-free run). The plan is validated
+/// by the chaos runners / filter constructor before anything runs.
+std::optional<harness::FaultCampaignOptions> fault_options(const Args& args) {
+  if (!args.options.contains("fault-rate") && !args.options.contains("fault-seed")) {
+    return std::nullopt;
+  }
+  harness::FaultCampaignOptions options;
+  options.plan = vfs::FaultPlan::uniform(args.get_double("fault-rate", 0.0),
+                                         args.get_size("fault-seed", 2016));
+  return options;
 }
 
 /// Writes the --metrics-out sidecar (pretty JSON) if the flag was given.
@@ -126,7 +153,11 @@ int cmd_sample(const Args& args) {
   spec.profile.behavior = cls;
   spec.seed = args.get_size("seed", 7);
 
-  const auto r = harness::run_ransomware_sample(env, spec, scoring_config(args));
+  const auto faults = fault_options(args);
+  const auto r = faults.has_value()
+                     ? harness::run_ransomware_sample_faulted(
+                           env, spec, scoring_config(args), *faults)
+                     : harness::run_ransomware_sample(env, spec, scoring_config(args));
   maybe_write_metrics(args, harness::metrics_report(
                                 std::vector<harness::RansomwareRunResult>{r}));
   if (args.flag("json")) {
@@ -150,9 +181,14 @@ int cmd_sample(const Args& args) {
 int cmd_benign(const Args& args) {
   const std::string app = args.get("app", "Microsoft Word");
   const harness::Environment env = build_env(args, 1500);
-  const auto r = harness::run_benign_workload(env, sim::benign_workload(app),
-                                              scoring_config(args),
-                                              args.get_size("seed", 9));
+  const auto faults = fault_options(args);
+  const auto r = faults.has_value()
+                     ? harness::run_benign_workload_faulted(
+                           env, sim::benign_workload(app), scoring_config(args),
+                           args.get_size("seed", 9), *faults)
+                     : harness::run_benign_workload(env, sim::benign_workload(app),
+                                                    scoring_config(args),
+                                                    args.get_size("seed", 9));
   maybe_write_metrics(args, harness::metrics_report(
                                 std::vector<harness::BenignRunResult>{r}));
   if (args.flag("json")) {
@@ -190,8 +226,12 @@ int cmd_campaign(const Args& args) {
   };
   std::fprintf(stderr, "running %zu samples on %zu workers...\n", specs.size(),
                harness::effective_jobs(options.jobs));
+  const auto faults = fault_options(args);
   const auto results =
-      harness::run_campaign_parallel(env, specs, scoring_config(args), options);
+      faults.has_value()
+          ? harness::run_campaign_faulted(env, specs, scoring_config(args),
+                                          *faults, options)
+          : harness::run_campaign_parallel(env, specs, scoring_config(args), options);
   maybe_write_metrics(args, harness::metrics_report(results));
   if (args.flag("json")) {
     std::printf("%s", harness::campaign_report(env, results, args.flag("per-sample"))
@@ -283,6 +323,8 @@ void usage() {
                "  families\n"
                "  apps\n"
                "scoring flags (sample/benign/campaign): --threshold N, --union-threshold N\n"
+               "fault injection (sample/benign/campaign): --fault-rate R (0..1) stacks a\n"
+               "  seeded FaultInjectionFilter below the engine; --fault-seed N (default 2016)\n"
                "observability (sample/benign/campaign): --metrics-out FILE writes merged\n"
                "  engine metrics + per-run forensic timelines as JSON\n");
 }

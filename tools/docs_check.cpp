@@ -26,6 +26,7 @@
 
 #include "core/engine.hpp"
 #include "obs/metrics.hpp"
+#include "vfs/fault_filter.hpp"
 
 namespace {
 
@@ -74,8 +75,24 @@ std::vector<std::string> indicator_labels() {
   return labels;
 }
 
-/// Replaces a per-indicator suffix with the `<indicator>` placeholder,
-/// e.g. "indicator_events_total.entropy_delta" -> "indicator_events_total.<indicator>".
+/// Fault-kind labels, for collapsing the fault filter's per-kind counter
+/// family into one documented `name.<fault>` row.
+std::vector<std::string> fault_labels() {
+  using cryptodrop::vfs::FaultKind;
+  static constexpr FaultKind kAll[] = {
+      FaultKind::io_error, FaultKind::access_denied,
+      FaultKind::short_write, FaultKind::delay_post,
+  };
+  std::vector<std::string> labels;
+  for (FaultKind kind : kAll) {
+    labels.emplace_back(cryptodrop::vfs::fault_kind_name(kind));
+  }
+  return labels;
+}
+
+/// Replaces a per-indicator or per-fault suffix with its placeholder,
+/// e.g. "indicator_events_total.entropy_delta" -> "indicator_events_total.<indicator>",
+/// "faults_injected_total.io_error" -> "faults_injected_total.<fault>".
 std::string collapse_family(const std::string& name) {
   const std::size_t dot = name.find('.');
   if (dot == std::string::npos) return name;
@@ -83,18 +100,24 @@ std::string collapse_family(const std::string& name) {
   for (const std::string& label : indicator_labels()) {
     if (suffix == label) return name.substr(0, dot) + ".<indicator>";
   }
+  for (const std::string& label : fault_labels()) {
+    if (suffix == label) return name.substr(0, dot) + ".<fault>";
+  }
   return name;
 }
 
-/// Every metric name a default-config engine registers, families
-/// collapsed, sorted and deduplicated.
+/// Every metric name a default-config engine and a default-plan fault
+/// filter register, families collapsed, sorted and deduplicated.
 std::set<std::string> registered_metric_names() {
   const AnalysisEngine engine{ScoringConfig{}};
-  const cryptodrop::obs::MetricsSnapshot snap = engine.metrics_snapshot();
+  const cryptodrop::vfs::FaultInjectionFilter filter{cryptodrop::vfs::FaultPlan{}};
   std::set<std::string> names;
-  for (const auto& c : snap.counters) names.insert(collapse_family(c.name));
-  for (const auto& g : snap.gauges) names.insert(collapse_family(g.name));
-  for (const auto& h : snap.histograms) names.insert(collapse_family(h.name));
+  for (const cryptodrop::obs::MetricsSnapshot& snap :
+       {engine.metrics_snapshot(), filter.metrics_snapshot()}) {
+    for (const auto& c : snap.counters) names.insert(collapse_family(c.name));
+    for (const auto& g : snap.gauges) names.insert(collapse_family(g.name));
+    for (const auto& h : snap.histograms) names.insert(collapse_family(h.name));
+  }
   return names;
 }
 
@@ -324,6 +347,7 @@ int check_header_docs(const std::string& root) {
       "src/core/engine.hpp",      "src/core/session.hpp",
       "src/core/config.hpp",      "src/harness/runner.hpp",
       "src/harness/experiment.hpp", "src/harness/report.hpp",
+      "src/vfs/fault_filter.hpp", "src/harness/chaos.hpp",
   };
   HeaderScanner scanner;
   for (const char* header : kPublicHeaders) {
