@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   std::vector<harness::BenignRunResult> results;
   for (const sim::BenignWorkload& workload : sim::all_benign_workloads()) {
     std::fprintf(stderr, "[bench] %s...\n", workload.name.c_str());
-    const auto r = harness::run_benign_workload(env, workload, core::ScoringConfig{}, 9);
+    const auto r = harness::run_benign_workload_filtered(
+        env, workload, core::ScoringConfig{}, 9, nullptr,
+        benchutil::trace_options(scale));
     if (r.detected) ++false_positives;
     if (r.union_triggered) ++union_count;
     results.push_back(r);
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
                               : "no"});
   }
   benchutil::maybe_write_metrics(scale, results);
+  benchutil::maybe_write_trace(scale, results);
   std::printf("%s\n", table.to_string().c_str());
   std::printf("false positives: %zu   [paper: 1 (7-zip)]\n", false_positives);
   std::printf("benign apps triggering union: %zu   [paper: 0]\n", union_count);

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     const auto benign = harness::run_benign_suite_faulted(
         env, workloads, config, 9, options, benchutil::runner_options(scale));
     benchutil::maybe_write_metrics(scale, results);
+    benchutil::maybe_write_trace(scale, results);
 
     std::size_t detected = 0;
     std::size_t gave_up = 0;  // undetected, but halted by substrate faults

@@ -13,6 +13,13 @@
 //             docs/OBSERVABILITY.md) as JSON; also
 //             CRYPTODROP_METRICS_OUT=FILE. Benches that run several
 //             campaigns number the second and later files FILE.2, ...
+//   --trace-out FILE — enable span tracing and write each campaign's
+//             merged Chrome trace-event JSON (Perfetto-loadable; feed to
+//             `cryptodrop trace-report`); also CRYPTODROP_TRACE_OUT=FILE,
+//             numbered FILE.2, ... like the metrics sidecar.
+//   --trace-sample N — keep 1-in-N operations (default 16 for benches:
+//             full traces of a 492-sample campaign are huge); also
+//             CRYPTODROP_TRACE_SAMPLE=N.
 // or the environment variable CRYPTODROP_FAST=1 for a quick smoke run.
 #pragma once
 
@@ -37,6 +44,8 @@ struct BenchScale {
   std::uint64_t campaign_seed = 1;
   std::size_t jobs = 0;  // 0 → one worker per hardware thread
   std::string metrics_out;  // empty → no instrumentation sidecar
+  std::string trace_out;    // empty → no span tracing
+  std::size_t trace_sample = 16;  // bench default: sampled tracing
 };
 
 inline BenchScale parse_scale(int argc, char** argv) {
@@ -52,12 +61,22 @@ inline BenchScale parse_scale(int argc, char** argv) {
   if (const char* metrics_env = std::getenv("CRYPTODROP_METRICS_OUT")) {
     scale.metrics_out = metrics_env;
   }
+  if (const char* trace_env = std::getenv("CRYPTODROP_TRACE_OUT")) {
+    scale.trace_out = trace_env;
+  }
+  if (const char* sample_env = std::getenv("CRYPTODROP_TRACE_SAMPLE")) {
+    scale.trace_sample = std::strtoul(sample_env, nullptr, 10);
+  }
   std::size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       scale.jobs = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       scale.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      scale.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      scale.trace_sample = std::strtoul(argv[++i], nullptr, 10);
     } else if (positional == 0) {
       scale.corpus_files = std::strtoul(argv[i], nullptr, 10);
       ++positional;
@@ -72,9 +91,19 @@ inline BenchScale parse_scale(int argc, char** argv) {
   return scale;
 }
 
+/// Span-tracing knobs from the scale flags: on exactly when --trace-out
+/// named a destination.
+inline obs::TraceOptions trace_options(const BenchScale& scale) {
+  obs::TraceOptions trace;
+  trace.enabled = !scale.trace_out.empty();
+  trace.sample_every = std::max<std::size_t>(scale.trace_sample, 1);
+  return trace;
+}
+
 inline harness::RunnerOptions runner_options(const BenchScale& scale) {
   harness::RunnerOptions options;
   options.jobs = scale.jobs;
+  options.trace = trace_options(scale);
   options.progress = [](std::size_t done, std::size_t total) {
     if (done % 100 == 0 || done == total) {
       std::fprintf(stderr, "[bench]   %zu/%zu\n", done, total);
@@ -117,7 +146,10 @@ void maybe_write_metrics(const BenchScale& scale,
   if (scale.metrics_out.empty()) return;
   static std::size_t campaign_index = 0;
   std::string path = scale.metrics_out;
-  if (++campaign_index > 1) path += "." + std::to_string(campaign_index);
+  if (++campaign_index > 1) {
+    path += '.';
+    path += std::to_string(campaign_index);
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[bench] cannot write metrics file %s\n", path.c_str());
@@ -131,6 +163,30 @@ void maybe_write_metrics(const BenchScale& scale,
   std::fprintf(stderr, "[bench] metrics written to %s\n", path.c_str());
 }
 
+/// Writes one campaign's span-trace sidecar when --trace-out was given,
+/// numbered FILE.2, FILE.3, ... like the metrics sidecar.
+template <typename Result>
+void maybe_write_trace(const BenchScale& scale,
+                       const std::vector<Result>& results) {
+  if (scale.trace_out.empty()) return;
+  static std::size_t campaign_index = 0;
+  std::string path = scale.trace_out;
+  if (++campaign_index > 1) {
+    path += '.';
+    path += std::to_string(campaign_index);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write trace file %s\n", path.c_str());
+    return;
+  }
+  const std::string text = harness::trace_report(results).to_pretty_string();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] trace written to %s\n", path.c_str());
+}
+
 inline std::vector<harness::RansomwareRunResult> run_standard_campaign(
     const harness::Environment& env, const BenchScale& scale,
     const core::ScoringConfig& config = {}) {
@@ -140,6 +196,7 @@ inline std::vector<harness::RansomwareRunResult> run_standard_campaign(
   auto results =
       harness::run_campaign_parallel(env, specs, config, runner_options(scale));
   maybe_write_metrics(scale, results);
+  maybe_write_trace(scale, results);
   return results;
 }
 

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   const auto results = harness::run_campaign_parallel(
       env, specs, core::ScoringConfig{}, benchutil::runner_options(scale));
   benchutil::maybe_write_metrics(scale, results);
+  benchutil::maybe_write_trace(scale, results);
 
   std::printf("== Figure 4: directory footprint before detection ==\n");
   for (std::size_t i = 0; i < std::size(subjects); ++i) {

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
       env, sim::figure6_workloads(), unbounded, /*seed=*/9,
       benchutil::runner_options(scale));
   benchutil::maybe_write_metrics(scale, results);
+  benchutil::maybe_write_trace(scale, results);
   for (const auto& r : results) {
     apps.push_back({r.app, r.final_score, paper_scores.at(r.app)});
   }

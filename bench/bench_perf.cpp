@@ -8,9 +8,12 @@
 // should match: rename/close-after-write carry the measurement cost.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "common/rng.hpp"
 #include "common/text.hpp"
 #include "core/engine.hpp"
+#include "obs/span.hpp"
 #include "vfs/filesystem.hpp"
 
 using namespace cryptodrop;
@@ -25,7 +28,7 @@ struct PerfFixture {
   vfs::ProcessId pid = 0;
   Rng rng{99};
 
-  explicit PerfFixture(bool with_engine) {
+  explicit PerfFixture(bool with_engine, obs::SpanTracer* tracer = nullptr) {
     // A modest protected tree with realistic content.
     for (int i = 0; i < 64; ++i) {
       const std::string path =
@@ -34,6 +37,8 @@ struct PerfFixture {
       Bytes content = to_bytes(synth_prose(rng, 64 * 1024));
       (void)fs.put_file_raw(path, std::move(content));
     }
+    // Tracer before the engine attaches (the engine caches it on attach).
+    if (tracer != nullptr) fs.set_span_tracer(tracer);
     if (with_engine) {
       core::ScoringConfig config;
       config.score_threshold = 1 << 30;  // measure, never suspend
@@ -218,6 +223,78 @@ void print_engine_internal_latency() {
   }
 }
 
+/// Tracing-overhead guardrail: the same data-carrying workload (the
+/// write+measured-close path, where every engine stage span opens) timed
+/// with the tracer off, sampled at the bench default (1-in-16), and
+/// keeping everything. Sampled tracing is the always-on configuration we
+/// recommend, so it must stay under 5% over the untraced baseline —
+/// returns false (and bench_perf exits nonzero) when it doesn't.
+bool run_tracing_overhead_guardrail() {
+  constexpr int kOpsPerRep = 192;
+  constexpr int kReps = 7;  // best-of: the quietest rep, per config
+
+  const auto run_batch = [&](obs::SpanTracer* tracer) {
+    double best_us = 1e18;
+    for (int rep = 0; rep < kReps; ++rep) {
+      PerfFixture fx(/*with_engine=*/true, tracer);
+      // Payloads generated outside the timed region, identically seeded
+      // for every config and rep.
+      Rng payload_rng(17);
+      std::vector<Bytes> payloads;
+      payloads.reserve(kOpsPerRep);
+      for (int i = 0; i < kOpsPerRep; ++i) {
+        payloads.push_back(to_bytes(synth_prose(payload_rng, 64 * 1024)));
+      }
+      const auto begin = std::chrono::steady_clock::now();
+      for (int i = 0; i < kOpsPerRep; ++i) {
+        auto h = fx.fs.open(fx.pid, fx.doc(i), vfs::kRead | vfs::kWrite);
+        (void)fx.fs.write(fx.pid, h.value(), ByteView(payloads[static_cast<std::size_t>(i)]));
+        (void)fx.fs.close(fx.pid, h.value());
+      }
+      const auto end = std::chrono::steady_clock::now();
+      const double us =
+          std::chrono::duration<double, std::micro>(end - begin).count();
+      best_us = std::min(best_us, us);
+    }
+    return best_us;
+  };
+
+  obs::TraceOptions sampled_options;
+  sampled_options.enabled = true;
+  sampled_options.sample_every = 16;  // the bench default
+  obs::TraceOptions full_options;
+  full_options.enabled = true;
+  full_options.sample_every = 1;
+
+  const double off_us = run_batch(nullptr);
+  obs::SpanTracer sampled_tracer(sampled_options);
+  const double sampled_us = run_batch(&sampled_tracer);
+  obs::SpanTracer full_tracer(full_options);
+  const double full_us = run_batch(&full_tracer);
+
+  const auto overhead = [&](double us) {
+    return off_us > 0.0 ? 100.0 * (us - off_us) / off_us : 0.0;
+  };
+  std::printf("\n== span-tracing overhead (%d write+close ops, best of %d) ==\n",
+              kOpsPerRep, kReps);
+  std::printf("%-22s %14s %10s\n", "config", "batch (us)", "overhead");
+  std::printf("%-22s %14.1f %10s\n", "tracer off", off_us, "-");
+  std::printf("%-22s %14.1f %+9.1f%%\n", "sampled (1-in-16)", sampled_us,
+              overhead(sampled_us));
+  std::printf("%-22s %14.1f %+9.1f%%\n", "full (every op)", full_us,
+              overhead(full_us));
+
+  if (obs::kMetricsEnabled && overhead(sampled_us) >= 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: sampled span tracing costs %.1f%% (budget: <5%% over "
+                 "the untraced baseline)\n",
+                 overhead(sampled_us));
+    return false;
+  }
+  std::printf("sampled tracing within the <5%% budget\n");
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,5 +303,5 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_engine_internal_latency();
-  return 0;
+  return run_tracing_overhead_guardrail() ? 0 : 1;
 }

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     const auto results = harness::run_campaign_parallel(
         env, specs, config, benchutil::runner_options(scale));
     benchutil::maybe_write_metrics(scale, results);  // one sidecar per threshold
+    benchutil::maybe_write_trace(scale, results);
     for (const auto& r : results) {
       detected += r.detected ? 1 : 0;
       losses.push_back(static_cast<double>(r.files_lost));

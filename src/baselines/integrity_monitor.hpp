@@ -52,6 +52,9 @@ class IntegrityMonitor : public vfs::Filter {
   void on_attach(vfs::FileSystem& fs) override;
   vfs::Verdict pre_operation(const vfs::OperationEvent& event) override;
   void post_operation(const vfs::OperationEvent& event, const Status& outcome) override;
+  [[nodiscard]] std::string_view filter_name() const override {
+    return "integrity_monitor";
+  }
 
   /// Re-baselines every protected file (the administrator "accepting"
   /// the current state, as after a Tripwire database update).

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "simhash/digest_cache.hpp"
 #include "vfs/path.hpp"
 
@@ -225,7 +226,10 @@ void AnalysisEngine::set_alert_callback(std::function<void(const Alert&)> callba
   alert_callback_ = std::move(callback);
 }
 
-void AnalysisEngine::on_attach(vfs::FileSystem& fs) { fs_ = &fs; }
+void AnalysisEngine::on_attach(vfs::FileSystem& fs) {
+  fs_ = &fs;
+  tracer_ = fs.span_tracer();
+}
 
 bool AnalysisEngine::under_root(std::string_view path) const {
   if (vfs::path_is_under(path, config_.protected_root)) return true;
@@ -419,19 +423,6 @@ EngineSnapshot AnalysisEngine::snapshot() const {
   return snap;
 }
 
-std::vector<vfs::ProcessId> AnalysisEngine::observed_processes() const {
-  std::vector<vfs::ProcessId> out;
-  for (const ScoreboardShard& shard : scoreboard_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (const auto& [pid, state] : shard.states) {
-      (void)state;
-      out.push_back(pid);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
 LatencyStats AnalysisEngine::latency_stats() const {
   std::lock_guard<std::mutex> lock(latency_mu_);
   return latency_;
@@ -471,6 +462,14 @@ void AnalysisEngine::add_points(ProcessState& proc, vfs::ProcessId pid,
                                 std::string note) {
   const int score_before = proc.score;
   proc.score += points;
+  // The score-update span's payload is its args (the event itself), not
+  // its duration; every value is deterministic.
+  obs::ScopedSpan span(obs::span_name::kScoreUpdate);
+  if (span.active()) {
+    span.arg("indicator", indicator_name(indicator));
+    span.arg("points", static_cast<double>(points));
+    span.arg("score_after", static_cast<double>(proc.score));
+  }
   const auto idx = static_cast<std::size_t>(indicator);
   m_indicator_events_[idx]->add();
   m_indicator_points_[idx]->add(static_cast<std::uint64_t>(std::max(points, 0)));
@@ -510,6 +509,17 @@ void AnalysisEngine::maybe_detect(ProcessState& proc, vfs::ProcessId pid,
   if (proc.suspended || proc.score < proc.threshold) return;
   proc.suspended = true;
   m_suspensions_->add();
+  obs::ScopedSpan span(obs::span_name::kVerdict);
+  if (span.active()) {
+    span.arg("score", static_cast<double>(proc.score));
+    span.arg("threshold", static_cast<double>(proc.threshold));
+    span.arg("via_union", via_union ? "true" : "false");
+  }
+  if (tracer_ != nullptr) {
+    // Keep-all from here on: the suspended process's denial tail is the
+    // part of the story a sampled trace must never drop.
+    tracer_->force_pid(pid);
+  }
   {
     // Terminal verdict event: every explainable timeline ends with one.
     obs::TimelineEvent event;
@@ -560,8 +570,11 @@ void AnalysisEngine::capture_baseline(vfs::FileId id,
 }
 
 magic::TypeId AnalysisEngine::sniff_type(ByteView data) const {
+  obs::ScopedSpan span(obs::span_name::kMagicSniff);
   obs::ScopedTimer timer(h_magic_);
-  return magic::identify(data);
+  const magic::TypeId type = magic::identify(data);
+  if (span.active()) span.arg("type", magic::type_name(type));
+  return type;
 }
 
 void AnalysisEngine::forget_file(vfs::FileId id) {
@@ -586,6 +599,8 @@ std::optional<simhash::SimilarityDigest> AnalysisEngine::baseline_digest_for(
   // Corpus baselines recur across trials (the zoo reuses one corpus for
   // hundreds of runs); the shared cache computes each distinct content's
   // digest once, process-wide.
+  obs::ScopedSpan span(obs::span_name::kSdhashDigest);
+  if (span.active()) span.arg("bytes", static_cast<double>(data.size()));
   obs::ScopedTimer timer(h_sdhash_);
   m_digests_->add();
   if (config_.share_digest_cache) {
@@ -633,6 +648,10 @@ void AnalysisEngine::evaluate_modification(
     if (file.baseline_digest.has_value()) {
       std::optional<simhash::SimilarityDigest> new_digest;
       {
+        obs::ScopedSpan digest_span(obs::span_name::kSdhashDigest);
+        if (digest_span.active()) {
+          digest_span.arg("bytes", static_cast<double>(content->size()));
+        }
         obs::ScopedTimer digest_timer(h_sdhash_);
         m_digests_->add();
         new_digest = simhash::SimilarityDigest::compute(ByteView(*content));
@@ -642,7 +661,14 @@ void AnalysisEngine::evaluate_modification(
       if (!new_digest.has_value()) m_degraded_->add();
       if (new_digest.has_value()) {
         similarity_available = true;
-        const int similarity = file.baseline_digest->compare(*new_digest);
+        int similarity = 0;
+        {
+          obs::ScopedSpan compare_span(obs::span_name::kSdhashCompare);
+          similarity = file.baseline_digest->compare(*new_digest);
+          if (compare_span.active()) {
+            compare_span.arg("score", static_cast<double>(similarity));
+          }
+        }
         if (similarity <= config_.similarity_drop_max) {
           fired_similarity = true;
           proc.saw_similarity_drop = true;
@@ -806,6 +832,8 @@ void AnalysisEngine::score_write_entropy(ProcessState& proc, vfs::ProcessId pid,
                                          ByteView data, const std::string& path) {
   if (!config_.enable_entropy) return;
   {
+    obs::ScopedSpan span(obs::span_name::kEntropy);
+    if (span.active()) span.arg("bytes", static_cast<double>(data.size()));
     obs::ScopedTimer timer(h_entropy_);
     proc.write_mean.add(data);
   }
@@ -899,6 +927,8 @@ void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
   LockedProcess locked = lock_state_for(event);
   ProcessState& proc = *locked.proc;
   if (config_.enable_entropy) {
+    obs::ScopedSpan span(obs::span_name::kEntropy);
+    if (span.active()) span.arg("bytes", static_cast<double>(event.data.size()));
     obs::ScopedTimer timer(h_entropy_);
     proc.read_mean.add(event.data);
   }
@@ -1042,6 +1072,10 @@ void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
     if (config_.enable_entropy) {
       const auto departing = fs_->read_unfiltered(event.dest_path);
       if (departing != nullptr && !departing->empty()) {
+        obs::ScopedSpan span(obs::span_name::kEntropy);
+        if (span.active()) {
+          span.arg("bytes", static_cast<double>(departing->size()));
+        }
         obs::ScopedTimer entropy_timer(h_entropy_);
         proc.read_mean.add(ByteView(*departing));
       }

@@ -136,8 +136,8 @@ struct LatencyStats {
 /// One consistent view of everything the engine has measured: every
 /// process report, the operation count, and the latency breakdown, all
 /// captured atomically (no operation is half-reflected across entries).
-/// This replaces the racy observed_processes() + N× process_report()
-/// query dance.
+/// This replaced the racy pid-list + N× process_report() query dance
+/// (the old observed_processes() API, now removed).
 struct EngineSnapshot {
   /// Reports in ascending scoreboard-key order (the family root's pid
   /// when family scoring is enabled).
@@ -195,8 +195,13 @@ class AnalysisEngine : public vfs::Filter {
   /// engine) are dropped unscored: reputation points are only ever
   /// assessed for operations that actually happened. Thread-safe.
   void post_operation(const vfs::OperationEvent& event, const Status& outcome) override;
-  /// Called by FileSystem::attach_filter; records the owning filesystem.
+  /// Called by FileSystem::attach_filter; records the owning filesystem
+  /// and picks up its span tracer (if one was set before attachment).
   void on_attach(vfs::FileSystem& fs) override;
+  /// Span/log identity ("analysis_engine" child spans in traces).
+  [[nodiscard]] std::string_view filter_name() const override {
+    return "analysis_engine";
+  }
 
   // --- queries ----------------------------------------------------------
   /// The validated configuration this engine was built with (immutable).
@@ -222,10 +227,6 @@ class AnalysisEngine : public vfs::Filter {
   /// incremented are visible, in-flight ones may not be). Gauges are
   /// refreshed (shard walk) as part of the call.
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
-  /// Pids of every process the engine has scored so far.
-  [[deprecated("iterate snapshot().processes instead — a pid list is stale "
-               "by the time it is re-queried")]]
-  [[nodiscard]] std::vector<vfs::ProcessId> observed_processes() const;
   /// Total operations the engine observed under the protected root.
   [[nodiscard]] std::uint64_t observed_ops() const {
     return op_seq_.load(std::memory_order_relaxed);
@@ -392,6 +393,10 @@ class AnalysisEngine : public vfs::Filter {
 
   ScoringConfig config_;
   vfs::FileSystem* fs_ = nullptr;  ///< Set on attach; unfiltered inspection.
+  /// Set on attach from the filesystem; lets the verdict path mark a
+  /// suspended pid keep-all in the sampler. Stage spans themselves nest
+  /// via the thread-local current span, not this pointer.
+  obs::SpanTracer* tracer_ = nullptr;
   mutable std::array<ScoreboardShard, kScoreboardShards> scoreboard_shards_;
   mutable std::array<FileShard, kFileShards> file_shards_;
   std::function<void(const Alert&)> alert_callback_;

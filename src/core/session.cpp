@@ -13,6 +13,30 @@ MonitorSession::MonitorSession(ScoringConfig config)
   fs_.attach_filter(engine_.get());
 }
 
+MonitorSession::MonitorSession(const vfs::FileSystem& base,
+                               ScoringConfig config,
+                               const obs::TraceOptions& trace)
+    : fs_(base.clone()),
+      engine_(std::make_unique<AnalysisEngine>(std::move(config))) {
+  // Tracer before engine: the engine caches fs().span_tracer() in
+  // on_attach, so attachment order is load-bearing here.
+  if (trace.enabled && obs::kMetricsEnabled) {
+    tracer_ = std::make_unique<obs::SpanTracer>(trace);
+    fs_.set_span_tracer(tracer_.get());
+  }
+  fs_.attach_filter(engine_.get());
+}
+
+MonitorSession::MonitorSession(ScoringConfig config,
+                               const obs::TraceOptions& trace)
+    : engine_(std::make_unique<AnalysisEngine>(std::move(config))) {
+  if (trace.enabled && obs::kMetricsEnabled) {
+    tracer_ = std::make_unique<obs::SpanTracer>(trace);
+    fs_.set_span_tracer(tracer_.get());
+  }
+  fs_.attach_filter(engine_.get());
+}
+
 MonitorSession::~MonitorSession() {
   if (engine_ != nullptr) {
     fs_.detach_filter(engine_.get());

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "obs/span.hpp"
 #include "vfs/filesystem.hpp"
 
 namespace cryptodrop::core {
@@ -38,6 +39,15 @@ class MonitorSession {
 
   /// A session over a fresh empty volume.
   explicit MonitorSession(ScoringConfig config);
+
+  /// Traced variants: when `trace.enabled`, the session owns an
+  /// obs::SpanTracer wired into the volume *before* the engine attaches,
+  /// so every operation's dispatch→filter→indicator chain is recorded
+  /// (docs/OBSERVABILITY.md "Span tracing").
+  MonitorSession(const vfs::FileSystem& base, ScoringConfig config,
+                 const obs::TraceOptions& trace);
+  /// Traced session over a fresh empty volume.
+  MonitorSession(ScoringConfig config, const obs::TraceOptions& trace);
 
   MonitorSession(MonitorSession&&) = default;
   MonitorSession& operator=(MonitorSession&&) = default;
@@ -76,8 +86,19 @@ class MonitorSession {
     return engine_->metrics_snapshot();
   }
 
+  /// Whether this session records spans (constructed with enabled
+  /// TraceOptions, on a metrics-enabled build).
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
+
+  /// Everything the tracer retained so far (empty when not tracing).
+  /// Export with obs::to_trace_json / harness::trace_report.
+  [[nodiscard]] obs::SpanSnapshot trace_snapshot() const {
+    return tracer_ != nullptr ? tracer_->snapshot() : obs::SpanSnapshot{};
+  }
+
  private:
   vfs::FileSystem fs_;
+  std::unique_ptr<obs::SpanTracer> tracer_;  ///< Null when not tracing.
   std::unique_ptr<AnalysisEngine> engine_;
 };
 

@@ -7,14 +7,15 @@ namespace cryptodrop::harness {
 
 RansomwareRunResult run_ransomware_sample_faulted(
     const Environment& env, const sim::SampleSpec& spec,
-    const core::ScoringConfig& config, const FaultCampaignOptions& options) {
+    const core::ScoringConfig& config, const FaultCampaignOptions& options,
+    const obs::TraceOptions& trace) {
   sim::SampleSpec faulted = spec;
   faulted.profile.give_up_after_denials =
       std::max<std::size_t>(options.sample_give_up_after_denials, 1);
 
   vfs::FaultInjectionFilter filter(options.plan.reseeded(spec.seed));
   RansomwareRunResult result =
-      run_ransomware_sample_filtered(env, faulted, config, &filter);
+      run_ransomware_sample_filtered(env, faulted, config, &filter, trace);
 
   // Injected denials halt a sample exactly like a suspension does, so
   // the fault-free harness's "halted by denials" fallback would credit
@@ -37,22 +38,22 @@ std::vector<RansomwareRunResult> run_campaign_faulted(
   }
   std::vector<RansomwareRunResult> results(specs.size());
   parallel_for(specs.size(), runner, [&](std::size_t i) {
-    results[i] = run_ransomware_sample_faulted(env, specs[i], config, options);
+    results[i] =
+        run_ransomware_sample_faulted(env, specs[i], config, options, runner.trace);
   });
   return results;
 }
 
-BenignRunResult run_benign_workload_faulted(const Environment& env,
-                                            const sim::BenignWorkload& workload,
-                                            const core::ScoringConfig& config,
-                                            std::uint64_t seed,
-                                            const FaultCampaignOptions& options) {
+BenignRunResult run_benign_workload_faulted(
+    const Environment& env, const sim::BenignWorkload& workload,
+    const core::ScoringConfig& config, std::uint64_t seed,
+    const FaultCampaignOptions& options, const obs::TraceOptions& trace) {
   // Per-workload fault stream, independent of trial order: salt the plan
   // with the workload's name and the suite seed.
   vfs::FaultInjectionFilter filter(
       options.plan.reseeded(seed_from_string(workload.name) + seed));
   BenignRunResult result =
-      run_benign_workload_filtered(env, workload, config, seed, &filter);
+      run_benign_workload_filtered(env, workload, config, seed, &filter, trace);
   result.metrics.merge(filter.metrics_snapshot());
   return result;
 }
@@ -69,7 +70,8 @@ std::vector<BenignRunResult> run_benign_suite_faulted(
   }
   std::vector<BenignRunResult> results(workloads.size());
   parallel_for(workloads.size(), runner, [&](std::size_t i) {
-    results[i] = run_benign_workload_faulted(env, workloads[i], config, seed, options);
+    results[i] = run_benign_workload_faulted(env, workloads[i], config, seed,
+                                             options, runner.trace);
   });
   return results;
 }

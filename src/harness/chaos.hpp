@@ -37,10 +37,13 @@ struct FaultCampaignOptions {
 /// campaign's give-up tolerance) runs over a per-trial fault filter, the
 /// filter's faults_injected_total counters are merged into the result's
 /// metrics, and `detected` means the engine suspended the process —
-/// nothing else. Deterministic in (options.plan, spec.seed).
+/// nothing else. Deterministic in (options.plan, spec.seed). When
+/// `trace.enabled`, the trial records spans (the fault filter shows up
+/// as `vfs.filter.*` children named "fault_injection").
 RansomwareRunResult run_ransomware_sample_faulted(
     const Environment& env, const sim::SampleSpec& spec,
-    const core::ScoringConfig& config, const FaultCampaignOptions& options);
+    const core::ScoringConfig& config, const FaultCampaignOptions& options,
+    const obs::TraceOptions& trace = {});
 
 /// The zoo campaign under faults: one faulted trial per spec, results in
 /// spec order, parallel per `runner` (bit-identical at any job count).
@@ -53,11 +56,10 @@ std::vector<RansomwareRunResult> run_campaign_faulted(
 /// injected denial (benign apps do not retry); `detected` still means
 /// engine suspension only. Fault stream depends on the workload's name
 /// and `seed`, not on trial order.
-BenignRunResult run_benign_workload_faulted(const Environment& env,
-                                            const sim::BenignWorkload& workload,
-                                            const core::ScoringConfig& config,
-                                            std::uint64_t seed,
-                                            const FaultCampaignOptions& options);
+BenignRunResult run_benign_workload_faulted(
+    const Environment& env, const sim::BenignWorkload& workload,
+    const core::ScoringConfig& config, std::uint64_t seed,
+    const FaultCampaignOptions& options, const obs::TraceOptions& trace = {});
 
 /// The benign suite under faults, results in workload order, parallel
 /// per `runner`.

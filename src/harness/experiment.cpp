@@ -36,11 +36,11 @@ RansomwareRunResult run_ransomware_sample(const Environment& env,
   return run_ransomware_sample_filtered(env, spec, config, nullptr);
 }
 
-RansomwareRunResult run_ransomware_sample_filtered(const Environment& env,
-                                                   const sim::SampleSpec& spec,
-                                                   const core::ScoringConfig& config,
-                                                   vfs::Filter* below_engine) {
-  core::MonitorSession session(env.base_fs, config);
+RansomwareRunResult run_ransomware_sample_filtered(
+    const Environment& env, const sim::SampleSpec& spec,
+    const core::ScoringConfig& config, vfs::Filter* below_engine,
+    const obs::TraceOptions& trace) {
+  core::MonitorSession session(env.base_fs, config, trace);
   vfs::FileSystem& fs = session.fs();
   vfs::RecordingFilter recorder;
   fs.attach_filter(&recorder);
@@ -94,6 +94,7 @@ RansomwareRunResult run_ransomware_sample_filtered(const Environment& env,
 
   if (below_engine != nullptr) fs.detach_filter(below_engine);
   fs.detach_filter(&recorder);
+  result.trace = session.trace_snapshot();
   return result;
 }
 
@@ -117,12 +118,11 @@ BenignRunResult run_benign_workload(const Environment& env,
   return run_benign_workload_filtered(env, workload, config, seed, nullptr);
 }
 
-BenignRunResult run_benign_workload_filtered(const Environment& env,
-                                             const sim::BenignWorkload& workload,
-                                             const core::ScoringConfig& config,
-                                             std::uint64_t seed,
-                                             vfs::Filter* below_engine) {
-  core::MonitorSession session(env.base_fs, config);
+BenignRunResult run_benign_workload_filtered(
+    const Environment& env, const sim::BenignWorkload& workload,
+    const core::ScoringConfig& config, std::uint64_t seed,
+    vfs::Filter* below_engine, const obs::TraceOptions& trace) {
+  core::MonitorSession session(env.base_fs, config, trace);
   if (below_engine != nullptr) session.fs().attach_filter(below_engine);
 
   const vfs::ProcessId pid = session.spawn(workload.name);
@@ -139,6 +139,7 @@ BenignRunResult run_benign_workload_filtered(const Environment& env,
   result.final_score = result.report.score;
   result.union_triggered = result.report.union_triggered;
   if (below_engine != nullptr) session.fs().detach_filter(below_engine);
+  result.trace = session.trace_snapshot();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "core/engine.hpp"
 #include "corpus/builder.hpp"
+#include "obs/span.hpp"
 #include "sim/benign/benign.hpp"
 #include "sim/ransomware/families.hpp"
 #include "sim/ransomware/ransomware.hpp"
@@ -50,6 +51,9 @@ struct RansomwareRunResult {
   /// gauges, stage-latency histograms). Merge across trials with
   /// merged_metrics().
   obs::MetricsSnapshot metrics;
+  /// Every span the trial's tracer retained (empty unless the run was
+  /// given enabled TraceOptions). Export with harness::trace_report.
+  obs::SpanSnapshot trace;
   sim::SampleRun sample;
   /// Directories (under the corpus root) where the sample read or wrote
   /// at least one file before being stopped — Figure 4's shading.
@@ -70,11 +74,12 @@ RansomwareRunResult run_ransomware_sample(const Environment& env,
 /// slot a FaultInjectionFilter occupies in a chaos run. `below_engine`
 /// may be null (plain run); it is attached before the sample starts and
 /// detached before returning, so one caller-owned filter serves exactly
-/// one trial.
-RansomwareRunResult run_ransomware_sample_filtered(const Environment& env,
-                                                   const sim::SampleSpec& spec,
-                                                   const core::ScoringConfig& config,
-                                                   vfs::Filter* below_engine);
+/// one trial. When `trace.enabled`, the trial session records spans and
+/// the result's `trace` carries the snapshot.
+RansomwareRunResult run_ransomware_sample_filtered(
+    const Environment& env, const sim::SampleSpec& spec,
+    const core::ScoringConfig& config, vfs::Filter* below_engine,
+    const obs::TraceOptions& trace = {});
 
 /// Runs the full Table-I campaign (all `specs`) and returns per-sample
 /// results. `progress` (nullable) is invoked after each sample.
@@ -93,6 +98,8 @@ struct BenignRunResult {
   core::ProcessReport report;
   /// The trial engine's full metrics at the end of the run.
   obs::MetricsSnapshot metrics;
+  /// Spans retained by the trial's tracer (empty unless traced).
+  obs::SpanSnapshot trace;
 };
 
 /// Runs one benign workload in a fresh MonitorSession; deterministic in
@@ -103,12 +110,12 @@ BenignRunResult run_benign_workload(const Environment& env,
                                     std::uint64_t seed);
 
 /// run_benign_workload() with an extra filter stacked below the engine
-/// for the trial (see run_ransomware_sample_filtered).
-BenignRunResult run_benign_workload_filtered(const Environment& env,
-                                             const sim::BenignWorkload& workload,
-                                             const core::ScoringConfig& config,
-                                             std::uint64_t seed,
-                                             vfs::Filter* below_engine);
+/// for the trial (see run_ransomware_sample_filtered) and optional span
+/// tracing.
+BenignRunResult run_benign_workload_filtered(
+    const Environment& env, const sim::BenignWorkload& workload,
+    const core::ScoringConfig& config, std::uint64_t seed,
+    vfs::Filter* below_engine, const obs::TraceOptions& trace = {});
 
 // --- aggregation helpers (the numbers the paper reports) ---------------
 

@@ -1,6 +1,7 @@
 #include "harness/report.hpp"
 
 #include "common/stats.hpp"
+#include "obs/trace_export.hpp"
 
 namespace cryptodrop::harness {
 
@@ -119,6 +120,52 @@ Json metrics_report_impl(const char* experiment,
   return j;
 }
 
+/// Trial labels for the merged trace's process_name metadata.
+std::string trial_label(const RansomwareRunResult& r) { return r.family; }
+std::string trial_label(const BenignRunResult& r) { return r.app; }
+
+/// Shared shape of both trace_report overloads: one Chrome trace
+/// document, trials kept on distinct (pid, tid) tracks by a per-trial
+/// offset so the merged file still satisfies validate_trace_events.
+template <typename Result>
+Json trace_report_impl(const char* experiment,
+                       const std::vector<Result>& results) {
+  // Far above any real pid (ProcessIds are small and dense) so trial
+  // blocks can never collide.
+  constexpr std::uint64_t kTrialStride = 1u << 16;
+
+  Json events = Json::array();
+  std::uint64_t exported = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    obs::TraceExportOptions options;
+    options.pid_offset = i * kTrialStride;
+    options.tid_offset = i * kTrialStride;
+    options.process_label =
+        trial_label(r) + " (trial " + std::to_string(i) + ")";
+    obs::append_trace_events(events, r.trace, options);
+    exported += r.trace.spans.size();
+    recorded += r.trace.recorded;
+    dropped += r.trace.dropped;
+  }
+
+  Json other = Json::object();
+  other.set("tool", "cryptodrop")
+      .set("experiment", experiment)
+      .set("runs", results.size())
+      .set("spans_exported", exported)
+      .set("spans_recorded", recorded)
+      .set("spans_dropped", dropped);
+
+  Json j = Json::object();
+  j.set("traceEvents", std::move(events))
+      .set("displayTimeUnit", "ms")
+      .set("otherData", std::move(other));
+  return j;
+}
+
 }  // namespace
 
 Json metrics_report(const std::vector<RansomwareRunResult>& results) {
@@ -127,6 +174,14 @@ Json metrics_report(const std::vector<RansomwareRunResult>& results) {
 
 Json metrics_report(const std::vector<BenignRunResult>& results) {
   return metrics_report_impl("benign_suite", results);
+}
+
+Json trace_report(const std::vector<RansomwareRunResult>& results) {
+  return trace_report_impl("table1_campaign", results);
+}
+
+Json trace_report(const std::vector<BenignRunResult>& results) {
+  return trace_report_impl("benign_suite", results);
 }
 
 Json benign_report(const std::vector<BenignRunResult>& results) {

@@ -34,4 +34,14 @@ Json metrics_report(const std::vector<RansomwareRunResult>& results);
 /// metrics_report() for a benign-suite run.
 Json metrics_report(const std::vector<BenignRunResult>& results);
 
+/// Span-trace sidecar (the `--trace-out` payload): every trial's spans
+/// merged into one Chrome trace-event document, one pid block per trial
+/// (pid offsets keep tracks distinct; `process_name` metadata labels
+/// each block with the family/app and trial index). Loadable in Perfetto
+/// and consumable by `cryptodrop trace-report` — see
+/// docs/OBSERVABILITY.md "Span tracing".
+Json trace_report(const std::vector<RansomwareRunResult>& results);
+/// trace_report() for a benign-suite run.
+Json trace_report(const std::vector<BenignRunResult>& results);
+
 }  // namespace cryptodrop::harness

@@ -79,7 +79,8 @@ std::vector<RansomwareRunResult> run_campaign_parallel(
   validate_or_throw(config, "campaign config");
   std::vector<RansomwareRunResult> results(specs.size());
   parallel_for(specs.size(), options, [&](std::size_t i) {
-    results[i] = run_ransomware_sample(env, specs[i], config);
+    results[i] =
+        run_ransomware_sample_filtered(env, specs[i], config, nullptr, options.trace);
   });
   return results;
 }
@@ -91,7 +92,8 @@ std::vector<BenignRunResult> run_benign_suite_parallel(
   validate_or_throw(config, "benign-suite config");
   std::vector<BenignRunResult> results(workloads.size());
   parallel_for(workloads.size(), options, [&](std::size_t i) {
-    results[i] = run_benign_workload(env, workloads[i], config, seed);
+    results[i] = run_benign_workload_filtered(env, workloads[i], config, seed,
+                                              nullptr, options.trace);
   });
   return results;
 }

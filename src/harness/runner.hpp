@@ -30,6 +30,11 @@ struct RunnerOptions {
   /// Invoked after each finished trial with (finished, total). Calls are
   /// serialized, but trials finish out of submission order.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Span-tracing knobs for every trial the runner launches. Disabled by
+  /// default; when enabled each trial's result carries its own
+  /// SpanSnapshot, and the deterministic span-id scheme makes the merged
+  /// trace identical at any job count (span_test.cpp asserts this).
+  obs::TraceOptions trace;
 };
 
 /// Resolves a requested job count: 0 → std::thread::hardware_concurrency()

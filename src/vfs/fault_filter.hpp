@@ -118,6 +118,10 @@ class FaultInjectionFilter : public Filter {
   void post_operation(const OperationEvent& event, const Status& outcome) override;
   /// Records the owning filesystem (delay_post needs its clock).
   void on_attach(FileSystem& fs) override;
+  /// Span/log identity ("fault_injection" child spans in traces).
+  [[nodiscard]] std::string_view filter_name() const override {
+    return "fault_injection";
+  }
 
   /// The plan this filter was built with (immutable).
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/span.hpp"
+
 namespace cryptodrop::vfs {
 
 FileSystem::FileSystem() { dirs_.insert(std::string()); }
@@ -58,12 +60,38 @@ Status FileSystem::run_filtered(OperationEvent& event, ApplyFn&& apply) {
   clock_micros_ += kOpCostMicros;
   event.timestamp = clock_micros_;
   event.process_name = std::string(process_name(event.pid));
+  // Root span for the whole operation. Its op index is the virtual-clock
+  // tick (strictly increasing per filtered op on this volume), so span
+  // identity is deterministic at any job count.
+  obs::ScopedSpan op_span(span_tracer_, obs::span_name::kDispatch, event.pid,
+                          event.timestamp / kOpCostMicros);
+  if (op_span.active()) {
+    op_span.arg("op", op_name(event.op));
+    op_span.arg("path", event.path);
+    if (event.op == OpType::write) {
+      op_span.arg("bytes", static_cast<double>(event.data.size()));
+    }
+  }
   std::size_t ran = 0;
   for (; ran < filters_.size(); ++ran) {
-    Status verdict = filters_[ran]->pre_operation_mut(event);
+    Status verdict;
+    {
+      obs::ScopedSpan pre_span(obs::span_name::kFilterPre);
+      if (pre_span.active()) {
+        pre_span.arg("filter", filters_[ran]->filter_name());
+      }
+      verdict = filters_[ran]->pre_operation_mut(event);
+      if (!verdict.is_ok() && pre_span.active()) {
+        pre_span.arg("status", errc_name(verdict.code()));
+      }
+    }
     if (!verdict.is_ok()) {
       // Filters that already saw the pre callback observe the failure.
       for (std::size_t i = ran + 1; i-- > 0;) {
+        obs::ScopedSpan post_span(obs::span_name::kFilterPost);
+        if (post_span.active()) {
+          post_span.arg("filter", filters_[i]->filter_name());
+        }
         filters_[i]->post_operation(event, verdict);
       }
       return verdict;
@@ -71,6 +99,10 @@ Status FileSystem::run_filtered(OperationEvent& event, ApplyFn&& apply) {
   }
   Status outcome = apply();
   for (std::size_t i = filters_.size(); i-- > 0;) {
+    obs::ScopedSpan post_span(obs::span_name::kFilterPost);
+    if (post_span.active()) {
+      post_span.arg("filter", filters_[i]->filter_name());
+    }
     filters_[i]->post_operation(event, outcome);
   }
   return outcome;

@@ -29,6 +29,10 @@
 #include "vfs/filter.hpp"
 #include "vfs/path.hpp"
 
+namespace cryptodrop::obs {
+class SpanTracer;
+}  // namespace cryptodrop::obs
+
 namespace cryptodrop::vfs {
 
 /// Result of stat().
@@ -94,6 +98,17 @@ class FileSystem {
   /// keeps the filter alive while attached.
   void attach_filter(Filter* filter);
   void detach_filter(Filter* filter);
+
+  // --- span tracing ----------------------------------------------------
+
+  /// Points dispatch at a span tracer (non-owning; null disables, the
+  /// default). Every filtered operation then opens a `vfs.dispatch` root
+  /// span with one child span per filter callback (obs/span.hpp). Set
+  /// this *before* attaching filters: filters pick the tracer up in
+  /// on_attach() to nest their own stage spans.
+  void set_span_tracer(obs::SpanTracer* tracer) { span_tracer_ = tracer; }
+  /// The attached span tracer, or null when tracing is off.
+  [[nodiscard]] obs::SpanTracer* span_tracer() const { return span_tracer_; }
 
   // --- filtered operations (the "disk requests" of Fig. 2) -------------
 
@@ -201,6 +216,7 @@ class FileSystem {
 
   std::map<HandleId, OpenHandle> handles_;
   std::vector<Filter*> filters_;
+  obs::SpanTracer* span_tracer_ = nullptr;
   std::vector<ProcessInfo> processes_;  // index = pid - 1
   FileId next_file_id_ = 1;
   HandleId next_handle_id_ = 1;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -120,6 +121,13 @@ class Filter {
   /// Invoked when the filter is attached; gives the filter its unfiltered
   /// view of the volume.
   virtual void on_attach(FileSystem& fs) { (void)fs; }
+
+  /// Short stable identifier for observability: the `filter` arg on this
+  /// filter's per-operation spans (obs/span.hpp) and log lines. Must
+  /// return a view with static storage duration.
+  [[nodiscard]] virtual std::string_view filter_name() const {
+    return "filter";
+  }
 };
 
 /// Short mnemonic for logs ("open", "write", ...).

@@ -28,6 +28,9 @@ class RecordingFilter : public Filter {
  public:
   Verdict pre_operation(const OperationEvent& event) override;
   void post_operation(const OperationEvent& event, const Status& outcome) override;
+  [[nodiscard]] std::string_view filter_name() const override {
+    return "recorder";
+  }
 
   [[nodiscard]] const std::vector<RecordedOp>& ops() const { return ops_; }
   void clear() { ops_.clear(); }

@@ -1,5 +1,11 @@
 // Operation-trace recording and replay.
 //
+// Naming note: this header records and replays the *operations
+// themselves* (an input log for §V-F replay experiments). It is NOT the
+// span tracer — obs/span.hpp ("span tracing") records where wall-clock
+// time goes *inside* each operation's causal chain and exports Chrome
+// trace-event JSON. See docs/OBSERVABILITY.md for the distinction.
+//
 // Motivated by the paper's §V-F observation that CryptoDrop cannot be
 // evaluated on passively collected activity logs: "techniques used in
 // dynamic malware analysis (e.g., passively observing benign activity on
@@ -48,6 +54,9 @@ class TraceRecorder : public Filter {
       : capture_content_(capture_content) {}
 
   void post_operation(const OperationEvent& event, const Status& outcome) override;
+  [[nodiscard]] std::string_view filter_name() const override {
+    return "op_recorder";
+  }
 
   [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
   void clear() { entries_.clear(); }

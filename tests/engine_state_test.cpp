@@ -201,12 +201,8 @@ TEST_F(EngineStateTest, TwoProcessesScoredIndependently) {
   ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
   EXPECT_GT(engine->score(pid), 0);
   EXPECT_EQ(engine->score(other), 0);
-  // The deprecated pid-list API must keep working until removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto pids = engine->observed_processes();
-#pragma GCC diagnostic pop
-  EXPECT_EQ(pids.size(), 2u);
+  // Both processes show up in the snapshot, scored independently.
+  EXPECT_EQ(engine->snapshot().processes.size(), 2u);
 }
 
 TEST_F(EngineStateTest, ReportForUnknownProcessIsEmpty) {

@@ -39,6 +39,12 @@ std::uint64_t counter_value(const AnalysisEngine& engine, std::string_view name)
   return c == nullptr ? 0 : c->value;
 }
 
+// The behavior under test (denied writes score nothing, truncate is
+// scored, fault replay) holds in every build; the *counter* assertions
+// need recording, which -DCRYPTODROP_NO_METRICS compiles out, so those
+// are gated on obs::kMetricsEnabled.
+constexpr bool kCounted = obs::kMetricsEnabled;
+
 class FaultRegressionTest : public ::testing::Test {
  protected:
   vfs::FileSystem fs;
@@ -119,7 +125,9 @@ TEST_F(FaultRegressionTest, FaultedWriteAddsNoPointsAndNoEntropyWeight) {
   ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
   EXPECT_EQ(engine->score(pid), 0);
   EXPECT_EQ(counter_value(*engine, "indicator_events_total.entropy_delta"), 0u);
-  EXPECT_EQ(faults.faults_injected(vfs::FaultKind::io_error), 10u);
+  if (kCounted) {
+    EXPECT_EQ(faults.faults_injected(vfs::FaultKind::io_error), 10u);
+  }
   EXPECT_EQ(*fs.read_unfiltered(doc("a.txt")), *original);
 
   fs.detach_filter(&faults);
@@ -149,7 +157,9 @@ TEST_F(FaultRegressionTest, ShortWriteScoresOnlyTheSurvivingPrefix) {
   ASSERT_NE(content, nullptr);
   EXPECT_GT(content->size(), 0u);
   EXPECT_LT(content->size(), 8192u);
-  EXPECT_EQ(faults.faults_injected(vfs::FaultKind::short_write), 1u);
+  if (kCounted) {
+    EXPECT_EQ(faults.faults_injected(vfs::FaultKind::short_write), 1u);
+  }
 
   fs.detach_filter(&faults);
   fs.detach_filter(engine.get());
@@ -177,7 +187,9 @@ TEST_F(FaultRegressionTest, TruncateThenRewriteIsCaught) {
     ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
   }
   EXPECT_TRUE(engine->is_suspended(pid));
-  EXPECT_GT(counter_value(*engine, "indicator_events_total.type_change"), 0u);
+  if (kCounted) {
+    EXPECT_GT(counter_value(*engine, "indicator_events_total.type_change"), 0u);
+  }
   fs.detach_filter(engine.get());
 }
 
@@ -192,8 +204,10 @@ TEST_F(FaultRegressionTest, TruncateToZeroIsObservedWithoutCrashing) {
   ASSERT_TRUE(fs.truncate(pid, h.value(), 0).is_ok());
   ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
   EXPECT_EQ(fs.read_unfiltered(doc("a.txt"))->size(), 0u);
-  EXPECT_GE(counter_value(*engine, "baselines_captured_total"), 1u);
-  EXPECT_GE(counter_value(*engine, "degraded_measurements_total"), 1u);
+  if (kCounted) {
+    EXPECT_GE(counter_value(*engine, "baselines_captured_total"), 1u);
+    EXPECT_GE(counter_value(*engine, "degraded_measurements_total"), 1u);
+  }
   fs.detach_filter(engine.get());
 }
 
@@ -232,7 +246,9 @@ TEST_F(FaultRegressionTest, EntropyMinScoreBytesGatesTinyWrites) {
     local_fs.detach_filter(&eng);
     return events;
   };
-  EXPECT_GT(entropy_events_for(1), 0u);
+  if (kCounted) {
+    EXPECT_GT(entropy_events_for(1), 0u);
+  }
   EXPECT_EQ(entropy_events_for(128), 0u);
 }
 
@@ -328,7 +344,9 @@ TEST(FaultPlanTest, SameSeedSameFaultSequence) {
   const auto [outcomes_c, injected_c] = run_once(78);
   EXPECT_EQ(outcomes_a, outcomes_b);
   EXPECT_EQ(injected_a, injected_b);
-  EXPECT_GT(injected_a, 0u);
+  if (kCounted) {
+    EXPECT_GT(injected_a, 0u);
+  }
   EXPECT_NE(outcomes_a, outcomes_c);
 }
 

@@ -22,6 +22,12 @@
 // Observability: sample/benign/campaign accept --metrics-out FILE and
 // write the instrumentation sidecar there — merged engine metrics plus
 // one forensic timeline per run (schema in docs/OBSERVABILITY.md).
+// --trace-out FILE enables span tracing and writes every trial's spans
+// as one Chrome trace-event JSON (load at ui.perfetto.dev);
+// --trace-sample N keeps 1-in-N operations (suspended processes always
+// keep everything). `cryptodrop trace-report --in FILE [--top K]` folds
+// such a file into critical-path tables: per-stage self time, top-k
+// slowest operations, per-indicator cost attribution.
 //
 // Everything is deterministic in the seeds (campaign results are
 // bit-identical at any --jobs count); --json emits the harness's
@@ -37,6 +43,7 @@
 #include "common/stats.hpp"
 #include "entropy/entropy.hpp"
 #include "harness/chaos.hpp"
+#include "obs/trace_export.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
@@ -114,19 +121,44 @@ std::optional<harness::FaultCampaignOptions> fault_options(const Args& args) {
   return options;
 }
 
-/// Writes the --metrics-out sidecar (pretty JSON) if the flag was given.
-void maybe_write_metrics(const Args& args, const Json& payload) {
-  const std::string path = args.get("metrics-out", "");
-  if (path.empty()) return;
+/// Span-tracing options from --trace-out / --trace-sample. Tracing is
+/// on exactly when a destination file was named.
+obs::TraceOptions trace_options(const Args& args) {
+  obs::TraceOptions trace;
+  trace.enabled = !args.get("trace-out", "").empty();
+  trace.sample_every = std::max<std::size_t>(args.get_size("trace-sample", 1), 1);
+  return trace;
+}
+
+void write_json_file(const std::string& path, const Json& payload,
+                     const char* what) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    throw std::runtime_error("cannot open metrics file for writing: " + path);
+    throw std::runtime_error(std::string("cannot open ") + what +
+                             " file for writing: " + path);
   }
   const std::string text = payload.to_pretty_string();
   std::fwrite(text.data(), 1, text.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
-  std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+  std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
+}
+
+/// Writes the --metrics-out sidecar (pretty JSON) if the flag was given.
+void maybe_write_metrics(const Args& args, const Json& payload) {
+  const std::string path = args.get("metrics-out", "");
+  if (path.empty()) return;
+  write_json_file(path, payload, "metrics");
+}
+
+/// Writes the --trace-out sidecar if the flag was given. On a
+/// -DCRYPTODROP_NO_METRICS build the tracer records nothing, so the file
+/// is an empty-but-valid trace document.
+template <typename Result>
+void maybe_write_trace(const Args& args, const std::vector<Result>& results) {
+  const std::string path = args.get("trace-out", "");
+  if (path.empty()) return;
+  write_json_file(path, harness::trace_report(results), "trace");
 }
 
 harness::Environment build_env(const Args& args, std::size_t default_files) {
@@ -154,12 +186,15 @@ int cmd_sample(const Args& args) {
   spec.seed = args.get_size("seed", 7);
 
   const auto faults = fault_options(args);
+  const obs::TraceOptions trace = trace_options(args);
   const auto r = faults.has_value()
                      ? harness::run_ransomware_sample_faulted(
-                           env, spec, scoring_config(args), *faults)
-                     : harness::run_ransomware_sample(env, spec, scoring_config(args));
+                           env, spec, scoring_config(args), *faults, trace)
+                     : harness::run_ransomware_sample_filtered(
+                           env, spec, scoring_config(args), nullptr, trace);
   maybe_write_metrics(args, harness::metrics_report(
                                 std::vector<harness::RansomwareRunResult>{r}));
+  maybe_write_trace(args, std::vector<harness::RansomwareRunResult>{r});
   if (args.flag("json")) {
     std::printf("%s", harness::to_json(r).to_pretty_string().c_str());
     return r.detected ? 0 : 1;
@@ -182,15 +217,17 @@ int cmd_benign(const Args& args) {
   const std::string app = args.get("app", "Microsoft Word");
   const harness::Environment env = build_env(args, 1500);
   const auto faults = fault_options(args);
+  const obs::TraceOptions trace = trace_options(args);
   const auto r = faults.has_value()
                      ? harness::run_benign_workload_faulted(
                            env, sim::benign_workload(app), scoring_config(args),
-                           args.get_size("seed", 9), *faults)
-                     : harness::run_benign_workload(env, sim::benign_workload(app),
-                                                    scoring_config(args),
-                                                    args.get_size("seed", 9));
+                           args.get_size("seed", 9), *faults, trace)
+                     : harness::run_benign_workload_filtered(
+                           env, sim::benign_workload(app), scoring_config(args),
+                           args.get_size("seed", 9), nullptr, trace);
   maybe_write_metrics(args, harness::metrics_report(
                                 std::vector<harness::BenignRunResult>{r}));
+  maybe_write_trace(args, std::vector<harness::BenignRunResult>{r});
   if (args.flag("json")) {
     std::printf("%s", harness::to_json(r).to_pretty_string().c_str());
   } else {
@@ -219,6 +256,7 @@ int cmd_campaign(const Args& args) {
   }
   harness::RunnerOptions options;
   options.jobs = args.get_size("jobs", 0);
+  options.trace = trace_options(args);
   options.progress = [](std::size_t done, std::size_t total) {
     if (done % 50 == 0 || done == total) {
       std::fprintf(stderr, "  %zu/%zu\n", done, total);
@@ -233,6 +271,7 @@ int cmd_campaign(const Args& args) {
                                           *faults, options)
           : harness::run_campaign_parallel(env, specs, scoring_config(args), options);
   maybe_write_metrics(args, harness::metrics_report(results));
+  maybe_write_trace(args, results);
   if (args.flag("json")) {
     std::printf("%s", harness::campaign_report(env, results, args.flag("per-sample"))
                           .to_pretty_string()
@@ -247,6 +286,36 @@ int cmd_campaign(const Args& args) {
                    harness::fmt_double(row.median_files_lost, 1)});
   }
   std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_trace_report(const Args& args) {
+  const std::string path = args.get("in", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: trace-report needs --in FILE (a --trace-out payload)\n");
+    return 2;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  std::string text;
+  char buffer[1 << 16];
+  for (std::size_t n; (n = std::fread(buffer, 1, sizeof(buffer), f)) > 0;) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+
+  const Result<std::vector<obs::TraceEvent>> parsed = obs::parse_trace_events(text);
+  if (!parsed.is_ok()) {
+    throw std::runtime_error(path + ": " + parsed.status().to_string());
+  }
+  if (const Status valid = obs::validate_trace_events(parsed.value()); !valid.is_ok()) {
+    throw std::runtime_error(path + ": invalid trace: " + valid.to_string());
+  }
+  const obs::TraceReport report =
+      obs::analyze_trace(parsed.value(), args.get_size("top", 10));
+  std::printf("%s", obs::format_trace_report(report).c_str());
   return 0;
 }
 
@@ -319,6 +388,7 @@ void usage() {
                "  sample   --family NAME [--class A|B|C] [--seed N] [--corpus N] [--json]\n"
                "  benign   --app NAME [--corpus N] [--seed N] [--json]\n"
                "  campaign [--corpus N] [--samples N] [--jobs N] [--full] [--json] [--per-sample]\n"
+               "  trace-report --in FILE [--top K]\n"
                "  corpus   [--corpus N] [--seed N]\n"
                "  families\n"
                "  apps\n"
@@ -326,7 +396,10 @@ void usage() {
                "fault injection (sample/benign/campaign): --fault-rate R (0..1) stacks a\n"
                "  seeded FaultInjectionFilter below the engine; --fault-seed N (default 2016)\n"
                "observability (sample/benign/campaign): --metrics-out FILE writes merged\n"
-               "  engine metrics + per-run forensic timelines as JSON\n");
+               "  engine metrics + per-run forensic timelines as JSON; --trace-out FILE\n"
+               "  records per-operation spans and writes Chrome trace-event JSON\n"
+               "  (Perfetto-loadable); --trace-sample N keeps 1-in-N operations\n"
+               "trace-report folds a --trace-out file into critical-path tables\n");
 }
 
 }  // namespace
@@ -337,6 +410,7 @@ int main(int argc, char** argv) {
     if (args.command == "sample") return cmd_sample(args);
     if (args.command == "benign") return cmd_benign(args);
     if (args.command == "campaign") return cmd_campaign(args);
+    if (args.command == "trace-report") return cmd_trace_report(args);
     if (args.command == "corpus") return cmd_corpus(args);
     if (args.command == "families") return cmd_families();
     if (args.command == "apps") return cmd_apps();

@@ -9,7 +9,12 @@
 //     registers — nothing missing, nothing stale. Per-indicator counter
 //     families are documented once as `name.<indicator>`.
 //
-//  2. Doc comments. Every public type and function in the repo's public
+//  2. Span-name parity. The span-schema table in docs/OBSERVABILITY.md
+//     (between the `<!-- span-schema:begin -->` / `end` markers) must
+//     name exactly obs::known_span_names() — both directions, like the
+//     metric table.
+//
+//  3. Doc comments. Every public type and function in the repo's public
 //     headers (the fixed list below) must carry a comment on the
 //     preceding line. The scan is a deliberately simple heuristic — it
 //     tracks brace depth, public/private sections, and statement
@@ -26,6 +31,7 @@
 
 #include "core/engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "vfs/fault_filter.hpp"
 
 namespace {
@@ -176,7 +182,70 @@ int check_metric_parity(const std::string& root) {
   return failures;
 }
 
-// --- invariant 2: header doc comments ----------------------------------
+// --- invariant 2: span-name parity -------------------------------------
+
+/// First-`backticked` tokens of table rows between a begin/end marker
+/// pair in OBSERVABILITY.md (shared row shape with the metric table).
+std::set<std::string> documented_schema_tokens(const std::string& doc_path,
+                                               const char* begin_marker,
+                                               const char* end_marker) {
+  std::set<std::string> names;
+  bool in_schema = false;
+  for (const std::string& raw : read_lines(doc_path)) {
+    const std::string line = trim(raw);
+    if (line.find(begin_marker) != std::string::npos) {
+      in_schema = true;
+      continue;
+    }
+    if (line.find(end_marker) != std::string::npos) in_schema = false;
+    if (!in_schema || line.empty() || line[0] != '|') continue;
+    const std::size_t open = line.find('`');
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string token = line.substr(open + 1, close - open - 1);
+    if (!token.empty() && token.find(' ') == std::string::npos) {
+      names.insert(token);
+    }
+  }
+  return names;
+}
+
+int check_span_parity(const std::string& root) {
+  const std::string doc_path = root + "/docs/OBSERVABILITY.md";
+  std::set<std::string> emitted;
+  for (std::string_view name : cryptodrop::obs::known_span_names()) {
+    emitted.insert(std::string(name));
+  }
+  const std::set<std::string> documented = documented_schema_tokens(
+      doc_path, "span-schema:begin", "span-schema:end");
+  int failures = 0;
+  for (const std::string& name : emitted) {
+    if (documented.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: span `%s` is emitted by the instrumentation "
+                   "but missing from the docs/OBSERVABILITY.md span table\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : documented) {
+    if (emitted.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: docs/OBSERVABILITY.md documents span `%s` but "
+                   "no instrumentation emits it\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("docs-check: span schema in sync (%zu span names)\n",
+                emitted.size());
+  }
+  return failures;
+}
+
+// --- invariant 3: header doc comments ----------------------------------
 
 /// One lexical scope opened by '{': a namespace, a class/struct body
 /// (with its current access level), or anything else (function bodies,
@@ -344,6 +413,7 @@ struct HeaderScanner {
 int check_header_docs(const std::string& root) {
   static const char* kPublicHeaders[] = {
       "src/obs/metrics.hpp",      "src/obs/timeline.hpp",
+      "src/obs/span.hpp",         "src/obs/trace_export.hpp",
       "src/core/engine.hpp",      "src/core/session.hpp",
       "src/core/config.hpp",      "src/harness/runner.hpp",
       "src/harness/experiment.hpp", "src/harness/report.hpp",
@@ -366,6 +436,7 @@ int main(int argc, char** argv) {
   const std::string root = argc > 1 ? argv[1] : ".";
   int failures = 0;
   failures += check_metric_parity(root);
+  failures += check_span_parity(root);
   failures += check_header_docs(root);
   if (failures != 0) {
     std::fprintf(stderr, "docs-check: %d failure(s)\n", failures);
