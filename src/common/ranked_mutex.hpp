@@ -1,0 +1,201 @@
+// Rank-checked mutexes: the runtime half of the project's lock-order
+// contract (DESIGN.md §13; the static half is tools/lint).
+//
+// Every long-lived mutex in the repo is a RankedMutex<Rank> (or
+// RankedSharedMutex<Rank>) whose rank comes from the table in
+// `lockrank` below. The contract a thread must obey:
+//
+//   * acquire mutexes in strictly increasing rank order, except
+//   * several mutexes of the SAME rank may be held together when they
+//     are acquired in ascending address order (the engine snapshot's
+//     in-index-order sweep over its shard array is exactly this case).
+//
+// In a -DCRYPTODROP_CHECK=ON build (the TSan CI job enables it) each
+// thread keeps a rank stack of the locks it holds; an out-of-order
+// acquisition prints both locks and calls std::abort(). In a normal
+// build the wrapper is a zero-cost passthrough — lock()/unlock()
+// compile to the underlying std::mutex calls and the object layout is
+// exactly the underlying mutex (static_asserted in tests).
+//
+// The checked/unchecked choice is the template parameter `Checked`,
+// defaulted from the CRYPTODROP_CHECK macro. Because it is part of the
+// type, a test TU may instantiate a checked mutex explicitly
+// (RankedMutex<N, true>) without rebuilding the libraries, and mixed
+// translation units never violate the ODR.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace cryptodrop::common {
+
+/// The project lock-rank table (DESIGN.md §13 documents the why of
+/// each ordering edge). A thread holding rank R may only acquire
+/// ranks > R (or another rank-R lock at a higher address).
+namespace lockrank {
+/// Harness runner: first-trial-error slot (leaf; held a few stores).
+inline constexpr unsigned kRunnerError = 1;
+/// Harness runner: progress-callback serialization. Below every engine
+/// rank because a progress callback may query an engine.
+inline constexpr unsigned kRunnerProgress = 2;
+/// Engine per-process scoreboard shard (16 of them; the snapshot sweep
+/// takes all 16 in index — i.e. ascending-address — order).
+inline constexpr unsigned kScoreboardShard = 10;
+/// Engine per-file baseline shard; acquired under a scoreboard shard
+/// on the evaluate-modification path.
+inline constexpr unsigned kFileTable = 20;
+/// Shared digest-cache shard; acquired under a file shard when a miss
+/// computes a digest mid-evaluation.
+inline constexpr unsigned kDigestCache = 30;
+/// Engine latency-stats accumulator (ScopedLatency destructor; runs
+/// after every per-op guard is released).
+inline constexpr unsigned kLatencyStats = 40;
+/// MetricsRegistry registration/snapshot lock (never on the op path).
+inline constexpr unsigned kMetricsRegistry = 50;
+/// Span-tracer shard ring; a span close under scoreboard/file locks
+/// lands here.
+inline constexpr unsigned kSpanShard = 60;
+/// Span-tracer forced-pid set; the verdict path takes it under a
+/// scoreboard shard.
+inline constexpr unsigned kSpanForce = 62;
+}  // namespace lockrank
+
+#ifdef CRYPTODROP_CHECK
+/// Build-wide default for the `Checked` template parameter below.
+inline constexpr bool kLockCheckDefault = true;
+#else
+/// Build-wide default for the `Checked` template parameter below.
+inline constexpr bool kLockCheckDefault = false;
+#endif
+
+namespace detail {
+
+/// One acquisition on the calling thread's rank stack.
+struct HeldLock {
+  unsigned rank = 0;
+  const void* mx = nullptr;
+};
+
+/// The calling thread's currently held ranked locks, in acquisition
+/// order. The ordering contract keeps it non-decreasing by rank.
+inline std::vector<HeldLock>& held_stack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+/// Validates one acquisition against the top of the rank stack and
+/// pushes it. Aborts (with a diagnostic naming both ranks) on a
+/// lock-order inversion.
+inline void check_acquire(unsigned rank, const void* mx) {
+  std::vector<HeldLock>& stack = held_stack();
+  if (!stack.empty()) {
+    const HeldLock& top = stack.back();
+    const bool ordered =
+        rank > top.rank || (rank == top.rank && mx > top.mx);
+    if (!ordered) {
+      std::fprintf(stderr,
+                   "cryptodrop: lock-rank violation: acquiring rank %u "
+                   "(%p) while holding rank %u (%p)\n",
+                   rank, mx, top.rank, top.mx);
+      std::abort();
+    }
+  }
+  stack.push_back(HeldLock{rank, mx});
+}
+
+/// Removes `mx` from the rank stack (latest acquisition first, so
+/// recursive same-address patterns would unwind correctly).
+inline void note_release(const void* mx) {
+  std::vector<HeldLock>& stack = held_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mx == mx) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// std::mutex carrying a compile-time lock rank. Checked builds
+/// validate every acquisition against the thread's rank stack;
+/// unchecked builds are layout- and code-identical to std::mutex.
+/// Satisfies Lockable (use std::lock_guard / std::unique_lock).
+template <unsigned Rank, bool Checked = kLockCheckDefault>
+class RankedMutex {
+ public:
+  /// This mutex's position in the lockrank table.
+  static constexpr unsigned rank() { return Rank; }
+
+  /// Blocking acquire; aborts on rank inversion when Checked.
+  void lock() {
+    if constexpr (Checked) detail::check_acquire(Rank, this);
+    m_.lock();
+  }
+
+  /// Release; pops this mutex from the rank stack when Checked.
+  void unlock() {
+    m_.unlock();
+    if constexpr (Checked) detail::note_release(this);
+  }
+
+  /// Non-blocking acquire. Even a try-acquire must respect the rank
+  /// order (a successful out-of-order try is still a contract breach).
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+    if constexpr (Checked) detail::check_acquire(Rank, this);
+    return true;
+  }
+
+ private:
+  std::mutex m_;  // lock-rank: Rank (carried by the enclosing template)
+};
+
+/// std::shared_mutex carrying a compile-time lock rank. Shared
+/// acquisitions obey the same rank order as exclusive ones (a reader
+/// can deadlock a writer just as well).
+template <unsigned Rank, bool Checked = kLockCheckDefault>
+class RankedSharedMutex {
+ public:
+  /// This mutex's position in the lockrank table.
+  static constexpr unsigned rank() { return Rank; }
+
+  /// Blocking exclusive acquire; aborts on rank inversion when Checked.
+  void lock() {
+    if constexpr (Checked) detail::check_acquire(Rank, this);
+    m_.lock();
+  }
+
+  /// Exclusive release.
+  void unlock() {
+    m_.unlock();
+    if constexpr (Checked) detail::note_release(this);
+  }
+
+  /// Non-blocking exclusive acquire (rank-checked on success).
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+    if constexpr (Checked) detail::check_acquire(Rank, this);
+    return true;
+  }
+
+  /// Blocking shared acquire; aborts on rank inversion when Checked.
+  void lock_shared() {
+    if constexpr (Checked) detail::check_acquire(Rank, this);
+    m_.lock_shared();
+  }
+
+  /// Shared release.
+  void unlock_shared() {
+    m_.unlock_shared();
+    if constexpr (Checked) detail::note_release(this);
+  }
+
+ private:
+  std::shared_mutex m_;  // lock-rank: Rank (carried by the enclosing template)
+};
+
+}  // namespace cryptodrop::common

@@ -65,7 +65,7 @@ namespace {
 /// metrics layer adds no clock reads of its own to the dispatch path.
 class ScopedLatency {
  public:
-  ScopedLatency(LatencyStats& stats, std::mutex& mu, vfs::OpType op,
+  ScopedLatency(LatencyStats& stats, LatencyMutex& mu, vfs::OpType op,
                 obs::Histogram* dispatch_hist = nullptr)
       : stats_(stats), mu_(mu), op_(op), hist_(dispatch_hist),
         start_(std::chrono::steady_clock::now()) {}
@@ -77,7 +77,7 @@ class ScopedLatency {
     if constexpr (obs::kMetricsEnabled) {
       if (hist_ != nullptr) hist_->record(static_cast<double>(ns) / 1000.0);
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard lock(mu_);
     LatencyStats::PerOp& bucket = stats_.for_op(op_);
     ++bucket.count;
     bucket.total_ns += ns;
@@ -86,7 +86,7 @@ class ScopedLatency {
 
  private:
   LatencyStats& stats_;
-  std::mutex& mu_;
+  LatencyMutex& mu_;
   vfs::OpType op_;
   obs::Histogram* hist_;
   std::chrono::steady_clock::time_point start_;
@@ -254,7 +254,7 @@ AnalysisEngine::LockedProcess AnalysisEngine::lock_state_for(
   LockedProcess locked;
   locked.key = scoreboard_key(event.pid);
   ScoreboardShard& shard = shard_for_key(locked.key);
-  locked.lock = std::unique_lock<std::mutex>(shard.mu);
+  locked.lock = std::unique_lock<ScoreboardMutex>(shard.mu);
   auto [it, inserted] = shard.states.try_emplace(locked.key);
   if (inserted) {
     it->second.name = event.process_name;
@@ -269,7 +269,7 @@ AnalysisEngine::LockedProcess AnalysisEngine::lock_state_for(
 bool AnalysisEngine::is_suspended(vfs::ProcessId pid) const {
   const vfs::ProcessId key = scoreboard_key(pid);
   ScoreboardShard& shard = shard_for_key(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto it = shard.states.find(key);
   return it != shard.states.end() && it->second.suspended;
 }
@@ -277,7 +277,7 @@ bool AnalysisEngine::is_suspended(vfs::ProcessId pid) const {
 int AnalysisEngine::score(vfs::ProcessId pid) const {
   const vfs::ProcessId key = scoreboard_key(pid);
   ScoreboardShard& shard = shard_for_key(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto it = shard.states.find(key);
   return it == shard.states.end() ? 0 : it->second.score;
 }
@@ -285,7 +285,7 @@ int AnalysisEngine::score(vfs::ProcessId pid) const {
 ProcessReport AnalysisEngine::process_report(vfs::ProcessId pid) const {
   const vfs::ProcessId key = scoreboard_key(pid);
   ScoreboardShard& shard = shard_for_key(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto it = shard.states.find(key);
   if (it == shard.states.end()) {
     ProcessReport report;
@@ -335,7 +335,7 @@ obs::ForensicTimeline AnalysisEngine::make_forensic(vfs::ProcessId key,
 obs::ForensicTimeline AnalysisEngine::explain(vfs::ProcessId pid) const {
   const vfs::ProcessId key = scoreboard_key(pid);
   ScoreboardShard& shard = shard_for_key(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto it = shard.states.find(key);
   if (it == shard.states.end()) {
     obs::ForensicTimeline timeline;
@@ -350,7 +350,7 @@ void AnalysisEngine::refresh_gauges(std::size_t tracked_processes) const {
   g_processes_->set(static_cast<double>(tracked_processes));
   std::size_t files = 0;
   for (const FileShard& shard : file_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     files += shard.files.size();
   }
   g_files_->set(static_cast<double>(files));
@@ -366,7 +366,7 @@ void AnalysisEngine::refresh_gauges(std::size_t tracked_processes) const {
 obs::MetricsSnapshot AnalysisEngine::metrics_snapshot() const {
   std::size_t processes = 0;
   for (const ScoreboardShard& shard : scoreboard_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     processes += shard.states.size();
   }
   refresh_gauges(processes);
@@ -380,9 +380,9 @@ EngineSnapshot AnalysisEngine::snapshot() const {
   // Stop the world: take every scoreboard shard in index order (the
   // only place more than one scoreboard lock is ever held — see the
   // lock-order contract in DESIGN.md §9).
-  std::array<std::unique_lock<std::mutex>, kScoreboardShards> locks;
+  std::array<std::unique_lock<ScoreboardMutex>, kScoreboardShards> locks;
   for (std::size_t i = 0; i < kScoreboardShards; ++i) {
-    locks[i] = std::unique_lock<std::mutex>(scoreboard_shards_[i].mu);
+    locks[i] = std::unique_lock<ScoreboardMutex>(scoreboard_shards_[i].mu);
   }
   snap.observed_ops = op_seq_.load(std::memory_order_relaxed);
   for (const ScoreboardShard& shard : scoreboard_shards_) {
@@ -415,7 +415,7 @@ EngineSnapshot AnalysisEngine::snapshot() const {
   std::sort(snap.processes.begin(), snap.processes.end(),
             [](const ProcessReport& a, const ProcessReport& b) { return a.pid < b.pid; });
   {
-    std::lock_guard<std::mutex> lock(latency_mu_);
+    std::lock_guard lock(latency_mu_);
     snap.latency = latency_;
   }
   refresh_gauges(snap.processes.size());
@@ -424,14 +424,14 @@ EngineSnapshot AnalysisEngine::snapshot() const {
 }
 
 LatencyStats AnalysisEngine::latency_stats() const {
-  std::lock_guard<std::mutex> lock(latency_mu_);
+  std::lock_guard lock(latency_mu_);
   return latency_;
 }
 
 void AnalysisEngine::resume_process(vfs::ProcessId pid) {
   const vfs::ProcessId key = scoreboard_key(pid);
   ScoreboardShard& shard = shard_for_key(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto it = shard.states.find(key);
   if (it == shard.states.end()) return;
   ProcessState& s = it->second;
@@ -559,7 +559,7 @@ void AnalysisEngine::capture_baseline(vfs::FileId id,
     return;
   }
   FileShard& shard = shard_for_file(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto [it, inserted] = shard.files.try_emplace(id);
   if (!inserted && it->second.baseline != nullptr) return;  // already tracked
   it->second.baseline = content;
@@ -580,14 +580,14 @@ magic::TypeId AnalysisEngine::sniff_type(ByteView data) const {
 void AnalysisEngine::forget_file(vfs::FileId id) {
   if (id == vfs::kNoFile) return;
   FileShard& shard = shard_for_file(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   shard.files.erase(id);
 }
 
 bool AnalysisEngine::mark_pending_check(vfs::FileId id) {
   if (id == vfs::kNoFile) return false;
   FileShard& shard = shard_for_file(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto it = shard.files.find(id);
   if (it == shard.files.end() || it->second.baseline == nullptr) return false;
   it->second.pending_check = true;
@@ -621,7 +621,7 @@ void AnalysisEngine::evaluate_modification(
     return;
   }
   FileShard& shard = shard_for_file(id);
-  std::lock_guard<std::mutex> file_lock(shard.mu);
+  std::lock_guard file_lock(shard.mu);
   auto it = shard.files.find(id);
   if (it == shard.files.end() || it->second.baseline == nullptr) return;
   FileState& file = it->second;
@@ -962,7 +962,7 @@ void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
   bool tracked_pending = false;
   if (event.file_id != vfs::kNoFile) {
     FileShard& shard = shard_for_file(event.file_id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     auto it = shard.files.find(event.file_id);
     tracked_pending = it != shard.files.end() &&
                       it->second.baseline != nullptr && it->second.pending_check;
@@ -1090,7 +1090,7 @@ void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
   bool pending = false;
   if (event.file_id != vfs::kNoFile) {
     FileShard& shard = shard_for_file(event.file_id);
-    std::lock_guard<std::mutex> file_lock(shard.mu);
+    std::lock_guard file_lock(shard.mu);
     auto it = shard.files.find(event.file_id);
     pending = it != shard.files.end() && it->second.pending_check;
   }

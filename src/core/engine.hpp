@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/ranked_mutex.hpp"
 #include "core/config.hpp"
 #include "entropy/entropy.hpp"
 #include "magic/magic.hpp"
@@ -50,6 +51,14 @@
 #include "vfs/filter.hpp"
 
 namespace cryptodrop::core {
+
+/// Scoreboard-shard mutex: rank 10 in the project lock-rank table
+/// (common/ranked_mutex.hpp; DESIGN.md §13).
+using ScoreboardMutex = common::RankedMutex<common::lockrank::kScoreboardShard>;
+/// File-baseline-shard mutex: rank 20 (acquired under a scoreboard shard).
+using FileTableMutex = common::RankedMutex<common::lockrank::kFileTable>;
+/// Latency-stats mutex: rank 40 (taken with no other engine lock held).
+using LatencyMutex = common::RankedMutex<common::lockrank::kLatencyStats>;
 
 /// Which indicator produced a score event.
 enum class Indicator : std::uint8_t {
@@ -302,18 +311,18 @@ class AnalysisEngine : public vfs::Filter {
   static constexpr std::size_t kFileShards = 16;
 
   struct ScoreboardShard {
-    mutable std::mutex mu;
+    mutable ScoreboardMutex mu;
     std::map<vfs::ProcessId, ProcessState> states;
   };
   struct FileShard {
-    mutable std::mutex mu;
+    mutable FileTableMutex mu;
     std::map<vfs::FileId, FileState> files;
   };
 
   /// A scoreboard shard lock pinned to one process entry. While it lives,
   /// the shard's mutex is held and `proc` may be mutated.
   struct LockedProcess {
-    std::unique_lock<std::mutex> lock;
+    std::unique_lock<ScoreboardMutex> lock;
     ProcessState* proc = nullptr;
     vfs::ProcessId key = 0;
   };
@@ -402,7 +411,7 @@ class AnalysisEngine : public vfs::Filter {
   std::function<void(const Alert&)> alert_callback_;
   std::atomic<std::uint64_t> op_seq_{0};
   LatencyStats latency_;
-  mutable std::mutex latency_mu_;
+  mutable LatencyMutex latency_mu_;
 
   // --- observability (docs/OBSERVABILITY.md) ----------------------------
   // The registry owns the instruments; the pointers below are stable

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/ranked_mutex.hpp"
+
 namespace cryptodrop::harness {
 
 std::size_t effective_jobs(std::size_t requested) {
@@ -30,9 +32,11 @@ void parallel_for(std::size_t count, const RunnerOptions& options,
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex progress_mu;
+  // Runner locks rank below every engine lock: the progress callback
+  // may query an engine (snapshot, metrics) while it is held.
+  common::RankedMutex<common::lockrank::kRunnerProgress> progress_mu;
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  common::RankedMutex<common::lockrank::kRunnerError> error_mu;
 
   auto worker = [&] {
     for (;;) {
@@ -41,14 +45,14 @@ void parallel_for(std::size_t count, const RunnerOptions& options,
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        std::lock_guard lock(error_mu);
         if (!first_error) first_error = std::current_exception();
         // Keep draining: a failed trial must not wedge the pool, and
         // index-addressed results stay well-defined for the survivors.
       }
       const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options.progress) {
-        std::lock_guard<std::mutex> lock(progress_mu);
+        std::lock_guard lock(progress_mu);
         options.progress(finished, count);
       }
     }

@@ -189,7 +189,7 @@ auto* find_entry(Deque& entries, std::string_view name) {
 
 Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
                                   std::string_view unit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   if (auto* entry = find_entry(counters_, name)) return entry->instrument;
   counters_.emplace_back(std::string(name), std::string(help), std::string(unit));
   return counters_.back().instrument;
@@ -197,7 +197,7 @@ Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
                               std::string_view unit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   if (auto* entry = find_entry(gauges_, name)) return entry->instrument;
   gauges_.emplace_back(std::string(name), std::string(help), std::string(unit));
   return gauges_.back().instrument;
@@ -206,7 +206,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
 Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view help,
                                       std::string_view unit,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   if (auto* entry = find_entry(histograms_, name)) return entry->instrument;
   histograms_.emplace_back(std::string(name), std::string(help),
                            std::string(unit), std::move(bounds));
@@ -214,7 +214,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view he
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const Entry<Counter>& entry : counters_) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/ranked_mutex.hpp"
 
 namespace cryptodrop::obs {
 
@@ -303,7 +304,8 @@ class MetricsRegistry {
           instrument(std::move(b)) {}
   };
 
-  mutable std::mutex mu_;
+  /// Rank 50: registration/snapshot only, never on the op path.
+  mutable common::RankedMutex<common::lockrank::kMetricsRegistry> mu_;
   // Deques: references handed out must survive later registrations.
   std::deque<Entry<Counter>> counters_;
   std::deque<Entry<Gauge>> gauges_;

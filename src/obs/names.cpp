@@ -1,0 +1,49 @@
+#include "obs/names.hpp"
+
+namespace cryptodrop::obs {
+
+std::vector<std::string_view> known_metric_names() {
+  return {
+      // engine counters (core/engine.cpp register_metrics)
+      "ops_observed_total",
+      "ops_denied_total",
+      "suspensions_total",
+      "resumes_total",
+      "baselines_captured_total",
+      "similarity_digests_total",
+      "degraded_measurements_total",
+      "indicator_events_total.<indicator>",
+      "points_assessed_total.<indicator>",
+      // engine stage-latency histograms
+      "stage_latency_us.sdhash_digest",
+      "stage_latency_us.entropy",
+      "stage_latency_us.magic_sniff",
+      "stage_latency_us.filter_dispatch",
+      // engine gauges
+      "processes_tracked",
+      "files_tracked",
+      "digest_cache_hits",
+      "digest_cache_misses",
+      "digest_cache_entries",
+      "digest_cache_evictions",
+      // fault-injection filter counters (vfs/fault_filter.cpp)
+      "faults_injected_total.<fault>",
+  };
+}
+
+std::vector<std::string_view> known_placeholder_labels(
+    std::string_view placeholder) {
+  // Mirrors core::indicator_name() / vfs::fault_kind_name(); docs_check
+  // cross-checks these lists against the real enums every run, so a new
+  // indicator or fault kind cannot land without updating this file.
+  if (placeholder == "<indicator>") {
+    return {"entropy_delta", "type_change", "similarity_drop", "deletion",
+            "funneling",     "union",       "burst_rate"};
+  }
+  if (placeholder == "<fault>") {
+    return {"io_error", "access_denied", "short_write", "delay_post"};
+  }
+  return {};
+}
+
+}  // namespace cryptodrop::obs

@@ -49,21 +49,21 @@ bool SpanTracer::should_sample(std::uint32_t pid,
   if (options_.sample_every <= 1) return true;
   if (op_index % options_.sample_every == 0) return true;
   if (any_forced_.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(force_mu_);
+    std::lock_guard lock(force_mu_);
     return forced_.contains(pid);
   }
   return false;
 }
 
 void SpanTracer::force_pid(std::uint32_t pid) {
-  std::lock_guard<std::mutex> lock(force_mu_);
+  std::lock_guard lock(force_mu_);
   forced_.insert(pid);
   any_forced_.store(true, std::memory_order_relaxed);
 }
 
 void SpanTracer::record(SpanRecord&& record) {
   Shard& shard = shards_[trace_thread_index() % kMetricShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   ++shard.recorded;
   if (shard.ring.size() < per_shard_capacity_) {
     shard.ring.push_back(std::move(record));
@@ -78,7 +78,7 @@ void SpanTracer::record(SpanRecord&& record) {
 SpanSnapshot SpanTracer::snapshot() const {
   SpanSnapshot out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     out.recorded += shard.recorded;
     out.dropped += shard.dropped;
     // Unroll the ring oldest-first so relative push order survives.

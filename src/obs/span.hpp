@@ -47,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/ranked_mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace cryptodrop::obs {
@@ -171,7 +172,8 @@ class SpanTracer {
 
  private:
   struct alignas(64) Shard {
-    mutable std::mutex mu;
+    /// Rank 60: a span close under scoreboard/file locks lands here.
+    mutable common::RankedMutex<common::lockrank::kSpanShard> mu;
     std::vector<SpanRecord> ring;  ///< Circular once full.
     std::size_t head = 0;          ///< Next write position once full.
     std::uint64_t recorded = 0;
@@ -181,7 +183,8 @@ class SpanTracer {
   TraceOptions options_;
   std::size_t per_shard_capacity_ = 0;
   std::uint64_t epoch_ns_ = 0;
-  mutable std::mutex force_mu_;
+  /// Rank 62: the verdict path takes it under a scoreboard shard.
+  mutable common::RankedMutex<common::lockrank::kSpanForce> force_mu_;
   std::set<std::uint32_t> forced_;
   std::atomic<bool> any_forced_{false};
   std::array<Shard, kMetricShards> shards_{};

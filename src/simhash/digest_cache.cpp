@@ -12,7 +12,7 @@ std::optional<SimilarityDigest> DigestCache::get_or_compute(ByteView data) {
   Shard& shard = shards_[key[0] % kShards];
 
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       ++shard.hits;
@@ -27,7 +27,7 @@ std::optional<SimilarityDigest> DigestCache::get_or_compute(ByteView data) {
   // twice — both arrive at the identical deterministic digest.
   std::optional<SimilarityDigest> digest = SimilarityDigest::compute(data);
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Lost the race; the existing entry is equivalent.
@@ -46,7 +46,7 @@ std::optional<SimilarityDigest> DigestCache::get_or_compute(ByteView data) {
 
 void DigestCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }
@@ -55,7 +55,7 @@ void DigestCache::clear() {
 DigestCacheStats DigestCache::stats() const {
   DigestCacheStats out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.evictions += shard.evictions;

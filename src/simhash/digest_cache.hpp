@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/ranked_mutex.hpp"
 #include "crypto/sha256.hpp"
 #include "simhash/similarity.hpp"
 
@@ -75,7 +76,8 @@ class DigestCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    /// Rank 30: acquired under an engine file shard on digest misses.
+    mutable common::RankedMutex<common::lockrank::kDigestCache> mu;
     /// Most-recently-used entries at the front.
     std::list<std::pair<crypto::Sha256Digest, std::optional<SimilarityDigest>>> lru;
     std::unordered_map<crypto::Sha256Digest, decltype(lru)::iterator, KeyHash> index;

@@ -57,7 +57,9 @@ const std::array<std::uint64_t, 256>& buz_table() {
 }
 
 inline std::uint64_t rotl64(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
+  // Masked form: total for any k, including multiples of 64 (a plain
+  // `x >> (64 - k)` is UB at k = 0). Compiles to a single rotate.
+  return (x << (k & 63)) | (x >> (-k & 63));
 }
 
 /// Content-defined trigger evaluated at *every* byte position via a

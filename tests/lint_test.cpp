@@ -1,0 +1,303 @@
+// Tests for the static-analysis rule engine (tools/lint) and the
+// runtime lock-rank validator (common/ranked_mutex.hpp) — each lint
+// rule must fire on a planted violation and stay quiet on the
+// sanctioned spelling, and the allowlist must suppress (and track)
+// exactly what it names. DESIGN.md §13.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ranked_mutex.hpp"
+#include "lint/lint_rules.hpp"
+#include "lint/scan.hpp"
+
+namespace lint = cryptodrop::lint;
+namespace common = cryptodrop::common;
+
+namespace {
+
+/// Small name schema the fixture snippets are checked against.
+lint::NameTables fixture_tables() {
+  lint::NameTables tables;
+  tables.metric_families = {"ops_observed_total",
+                            "indicator_events_total.<indicator>"};
+  tables.placeholder_labels["<indicator>"] = {"entropy_delta", "deletion"};
+  tables.span_names = {"engine.verdict", "engine.entropy"};
+  tables.span_constants = {{"kVerdict", "engine.verdict"},
+                           {"kEntropy", "engine.entropy"}};
+  return tables;
+}
+
+/// Runs every rule over a snippet; returns the issues.
+std::vector<lint::Issue> lint_snippet(const std::string& text) {
+  return lint::lint_source("fixture.cpp", lint::split_lines(text),
+                           fixture_tables());
+}
+
+/// The rule ids of each issue, in order.
+std::vector<std::string> rules_of(const std::vector<lint::Issue>& issues) {
+  std::vector<std::string> rules;
+  for (const auto& issue : issues) rules.push_back(issue.rule);
+  return rules;
+}
+
+TEST(LintRng, FlagsBannedRandomnessPrimitives) {
+  EXPECT_EQ(rules_of(lint_snippet("int x = std::rand();")),
+            std::vector<std::string>{"rng"});
+  EXPECT_EQ(rules_of(lint_snippet("std::mt19937 gen(42);")),
+            std::vector<std::string>{"rng"});
+  EXPECT_EQ(rules_of(lint_snippet("std::random_device rd;")),
+            std::vector<std::string>{"rng"});
+}
+
+TEST(LintRng, IgnoresCommentsStringsAndProjectRng) {
+  EXPECT_TRUE(lint_snippet("// std::rand is banned; use common/rng").empty());
+  EXPECT_TRUE(lint_snippet("log(\"std::rand would be bad\");").empty());
+  EXPECT_TRUE(lint_snippet("auto v = rng.next_u64();").empty());
+}
+
+TEST(LintWallClock, FlagsClockReads) {
+  const auto issues =
+      lint_snippet("auto t = std::chrono::steady_clock::now();");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].rule, "wall-clock");
+  EXPECT_EQ(issues[0].line, 1u);
+  EXPECT_EQ(rules_of(lint_snippet("auto w = system_clock::now();")),
+            std::vector<std::string>{"wall-clock"});
+}
+
+TEST(LintWallClock, IgnoresVirtualClockAndComments) {
+  EXPECT_TRUE(lint_snippet("clock_.advance_ns(100);").empty());
+  EXPECT_TRUE(lint_snippet("// steady_clock::now lives in obs only").empty());
+}
+
+TEST(LintNakedLock, FlagsHandLockCalls) {
+  EXPECT_EQ(rules_of(lint_snippet("mu_.lock();")),
+            std::vector<std::string>{"naked-lock"});
+  EXPECT_EQ(rules_of(lint_snippet("shard.mu.unlock();")),
+            std::vector<std::string>{"naked-lock"});
+  EXPECT_EQ(rules_of(lint_snippet("if (mu_.try_lock()) { }")),
+            std::vector<std::string>{"naked-lock"});
+}
+
+TEST(LintNakedLock, AcceptsGuardObjects) {
+  // RAII construction has no .lock() call at all.
+  EXPECT_TRUE(lint_snippet("std::lock_guard guard(mu_);").empty());
+  // Methods on a guard object are the sanctioned early-release form.
+  EXPECT_TRUE(lint_snippet("locked.lock.unlock();").empty());
+  EXPECT_TRUE(lint_snippet("locks[i - 1].unlock();").empty());
+  EXPECT_TRUE(lint_snippet("shard_guard.lock();").empty());
+}
+
+TEST(LintLockRank, FlagsUntaggedRawMutexDeclarations) {
+  EXPECT_EQ(rules_of(lint_snippet("std::mutex mu_;")),
+            std::vector<std::string>{"lock-rank"});
+  EXPECT_EQ(rules_of(lint_snippet("std::shared_mutex table_mu_;")),
+            std::vector<std::string>{"lock-rank"});
+}
+
+TEST(LintLockRank, AcceptsTagsRanksAndNonDeclarations) {
+  EXPECT_TRUE(lint_snippet("std::mutex mu_;  // lock-rank: 40").empty());
+  EXPECT_TRUE(
+      lint_snippet("// lock-rank: 10 (scoreboard)\nstd::mutex mu_;").empty());
+  // Template arguments, references and pointers are not lock objects.
+  EXPECT_TRUE(lint_snippet("std::lock_guard<std::mutex> g(mu_);").empty());
+  EXPECT_TRUE(lint_snippet("void f(std::mutex& mu);").empty());
+  EXPECT_TRUE(lint_snippet("std::mutex* borrowed = nullptr;").empty());
+}
+
+TEST(LintMetricName, FlagsUnknownNames) {
+  const auto issues =
+      lint_snippet("auto* c = registry.counter(\"bogus_total\", \"help\");");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].rule, "metric-name");
+  EXPECT_NE(issues[0].message.find("bogus_total"), std::string::npos);
+}
+
+TEST(LintMetricName, AcceptsSchemaNamesAndPlaceholderForms) {
+  EXPECT_TRUE(
+      lint_snippet("registry.counter(\"ops_observed_total\", \"help\");")
+          .empty());
+  // An expanded placeholder label is a legal concrete name.
+  EXPECT_TRUE(lint_snippet("registry.counter("
+                           "\"indicator_events_total.entropy_delta\", \"h\");")
+                  .empty());
+  // The `"family." + label` dynamic form resolves via the placeholder.
+  EXPECT_TRUE(lint_snippet("registry.counter("
+                           "\"indicator_events_total.\" + label, \"h\");")
+                  .empty());
+  // Non-literal first arguments are the runtime gate's job, not ours.
+  EXPECT_TRUE(lint_snippet("registry.counter(name, \"help\");").empty());
+}
+
+TEST(LintMetricName, FlagsUnknownDynamicFamilyAndSpansLines) {
+  EXPECT_EQ(rules_of(lint_snippet(
+                "registry.counter(\"mystery.\" + label, \"help\");")),
+            std::vector<std::string>{"metric-name"});
+  // Registration split across lines is still one call.
+  const auto issues = lint_snippet(
+      "auto* g = registry.gauge(\n    \"bogus_gauge\",\n    \"help\");");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].rule, "metric-name");
+  EXPECT_EQ(issues[0].line, 1u);
+}
+
+TEST(LintSpanName, FlagsUnknownSpanNamesAndConstants) {
+  EXPECT_EQ(rules_of(lint_snippet("obs::ScopedSpan s(\"engine.mystery\");")),
+            std::vector<std::string>{"span-name"});
+  EXPECT_EQ(
+      rules_of(lint_snippet("obs::ScopedSpan s(obs::span_name::kBogus);")),
+      std::vector<std::string>{"span-name"});
+}
+
+TEST(LintSpanName, AcceptsSchemaSpans) {
+  EXPECT_TRUE(lint_snippet("obs::ScopedSpan s(\"engine.verdict\");").empty());
+  EXPECT_TRUE(
+      lint_snippet("obs::ScopedSpan s(obs::span_name::kVerdict);").empty());
+  // Root form: the tracer comes first, the name second.
+  EXPECT_TRUE(lint_snippet("obs::ScopedSpan s(tracer_, "
+                           "obs::span_name::kEntropy, pid, index);")
+                  .empty());
+  // Declarations without a name argument are not emission sites.
+  EXPECT_TRUE(
+      lint_snippet("ScopedSpan(SpanTracer* tracer, std::string_view name);")
+          .empty());
+}
+
+TEST(LintAllowlist, SuppressesTracksAndRejects) {
+  std::vector<std::string> errors;
+  auto allow = lint::Allowlist::parse(
+      {
+          "# comment",
+          "",
+          "wall-clock src/obs/span.cpp tracer owns the clock reads",
+          "rng bench/bench_perf.cpp never used",
+          "malformed-no-reason src/x.cpp",
+      },
+      &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("malformed"), std::string::npos);
+
+  EXPECT_TRUE(allow.allows("wall-clock", "src/obs/span.cpp"));
+  EXPECT_FALSE(allow.allows("wall-clock", "src/obs/metrics.cpp"));
+  EXPECT_FALSE(allow.allows("naked-lock", "src/obs/span.cpp"));
+
+  // The rng entry was never consulted — it must surface as stale.
+  const auto stale = allow.unused_entries();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "rng bench/bench_perf.cpp");
+}
+
+TEST(LintNameTables, ExpandsPlaceholderFamilies) {
+  const auto expanded = fixture_tables().expanded_metric_names();
+  EXPECT_TRUE(expanded.count("ops_observed_total"));
+  EXPECT_TRUE(expanded.count("indicator_events_total.entropy_delta"));
+  EXPECT_TRUE(expanded.count("indicator_events_total.deletion"));
+  EXPECT_TRUE(expanded.count("indicator_events_total.<indicator>"));
+  EXPECT_FALSE(expanded.count("indicator_events_total.bogus"));
+}
+
+TEST(LintScan, ExtractsStringConstants) {
+  const auto constants = lint::extract_string_constants({
+      "inline constexpr std::string_view kVerdict = \"engine.verdict\";",
+      "inline constexpr int kNotAString = 3;",
+  });
+  ASSERT_EQ(constants.size(), 1u);
+  EXPECT_EQ(constants.at("kVerdict"), "engine.verdict");
+}
+
+// --- runtime lock-rank validator ---------------------------------------
+
+// Unchecked, the wrapper must be exactly a std::mutex — no per-object
+// cost in release builds.
+static_assert(sizeof(common::RankedMutex<1, false>) == sizeof(std::mutex));
+static_assert(sizeof(common::RankedSharedMutex<1, false>) ==
+              sizeof(std::shared_mutex));
+
+// Checked instantiations under test-friendly names (EXPECT_DEATH is a
+// macro — template-argument commas would split its argument list).
+using CheckedRank10 = common::RankedMutex<10, true>;
+using CheckedRank20 = common::RankedMutex<20, true>;
+using CheckedRank30 = common::RankedMutex<30, true>;
+using CheckedSharedRank10 = common::RankedSharedMutex<10, true>;
+
+TEST(RankedMutex, AscendingRanksAreLegal) {
+  CheckedRank10 scoreboard;
+  CheckedRank20 file_table;
+  std::lock_guard outer(scoreboard);
+  std::lock_guard inner(file_table);
+  SUCCEED();
+}
+
+TEST(RankedMutex, SameRankAscendingAddressIsLegal) {
+  // The engine snapshot sweep: all shards of one rank, in index order.
+  CheckedRank10 shards[4];
+  for (auto& shard : shards) shard.lock();
+  for (int i = 3; i >= 0; --i) shards[i].unlock();
+  SUCCEED();
+}
+
+TEST(RankedMutexDeathTest, AbortsOnRankInversion) {
+  EXPECT_DEATH(
+      {
+        CheckedRank10 scoreboard;
+        CheckedRank20 file_table;
+        std::lock_guard outer(file_table);
+        std::lock_guard inner(scoreboard);
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutexDeathTest, AbortsOnSameRankDescendingAddress) {
+  EXPECT_DEATH(
+      {
+        CheckedRank10 shards[2];
+        std::lock_guard outer(shards[1]);
+        std::lock_guard inner(shards[0]);
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutexDeathTest, TryLockRespectsRankOrder) {
+  EXPECT_DEATH(
+      {
+        CheckedRank20 file_table;
+        CheckedRank10 scoreboard;
+        std::lock_guard outer(file_table);
+        (void)scoreboard.try_lock();  // succeeds, and must still abort
+      },
+      "lock-rank violation");
+}
+
+TEST(RankedMutex, OutOfOrderReleaseUnwindsCorrectly) {
+  CheckedRank10 a;
+  CheckedRank20 b;
+  a.lock();
+  b.lock();
+  a.unlock();  // release the lower rank first
+  CheckedRank30 c;
+  std::lock_guard g(c);  // stack top is rank 20 — still legal
+  b.unlock();
+}
+
+TEST(RankedSharedMutex, SharedAcquisitionsAreRankChecked) {
+  CheckedSharedRank10 table;
+  CheckedRank20 leaf;
+  table.lock_shared();
+  {
+    std::lock_guard g(leaf);
+  }
+  table.unlock_shared();
+  EXPECT_DEATH(
+      {
+        CheckedRank20 outer_leaf;
+        CheckedSharedRank10 inner_table;
+        std::lock_guard g(outer_leaf);
+        inner_table.lock_shared();
+      },
+      "lock-rank violation");
+}
+
+}  // namespace

@@ -1,36 +1,41 @@
 // docs-check: the documentation gate, run as a tier-1 ctest.
 //
-// Two invariants, checked against the living code so the docs cannot
-// silently rot:
+// Four invariants, checked against the living code so the docs cannot
+// silently rot (scanning helpers shared with tools/lint — one parser,
+// two gates; DESIGN.md §13):
 //
-//  1. Metric parity. The metrics schema table in docs/OBSERVABILITY.md
+//  1. Schema honesty. obs::known_metric_names() — the list the lint
+//     gate enforces at call sites — must name exactly the metrics a
+//     freshly constructed AnalysisEngine and fault filter register,
+//     and obs::known_placeholder_labels() must match the core/vfs
+//     enums it mirrors. This pins the static schema to the runtime.
+//
+//  2. Metric parity. The metrics schema table in docs/OBSERVABILITY.md
 //     (between the `<!-- metrics-schema:begin -->` / `end` markers) must
 //     name exactly the metrics a freshly constructed AnalysisEngine
 //     registers — nothing missing, nothing stale. Per-indicator counter
 //     families are documented once as `name.<indicator>`.
 //
-//  2. Span-name parity. The span-schema table in docs/OBSERVABILITY.md
+//  3. Span-name parity. The span-schema table in docs/OBSERVABILITY.md
 //     (between the `<!-- span-schema:begin -->` / `end` markers) must
 //     name exactly obs::known_span_names() — both directions, like the
 //     metric table.
 //
-//  3. Doc comments. Every public type and function in the repo's public
+//  4. Doc comments. Every public type and function in the repo's public
 //     headers (the fixed list below) must carry a comment on the
-//     preceding line. The scan is a deliberately simple heuristic — it
-//     tracks brace depth, public/private sections, and statement
-//     starts — so keep header formatting conventional.
+//     preceding line (lint::HeaderScanner).
 //
 // Usage: docs_check <repo-root>   (exit 0 = docs in sync)
-#include <cctype>
 #include <cstdio>
-#include <fstream>
+#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "lint/scan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/span.hpp"
 #include "vfs/fault_filter.hpp"
 
@@ -39,34 +44,11 @@ namespace {
 using cryptodrop::core::AnalysisEngine;
 using cryptodrop::core::Indicator;
 using cryptodrop::core::ScoringConfig;
+namespace lint = cryptodrop::lint;
 
-bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
-
-std::vector<std::string> read_lines(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "docs-check: cannot open %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-// --- invariant 1: metric parity ----------------------------------------
-
-/// Indicator labels, for collapsing per-indicator metric families into
-/// one documented `family.<indicator>` row.
+/// Indicator labels straight from the core enum, for validating the
+/// obs schema and collapsing per-indicator families into one
+/// documented `family.<indicator>` row.
 std::vector<std::string> indicator_labels() {
   static constexpr Indicator kAll[] = {
       Indicator::entropy_delta,   Indicator::type_change,
@@ -81,8 +63,8 @@ std::vector<std::string> indicator_labels() {
   return labels;
 }
 
-/// Fault-kind labels, for collapsing the fault filter's per-kind counter
-/// family into one documented `name.<fault>` row.
+/// Fault-kind labels straight from the vfs enum, for the `<fault>`
+/// placeholder family.
 std::vector<std::string> fault_labels() {
   using cryptodrop::vfs::FaultKind;
   static constexpr FaultKind kAll[] = {
@@ -96,20 +78,10 @@ std::vector<std::string> fault_labels() {
   return labels;
 }
 
-/// Replaces a per-indicator or per-fault suffix with its placeholder,
-/// e.g. "indicator_events_total.entropy_delta" -> "indicator_events_total.<indicator>",
-/// "faults_injected_total.io_error" -> "faults_injected_total.<fault>".
-std::string collapse_family(const std::string& name) {
-  const std::size_t dot = name.find('.');
-  if (dot == std::string::npos) return name;
-  const std::string suffix = name.substr(dot + 1);
-  for (const std::string& label : indicator_labels()) {
-    if (suffix == label) return name.substr(0, dot) + ".<indicator>";
-  }
-  for (const std::string& label : fault_labels()) {
-    if (suffix == label) return name.substr(0, dot) + ".<fault>";
-  }
-  return name;
+/// Placeholder -> labels, derived from the real enums (not from obs —
+/// invariant 1 is exactly that obs agrees with this map).
+std::map<std::string, std::vector<std::string>> enum_placeholder_labels() {
+  return {{"<indicator>", indicator_labels()}, {"<fault>", fault_labels()}};
 }
 
 /// Every metric name a default-config engine and a default-plan fault
@@ -117,45 +89,85 @@ std::string collapse_family(const std::string& name) {
 std::set<std::string> registered_metric_names() {
   const AnalysisEngine engine{ScoringConfig{}};
   const cryptodrop::vfs::FaultInjectionFilter filter{cryptodrop::vfs::FaultPlan{}};
+  const auto placeholders = enum_placeholder_labels();
   std::set<std::string> names;
   for (const cryptodrop::obs::MetricsSnapshot& snap :
        {engine.metrics_snapshot(), filter.metrics_snapshot()}) {
-    for (const auto& c : snap.counters) names.insert(collapse_family(c.name));
-    for (const auto& g : snap.gauges) names.insert(collapse_family(g.name));
-    for (const auto& h : snap.histograms) names.insert(collapse_family(h.name));
+    for (const auto& c : snap.counters) {
+      names.insert(lint::collapse_family(c.name, placeholders));
+    }
+    for (const auto& g : snap.gauges) {
+      names.insert(lint::collapse_family(g.name, placeholders));
+    }
+    for (const auto& h : snap.histograms) {
+      names.insert(lint::collapse_family(h.name, placeholders));
+    }
   }
   return names;
 }
 
-/// Metric names documented in OBSERVABILITY.md: the first `backticked`
-/// token of every table row between the metrics-schema markers.
-std::set<std::string> documented_metric_names(const std::string& doc_path) {
-  std::set<std::string> names;
-  bool in_schema = false;
-  for (const std::string& raw : read_lines(doc_path)) {
-    const std::string line = trim(raw);
-    if (line.find("metrics-schema:begin") != std::string::npos) {
-      in_schema = true;
-      continue;
+// --- invariant 1: obs schema matches the runtime -----------------------
+
+int check_schema_honesty() {
+  int failures = 0;
+
+  // Placeholder label sets must mirror the enums verbatim (order too —
+  // both are schema order).
+  for (const auto& [placeholder, labels] : enum_placeholder_labels()) {
+    std::vector<std::string> listed;
+    for (std::string_view label :
+         cryptodrop::obs::known_placeholder_labels(placeholder)) {
+      listed.emplace_back(label);
     }
-    if (line.find("metrics-schema:end") != std::string::npos) in_schema = false;
-    if (!in_schema || line.empty() || line[0] != '|') continue;
-    const std::size_t open = line.find('`');
-    if (open == std::string::npos) continue;
-    const std::size_t close = line.find('`', open + 1);
-    if (close == std::string::npos) continue;
-    const std::string token = line.substr(open + 1, close - open - 1);
-    if (!token.empty() && token.find(' ') == std::string::npos) {
-      names.insert(token);
+    if (listed != labels) {
+      std::fprintf(stderr,
+                   "docs-check: obs::known_placeholder_labels(\"%s\") "
+                   "disagrees with the enum it mirrors (%zu vs %zu labels)\n",
+                   placeholder.c_str(), listed.size(), labels.size());
+      ++failures;
     }
   }
-  return names;
+
+  // known_metric_names() must name exactly what a live engine + fault
+  // filter register (collapsed to families).
+  std::set<std::string> known;
+  for (std::string_view name : cryptodrop::obs::known_metric_names()) {
+    known.insert(std::string(name));
+  }
+  const std::set<std::string> registered = registered_metric_names();
+  for (const std::string& name : registered) {
+    if (known.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: metric `%s` is registered at runtime but "
+                   "missing from obs::known_metric_names()\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : known) {
+    if (registered.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: obs::known_metric_names() lists `%s` but "
+                   "no engine registers it\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("docs-check: obs name schema matches runtime (%zu families)\n",
+                known.size());
+  }
+  return failures;
 }
+
+// --- invariant 2: metric parity ----------------------------------------
 
 int check_metric_parity(const std::string& root) {
   const std::string doc_path = root + "/docs/OBSERVABILITY.md";
   const std::set<std::string> registered = registered_metric_names();
-  const std::set<std::string> documented = documented_metric_names(doc_path);
+  const std::set<std::string> documented = lint::schema_table_tokens(
+      lint::read_lines_or_exit(doc_path), "metrics-schema:begin",
+      "metrics-schema:end");
   int failures = 0;
   for (const std::string& name : registered) {
     if (documented.count(name) == 0) {
@@ -182,34 +194,7 @@ int check_metric_parity(const std::string& root) {
   return failures;
 }
 
-// --- invariant 2: span-name parity -------------------------------------
-
-/// First-`backticked` tokens of table rows between a begin/end marker
-/// pair in OBSERVABILITY.md (shared row shape with the metric table).
-std::set<std::string> documented_schema_tokens(const std::string& doc_path,
-                                               const char* begin_marker,
-                                               const char* end_marker) {
-  std::set<std::string> names;
-  bool in_schema = false;
-  for (const std::string& raw : read_lines(doc_path)) {
-    const std::string line = trim(raw);
-    if (line.find(begin_marker) != std::string::npos) {
-      in_schema = true;
-      continue;
-    }
-    if (line.find(end_marker) != std::string::npos) in_schema = false;
-    if (!in_schema || line.empty() || line[0] != '|') continue;
-    const std::size_t open = line.find('`');
-    if (open == std::string::npos) continue;
-    const std::size_t close = line.find('`', open + 1);
-    if (close == std::string::npos) continue;
-    const std::string token = line.substr(open + 1, close - open - 1);
-    if (!token.empty() && token.find(' ') == std::string::npos) {
-      names.insert(token);
-    }
-  }
-  return names;
-}
+// --- invariant 3: span-name parity -------------------------------------
 
 int check_span_parity(const std::string& root) {
   const std::string doc_path = root + "/docs/OBSERVABILITY.md";
@@ -217,8 +202,9 @@ int check_span_parity(const std::string& root) {
   for (std::string_view name : cryptodrop::obs::known_span_names()) {
     emitted.insert(std::string(name));
   }
-  const std::set<std::string> documented = documented_schema_tokens(
-      doc_path, "span-schema:begin", "span-schema:end");
+  const std::set<std::string> documented = lint::schema_table_tokens(
+      lint::read_lines_or_exit(doc_path), "span-schema:begin",
+      "span-schema:end");
   int failures = 0;
   for (const std::string& name : emitted) {
     if (documented.count(name) == 0) {
@@ -245,170 +231,7 @@ int check_span_parity(const std::string& root) {
   return failures;
 }
 
-// --- invariant 3: header doc comments ----------------------------------
-
-/// One lexical scope opened by '{': a namespace, a class/struct body
-/// (with its current access level), or anything else (function bodies,
-/// enums, initializers) whose contents are never doc candidates.
-struct Scope {
-  enum Kind { ns, record, other } kind = other;
-  bool is_public = true;  ///< Current access level (records only).
-};
-
-struct HeaderScanner {
-  std::vector<Scope> scopes;
-  bool in_block_comment = false;
-  bool prev_line_was_comment = false;
-  bool statement_open = false;   ///< Mid-statement (previous code line did not end one).
-  std::string statement_text;    ///< Code accumulated since the statement start.
-  int failures = 0;
-
-  /// True when a declaration here is part of the public API surface.
-  [[nodiscard]] bool in_public_scope() const {
-    if (scopes.empty()) return false;  // require at least a namespace
-    for (const Scope& s : scopes) {
-      if (s.kind == Scope::other) return false;
-      if (s.kind == Scope::record && !s.is_public) return false;
-    }
-    return true;
-  }
-
-  /// Strips comments (tracking block-comment state) and string literals.
-  std::string code_of(const std::string& line) {
-    std::string out;
-    bool in_string = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block_comment = false;
-          ++i;
-        }
-        continue;
-      }
-      if (in_string) {
-        if (line[i] == '\\') {
-          ++i;
-        } else if (line[i] == '"') {
-          in_string = false;
-        }
-        continue;
-      }
-      if (line[i] == '"') {
-        in_string = true;
-        out += '"';  // keep a placeholder so "..." still reads as a token
-        continue;
-      }
-      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block_comment = true;
-        ++i;
-        continue;
-      }
-      out += line[i];
-    }
-    return out;
-  }
-
-  /// Classifies the scope a '{' opens from the statement that led to it.
-  [[nodiscard]] static Scope classify(const std::string& statement) {
-    const std::string t = trim(statement);
-    if (starts_with(t, "namespace") || t.find(" namespace ") != std::string::npos) {
-      return Scope{Scope::ns, true};
-    }
-    if (starts_with(t, "enum")) return Scope{Scope::other, true};
-    if (starts_with(t, "struct") || starts_with(t, "class") ||
-        starts_with(t, "template")) {
-      // Struct members default public, class members private.
-      return Scope{Scope::record, t.find("struct") != std::string::npos};
-    }
-    return Scope{Scope::other, true};
-  }
-
-  /// A statement-start line that opens a public declaration needing a
-  /// doc comment: a function (contains '(') or a record definition.
-  [[nodiscard]] static bool needs_doc(const std::string& code) {
-    const std::string t = trim(code);
-    if (t.empty() || t[0] == '#' || t[0] == '}' || t[0] == ')' ||
-        t[0] == '{' || t[0] == '~') {
-      return false;  // continuations, closers, destructors
-    }
-    if (starts_with(t, "public:") || starts_with(t, "private:") ||
-        starts_with(t, "protected:")) {
-      return false;
-    }
-    if (starts_with(t, "namespace") || starts_with(t, "using namespace")) return false;
-    if (starts_with(t, "friend") || starts_with(t, "typedef")) return false;
-    if (t.find("= default") != std::string::npos ||
-        t.find("= delete") != std::string::npos) {
-      return false;
-    }
-    if (starts_with(t, "struct") || starts_with(t, "class") ||
-        starts_with(t, "enum")) {
-      // Definitions only; `class X;` forward declarations are exempt.
-      return t.find('{') != std::string::npos || t.back() != ';';
-    }
-    return t.find('(') != std::string::npos;
-  }
-
-  void scan(const std::string& path, const std::string& display_name) {
-    const std::vector<std::string> lines = read_lines(path);
-    for (std::size_t n = 0; n < lines.size(); ++n) {
-      const std::string& raw = lines[n];
-      const bool was_in_block = in_block_comment;
-      const std::string code = code_of(raw);
-      const std::string tcode = trim(code);
-      if (tcode.empty()) {
-        // Blank or pure-comment line. Blank lines break a doc block.
-        prev_line_was_comment = was_in_block || in_block_comment ||
-                                !trim(raw).empty();
-        continue;
-      }
-
-      if (!statement_open) {
-        statement_text.clear();
-        if (in_public_scope() && needs_doc(code) && !prev_line_was_comment) {
-          std::fprintf(stderr,
-                       "docs-check: %s:%zu: public declaration lacks a doc "
-                       "comment: %s\n",
-                       display_name.c_str(), n + 1,
-                       trim(raw).substr(0, 60).c_str());
-          ++failures;
-        }
-      }
-
-      // Walk the code to keep brace depth and statement state current.
-      statement_text += ' ';
-      for (char c : code) {
-        if (c == '{') {
-          scopes.push_back(classify(statement_text));
-          statement_text.clear();
-        } else if (c == '}') {
-          if (!scopes.empty()) scopes.pop_back();
-          statement_text.clear();
-        } else {
-          statement_text += c;
-        }
-      }
-
-      const char last = tcode.back();
-      statement_open = !(last == ';' || last == '{' || last == '}' || last == ':');
-      if (!statement_open) statement_text.clear();
-
-      // Access specifiers flip the innermost record's visibility.
-      if (!scopes.empty() && scopes.back().kind == Scope::record) {
-        if (starts_with(tcode, "public:")) scopes.back().is_public = true;
-        if (starts_with(tcode, "private:") || starts_with(tcode, "protected:")) {
-          scopes.back().is_public = false;
-        }
-      }
-      prev_line_was_comment = false;
-    }
-    scopes.clear();
-    statement_open = false;
-    statement_text.clear();
-    prev_line_was_comment = false;
-  }
-};
+// --- invariant 4: header doc comments ----------------------------------
 
 int check_header_docs(const std::string& root) {
   static const char* kPublicHeaders[] = {
@@ -418,10 +241,11 @@ int check_header_docs(const std::string& root) {
       "src/core/config.hpp",      "src/harness/runner.hpp",
       "src/harness/experiment.hpp", "src/harness/report.hpp",
       "src/vfs/fault_filter.hpp", "src/harness/chaos.hpp",
+      "src/common/ranked_mutex.hpp",
   };
-  HeaderScanner scanner;
+  lint::HeaderScanner scanner;
   for (const char* header : kPublicHeaders) {
-    scanner.scan(root + "/" + header, header);
+    scanner.scan(header, lint::read_lines_or_exit(root + "/" + header));
   }
   if (scanner.failures == 0) {
     std::printf("docs-check: all public declarations documented (%zu headers)\n",
@@ -435,6 +259,7 @@ int check_header_docs(const std::string& root) {
 int main(int argc, char** argv) {
   const std::string root = argc > 1 ? argv[1] : ".";
   int failures = 0;
+  failures += check_schema_honesty();
   failures += check_metric_parity(root);
   failures += check_span_parity(root);
   failures += check_header_docs(root);

@@ -1,0 +1,190 @@
+// cryptodrop_lint — project-invariant static analysis (DESIGN.md §13).
+//
+// Walks src/, tools/ and bench/ and enforces, as a tier-1 ctest gate:
+//   * determinism  — no ambient randomness or wall-clock reads (rng,
+//     wall-clock rules);
+//   * lock discipline — RAII-only acquisition, every raw mutex either
+//     a RankedMutex or rank-tagged (naked-lock, lock-rank rules);
+//   * name registration — metric/span string literals at call sites
+//     must be on the obs schema (metric-name, span-name rules);
+//   * header hygiene — every header compiles standalone (the binary
+//     generates one-include TUs; needs --compiler).
+//
+// Suppressions live in tools/lint/lint_allow.txt; entries that match
+// nothing are themselves an error, so the list only ever shrinks.
+//
+// The name tables come from the linked obs library — the same
+// functions docs_check cross-checks against the live engine and
+// docs/OBSERVABILITY.md — so a name is legal at a call site if and
+// only if it is documented and actually registered.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint_rules.hpp"
+#include "lint/scan.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_ext(const fs::path& p, std::initializer_list<const char*> exts) {
+  const std::string e = p.extension().string();
+  for (const char* want : exts) {
+    if (e == want) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: cryptodrop_lint <repo_root> [--compiler <c++>]\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  std::string compiler;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--compiler") compiler = argv[i + 1];
+  }
+
+  int failures = 0;
+
+  // -- Name tables: the obs schema this binary is linked against.
+  cryptodrop::lint::NameTables tables;
+  for (std::string_view name : cryptodrop::obs::known_metric_names()) {
+    tables.metric_families.emplace_back(name);
+  }
+  for (const char* placeholder : {"<indicator>", "<fault>"}) {
+    std::vector<std::string> labels;
+    for (std::string_view label :
+         cryptodrop::obs::known_placeholder_labels(placeholder)) {
+      labels.emplace_back(label);
+    }
+    tables.placeholder_labels[placeholder] = std::move(labels);
+  }
+  for (std::string_view name : cryptodrop::obs::known_span_names()) {
+    tables.span_names.emplace(name);
+  }
+  tables.span_constants = cryptodrop::lint::extract_string_constants(
+      cryptodrop::lint::read_lines_or_exit((root / "src/obs/span.hpp").string()));
+  if (tables.span_constants.empty()) {
+    std::fprintf(stderr,
+                 "lint: no span_name:: constants found in src/obs/span.hpp — "
+                 "extractor broken?\n");
+    ++failures;
+  }
+  for (const auto& [constant, value] : tables.span_constants) {
+    if (tables.span_names.count(value) == 0) {
+      std::fprintf(stderr,
+                   "lint: span_name::%s = \"%s\" is not in "
+                   "obs::known_span_names()\n",
+                   constant.c_str(), value.c_str());
+      ++failures;
+    }
+  }
+
+  // -- Allowlist.
+  std::vector<std::string> allow_errors;
+  auto allow = cryptodrop::lint::Allowlist::parse(
+      cryptodrop::lint::read_lines_or_exit(
+          (root / "tools/lint/lint_allow.txt").string()),
+      &allow_errors);
+  for (const std::string& err : allow_errors) {
+    std::fprintf(stderr, "lint: %s\n", err.c_str());
+    ++failures;
+  }
+
+  // -- Source walk.
+  std::vector<fs::path> sources;
+  for (const char* dir : {"src", "tools", "bench"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() &&
+          has_ext(entry.path(), {".cpp", ".cc", ".hpp", ".h"})) {
+        sources.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+
+  std::size_t suppressed = 0;
+  for (const fs::path& path : sources) {
+    const std::string rel = fs::relative(path, root).generic_string();
+    const auto lines = cryptodrop::lint::read_lines_or_exit(path.string());
+    for (const auto& issue :
+         cryptodrop::lint::lint_source(rel, lines, tables)) {
+      if (allow.allows(issue.rule, issue.file)) {
+        ++suppressed;
+        continue;
+      }
+      std::fprintf(stderr, "lint: %s:%zu: [%s] %s\n", issue.file.c_str(),
+                   issue.line, issue.rule.c_str(), issue.message.c_str());
+      ++failures;
+    }
+  }
+
+  for (const std::string& stale : allow.unused_entries()) {
+    std::fprintf(stderr,
+                 "lint: stale lint_allow.txt entry (matched nothing): %s\n",
+                 stale.c_str());
+    ++failures;
+  }
+
+  // -- Header hygiene: each header must compile as the sole include of
+  // a fresh TU. Include roots mirror the CMake include dirs (src/ and
+  // tools/).
+  std::size_t headers_checked = 0;
+  if (!compiler.empty()) {
+    const fs::path tu = fs::temp_directory_path() / "cryptodrop_lint_tu.cpp";
+    for (const fs::path& path : sources) {
+      if (!has_ext(path, {".hpp", ".h"})) continue;
+      const std::string rel = fs::relative(path, root).generic_string();
+      std::string include = rel;
+      for (const char* prefix : {"src/", "tools/", "bench/"}) {
+        if (cryptodrop::lint::starts_with(include, prefix)) {
+          include = include.substr(std::string(prefix).size());
+          break;
+        }
+      }
+      {
+        std::ofstream out(tu);
+        out << "#include \"" << include << "\"\n";
+      }
+      const std::string cmd = "\"" + compiler + "\" -std=c++20 -fsyntax-only" +
+                              " -I \"" + (root / "src").string() + "\"" +
+                              " -I \"" + (root / "tools").string() + "\"" +
+                              " -I \"" + (root / "bench").string() + "\" \"" +
+                              tu.string() + "\"";
+      if (std::system(cmd.c_str()) != 0) {
+        std::fprintf(stderr,
+                     "lint: %s: [header-hygiene] does not compile standalone "
+                     "(missing includes?)\n",
+                     rel.c_str());
+        ++failures;
+      }
+      ++headers_checked;
+    }
+    std::error_code ec;
+    fs::remove(tu, ec);
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "cryptodrop_lint: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf(
+      "cryptodrop_lint: %zu files clean (%zu suppression(s) used, "
+      "%zu headers standalone)\n",
+      sources.size(), suppressed, headers_checked);
+  return 0;
+}

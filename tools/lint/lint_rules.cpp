@@ -1,0 +1,412 @@
+#include "lint/lint_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "lint/scan.hpp"
+
+namespace cryptodrop::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// A whole file's comment-stripped text in one buffer, with an
+/// offset -> line-number index, so multi-line constructs (registration
+/// calls split across lines) scan as one stream.
+struct JoinedSource {
+  std::string text;
+  std::vector<std::size_t> line_starts;
+
+  /// 1-based line containing `offset`.
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const {
+    const auto it =
+        std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<std::size_t>(it - line_starts.begin());
+  }
+};
+
+JoinedSource join_stripped(const std::vector<std::string>& lines,
+                           bool keep_strings) {
+  CommentStripper stripper;
+  JoinedSource out;
+  for (const std::string& line : lines) {
+    out.line_starts.push_back(out.text.size());
+    out.text += stripper.strip(line, keep_strings);
+    out.text += '\n';
+  }
+  return out;
+}
+
+/// True when the character before `pos` (if any) cannot extend an
+/// identifier leftward — i.e. `pos` starts a fresh token.
+bool boundary_before(const std::string& text, std::size_t pos) {
+  return pos == 0 || !ident_char(text[pos - 1]);
+}
+
+void find_banned_tokens(const std::string& file, const JoinedSource& src,
+                        const std::vector<std::string>& tokens,
+                        const std::string& rule, const std::string& hint,
+                        std::vector<Issue>* issues) {
+  for (const std::string& token : tokens) {
+    std::size_t pos = 0;
+    while ((pos = src.text.find(token, pos)) != std::string::npos) {
+      if (boundary_before(src.text, pos)) {
+        issues->push_back(Issue{file, src.line_of(pos), rule,
+                                "`" + token + "` is banned: " + hint});
+      }
+      pos += token.size();
+    }
+  }
+}
+
+/// Walks left from `pos` (just before a ".lock()"-style match) over one
+/// optional [..] subscript and one identifier; returns that identifier
+/// (the receiver's last path segment), or "" when unrecognizable.
+std::string receiver_before(const std::string& text, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && (text[i - 1] == ' ' || text[i - 1] == '\t')) --i;
+  if (i > 0 && text[i - 1] == ']') {
+    int depth = 0;
+    while (i > 0) {
+      --i;
+      if (text[i] == ']') ++depth;
+      if (text[i] == '[') {
+        if (--depth == 0) break;
+      }
+    }
+  }
+  std::size_t end = i;
+  while (i > 0 && ident_char(text[i - 1])) --i;
+  return text.substr(i, end - i);
+}
+
+bool guardish(const std::string& ident) {
+  std::string lower;
+  for (char c : ident) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower.find("lock") != std::string::npos ||
+         lower.find("guard") != std::string::npos;
+}
+
+void check_naked_locks(const std::string& file, const JoinedSource& src,
+                       std::vector<Issue>* issues) {
+  static const char* kMethods[] = {
+      "lock()",        "unlock()",        "try_lock()",
+      "lock_shared()", "unlock_shared()", "try_lock_shared()",
+  };
+  for (const char* method : kMethods) {
+    const std::string dotted = "." + std::string(method);
+    const std::string arrowed = "->" + std::string(method);
+    for (const std::string& pattern : {dotted, arrowed}) {
+      std::size_t pos = 0;
+      while ((pos = src.text.find(pattern, pos)) != std::string::npos) {
+        const std::string receiver = receiver_before(src.text, pos);
+        if (!guardish(receiver)) {
+          issues->push_back(Issue{
+              file, src.line_of(pos), "naked-lock",
+              "`" + receiver + pattern +
+                  "`: acquire mutexes through an RAII guard "
+                  "(std::lock_guard / std::unique_lock over a RankedMutex), "
+                  "never by hand"});
+        }
+        pos += pattern.size();
+      }
+    }
+  }
+}
+
+void check_lock_rank_tags(const std::string& file,
+                          const std::vector<std::string>& raw_lines,
+                          std::vector<Issue>* issues) {
+  CommentStripper stripper;
+  for (std::size_t n = 0; n < raw_lines.size(); ++n) {
+    const std::string code = stripper.strip(raw_lines[n], /*keep_strings=*/false);
+    for (const char* type : {"std::shared_mutex", "std::mutex"}) {
+      std::size_t pos = code.find(type);
+      if (pos == std::string::npos) continue;
+      if (!boundary_before(code, pos)) continue;
+      std::size_t after = pos + std::string(type).size();
+      // "std::mutex" is a prefix of "std::shared_mutex"? No — but it is
+      // a prefix of "std::mutex"-like tokens; require a non-identifier
+      // follow-up, then a declarator (an identifier), to call it a
+      // declaration. References, pointers and template arguments are
+      // not lock objects.
+      while (after < code.size() && (code[after] == ' ' || code[after] == '\t')) {
+        ++after;
+      }
+      if (after >= code.size() || !ident_char(code[after]) ||
+          std::isdigit(static_cast<unsigned char>(code[after]))) {
+        continue;
+      }
+      const bool tagged =
+          raw_lines[n].find("lock-rank:") != std::string::npos ||
+          (n > 0 && raw_lines[n - 1].find("lock-rank:") != std::string::npos);
+      if (!tagged) {
+        issues->push_back(Issue{
+            file, n + 1, "lock-rank",
+            std::string("`") + type +
+                "` declared without a `// lock-rank: N` tag — use "
+                "common::RankedMutex<Rank> (the rank lives in the type) or "
+                "document the rank in the tag"});
+      }
+      break;  // one diagnostic per line is enough
+    }
+  }
+}
+
+/// Parses one string-literal sequence starting at `pos` (which must
+/// point at an opening quote in keep-strings text): handles escapes
+/// and adjacent-literal concatenation across whitespace/newlines.
+/// Returns the concatenated value and leaves `pos` after the final
+/// closing quote.
+std::string read_literal(const std::string& text, std::size_t* pos) {
+  std::string value;
+  while (*pos < text.size() && text[*pos] == '"') {
+    ++*pos;  // opening quote
+    while (*pos < text.size() && text[*pos] != '"') {
+      if (text[*pos] == '\\' && *pos + 1 < text.size()) ++*pos;
+      value += text[*pos];
+      ++*pos;
+    }
+    if (*pos < text.size()) ++*pos;  // closing quote
+    std::size_t peek = *pos;
+    while (peek < text.size() &&
+           (text[peek] == ' ' || text[peek] == '\t' || text[peek] == '\n')) {
+      ++peek;
+    }
+    if (peek < text.size() && text[peek] == '"') {
+      *pos = peek;  // adjacent literal: keep concatenating
+    } else {
+      break;
+    }
+  }
+  return value;
+}
+
+void check_metric_names(const std::string& file, const JoinedSource& src,
+                        const NameTables& tables,
+                        const std::set<std::string>& expanded,
+                        std::vector<Issue>* issues) {
+  for (const char* method : {"counter(", "gauge(", "histogram("}) {
+    const std::string token = method;
+    std::size_t pos = 0;
+    while ((pos = src.text.find(token, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += token.size();
+      // Only registry/snapshot member calls: require `.name(` / `->name(`.
+      if (at == 0 || (src.text[at - 1] != '.' && src.text[at - 1] != '>')) {
+        continue;
+      }
+      std::size_t p = at + token.size();
+      while (p < src.text.size() &&
+             (src.text[p] == ' ' || src.text[p] == '\t' || src.text[p] == '\n')) {
+        ++p;
+      }
+      if (p >= src.text.size() || src.text[p] != '"') continue;  // non-literal
+      const std::string name = read_literal(src.text, &p);
+      while (p < src.text.size() &&
+             (src.text[p] == ' ' || src.text[p] == '\t' || src.text[p] == '\n')) {
+        ++p;
+      }
+      const bool dynamic_suffix = p < src.text.size() && src.text[p] == '+';
+      if (dynamic_suffix) {
+        // "family." + computed label: legal only when a placeholder
+        // family with exactly this prefix is on the schema.
+        bool known = false;
+        for (const std::string& family : tables.metric_families) {
+          if (family.size() > name.size() &&
+              family.compare(0, name.size(), name) == 0 &&
+              family[name.size()] == '<' && family.back() == '>') {
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          issues->push_back(Issue{
+              file, src.line_of(at), "metric-name",
+              "metric family `" + name +
+                  "` + dynamic suffix is not a placeholder family in "
+                  "obs::known_metric_names()"});
+        }
+      } else if (expanded.count(name) == 0) {
+        issues->push_back(Issue{
+            file, src.line_of(at), "metric-name",
+            "metric `" + name +
+                "` is not in obs::known_metric_names() — register the "
+                "name in src/obs/names.cpp (and docs/OBSERVABILITY.md) "
+                "first"});
+      }
+    }
+  }
+}
+
+void check_span_names(const std::string& file, const JoinedSource& src,
+                      const NameTables& tables, std::vector<Issue>* issues) {
+  const std::string token = "ScopedSpan";
+  std::size_t pos = 0;
+  while ((pos = src.text.find(token, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += token.size();
+    if (!boundary_before(src.text, at)) continue;
+    std::size_t p = at + token.size();
+    while (p < src.text.size() && (src.text[p] == ' ' || src.text[p] == '\t')) {
+      ++p;
+    }
+    // Optional variable name (a construction like `ScopedSpan span(...)`).
+    while (p < src.text.size() && ident_char(src.text[p])) ++p;
+    while (p < src.text.size() && (src.text[p] == ' ' || src.text[p] == '\t')) {
+      ++p;
+    }
+    if (p >= src.text.size() || src.text[p] != '(') continue;
+    ++p;
+
+    // Shallow arg split at depth 1; literals already stripped of
+    // nothing (keep-strings text), so skip their contents.
+    std::vector<std::string> args(1);
+    int depth = 1;
+    while (p < src.text.size() && depth > 0) {
+      const char c = src.text[p];
+      if (c == '"') {
+        std::string lit = read_literal(src.text, &p);
+        args.back() += '"' + lit + '"';
+        continue;
+      }
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth == 0) break;
+      if (c == ',' && depth == 1) {
+        args.emplace_back();
+      } else {
+        args.back() += c;
+      }
+      ++p;
+    }
+
+    // The span name is the first literal or span_name:: constant among
+    // the first two args (root spans put the tracer first).
+    for (std::size_t a = 0; a < args.size() && a < 2; ++a) {
+      const std::string arg = trim(args[a]);
+      if (!arg.empty() && arg[0] == '"') {
+        const std::string name = arg.substr(1, arg.size() - 2);
+        if (tables.span_names.count(name) == 0) {
+          issues->push_back(Issue{
+              file, src.line_of(at), "span-name",
+              "span `" + name +
+                  "` is not in obs::known_span_names() — add a span_name:: "
+                  "constant (and the OBSERVABILITY.md row) first"});
+        }
+        break;
+      }
+      const std::size_t q = arg.find("span_name::");
+      if (q != std::string::npos) {
+        const std::string constant = arg.substr(q + std::string("span_name::").size());
+        if (tables.span_constants.count(constant) == 0) {
+          issues->push_back(Issue{
+              file, src.line_of(at), "span-name",
+              "span constant `span_name::" + constant +
+                  "` is not declared in obs/span.hpp"});
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> NameTables::expanded_metric_names() const {
+  std::set<std::string> out;
+  for (const std::string& family : metric_families) {
+    out.insert(family);
+    const std::size_t open = family.find('<');
+    if (open == std::string::npos) continue;
+    const std::string prefix = family.substr(0, open);
+    const std::string placeholder = family.substr(open);
+    const auto it = placeholder_labels.find(placeholder);
+    if (it == placeholder_labels.end()) continue;
+    for (const std::string& label : it->second) out.insert(prefix + label);
+  }
+  return out;
+}
+
+Allowlist Allowlist::parse(const std::vector<std::string>& lines,
+                           std::vector<std::string>* errors) {
+  Allowlist allow;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string line = trim(lines[n]);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string rule;
+    std::string path;
+    std::string reason;
+    in >> rule >> path;
+    std::getline(in, reason);
+    if (rule.empty() || path.empty() || trim(reason).empty()) {
+      if (errors != nullptr) {
+        errors->push_back("lint_allow.txt:" + std::to_string(n + 1) +
+                          ": want `rule path reason...`, got: " + line);
+      }
+      continue;
+    }
+    allow.entries_[{rule, path}] = false;
+  }
+  return allow;
+}
+
+bool Allowlist::allows(const std::string& rule, const std::string& file) {
+  const auto it = entries_.find({rule, file});
+  if (it == entries_.end()) return false;
+  it->second = true;
+  return true;
+}
+
+std::vector<std::string> Allowlist::unused_entries() const {
+  std::vector<std::string> stale;
+  for (const auto& [key, used] : entries_) {
+    if (!used) stale.push_back(key.first + " " + key.second);
+  }
+  return stale;
+}
+
+std::vector<Issue> lint_source(const std::string& file,
+                               const std::vector<std::string>& lines,
+                               const NameTables& tables) {
+  std::vector<Issue> issues;
+  const JoinedSource plain = join_stripped(lines, /*keep_strings=*/false);
+  const JoinedSource literal = join_stripped(lines, /*keep_strings=*/true);
+
+  static const std::vector<std::string> kRngTokens = {
+      "rand(", "srand", "random_device", "mt19937",
+      "default_random_engine", "minstd_rand",
+  };
+  find_banned_tokens(file, plain, kRngTokens, "rng",
+                     "all randomness flows through common/rng (seeded, "
+                     "platform-stable)",
+                     &issues);
+
+  static const std::vector<std::string> kClockTokens = {
+      "system_clock::now", "steady_clock::now", "high_resolution_clock",
+      "clock_gettime",     "gettimeofday",      "std::time(",
+  };
+  find_banned_tokens(file, plain, kClockTokens, "wall-clock",
+                     "wall-clock reads live in the sanctioned timer helpers "
+                     "(obs::ScopedTimer / SpanTracer) only",
+                     &issues);
+
+  check_naked_locks(file, plain, &issues);
+  check_lock_rank_tags(file, lines, &issues);
+  check_metric_names(file, literal, tables, tables.expanded_metric_names(),
+                     &issues);
+  check_span_names(file, literal, tables, &issues);
+
+  std::stable_sort(issues.begin(), issues.end(),
+                   [](const Issue& a, const Issue& b) { return a.line < b.line; });
+  return issues;
+}
+
+}  // namespace cryptodrop::lint

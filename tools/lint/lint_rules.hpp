@@ -1,0 +1,97 @@
+// cryptodrop_lint rule engine (DESIGN.md §13).
+//
+// Each rule enforces a project invariant that otherwise lives only in
+// convention. Rules operate on in-memory source lines so tests can
+// assert each rule fires (and each allowlist entry suppresses) on
+// fixture snippets. Rule ids — used in diagnostics and as the first
+// token of tools/lint/lint_allow.txt entries:
+//
+//   rng          banned randomness primitives (std::rand, srand,
+//                random_device, mt19937, default_random_engine); all
+//                randomness flows through common/rng.
+//   wall-clock   banned clock reads (system_clock/steady_clock::now,
+//                high_resolution_clock, clock_gettime, gettimeofday,
+//                std::time) outside the sanctioned timer helpers.
+//   naked-lock   .lock()/.unlock()/.try_lock() called on something
+//                that is not an RAII guard object — mutexes are
+//                acquired through std::lock_guard / std::unique_lock
+//                over a RankedMutex, never by hand.
+//   lock-rank    raw std::mutex / std::shared_mutex declaration
+//                without a `// lock-rank:` tag — long-lived locks use
+//                common::RankedMutex<Rank> (rank carried by the type).
+//   metric-name  string literal passed to MetricsRegistry::counter/
+//                gauge/histogram that is not a family listed in
+//                obs::known_metric_names().
+//   span-name    ScopedSpan name (literal or span_name:: constant)
+//                not present in obs::known_span_names().
+//
+// The header-hygiene rule (each public header compiles standalone) is
+// driven by the lint binary itself — it needs a compiler — and is not
+// part of this line-oriented engine.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cryptodrop::lint {
+
+/// One rule violation at a source location.
+struct Issue {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based.
+  std::string rule;      ///< Rule id (see file comment).
+  std::string message;
+};
+
+/// The name schemas the metric-name/span-name rules check against.
+struct NameTables {
+  /// Metric families, placeholders included (obs::known_metric_names).
+  std::vector<std::string> metric_families;
+  /// Placeholder -> label expansions (obs::known_placeholder_labels).
+  std::map<std::string, std::vector<std::string>> placeholder_labels;
+  /// Legal span names (obs::known_span_names).
+  std::set<std::string> span_names;
+  /// span_name:: constant -> value (extract_string_constants over
+  /// obs/span.hpp).
+  std::map<std::string, std::string> span_constants;
+
+  /// Every concrete metric name the families permit: literal families
+  /// verbatim plus placeholder families expanded over their labels
+  /// (the family-with-placeholder spelling stays legal too — tooling
+  /// refers to families by that name).
+  [[nodiscard]] std::set<std::string> expanded_metric_names() const;
+};
+
+/// The checked-in suppression list (tools/lint/lint_allow.txt): one
+/// `rule path reason...` entry per line, `#` comments and blank lines
+/// skipped. Entries are matched per (rule, file) and tracked so the
+/// binary can fail on stale entries.
+class Allowlist {
+ public:
+  /// Parses allowlist lines; malformed lines are appended to `errors`.
+  static Allowlist parse(const std::vector<std::string>& lines,
+                         std::vector<std::string>* errors);
+
+  /// True when (rule, file) is suppressed; marks the entry used.
+  bool allows(const std::string& rule, const std::string& file);
+
+  /// Entries never consulted by a run over the whole tree — stale
+  /// suppressions that must be pruned (satellite of the lint design:
+  /// the allowlist only ever shrinks).
+  [[nodiscard]] std::vector<std::string> unused_entries() const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, bool> entries_;
+};
+
+/// Runs every line-oriented rule over one file's raw lines. `file` is
+/// the repo-relative path used in diagnostics (and allowlist matching
+/// by the caller — this function reports all violations unsuppressed).
+std::vector<Issue> lint_source(const std::string& file,
+                               const std::vector<std::string>& lines,
+                               const NameTables& tables);
+
+}  // namespace cryptodrop::lint

@@ -1,0 +1,272 @@
+#include "lint/scan.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace cryptodrop::lint {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> read_lines_or_exit(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "scan: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string CommentStripper::strip(const std::string& line, bool keep_strings) {
+  std::string out;
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment_) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment_ = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (keep_strings) out += line[i];
+      if (line[i] == '\\') {
+        if (keep_strings && i + 1 < line.size()) out += line[i + 1];
+        ++i;
+      } else if (line[i] == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      if (keep_strings) out += line[i];
+      if (line[i] == '\\') {
+        if (keep_strings && i + 1 < line.size()) out += line[i + 1];
+        ++i;
+      } else if (line[i] == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (line[i] == '"') {
+      in_string = true;
+      out += '"';  // placeholder (and opening quote when kept)
+      continue;
+    }
+    if (line[i] == '\'') {
+      in_char = true;
+      out += '\'';
+      continue;
+    }
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment_ = true;
+      ++i;
+      continue;
+    }
+    out += line[i];
+  }
+  return out;
+}
+
+std::set<std::string> schema_table_tokens(const std::vector<std::string>& lines,
+                                          const char* begin_marker,
+                                          const char* end_marker) {
+  std::set<std::string> names;
+  bool in_schema = false;
+  for (const std::string& raw : lines) {
+    const std::string line = trim(raw);
+    if (line.find(begin_marker) != std::string::npos) {
+      in_schema = true;
+      continue;
+    }
+    if (line.find(end_marker) != std::string::npos) in_schema = false;
+    if (!in_schema || line.empty() || line[0] != '|') continue;
+    const std::size_t open = line.find('`');
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string token = line.substr(open + 1, close - open - 1);
+    if (!token.empty() && token.find(' ') == std::string::npos) {
+      names.insert(token);
+    }
+  }
+  return names;
+}
+
+std::string collapse_family(
+    const std::string& name,
+    const std::map<std::string, std::vector<std::string>>& placeholder_labels) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) return name;
+  const std::string suffix = name.substr(dot + 1);
+  for (const auto& [placeholder, labels] : placeholder_labels) {
+    for (const std::string& label : labels) {
+      if (suffix == label) return name.substr(0, dot + 1) + placeholder;
+    }
+  }
+  return name;
+}
+
+std::map<std::string, std::string> extract_string_constants(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, std::string> constants;
+  for (const std::string& raw : lines) {
+    const std::string line = trim(raw);
+    // inline constexpr std::string_view kName = "value";
+    const std::size_t kw = line.find("constexpr std::string_view ");
+    if (kw == std::string::npos) continue;
+    std::size_t p = kw + std::string("constexpr std::string_view ").size();
+    std::string name;
+    while (p < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[p])) || line[p] == '_')) {
+      name += line[p++];
+    }
+    const std::size_t open = line.find('"', p);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    if (!name.empty()) {
+      constants[name] = line.substr(open + 1, close - open - 1);
+    }
+  }
+  return constants;
+}
+
+bool HeaderScanner::in_public_scope() const {
+  if (scopes.empty()) return false;  // require at least a namespace
+  for (const Scope& s : scopes) {
+    if (s.kind == Scope::other) return false;
+    if (s.kind == Scope::record && !s.is_public) return false;
+  }
+  return true;
+}
+
+HeaderScanner::Scope HeaderScanner::classify(const std::string& statement) {
+  const std::string t = trim(statement);
+  if (starts_with(t, "namespace") || t.find(" namespace ") != std::string::npos) {
+    return Scope{Scope::ns, true};
+  }
+  if (starts_with(t, "enum")) return Scope{Scope::other, true};
+  if (starts_with(t, "struct") || starts_with(t, "class") ||
+      starts_with(t, "template")) {
+    // Struct members default public, class members private.
+    return Scope{Scope::record, t.find("struct") != std::string::npos};
+  }
+  return Scope{Scope::other, true};
+}
+
+bool HeaderScanner::needs_doc(const std::string& code) {
+  const std::string t = trim(code);
+  if (t.empty() || t[0] == '#' || t[0] == '}' || t[0] == ')' || t[0] == '{' ||
+      t[0] == '~') {
+    return false;  // continuations, closers, destructors
+  }
+  if (starts_with(t, "public:") || starts_with(t, "private:") ||
+      starts_with(t, "protected:")) {
+    return false;
+  }
+  if (starts_with(t, "namespace") || starts_with(t, "using namespace")) return false;
+  if (starts_with(t, "friend") || starts_with(t, "typedef")) return false;
+  if (t.find("= default") != std::string::npos ||
+      t.find("= delete") != std::string::npos) {
+    return false;
+  }
+  if (starts_with(t, "struct") || starts_with(t, "class") ||
+      starts_with(t, "enum")) {
+    // Definitions only; `class X;` forward declarations are exempt.
+    return t.find('{') != std::string::npos || t.back() != ';';
+  }
+  return t.find('(') != std::string::npos;
+}
+
+void HeaderScanner::scan(const std::string& display_name,
+                         const std::vector<std::string>& lines) {
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& raw = lines[n];
+    const bool was_in_block = stripper.in_block_comment();
+    const std::string code = stripper.strip(raw, /*keep_strings=*/false);
+    const std::string tcode = trim(code);
+    if (tcode.empty()) {
+      // Blank or pure-comment line. Blank lines break a doc block.
+      prev_line_was_comment =
+          was_in_block || stripper.in_block_comment() || !trim(raw).empty();
+      continue;
+    }
+
+    if (!statement_open) {
+      statement_text.clear();
+      if (in_public_scope() && needs_doc(code) && !prev_line_was_comment) {
+        std::fprintf(stderr,
+                     "docs-check: %s:%zu: public declaration lacks a doc "
+                     "comment: %s\n",
+                     display_name.c_str(), n + 1,
+                     trim(raw).substr(0, 60).c_str());
+        ++failures;
+      }
+    }
+
+    // Walk the code to keep brace depth and statement state current.
+    statement_text += ' ';
+    for (char c : code) {
+      if (c == '{') {
+        scopes.push_back(classify(statement_text));
+        statement_text.clear();
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        statement_text.clear();
+      } else {
+        statement_text += c;
+      }
+    }
+
+    const char last = tcode.back();
+    statement_open = !(last == ';' || last == '{' || last == '}' || last == ':');
+    if (!statement_open) statement_text.clear();
+
+    // Access specifiers flip the innermost record's visibility.
+    if (!scopes.empty() && scopes.back().kind == Scope::record) {
+      if (starts_with(tcode, "public:")) scopes.back().is_public = true;
+      if (starts_with(tcode, "private:") || starts_with(tcode, "protected:")) {
+        scopes.back().is_public = false;
+      }
+    }
+    prev_line_was_comment = false;
+  }
+  scopes.clear();
+  statement_open = false;
+  statement_text.clear();
+  prev_line_was_comment = false;
+  stripper = CommentStripper{};
+}
+
+}  // namespace cryptodrop::lint

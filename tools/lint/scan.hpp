@@ -1,0 +1,110 @@
+// Shared source/markdown scanning helpers for the project's two
+// static gates: tools/docs_check (doc/schema parity) and
+// tools/lint/cryptodrop_lint (invariant lint). One parser, two gates —
+// a scanning fix lands in both at once (DESIGN.md §13).
+//
+// Everything here is dependency-free (std only) and operates on
+// in-memory line vectors, so tests can feed fixture snippets without
+// touching the filesystem.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cryptodrop::lint {
+
+/// True when `s` begins with `prefix`.
+bool starts_with(const std::string& s, const char* prefix);
+
+/// `s` with leading/trailing whitespace removed.
+std::string trim(const std::string& s);
+
+/// All lines of `path`; exits the process (status 2) when unreadable —
+/// gate binaries treat a missing input as a configuration error.
+std::vector<std::string> read_lines_or_exit(const std::string& path);
+
+/// Splits an in-memory buffer into lines (no trailing-newline quirk).
+std::vector<std::string> split_lines(const std::string& text);
+
+/// Line-by-line comment stripper that carries block-comment state
+/// across lines (one instance per file scan). Two output flavors:
+/// with string-literal contents blanked (token rules) or kept
+/// (name-literal rules).
+class CommentStripper {
+ public:
+  /// `line` with // and /* */ comments removed. When `keep_strings`
+  /// is false, string-literal contents are dropped and each literal
+  /// collapses to a bare `"` placeholder; when true, literals are
+  /// preserved verbatim (including quotes).
+  std::string strip(const std::string& line, bool keep_strings);
+
+  /// True while inside an unterminated /* block.
+  [[nodiscard]] bool in_block_comment() const { return in_block_comment_; }
+
+ private:
+  bool in_block_comment_ = false;
+};
+
+/// First-`backticked` tokens of markdown table rows between a
+/// begin/end marker pair (the shape of every schema table in
+/// docs/OBSERVABILITY.md). Tokens containing spaces are skipped.
+std::set<std::string> schema_table_tokens(const std::vector<std::string>& lines,
+                                          const char* begin_marker,
+                                          const char* end_marker);
+
+/// Replaces a known label suffix with its placeholder, e.g.
+/// "indicator_events_total.entropy_delta" ->
+/// "indicator_events_total.<indicator>" given {"<indicator>" ->
+/// {..., "entropy_delta", ...}}. Names without a matching suffix are
+/// returned unchanged.
+std::string collapse_family(
+    const std::string& name,
+    const std::map<std::string, std::vector<std::string>>& placeholder_labels);
+
+/// Extracts `inline constexpr std::string_view kName = "value";`
+/// constants from a header (obs/span.hpp's span_name table). Returns
+/// constant-name -> value.
+std::map<std::string, std::string> extract_string_constants(
+    const std::vector<std::string>& lines);
+
+/// Public-header doc-comment scanner (docs_check invariant 3): every
+/// public declaration must carry a comment on the preceding line. The
+/// scan is a deliberately simple heuristic — it tracks brace depth,
+/// public/private sections and statement starts — so keep header
+/// formatting conventional.
+struct HeaderScanner {
+  /// One lexical scope opened by '{': a namespace, a class/struct body
+  /// (with its current access level), or anything else (function
+  /// bodies, enums, initializers) whose contents are never doc
+  /// candidates.
+  struct Scope {
+    enum Kind { ns, record, other } kind = other;
+    bool is_public = true;  ///< Current access level (records only).
+  };
+
+  std::vector<Scope> scopes;
+  CommentStripper stripper;
+  bool prev_line_was_comment = false;
+  bool statement_open = false;  ///< Mid-statement (previous code line did not end one).
+  std::string statement_text;   ///< Code accumulated since the statement start.
+  int failures = 0;
+
+  /// True when a declaration here is part of the public API surface.
+  [[nodiscard]] bool in_public_scope() const;
+
+  /// Classifies the scope a '{' opens from the statement that led to it.
+  [[nodiscard]] static Scope classify(const std::string& statement);
+
+  /// A statement-start line that opens a public declaration needing a
+  /// doc comment: a function (contains '(') or a record definition.
+  [[nodiscard]] static bool needs_doc(const std::string& code);
+
+  /// Scans one header's lines, reporting failures to stderr under
+  /// `display_name` and counting them in `failures`.
+  void scan(const std::string& display_name,
+            const std::vector<std::string>& lines);
+};
+
+}  // namespace cryptodrop::lint
