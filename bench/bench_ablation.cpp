@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 
 #include "common/stats.hpp"
+#include "entropy/backend.hpp"
 
 using namespace cryptodrop;
 
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
   }
   {
     core::ScoringConfig c;
-    c.enable_entropy = false;
+    c.entropy.enabled = false;
     rows.push_back(run_config(env, scale, "no entropy indicator", c));
   }
   {
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
   // Isolation runs: only one indicator active (union impossible).
   auto only = [](bool entropy, bool type, bool sim) {
     core::ScoringConfig c;
-    c.enable_entropy = entropy;
+    c.entropy.enabled = entropy;
     c.enable_type_change = type;
     c.enable_similarity = sim;
     c.enable_deletion = false;
@@ -88,6 +89,25 @@ int main(int argc, char** argv) {
   rows.push_back(run_config(env, scale, "entropy ONLY", only(true, false, false)));
   rows.push_back(run_config(env, scale, "type-change ONLY", only(false, true, false)));
   rows.push_back(run_config(env, scale, "similarity ONLY", only(false, false, true)));
+  // Entropy-backend substitution: the full engine with the entropy
+  // indicator scored by each alternative backend (DESIGN.md §14), plus
+  // the equal-weight four-way ensemble. Detection-rate/loss deltas here
+  // isolate what the backend choice buys on top of the indicator mix;
+  // bench_roc reports the score-ranking (AUC) side of the same story.
+  for (entropy::BackendKind kind : entropy::all_backend_kinds()) {
+    if (kind == entropy::BackendKind::shannon) continue;  // == full engine
+    core::ScoringConfig c;
+    c.entropy.backend = kind;
+    rows.push_back(run_config(
+        env, scale, "entropy backend: " + std::string(entropy::backend_name(kind)), c));
+  }
+  {
+    core::ScoringConfig c;
+    for (entropy::BackendKind kind : entropy::all_backend_kinds()) {
+      c.entropy.ensemble.members.push_back(core::EnsembleMember{kind, 1.0});
+    }
+    rows.push_back(run_config(env, scale, "entropy backend: 4-way ensemble", c));
+  }
 
   std::printf("== Ablation: indicator contributions ==\n\n");
   harness::TextTable table({"Configuration", "Detection rate", "Median files lost"});

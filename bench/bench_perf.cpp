@@ -6,13 +6,22 @@
 // most expensive because that is where measurement happens. Our absolute
 // numbers are micro-seconds (in-memory FS, no disk), but the *ordering*
 // should match: rename/close-after-write carry the measurement cost.
+// With --perf-out PATH the non-google-benchmark sections (engine
+// per-op latency, stage self-times, tracing overhead, per-backend
+// scoring cost) are also written as JSON — the format checked in as
+// BENCH_PERF.json, the repo's perf baseline.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
+#include <optional>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/text.hpp"
 #include "core/engine.hpp"
+#include "entropy/backend.hpp"
+#include "entropy/entropy.hpp"
 #include "obs/span.hpp"
 #include "vfs/filesystem.hpp"
 
@@ -167,7 +176,8 @@ BENCHMARK(BM_UnmonitoredDirectoryOps)->Arg(0)->Arg(1)->ArgNames({"engine"});
 /// The paper's own methodology ("we traced our code while performing
 /// modifications to protected files"): run a realistic mixed workload
 /// and print the engine's internal per-callback cost per op type.
-void print_engine_internal_latency() {
+/// Returns the same numbers as JSON for --perf-out.
+Json print_engine_internal_latency() {
   PerfFixture fx(/*with_engine=*/true);
   Rng rng(7);
   // A mixed workload: reads, in-place rewrites, renames, deletes.
@@ -201,11 +211,17 @@ void print_engine_internal_latency() {
       {"write", vfs::OpType::write},   {"close", vfs::OpType::close},
       {"rename", vfs::OpType::rename}, {"remove", vfs::OpType::remove},
   };
+  Json ops = Json::object();
   for (const auto& row : kRows) {
     const auto& bucket = stats.for_op(row.op);
     std::printf("%-10s %10llu %14.1f %14.1f\n", row.name,
                 static_cast<unsigned long long>(bucket.count), bucket.mean_micros(),
                 static_cast<double>(bucket.max_ns) / 1000.0);
+    Json op = Json::object();
+    op.set("count", bucket.count);
+    op.set("mean_us", bucket.mean_micros());
+    op.set("max_us", static_cast<double>(bucket.max_ns) / 1000.0);
+    ops.set(row.name, std::move(op));
   }
   std::printf("[paper's unoptimized prototype: open/read < 1 ms, close +1.58 ms,\n"
               " write +9 ms, rename +16 ms — write/rename/close carry the\n"
@@ -217,10 +233,83 @@ void print_engine_internal_latency() {
   const obs::MetricsSnapshot metrics = fx.engine->metrics_snapshot();
   std::printf("\n== stage latency (obs histograms) ==\n");
   std::printf("%-34s %10s %14s\n", "stage", "samples", "mean (us)");
+  Json stages = Json::object();
   for (const obs::HistogramSnapshot& h : metrics.histograms) {
     std::printf("%-34s %10llu %14.2f\n", h.name.c_str(),
                 static_cast<unsigned long long>(h.count), h.mean());
+    Json stage = Json::object();
+    stage.set("samples", h.count);
+    stage.set("mean_us", h.mean());
+    stages.set(h.name, std::move(stage));
   }
+  Json out = Json::object();
+  out.set("per_op", std::move(ops));
+  out.set("stage_self_time", std::move(stages));
+  return out;
+}
+
+/// Per-backend scoring cost over a fixed 64 KiB buffer, plus the direct
+/// `entropy::shannon` call the engine made before the Backend interface
+/// existed. Guardrail: the shannon backend (the default config's hot
+/// path) must stay within 5% of the direct call — the interface may not
+/// tax the path every deployment runs. Returns nullopt on violation.
+std::optional<Json> run_backend_scoring_costs() {
+  constexpr std::size_t kBufBytes = 64 * 1024;
+  constexpr int kCalls = 64;
+  constexpr int kReps = 9;  // best-of, same policy as the tracing gate
+  Rng rng(41);
+  const Bytes prose = to_bytes(synth_prose(rng, kBufBytes));
+  const Bytes random = rng.bytes(kBufBytes);
+
+  // Best-of-reps nanoseconds for one pass over both buffers.
+  const auto time_ns = [&](auto&& fn) {
+    double best = 1e18;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto begin = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        benchmark::DoNotOptimize(fn(ByteView(prose)));
+        benchmark::DoNotOptimize(fn(ByteView(random)));
+      }
+      const auto end = std::chrono::steady_clock::now();
+      best = std::min(
+          best, std::chrono::duration<double, std::nano>(end - begin).count() /
+                    (2.0 * kCalls));
+    }
+    return best;
+  };
+
+  std::printf("\n== entropy-backend scoring cost (64 KiB buffer) ==\n");
+  std::printf("%-22s %14s\n", "backend", "ns / call");
+  const double direct_ns =
+      time_ns([](ByteView data) { return entropy::shannon(data); });
+  std::printf("%-22s %14.0f\n", "(direct shannon)", direct_ns);
+
+  Json costs = Json::object();
+  costs.set("direct_shannon_ns", direct_ns);
+  double shannon_backend_ns = 0.0;
+  for (entropy::BackendKind kind : entropy::all_backend_kinds()) {
+    const auto backend = entropy::make_backend(kind);
+    const double ns =
+        time_ns([&](ByteView data) { return backend->score(data); });
+    std::printf("%-22s %14.0f\n", std::string(backend->name()).c_str(), ns);
+    costs.set(std::string(backend->name()) + "_ns", ns);
+    if (kind == entropy::BackendKind::shannon) shannon_backend_ns = ns;
+  }
+
+  const double overhead_pct =
+      direct_ns > 0.0 ? 100.0 * (shannon_backend_ns - direct_ns) / direct_ns
+                      : 0.0;
+  costs.set("shannon_interface_overhead_pct", overhead_pct);
+  std::printf("shannon via Backend interface: %+.1f%% vs direct call\n",
+              overhead_pct);
+  if (overhead_pct >= 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: the Backend interface costs %.1f%% on the default "
+                 "shannon path (budget: <5%% over the direct call)\n",
+                 overhead_pct);
+    return std::nullopt;
+  }
+  return costs;
 }
 
 /// Tracing-overhead guardrail: the same data-carrying workload (the
@@ -228,8 +317,9 @@ void print_engine_internal_latency() {
 /// with the tracer off, sampled at the bench default (1-in-16), and
 /// keeping everything. Sampled tracing is the always-on configuration we
 /// recommend, so it must stay under 5% over the untraced baseline —
-/// returns false (and bench_perf exits nonzero) when it doesn't.
-bool run_tracing_overhead_guardrail() {
+/// returns nullopt (and bench_perf exits nonzero) when it doesn't,
+/// otherwise the batch timings plus the untraced write+close throughput.
+std::optional<Json> run_tracing_overhead_guardrail() {
   constexpr int kOpsPerRep = 192;
   constexpr int kReps = 7;  // best-of: the quietest rep, per config
 
@@ -289,19 +379,61 @@ bool run_tracing_overhead_guardrail() {
                  "FAIL: sampled span tracing costs %.1f%% (budget: <5%% over "
                  "the untraced baseline)\n",
                  overhead(sampled_us));
-    return false;
+    return std::nullopt;
   }
   std::printf("sampled tracing within the <5%% budget\n");
-  return true;
+  Json out = Json::object();
+  out.set("write_close_ops_per_sec",
+          off_us > 0.0 ? 1e6 * kOpsPerRep / off_us : 0.0);
+  out.set("tracer_off_batch_us", off_us);
+  out.set("sampled_batch_us", sampled_us);
+  out.set("full_batch_us", full_us);
+  out.set("sampled_overhead_pct", overhead(sampled_us));
+  out.set("full_overhead_pct", overhead(full_us));
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --perf-out before google-benchmark sees (and rejects) it.
+  std::string perf_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf-out") == 0 && i + 1 < argc) {
+      perf_out = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_engine_internal_latency();
-  return run_tracing_overhead_guardrail() ? 0 : 1;
+  Json engine_latency = print_engine_internal_latency();
+  const std::optional<Json> backend_costs = run_backend_scoring_costs();
+  const std::optional<Json> tracing = run_tracing_overhead_guardrail();
+  if (!backend_costs.has_value() || !tracing.has_value()) return 1;
+
+  if (!perf_out.empty()) {
+    Json doc = Json::object();
+    doc.set("schema_version", 1);
+    doc.set("generated_by", "bench_perf --perf-out");
+    doc.set("note",
+            "single-machine baseline; compare ratios and orderings, not "
+            "absolute wall times, across hosts");
+    doc.set("engine_internal", std::move(engine_latency));
+    doc.set("throughput_and_tracing", *tracing);
+    doc.set("entropy_backend_scoring", *backend_costs);
+    std::FILE* f = std::fopen(perf_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", perf_out.c_str());
+      return 1;
+    }
+    const std::string text = doc.to_pretty_string();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("perf summary written to %s\n", perf_out.c_str());
+  }
+  return 0;
 }

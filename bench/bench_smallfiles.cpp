@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   std::printf("%-12s %-12s %s\n", "threshold", "files lost", "entropy events");
   for (double threshold : {0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
     core::ScoringConfig config;
-    config.entropy_delta_threshold = threshold;
+    config.entropy.delta_threshold = threshold;
     sim::SampleSpec tesla;
     tesla.family = "TeslaCrypt";
     tesla.behavior = sim::BehaviorClass::A;

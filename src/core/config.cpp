@@ -10,6 +10,11 @@ Status invalid(std::string message) {
 
 }  // namespace
 
+std::vector<EnsembleMember> EntropyConfig::active_members() const {
+  if (!ensemble.members.empty()) return ensemble.members;
+  return {EnsembleMember{backend, 1.0}};
+}
+
 Status ScoringConfig::validate() const {
   if (protected_root.empty()) {
     return invalid("protected_root must not be empty");
@@ -20,7 +25,7 @@ Status ScoringConfig::validate() const {
     }
   }
 
-  if (points_entropy_write < 0) return invalid("points_entropy_write < 0");
+  if (entropy.points_write < 0) return invalid("entropy.points_write < 0");
   if (points_type_change < 0) return invalid("points_type_change < 0");
   if (points_similarity_drop < 0) return invalid("points_similarity_drop < 0");
   if (points_deletion < 0) return invalid("points_deletion < 0");
@@ -42,19 +47,46 @@ Status ScoringConfig::validate() const {
     }
   }
 
-  if (entropy_delta_threshold < 0.0) {
-    return invalid("entropy_delta_threshold < 0");
+  if (entropy.delta_threshold < 0.0) {
+    return invalid("entropy.delta_threshold < 0");
   }
-  if (entropy_full_points_bytes == 0) {
-    return invalid("entropy_full_points_bytes must be >= 1");
+  if (entropy.full_points_bytes == 0) {
+    return invalid("entropy.full_points_bytes must be >= 1");
   }
-  if (entropy_full_points_delta < 0.0) {
-    return invalid("entropy_full_points_delta < 0");
+  if (entropy.full_points_delta < 0.0) {
+    return invalid("entropy.full_points_delta < 0");
   }
-  if (entropy_min_score_bytes > entropy_full_points_bytes) {
+  if (entropy.min_score_bytes > entropy.full_points_bytes) {
     return invalid(
-        "entropy_min_score_bytes exceeds entropy_full_points_bytes; writes "
+        "entropy.min_score_bytes exceeds entropy.full_points_bytes; writes "
         "large enough for full points would be exempt from scoring");
+  }
+  if (entropy.daa_window_bytes == 0) {
+    return invalid("entropy.daa_window_bytes must be >= 1");
+  }
+  if (!entropy.ensemble.members.empty()) {
+    if (entropy.ensemble.min_vote_weight <= 0.0 ||
+        entropy.ensemble.min_vote_weight > 1.0) {
+      return invalid("ensemble.min_vote_weight must be in (0, 1]");
+    }
+    bool seen[entropy::kBackendCount] = {};
+    for (const EnsembleMember& member : entropy.ensemble.members) {
+      if (member.weight <= 0.0) {
+        return invalid("ensemble member weights must be > 0");
+      }
+      const auto idx = static_cast<std::size_t>(member.backend);
+      if (idx >= entropy::kBackendCount) {
+        return invalid("ensemble member names an unknown backend");
+      }
+      if (seen[idx]) {
+        return invalid(
+            "ensemble lists backend `" +
+            std::string(entropy::backend_name(member.backend)) +
+            "` twice; each backend keeps one pair of running means and "
+            "may vote at most once per operation");
+      }
+      seen[idx] = true;
+    }
   }
   if (similarity_drop_max < 0 || similarity_drop_max > 100) {
     return invalid("similarity_drop_max must be within the 0..100 score range");

@@ -17,8 +17,81 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "entropy/backend.hpp"
 
 namespace cryptodrop::core {
+
+/// One voting member of an entropy ensemble: a backend and its vote
+/// weight (relative; weights need not sum to 1).
+struct EnsembleMember {
+  entropy::BackendKind backend = entropy::BackendKind::shannon;
+  double weight = 1.0;
+};
+
+/// Multi-backend voting (DESIGN.md §14): every member keeps its own
+/// read/write weighted means; on each scoreable write, members whose
+/// own delta crosses the threshold vote with their weight, and the
+/// indicator fires when the voting weight reaches `min_vote_weight` of
+/// the total. An empty member list means single-backend mode
+/// (EntropyConfig::backend alone).
+struct EnsembleConfig {
+  /// Voting members; empty disables ensemble mode. Duplicate backends
+  /// are rejected by validate().
+  std::vector<EnsembleMember> members;
+  /// Fraction of total member weight that must vote for the indicator
+  /// to fire, in (0, 1]. 0.5 is simple weighted-majority.
+  double min_vote_weight = 0.5;
+};
+
+/// Every entropy-indicator tunable, nested under ScoringConfig::entropy
+/// (paper §III-C, §IV-C.1; backends per DESIGN.md §14). Validated as
+/// part of ScoringConfig::validate().
+struct EntropyConfig {
+  /// Master switch (ablation studies set it false).
+  bool enabled = true;
+
+  /// Which statistic scores each operation in single-backend mode (the
+  /// default, shannon, reproduces the paper bit-for-bit). Ignored when
+  /// `ensemble.members` is non-empty.
+  entropy::BackendKind backend = entropy::BackendKind::shannon;
+
+  /// Multi-backend voting; empty members = single-backend mode.
+  EnsembleConfig ensemble;
+
+  /// Suspicion trigger on the weighted-mean delta: Pwrite - Pread >= this
+  /// (per backend; in ensemble mode each member checks its own delta).
+  double delta_threshold = 0.1;
+  /// Points assessed per atomic write operation whose delta vote fires.
+  int points_write = 12;
+  /// Entropy points scale linearly with operation size up to this many
+  /// bytes (then cap at points_write). This extends the paper's
+  /// weighting rationale — "low-entropy and small read/write operations
+  /// do not over-influence the mean" — to the points themselves, so a
+  /// stream of tiny suspicious writes cannot outscore a bulk encryptor.
+  std::size_t full_points_bytes = 4096;
+  /// Entropy points also scale with the delta's magnitude up to this
+  /// value: a sample encrypting already-compressed documents shows a
+  /// barely-over-threshold delta early on (the paper's observed
+  /// "delay... for samples which attack high entropy files first") and
+  /// earns proportionally fewer points until it reaches plainer files.
+  double full_points_delta = 0.5;
+  /// Writes smaller than this never earn entropy points (the delta check
+  /// is skipped entirely; the write still feeds the entropy means). The
+  /// size-scaled points floor at 1, so without a cutoff thousands of
+  /// tiny benign high-entropy writes (compressed thumbnails, sqlite WAL
+  /// pages) each score a point and creep toward the threshold. Must be
+  /// <= full_points_bytes. The default of 1 skips only zero-byte
+  /// writes, which carry no evidence of encryption at all.
+  std::size_t min_score_bytes = 1;
+
+  /// DAA head/tail window size in bytes (arXiv 2303.17351); only the
+  /// daa backend reads it.
+  std::size_t daa_window_bytes = 2048;
+
+  /// The members actually scoring: the ensemble when configured, else
+  /// the single `backend` at weight 1. Never empty.
+  [[nodiscard]] std::vector<EnsembleMember> active_members() const;
+};
 
 /// Every tunable of the analysis engine, with paper-calibrated defaults.
 /// Validate with validate(); AnalysisEngine's constructor rejects an
@@ -32,30 +105,10 @@ struct ScoringConfig {
   std::vector<std::string> additional_roots;
 
   // --- primary indicator: entropy (paper §III-C, §IV-C.1) -------------
-  /// Suspicion trigger on the weighted-mean delta: Pwrite - Pread >= this.
-  double entropy_delta_threshold = 0.1;
-  /// Points assessed per atomic write operation whose delta check trips.
-  int points_entropy_write = 12;
-  /// Entropy points scale linearly with operation size up to this many
-  /// bytes (then cap at points_entropy_write). This extends the paper's
-  /// weighting rationale — "low-entropy and small read/write operations
-  /// do not over-influence the mean" — to the points themselves, so a
-  /// stream of tiny suspicious writes cannot outscore a bulk encryptor.
-  std::size_t entropy_full_points_bytes = 4096;
-  /// Entropy points also scale with the delta's magnitude up to this
-  /// value: a sample encrypting already-compressed documents shows a
-  /// barely-over-threshold delta early on (the paper's observed
-  /// "delay... for samples which attack high entropy files first") and
-  /// earns proportionally fewer points until it reaches plainer files.
-  double entropy_full_points_delta = 0.5;
-  /// Writes smaller than this never earn entropy points (the delta check
-  /// is skipped entirely; the write still feeds the entropy means). The
-  /// size-scaled points floor at 1, so without a cutoff thousands of
-  /// tiny benign high-entropy writes (compressed thumbnails, sqlite WAL
-  /// pages) each score a point and creep toward the threshold. Must be
-  /// <= entropy_full_points_bytes. The default of 1 skips only
-  /// zero-byte writes, which carry no evidence of encryption at all.
-  std::size_t entropy_min_score_bytes = 1;
+  /// Every entropy tunable, including backend selection and ensemble
+  /// voting, lives in this nested block (DESIGN.md §14 has the
+  /// old-field → new-field migration table).
+  EntropyConfig entropy;
 
   // --- primary indicator: file type change (§III-A) --------------------
   /// Points when the magic-identified type of a tracked file differs
@@ -121,7 +174,7 @@ struct ScoringConfig {
   int points_rate = 4;
 
   // --- per-indicator ablation switches (§V-B.2 analysis) -----------------
-  bool enable_entropy = true;
+  // (The entropy switch is EntropyConfig::enabled above.)
   bool enable_type_change = true;
   bool enable_similarity = true;
   bool enable_deletion = true;

@@ -140,6 +140,13 @@ AnalysisEngine::AnalysisEngine(ScoringConfig config) : config_(std::move(config)
   if (!valid.is_ok()) {
     throw std::invalid_argument("invalid ScoringConfig: " + valid.to_string());
   }
+  entropy_members_ = config_.entropy.active_members();
+  entropy::BackendOptions options;
+  options.daa_window_bytes = config_.entropy.daa_window_bytes;
+  for (const EnsembleMember& member : entropy_members_) {
+    entropy_backends_.push_back(entropy::make_backend(member.backend, options));
+    entropy_weight_total_ += member.weight;
+  }
   register_metrics();
 }
 
@@ -186,6 +193,17 @@ void AnalysisEngine::register_metrics() {
     m_indicator_points_[idx] = &metrics_.counter(
         "points_assessed_total." + label,
         "Reputation points assessed by the " + label + " indicator", "points");
+  }
+  // Per-backend entropy vote counters are registered for every backend
+  // the project knows (not just the configured members): docs_check
+  // requires a default engine to register the complete schema, and a
+  // constant shape keeps snapshots comparable across configs.
+  for (entropy::BackendKind kind : entropy::all_backend_kinds()) {
+    const std::string label(entropy::backend_name(kind));
+    m_backend_events_[static_cast<std::size_t>(kind)] = &metrics_.counter(
+        "entropy_backend_events_total." + label,
+        "Entropy score events where the " + label + " backend's delta vote "
+        "fired", "events");
   }
   const std::vector<double> buckets = obs::MetricsRegistry::latency_buckets_us();
   h_sdhash_ = &metrics_.histogram(
@@ -261,6 +279,8 @@ AnalysisEngine::LockedProcess AnalysisEngine::lock_state_for(
     it->second.threshold = config_.score_threshold;
     it->second.forensic = obs::TimelineRing(
         config_.record_timeline ? config_.timeline_capacity : 0);
+    it->second.read_means.resize(entropy_members_.size());
+    it->second.write_means.resize(entropy_members_.size());
   }
   locked.proc = &it->second;
   return locked;
@@ -308,8 +328,8 @@ ProcessReport AnalysisEngine::process_report(vfs::ProcessId pid) const {
   report.deletion_events = s.deletion_events;
   report.funneling_events = s.funneling_events;
   report.rate_events = s.rate_events;
-  report.read_entropy_mean = s.read_mean.mean();
-  report.write_entropy_mean = s.write_mean.mean();
+  if (!s.read_means.empty()) report.read_entropy_mean = s.read_means[0].mean();
+  if (!s.write_means.empty()) report.write_entropy_mean = s.write_means[0].mean();
   report.read_extensions = s.read_extensions;
   report.write_extensions = s.write_extensions;
   report.timeline = s.timeline;
@@ -401,8 +421,12 @@ EngineSnapshot AnalysisEngine::snapshot() const {
       report.deletion_events = s.deletion_events;
       report.funneling_events = s.funneling_events;
       report.rate_events = s.rate_events;
-      report.read_entropy_mean = s.read_mean.mean();
-      report.write_entropy_mean = s.write_mean.mean();
+      if (!s.read_means.empty()) {
+        report.read_entropy_mean = s.read_means[0].mean();
+      }
+      if (!s.write_means.empty()) {
+        report.write_entropy_mean = s.write_means[0].mean();
+      }
       report.read_extensions = s.read_extensions;
       report.write_extensions = s.write_extensions;
       report.timeline = s.timeline;
@@ -459,7 +483,7 @@ void AnalysisEngine::resume_process(vfs::ProcessId pid) {
 void AnalysisEngine::add_points(ProcessState& proc, vfs::ProcessId pid,
                                 Indicator indicator, int points,
                                 const std::string& path, double detail,
-                                std::string note) {
+                                std::string note, std::string backend) {
   const int score_before = proc.score;
   proc.score += points;
   // The score-update span's payload is its args (the event itself), not
@@ -475,7 +499,8 @@ void AnalysisEngine::add_points(ProcessState& proc, vfs::ProcessId pid,
   m_indicator_points_[idx]->add(static_cast<std::uint64_t>(std::max(points, 0)));
   if (config_.record_timeline) {
     const std::uint64_t op_seq = op_seq_.load(std::memory_order_relaxed);
-    proc.timeline.push_back(ScoreEvent{op_seq, indicator, points, path});
+    proc.timeline.push_back(
+        ScoreEvent{op_seq, indicator, points, path, std::move(backend)});
     obs::TimelineEvent event;
     event.op_seq = op_seq;
     event.kind = timeline_kind(indicator);
@@ -812,16 +837,25 @@ void AnalysisEngine::handle_open_pre(const vfs::OperationEvent& event) {
 }
 
 int AnalysisEngine::scaled_entropy_points(std::size_t op_bytes, double delta) const {
-  const std::size_t full = std::max<std::size_t>(config_.entropy_full_points_bytes, 1);
+  const std::size_t full = std::max<std::size_t>(config_.entropy.full_points_bytes, 1);
   double scale = 1.0;
   if (op_bytes < full) {
     scale = static_cast<double>(op_bytes) / static_cast<double>(full);
   }
-  if (config_.entropy_full_points_delta > 0.0 &&
-      delta < config_.entropy_full_points_delta) {
-    scale *= delta / config_.entropy_full_points_delta;
+  if (config_.entropy.full_points_delta > 0.0 &&
+      delta < config_.entropy.full_points_delta) {
+    scale *= delta / config_.entropy.full_points_delta;
   }
-  return std::max(1, static_cast<int>(config_.points_entropy_write * scale));
+  return std::max(1, static_cast<int>(config_.entropy.points_write * scale));
+}
+
+void AnalysisEngine::fold_read_entropy(ProcessState& proc, ByteView data) {
+  obs::ScopedSpan span(obs::span_name::kEntropy);
+  if (span.active()) span.arg("bytes", static_cast<double>(data.size()));
+  obs::ScopedTimer timer(h_entropy_);
+  for (std::size_t i = 0; i < entropy_backends_.size(); ++i) {
+    proc.read_means[i].add(entropy_backends_[i]->score(data), data.size());
+  }
 }
 
 /// Folds write-side content into the process's entropy state and scores
@@ -830,27 +864,56 @@ int AnalysisEngine::scaled_entropy_points(std::size_t op_bytes, double delta) co
 /// inside the protected tree).
 void AnalysisEngine::score_write_entropy(ProcessState& proc, vfs::ProcessId pid,
                                          ByteView data, const std::string& path) {
-  if (!config_.enable_entropy) return;
+  if (!config_.entropy.enabled) return;
   {
     obs::ScopedSpan span(obs::span_name::kEntropy);
     if (span.active()) span.arg("bytes", static_cast<double>(data.size()));
     obs::ScopedTimer timer(h_entropy_);
-    proc.write_mean.add(data);
+    // Each member's statistic is computed exactly once per operation and
+    // serves both the mean fold and the delta vote below.
+    for (std::size_t i = 0; i < entropy_backends_.size(); ++i) {
+      proc.write_means[i].add(entropy_backends_[i]->score(data), data.size());
+    }
   }
-  // Below the size cutoff the write still weighs into the mean (above)
+  // Below the size cutoff the write still weighs into the means (above)
   // but earns no points: the size-scaled points floor at 1, so without
   // a cutoff a stream of tiny high-entropy writes — compressed
   // thumbnails, WAL pages — would creep toward the threshold a point
   // at a time.
-  if (data.size() < config_.entropy_min_score_bytes) return;
-  if (proc.read_mean.empty() || proc.write_mean.empty()) return;
-  const double delta = proc.write_mean.mean() - proc.read_mean.mean();
-  if (delta < config_.entropy_delta_threshold) return;
+  if (data.size() < config_.entropy.min_score_bytes) return;
+
+  // Delta vote: each member whose own write-mean − read-mean delta
+  // crosses the threshold votes with its weight. With a single member
+  // (the default) this reduces to the paper's plain delta check.
+  double voted_weight = 0.0;
+  double delta_weighted = 0.0;
+  std::vector<std::size_t> voters_idx;
+  for (std::size_t i = 0; i < entropy_members_.size(); ++i) {
+    if (proc.read_means[i].empty() || proc.write_means[i].empty()) continue;
+    const double delta = proc.write_means[i].mean() - proc.read_means[i].mean();
+    if (delta < config_.entropy.delta_threshold) continue;
+    voted_weight += entropy_members_[i].weight;
+    delta_weighted += entropy_members_[i].weight * delta;
+    voters_idx.push_back(i);
+  }
+  if (voters_idx.empty()) return;
+  const double quorum = entropy_members_.size() == 1
+                            ? 0.0
+                            : config_.entropy.ensemble.min_vote_weight *
+                                  entropy_weight_total_ - 1e-12;
+  if (voted_weight < quorum) return;
+  const double delta = delta_weighted / voted_weight;
+  std::string voters;
+  for (std::size_t i : voters_idx) {
+    m_backend_events_[static_cast<std::size_t>(entropy_members_[i].backend)]->add();
+    if (!voters.empty()) voters += ',';
+    voters += entropy_backends_[i]->name();
+  }
   proc.saw_entropy = true;
   ++proc.entropy_events;
   add_points(proc, pid, Indicator::entropy_delta,
              scaled_entropy_points(data.size(), delta), path, /*detail=*/delta,
-             "write-mean minus read-mean entropy");
+             "write-mean minus read-mean entropy", std::move(voters));
   check_union(proc, pid, path);
   maybe_detect(proc, pid, /*via_union=*/false);
 }
@@ -926,11 +989,8 @@ void AnalysisEngine::handle_truncate_post(const vfs::OperationEvent& event) {
 void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
   LockedProcess locked = lock_state_for(event);
   ProcessState& proc = *locked.proc;
-  if (config_.enable_entropy) {
-    obs::ScopedSpan span(obs::span_name::kEntropy);
-    if (span.active()) span.arg("bytes", static_cast<double>(event.data.size()));
-    obs::ScopedTimer timer(h_entropy_);
-    proc.read_mean.add(event.data);
+  if (config_.entropy.enabled) {
+    fold_read_entropy(proc, event.data);
   }
   if (event.offset == 0 && !event.data.empty()) {
     proc.read_types.insert(sniff_type(event.data));
@@ -1069,15 +1129,10 @@ void AnalysisEngine::handle_rename_post(const vfs::OperationEvent& event) {
     // read-side counterpart of the inbound fold above (a Class B sample
     // "reads" the user's data by carrying it out). Baseline was captured
     // in the pre callback; evaluation happens on return.
-    if (config_.enable_entropy) {
+    if (config_.entropy.enabled) {
       const auto departing = fs_->read_unfiltered(event.dest_path);
       if (departing != nullptr && !departing->empty()) {
-        obs::ScopedSpan span(obs::span_name::kEntropy);
-        if (span.active()) {
-          span.arg("bytes", static_cast<double>(departing->size()));
-        }
-        obs::ScopedTimer entropy_timer(h_entropy_);
-        proc.read_mean.add(ByteView(*departing));
+        fold_read_entropy(proc, ByteView(*departing));
       }
     }
     locked.lock.unlock();

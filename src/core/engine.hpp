@@ -42,6 +42,7 @@
 #include "common/bytes.hpp"
 #include "common/ranked_mutex.hpp"
 #include "core/config.hpp"
+#include "entropy/backend.hpp"
 #include "entropy/entropy.hpp"
 #include "magic/magic.hpp"
 #include "obs/metrics.hpp"
@@ -81,6 +82,10 @@ struct ScoreEvent {
   Indicator indicator;
   int points;
   std::string path;  ///< File the event concerns (empty for funneling/union).
+  /// For entropy_delta events: which backend(s) voted, comma-joined in
+  /// schema order ("shannon", "chi_square,daa"). Empty for every other
+  /// indicator.
+  std::string backend;
 };
 
 /// Point-in-time view of one process's reputation (returned by
@@ -278,8 +283,11 @@ class AnalysisEngine : public vfs::Filter {
     std::deque<std::pair<std::uint64_t, vfs::FileId>> recent_mods;
     std::map<vfs::FileId, std::size_t> window_file_counts;
 
-    entropy::WeightedEntropyMean read_mean;
-    entropy::WeightedEntropyMean write_mean;
+    /// One pair of running means per active entropy member (index
+    /// parallel to the engine's `entropy_members_`; sized on entry
+    /// creation). Member 0 is the primary backend surfaced in reports.
+    std::vector<entropy::WeightedEntropyMean> read_means;
+    std::vector<entropy::WeightedEntropyMean> write_means;
 
     std::set<magic::TypeId> read_types;
     std::set<magic::TypeId> write_types;
@@ -348,10 +356,14 @@ class AnalysisEngine : public vfs::Filter {
   /// (entropy delta, similarity score, ...); `note` is free-form context.
   void add_points(ProcessState& proc, vfs::ProcessId pid, Indicator indicator,
                   int points, const std::string& path, double detail = 0.0,
-                  std::string note = {});
+                  std::string note = {}, std::string backend = {});
   [[nodiscard]] int scaled_entropy_points(std::size_t op_bytes, double delta) const;
   void score_write_entropy(ProcessState& proc, vfs::ProcessId pid, ByteView data,
                            const std::string& path);
+  /// Folds read-side content into every member's read mean (one backend
+  /// evaluation per member, under the entropy stage span/timer). Caller
+  /// holds the process's scoreboard shard lock.
+  void fold_read_entropy(ProcessState& proc, ByteView data);
   /// Burst-rate bookkeeping for one modification touch of `id`.
   void note_modification(ProcessState& proc, vfs::ProcessId pid,
                          std::uint64_t timestamp, vfs::FileId id,
@@ -401,6 +413,14 @@ class AnalysisEngine : public vfs::Filter {
   void handle_rename_post(const vfs::OperationEvent& event);
 
   ScoringConfig config_;
+  /// The resolved entropy members (config_.entropy.active_members()):
+  /// never empty; member 0 is the primary backend surfaced in reports.
+  std::vector<EnsembleMember> entropy_members_;
+  /// One constructed backend per member, index-parallel to
+  /// entropy_members_. Backends are stateless; score() is thread-safe.
+  std::vector<std::unique_ptr<entropy::Backend>> entropy_backends_;
+  /// Sum of all member weights (vote quorum denominator).
+  double entropy_weight_total_ = 0.0;
   vfs::FileSystem* fs_ = nullptr;  ///< Set on attach; unfiltered inspection.
   /// Set on attach from the filesystem; lets the verdict path mark a
   /// suspended pid keep-all in the sampler. Stage spans themselves nest
@@ -426,6 +446,7 @@ class AnalysisEngine : public vfs::Filter {
   obs::Counter* m_degraded_ = nullptr;
   std::array<obs::Counter*, 7> m_indicator_events_{};
   std::array<obs::Counter*, 7> m_indicator_points_{};
+  std::array<obs::Counter*, entropy::kBackendCount> m_backend_events_{};
   obs::Histogram* h_sdhash_ = nullptr;
   obs::Histogram* h_entropy_ = nullptr;
   obs::Histogram* h_magic_ = nullptr;

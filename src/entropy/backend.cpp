@@ -1,0 +1,289 @@
+#include "entropy/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "entropy/entropy.hpp"
+
+namespace cryptodrop::entropy {
+
+namespace {
+
+// --- shared statistic kernels ------------------------------------------
+// Each backend has a one-shot form (Backend::score) and a streaming form
+// (Accumulator); both funnel into these kernels so they cannot drift.
+
+/// Gain applied to |scc| before clamping: random data sits at
+/// |scc| ~ 1/sqrt(n) (well under 1/4 for any op worth scoring), while
+/// text and other structured bytes exceed 1/4 comfortably, so the gain
+/// spreads the interesting region over the full [0, 8] scale.
+constexpr double kSerialGain = 4.0;
+
+/// Chi-square score from a byte histogram: Pearson X² against the
+/// uniform law, normalized per byte (X²/n → 0 for ciphertext as n
+/// grows; ≈ 2.5 for ASCII text independent of n), then mapped to
+/// (0, 8]: score = 8 / (1 + X²/n).
+double chi_square_from_counts(const std::uint64_t counts[256],
+                              std::uint64_t total) {
+  if (total == 0) return 0.0;
+  const double expected = static_cast<double>(total) / 256.0;
+  double x = 0.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    const double d = static_cast<double>(counts[i]) - expected;
+    x += d * d / expected;
+  }
+  return 8.0 / (1.0 + x / static_cast<double>(total));
+}
+
+/// Serial-correlation score from the circular lag-1 sums ("ent" SCC):
+/// scc = (n·Σ b·next(b) − (Σb)²) / (n·Σb² − (Σb)²) with the last byte
+/// wrapping to the first, which is what makes chunked accumulation
+/// exactly equal the one-shot form. Degenerate streams (constant bytes,
+/// n < 2) are maximally structured: score 0.
+double serial_from_sums(std::uint64_t n, double sum_b, double sum_b2,
+                        double sum_prod_circular) {
+  if (n == 0) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double den = dn * sum_b2 - sum_b * sum_b;
+  double scc = 1.0;
+  if (den != 0.0) scc = (dn * sum_prod_circular - sum_b * sum_b) / den;
+  const double structured = std::min(1.0, kSerialGain * std::abs(scc));
+  return 8.0 * (1.0 - structured);
+}
+
+/// One DAA window's score: total-variation distance of the window's
+/// byte histogram from uniform (the "area" between the observed and
+/// flat distributions), mapped to [0, 8] as 8·(1 − tv). Ciphertext
+/// windows have small tv (sampling noise only); structured windows have
+/// large tv.
+double daa_window_score(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return 0.0;
+  std::uint64_t counts[256] = {};
+  for (std::size_t i = 0; i < n; ++i) ++counts[data[i]];
+  const double total = static_cast<double>(n);
+  double tv = 0.0;
+  for (std::uint64_t c : counts) {
+    tv += std::abs(static_cast<double>(c) / total - 1.0 / 256.0);
+  }
+  tv *= 0.5;
+  return 8.0 * (1.0 - tv);
+}
+
+// --- shannon ------------------------------------------------------------
+
+/// Streaming Shannon entropy: the Histogram class the engine always had.
+class ShannonAccumulator final : public Accumulator {
+ public:
+  void add(ByteView data) override { histogram_.add(data); }
+  [[nodiscard]] double score() const override { return histogram_.entropy(); }
+  [[nodiscard]] std::uint64_t total() const override {
+    return histogram_.total();
+  }
+
+ private:
+  Histogram histogram_;
+};
+
+class ShannonBackend final : public Backend {
+ public:
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::shannon;
+  }
+  [[nodiscard]] double score(ByteView data) const override {
+    return shannon(data);
+  }
+  [[nodiscard]] std::unique_ptr<Accumulator> make_accumulator() const override {
+    return std::make_unique<ShannonAccumulator>();
+  }
+};
+
+// --- chi_square ---------------------------------------------------------
+
+/// Streaming chi-square: a byte histogram, scored by the shared kernel.
+class ChiSquareAccumulator final : public Accumulator {
+ public:
+  void add(ByteView data) override {
+    for (std::uint8_t b : data) ++counts_[b];
+    total_ += data.size();
+  }
+  [[nodiscard]] double score() const override {
+    return chi_square_from_counts(counts_, total_);
+  }
+  [[nodiscard]] std::uint64_t total() const override { return total_; }
+
+ private:
+  std::uint64_t counts_[256] = {};
+  std::uint64_t total_ = 0;
+};
+
+class ChiSquareBackend final : public Backend {
+ public:
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::chi_square;
+  }
+  [[nodiscard]] double score(ByteView data) const override {
+    if (data.empty()) return 0.0;
+    std::uint64_t counts[256] = {};
+    for (std::uint8_t b : data) ++counts[b];
+    return chi_square_from_counts(counts, data.size());
+  }
+  [[nodiscard]] std::unique_ptr<Accumulator> make_accumulator() const override {
+    return std::make_unique<ChiSquareAccumulator>();
+  }
+};
+
+// --- serial_correlation -------------------------------------------------
+
+/// Streaming circular SCC: carries the running sums plus the first and
+/// last byte seen so the wraparound product (and chunk boundaries) match
+/// the one-shot computation exactly.
+class SerialCorrelationAccumulator final : public Accumulator {
+ public:
+  void add(ByteView data) override {
+    for (std::uint8_t byte : data) {
+      const double b = static_cast<double>(byte);
+      if (n_ == 0) {
+        first_ = b;
+      } else {
+        sum_prod_ += prev_ * b;
+      }
+      sum_b_ += b;
+      sum_b2_ += b * b;
+      prev_ = b;
+      ++n_;
+    }
+  }
+  [[nodiscard]] double score() const override {
+    return serial_from_sums(n_, sum_b_, sum_b2_, sum_prod_ + prev_ * first_);
+  }
+  [[nodiscard]] std::uint64_t total() const override { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double first_ = 0.0;
+  double prev_ = 0.0;
+  double sum_b_ = 0.0;
+  double sum_b2_ = 0.0;
+  double sum_prod_ = 0.0;
+};
+
+class SerialCorrelationBackend final : public Backend {
+ public:
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::serial_correlation;
+  }
+  [[nodiscard]] double score(ByteView data) const override {
+    SerialCorrelationAccumulator acc;
+    acc.add(data);
+    return acc.score();
+  }
+  [[nodiscard]] std::unique_ptr<Accumulator> make_accumulator() const override {
+    return std::make_unique<SerialCorrelationAccumulator>();
+  }
+};
+
+// --- daa ----------------------------------------------------------------
+
+/// Streaming DAA: keeps the first `window` bytes and a bounded deque of
+/// the last `window` bytes; scoring is min(head, tail) so a buffer reads
+/// as ciphertext only when *both* sampled regions do. This is exactly
+/// the surface the prepend-a-plaintext-header attack (arXiv 2303.17351
+/// §Attacks) targets — see the evasion test.
+class DaaAccumulator final : public Accumulator {
+ public:
+  explicit DaaAccumulator(std::size_t window) : window_(std::max<std::size_t>(window, 1)) {}
+
+  void add(ByteView data) override {
+    total_ += data.size();
+    for (std::uint8_t b : data) {
+      if (head_.size() < window_) head_.push_back(b);
+      tail_.push_back(b);
+      if (tail_.size() > window_) tail_.pop_front();
+    }
+  }
+  [[nodiscard]] double score() const override {
+    if (total_ == 0) return 0.0;
+    const double head = daa_window_score(head_.data(), head_.size());
+    std::vector<std::uint8_t> tail(tail_.begin(), tail_.end());
+    const double tail_score = daa_window_score(tail.data(), tail.size());
+    return std::min(head, tail_score);
+  }
+  [[nodiscard]] std::uint64_t total() const override { return total_; }
+
+ private:
+  std::size_t window_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint8_t> head_;
+  std::deque<std::uint8_t> tail_;
+};
+
+class DaaBackend final : public Backend {
+ public:
+  explicit DaaBackend(std::size_t window) : window_(std::max<std::size_t>(window, 1)) {}
+
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::daa; }
+  [[nodiscard]] double score(ByteView data) const override {
+    if (data.empty()) return 0.0;
+    const std::size_t w = std::min(window_, data.size());
+    const double head = daa_window_score(data.data(), w);
+    const double tail = daa_window_score(data.data() + (data.size() - w), w);
+    return std::min(head, tail);
+  }
+  [[nodiscard]] std::unique_ptr<Accumulator> make_accumulator() const override {
+    return std::make_unique<DaaAccumulator>(window_);
+  }
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace
+
+std::string_view backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::shannon:
+      return "shannon";
+    case BackendKind::chi_square:
+      return "chi_square";
+    case BackendKind::serial_correlation:
+      return "serial_correlation";
+    case BackendKind::daa:
+      return "daa";
+  }
+  return "unknown";
+}
+
+std::optional<BackendKind> backend_from_name(std::string_view name) {
+  for (BackendKind kind : all_backend_kinds()) {
+    if (name == backend_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<BackendKind>& all_backend_kinds() {
+  static const std::vector<BackendKind> kAll = {
+      BackendKind::shannon,
+      BackendKind::chi_square,
+      BackendKind::serial_correlation,
+      BackendKind::daa,
+  };
+  return kAll;
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      const BackendOptions& options) {
+  switch (kind) {
+    case BackendKind::shannon:
+      return std::make_unique<ShannonBackend>();
+    case BackendKind::chi_square:
+      return std::make_unique<ChiSquareBackend>();
+    case BackendKind::serial_correlation:
+      return std::make_unique<SerialCorrelationBackend>();
+    case BackendKind::daa:
+      return std::make_unique<DaaBackend>(options.daa_window_bytes);
+  }
+  return std::make_unique<ShannonBackend>();
+}
+
+}  // namespace cryptodrop::entropy

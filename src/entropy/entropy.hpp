@@ -35,12 +35,11 @@ class Histogram {
 /// move the mean; a zero total weight yields mean() == 0.
 class WeightedEntropyMean {
  public:
-  /// Folds one atomic read/write of `bytes` bytes with entropy `e` into
-  /// the mean.
+  /// Folds one atomic read/write of `bytes` bytes with score `e` into
+  /// the mean. The caller supplies the score it already computed for the
+  /// indicator pass — there is deliberately no ByteView overload, so the
+  /// hot path can never recompute a backend's statistic per operation.
   void add(double e, std::size_t bytes);
-
-  /// Folds an operation by computing its entropy first.
-  void add(ByteView data) { add(shannon(data), data.size()); }
 
   [[nodiscard]] double mean() const;
   [[nodiscard]] std::uint64_t operations() const { return operations_; }

@@ -14,6 +14,7 @@ std::vector<std::string_view> known_metric_names() {
       "degraded_measurements_total",
       "indicator_events_total.<indicator>",
       "points_assessed_total.<indicator>",
+      "entropy_backend_events_total.<entropy_backend>",
       // engine stage-latency histograms
       "stage_latency_us.sdhash_digest",
       "stage_latency_us.entropy",
@@ -42,6 +43,9 @@ std::vector<std::string_view> known_placeholder_labels(
   }
   if (placeholder == "<fault>") {
     return {"io_error", "access_denied", "short_write", "delay_post"};
+  }
+  if (placeholder == "<entropy_backend>") {
+    return {"shannon", "chi_square", "serial_correlation", "daa"};
   }
   return {};
 }

@@ -29,9 +29,10 @@ namespace cryptodrop::obs {
 std::vector<std::string_view> known_metric_names();
 
 /// The label set a placeholder expands to: "<indicator>" yields the
-/// seven indicator labels, "<fault>" the four fault kinds. Unknown
-/// placeholders yield an empty list. docs_check asserts these lists
-/// match the core/vfs enums they mirror.
+/// seven indicator labels, "<fault>" the four fault kinds,
+/// "<entropy_backend>" the four entropy backends. Unknown placeholders
+/// yield an empty list. docs_check asserts these lists match the
+/// core/vfs/entropy enums they mirror.
 std::vector<std::string_view> known_placeholder_labels(
     std::string_view placeholder);
 

@@ -31,7 +31,7 @@ struct ConfigCase {
   }
   [[nodiscard]] core::ScoringConfig to_config() const {
     core::ScoringConfig config;
-    config.enable_entropy = entropy;
+    config.entropy.enabled = entropy;
     config.enable_type_change = type_change;
     config.enable_similarity = similarity;
     config.enable_deletion = deletion;

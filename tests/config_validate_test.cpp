@@ -34,7 +34,7 @@ TEST(ConfigValidate, NegativePointsRejected) {
     mutate(config);
     return !config.validate().is_ok();
   };
-  EXPECT_TRUE(broken_by([](ScoringConfig& c) { c.points_entropy_write = -1; }));
+  EXPECT_TRUE(broken_by([](ScoringConfig& c) { c.entropy.points_write = -1; }));
   EXPECT_TRUE(broken_by([](ScoringConfig& c) { c.points_type_change = -1; }));
   EXPECT_TRUE(broken_by([](ScoringConfig& c) { c.points_similarity_drop = -1; }));
   EXPECT_TRUE(broken_by([](ScoringConfig& c) { c.points_deletion = -1; }));
@@ -68,7 +68,7 @@ TEST(ConfigValidate, NonPositiveThresholdsRejected) {
 
 TEST(ConfigValidate, ZeroSizeWindowsRejected) {
   ScoringConfig config;
-  config.entropy_full_points_bytes = 0;
+  config.entropy.full_points_bytes = 0;
   EXPECT_FALSE(config.validate().is_ok());
 
   config = {};
@@ -105,8 +105,77 @@ TEST(ConfigValidate, SimilarityAndBoostRanges) {
   config.dynamic_unavailable_boost = -0.5;
   EXPECT_FALSE(config.validate().is_ok());
   config = {};
-  config.entropy_delta_threshold = -0.1;
+  config.entropy.delta_threshold = -0.1;
   EXPECT_FALSE(config.validate().is_ok());
+}
+
+TEST(ConfigValidate, EntropyNestedRules) {
+  // min_score_bytes above full_points_bytes would exempt full-point
+  // writes from scoring entirely.
+  ScoringConfig config;
+  config.entropy.full_points_bytes = 1024;
+  config.entropy.min_score_bytes = 1025;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.entropy.min_score_bytes = 1024;
+  EXPECT_TRUE(config.validate().is_ok());
+
+  config = {};
+  config.entropy.daa_window_bytes = 0;
+  EXPECT_FALSE(config.validate().is_ok());
+}
+
+TEST(ConfigValidate, EnsembleRules) {
+  ScoringConfig config;
+  config.entropy.ensemble.members = {
+      {entropy::BackendKind::shannon, 1.0},
+      {entropy::BackendKind::chi_square, 0.5},
+  };
+  EXPECT_TRUE(config.validate().is_ok());
+
+  // Non-positive member weights are meaningless votes.
+  config.entropy.ensemble.members[1].weight = 0.0;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.entropy.ensemble.members[1].weight = -1.0;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.entropy.ensemble.members[1].weight = 0.5;
+
+  // A backend may appear at most once (one pair of means each).
+  config.entropy.ensemble.members.push_back(
+      {entropy::BackendKind::shannon, 2.0});
+  EXPECT_FALSE(config.validate().is_ok());
+  config.entropy.ensemble.members.pop_back();
+
+  // Vote quorum must be a usable fraction.
+  config.entropy.ensemble.min_vote_weight = 0.0;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.entropy.ensemble.min_vote_weight = 1.5;
+  EXPECT_FALSE(config.validate().is_ok());
+  config.entropy.ensemble.min_vote_weight = 1.0;
+  EXPECT_TRUE(config.validate().is_ok());
+
+  // An empty member list is single-backend mode, and the quorum field
+  // is then irrelevant.
+  config.entropy.ensemble.members.clear();
+  config.entropy.ensemble.min_vote_weight = 0.0;
+  EXPECT_TRUE(config.validate().is_ok());
+}
+
+TEST(ConfigValidate, ActiveMembersResolvesSingleVsEnsemble) {
+  EntropyConfig entropy_config;
+  entropy_config.backend = entropy::BackendKind::daa;
+  const auto single = entropy_config.active_members();
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].backend, entropy::BackendKind::daa);
+  EXPECT_DOUBLE_EQ(single[0].weight, 1.0);
+
+  entropy_config.ensemble.members = {
+      {entropy::BackendKind::shannon, 1.0},
+      {entropy::BackendKind::serial_correlation, 2.0},
+  };
+  const auto ensemble = entropy_config.active_members();
+  ASSERT_EQ(ensemble.size(), 2u);
+  EXPECT_EQ(ensemble[1].backend, entropy::BackendKind::serial_correlation);
+  EXPECT_DOUBLE_EQ(ensemble[1].weight, 2.0);
 }
 
 TEST(ConfigValidate, EngineConstructorEnforcesIt) {

@@ -73,7 +73,7 @@ TEST_F(EngineTest, EntropyDeltaFiresOnHighEntropyWriteAfterLowEntropyRead) {
   subject_writes(doc("out.bin"), rng.bytes(20000));
   const ProcessReport report = engine->process_report(pid);
   EXPECT_EQ(report.entropy_events, 1u);
-  EXPECT_EQ(report.score, config.points_entropy_write);
+  EXPECT_EQ(report.score, config.entropy.points_write);
   EXPECT_GT(report.write_entropy_mean, report.read_entropy_mean);
 }
 
@@ -114,7 +114,7 @@ TEST_F(EngineTest, EntropyDeltaScoresPerOperation) {
   }
   ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
   EXPECT_EQ(engine->process_report(pid).entropy_events, 5u);
-  EXPECT_EQ(engine->score(pid), 5 * config.points_entropy_write);
+  EXPECT_EQ(engine->score(pid), 5 * config.entropy.points_write);
 }
 
 TEST_F(EngineTest, EntropyPointsScaleWithOperationSize) {
@@ -125,9 +125,9 @@ TEST_F(EngineTest, EntropyPointsScaleWithOperationSize) {
   subject_writes(doc("tiny.bin"), rng.bytes(400));
   const int small_score = engine->score(pid);
   EXPECT_GE(small_score, 1);
-  EXPECT_LT(small_score, config.points_entropy_write / 2);
+  EXPECT_LT(small_score, config.entropy.points_write / 2);
   subject_writes(doc("big.bin"), rng.bytes(8192));
-  EXPECT_EQ(engine->score(pid) - small_score, config.points_entropy_write);
+  EXPECT_EQ(engine->score(pid) - small_score, config.entropy.points_write);
 }
 
 TEST_F(EngineTest, RansomNotesDoNotMaskEntropyDelta) {
@@ -145,7 +145,7 @@ TEST_F(EngineTest, RansomNotesDoNotMaskEntropyDelta) {
 }
 
 TEST_F(EngineTest, EntropyDisabledByAblationFlag) {
-  config.enable_entropy = false;
+  config.entropy.enabled = false;
   attach();
   put_prose(doc("a.txt"), 20000);
   subject_reads(doc("a.txt"));

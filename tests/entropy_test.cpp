@@ -146,11 +146,14 @@ TEST(WeightedMean, PaperWeightFormula) {
   EXPECT_NEAR(m.mean(), (8.0 * 100 + 4.0 * 200) / 300.0, 1e-9);
 }
 
-TEST(WeightedMean, AddByteViewComputesEntropy) {
+TEST(WeightedMean, CallerPlumbsPrecomputedScore) {
+  // The mean takes the score the caller already computed for the
+  // indicator pass (there is no ByteView overload, so the hot path can
+  // never compute a backend twice for one operation).
   WeightedEntropyMean m;
   Bytes uniform;
   for (int v = 0; v < 256; ++v) uniform.push_back(static_cast<std::uint8_t>(v));
-  m.add(ByteView(uniform));
+  m.add(shannon(ByteView(uniform)), uniform.size());
   EXPECT_NEAR(m.mean(), 8.0, 1e-9);
 }
 

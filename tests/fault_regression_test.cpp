@@ -2,7 +2,7 @@
 // operations that actually happened. A write denied by a lower filter
 // or failed by an injected fault must add zero points and zero
 // entropy-mean weight; truncate is a scored modification; the entropy
-// floor (ScoringConfig::entropy_min_score_bytes) keeps sub-threshold
+// floor (EntropyConfig::min_score_bytes) keeps sub-threshold
 // writes pointless; and the FaultPlan itself is validated, seeded and
 // replayable.
 #include <gtest/gtest.h>
@@ -222,7 +222,7 @@ TEST_F(FaultRegressionTest, EntropyMinScoreBytesGatesTinyWrites) {
     vfs::FileSystem local_fs;
     ScoringConfig cfg;
     cfg.protected_root = kRoot;
-    cfg.entropy_min_score_bytes = min_bytes;
+    cfg.entropy.min_score_bytes = min_bytes;
     cfg.union_threshold = std::min(cfg.union_threshold, cfg.score_threshold);
     AnalysisEngine eng(cfg);
     local_fs.attach_filter(&eng);
@@ -263,7 +263,7 @@ TEST(EntropyFloorSuiteTest, RaisedFloorAddsNoBenignFalsePositives) {
   const auto workloads = sim::all_benign_workloads();
 
   core::ScoringConfig raised;
-  raised.entropy_min_score_bytes = 64;
+  raised.entropy.min_score_bytes = 64;
   const auto defaults = harness::run_benign_suite_parallel(
       env, workloads, core::ScoringConfig{}, 9);
   const auto floored =
@@ -281,9 +281,9 @@ TEST(EntropyFloorSuiteTest, RaisedFloorAddsNoBenignFalsePositives) {
 
 TEST_F(FaultRegressionTest, EntropyMinScoreBytesIsValidated) {
   ScoringConfig cfg;
-  cfg.entropy_min_score_bytes = cfg.entropy_full_points_bytes + 1;
+  cfg.entropy.min_score_bytes = cfg.entropy.full_points_bytes + 1;
   EXPECT_FALSE(cfg.validate().is_ok());
-  cfg.entropy_min_score_bytes = cfg.entropy_full_points_bytes;
+  cfg.entropy.min_score_bytes = cfg.entropy.full_points_bytes;
   EXPECT_TRUE(cfg.validate().is_ok());
 }
 

@@ -9,8 +9,11 @@
 //   cryptodrop apps
 //
 // Scoring flags (sample/benign/campaign): --threshold N,
-// --union-threshold N. The assembled config is validated before any
-// trial runs; a nonsensical combination exits 2 with the reason.
+// --union-threshold N, --entropy-backend NAME (shannon | chi_square |
+// serial_correlation | daa), --entropy-ensemble NAME[:W],... (weighted
+// multi-backend voting), --daa-window N. The assembled config is
+// validated before any trial runs; a nonsensical combination exits 2
+// with the reason.
 //
 // Fault injection (sample/benign/campaign): --fault-rate R stacks a
 // FaultInjectionFilter below the engine with FaultPlan::uniform(R)
@@ -41,6 +44,7 @@
 #include <string>
 
 #include "common/stats.hpp"
+#include "entropy/backend.hpp"
 #include "entropy/entropy.hpp"
 #include "harness/chaos.hpp"
 #include "obs/trace_export.hpp"
@@ -89,6 +93,35 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
+/// Parses "--entropy-ensemble name:weight,name:weight" (weight optional,
+/// default 1) into an EnsembleConfig member list. Throws on an unknown
+/// backend name; weight/duplicate errors surface via validate().
+std::vector<core::EnsembleMember> parse_ensemble(const std::string& spec) {
+  std::vector<core::EnsembleMember> members;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    core::EnsembleMember member;
+    const std::size_t colon = item.find(':');
+    std::string name = item.substr(0, colon);
+    if (colon != std::string::npos) {
+      member.weight = std::strtod(item.c_str() + colon + 1, nullptr);
+    }
+    const auto kind = entropy::backend_from_name(name);
+    if (!kind.has_value()) {
+      throw std::invalid_argument("--entropy-ensemble: unknown backend `" +
+                                  name + "`");
+    }
+    member.backend = *kind;
+    members.push_back(member);
+  }
+  return members;
+}
+
 /// Scoring config from the CLI flags, validated before anything runs.
 core::ScoringConfig scoring_config(const Args& args) {
   core::ScoringConfig config;
@@ -101,6 +134,22 @@ core::ScoringConfig scoring_config(const Args& args) {
     // Keep the invariant union <= base when only --threshold is lowered.
     config.union_threshold = std::min(config.union_threshold, config.score_threshold);
   }
+  const std::string backend = args.get("entropy-backend", "");
+  if (!backend.empty()) {
+    const auto kind = entropy::backend_from_name(backend);
+    if (!kind.has_value()) {
+      throw std::invalid_argument("--entropy-backend: unknown backend `" +
+                                  backend + "` (shannon, chi_square, "
+                                  "serial_correlation, daa)");
+    }
+    config.entropy.backend = *kind;
+  }
+  const std::string ensemble = args.get("entropy-ensemble", "");
+  if (!ensemble.empty()) {
+    config.entropy.ensemble.members = parse_ensemble(ensemble);
+  }
+  config.entropy.daa_window_bytes =
+      args.get_size("daa-window", config.entropy.daa_window_bytes);
   const Status valid = config.validate();
   if (!valid.is_ok()) {
     throw std::invalid_argument("scoring config: " + valid.to_string());
@@ -393,6 +442,9 @@ void usage() {
                "  families\n"
                "  apps\n"
                "scoring flags (sample/benign/campaign): --threshold N, --union-threshold N\n"
+               "  --entropy-backend shannon|chi_square|serial_correlation|daa (default shannon)\n"
+               "  --entropy-ensemble NAME[:W],NAME[:W],... (weighted multi-backend voting)\n"
+               "  --daa-window N (DAA head/tail window bytes, default 2048)\n"
                "fault injection (sample/benign/campaign): --fault-rate R (0..1) stacks a\n"
                "  seeded FaultInjectionFilter below the engine; --fault-seed N (default 2016)\n"
                "observability (sample/benign/campaign): --metrics-out FILE writes merged\n"

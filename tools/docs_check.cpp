@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "entropy/backend.hpp"
 #include "lint/scan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
@@ -78,10 +79,23 @@ std::vector<std::string> fault_labels() {
   return labels;
 }
 
+/// Entropy-backend labels straight from the entropy enum, for the
+/// `<entropy_backend>` placeholder family (per-backend vote counters).
+std::vector<std::string> entropy_backend_labels() {
+  std::vector<std::string> labels;
+  for (cryptodrop::entropy::BackendKind kind :
+       cryptodrop::entropy::all_backend_kinds()) {
+    labels.emplace_back(cryptodrop::entropy::backend_name(kind));
+  }
+  return labels;
+}
+
 /// Placeholder -> labels, derived from the real enums (not from obs —
 /// invariant 1 is exactly that obs agrees with this map).
 std::map<std::string, std::vector<std::string>> enum_placeholder_labels() {
-  return {{"<indicator>", indicator_labels()}, {"<fault>", fault_labels()}};
+  return {{"<indicator>", indicator_labels()},
+          {"<fault>", fault_labels()},
+          {"<entropy_backend>", entropy_backend_labels()}};
 }
 
 /// Every metric name a default-config engine and a default-plan fault
@@ -241,7 +255,7 @@ int check_header_docs(const std::string& root) {
       "src/core/config.hpp",      "src/harness/runner.hpp",
       "src/harness/experiment.hpp", "src/harness/report.hpp",
       "src/vfs/fault_filter.hpp", "src/harness/chaos.hpp",
-      "src/common/ranked_mutex.hpp",
+      "src/common/ranked_mutex.hpp", "src/entropy/backend.hpp",
   };
   lint::HeaderScanner scanner;
   for (const char* header : kPublicHeaders) {
