@@ -41,6 +41,13 @@ inline constexpr unsigned kRunnerError = 1;
 /// Harness runner: progress-callback serialization. Below every engine
 /// rank because a progress callback may query an engine.
 inline constexpr unsigned kRunnerProgress = 2;
+/// Daemon tenant registry (attach/detach/lookup). Below every engine
+/// rank: attach constructs an engine (which registers metrics, rank 50)
+/// while holding it.
+inline constexpr unsigned kDaemonRegistry = 3;
+/// Daemon ingestion queue (push/pop/drain). Below every engine rank;
+/// workers release it before executing an op through a tenant's engine.
+inline constexpr unsigned kDaemonQueue = 4;
 /// Engine per-process scoreboard shard (16 of them; the snapshot sweep
 /// takes all 16 in index — i.e. ascending-address — order).
 inline constexpr unsigned kScoreboardShard = 10;

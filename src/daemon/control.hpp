@@ -1,0 +1,43 @@
+// cryptodropd control API — request dispatch (docs/DAEMON.md).
+//
+// The protocol is line-delimited JSON: each request is one object with a
+// `type` field; each response is one object with an `ok` field (`true`
+// plus a payload, or `false` plus `error`). The dispatcher is transport
+// agnostic: the AF_UNIX socket server (daemon/server.hpp) and the
+// in-process parity harness (harness/daemon_runner.hpp) both drive
+// handle_line(), so the parity gate exercises the full request/response
+// round-trip, not just the Daemon methods.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "daemon/daemon.hpp"
+
+namespace cryptodrop::daemon {
+
+/// Every request `type` the dispatcher accepts, in docs order —
+/// tools/docs_check cross-checks this list against the control-schema
+/// table in docs/DAEMON.md, so adding a request here without documenting
+/// it (or vice versa) fails tier-1.
+std::vector<std::string_view> known_request_types();
+
+/// Translates control-API lines into Daemon calls (see the file
+/// comment). Thread-safe: state lives in the Daemon, which is itself
+/// thread-safe, so one dispatcher may serve many client connections.
+class ControlDispatcher {
+ public:
+  /// Dispatches for `daemon` (non-owning; must outlive the dispatcher).
+  explicit ControlDispatcher(Daemon& daemon) : daemon_(&daemon) {}
+
+  /// Handles one request line, returning one response line (no trailing
+  /// newline). Malformed input yields an `ok:false` response, never an
+  /// exception.
+  std::string handle_line(const std::string& line);
+
+ private:
+  Daemon* daemon_;
+};
+
+}  // namespace cryptodrop::daemon

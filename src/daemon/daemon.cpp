@@ -1,0 +1,356 @@
+#include "daemon/daemon.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace cryptodrop::daemon {
+
+// --- TenantRegistry ----------------------------------------------------
+
+void TenantRegistry::insert(std::shared_ptr<TenantState> state) {
+  std::lock_guard<decltype(mu_)> guard(mu_);
+  const auto [it, inserted] = tenants_.emplace(state->id, std::move(state));
+  if (!inserted) {
+    // A duplicate id here means two sessions would answer for one
+    // tenant namespace — attach() pre-checks under this lock, so this
+    // is unreachable via the public API. Fail loudly, not quietly.
+    std::fprintf(stderr,
+                 "cryptodropd: tenant id `%s` attached twice — invariant "
+                 "violated\n",
+                 it->first.c_str());
+    std::abort();
+  }
+}
+
+std::shared_ptr<TenantState> TenantRegistry::find(std::string_view id) const {
+  std::lock_guard<decltype(mu_)> guard(mu_);
+  const auto it = tenants_.find(id);
+  return it != tenants_.end() ? it->second : nullptr;
+}
+
+bool TenantRegistry::contains(std::string_view id) const {
+  std::lock_guard<decltype(mu_)> guard(mu_);
+  return tenants_.find(id) != tenants_.end();
+}
+
+std::shared_ptr<TenantState> TenantRegistry::erase(std::string_view id) {
+  std::lock_guard<decltype(mu_)> guard(mu_);
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) return nullptr;
+  std::shared_ptr<TenantState> state = std::move(it->second);
+  tenants_.erase(it);
+  return state;
+}
+
+std::vector<std::shared_ptr<TenantState>> TenantRegistry::list() const {
+  std::lock_guard<decltype(mu_)> guard(mu_);
+  std::vector<std::shared_ptr<TenantState>> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) out.push_back(state);
+  return out;
+}
+
+std::size_t TenantRegistry::size() const {
+  std::lock_guard<decltype(mu_)> guard(mu_);
+  return tenants_.size();
+}
+
+// --- Daemon ------------------------------------------------------------
+
+Daemon::Daemon(const vfs::FileSystem& base, DaemonOptions options)
+    : base_(base.clone()), options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.trace.enabled) {
+    tracer_ = std::make_unique<obs::SpanTracer>(options_.trace);
+  }
+  queues_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    queues_.push_back(
+        std::make_unique<BoundedOpQueue>(options_.queue_capacity));
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Daemon::~Daemon() { shutdown(/*drain_first=*/false); }
+
+Status Daemon::attach(const std::string& tenant_id) {
+  return attach(tenant_id, options_.default_config);
+}
+
+Status Daemon::attach(const std::string& tenant_id,
+                      core::ScoringConfig config) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status(Errc::invalid_argument, "daemon is shutting down");
+  }
+  if (tenant_id.empty()) {
+    return Status(Errc::invalid_argument, "tenant id must be non-empty");
+  }
+  // Friendly pre-check: the registry's own insert() treats a duplicate
+  // as an invariant violation (abort). Construct the session only after
+  // the id is known fresh; a racing attach of the same id is resolved
+  // by re-checking under the registry lock inside insert() — so hold
+  // the happy path to: check, build, insert, where a lost race is a
+  // clean error, not an abort.
+  if (registry_.contains(tenant_id)) {
+    return Status(Errc::invalid_argument,
+                  "tenant `" + tenant_id + "` is already attached");
+  }
+  std::shared_ptr<TenantState> state;
+  try {
+    state = std::make_shared<TenantState>(tenant_id, base_, std::move(config));
+  } catch (const std::invalid_argument& e) {
+    return Status(Errc::invalid_argument, e.what());
+  }
+  // Re-check + insert must be atomic w.r.t. other attaches; a duplicate
+  // discovered now (race) is reported, not aborted.
+  {
+    if (registry_.contains(tenant_id)) {
+      return Status(Errc::invalid_argument,
+                    "tenant `" + tenant_id + "` is already attached");
+    }
+    state->worker =
+        next_worker_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    registry_.insert(std::move(state));
+  }
+  metrics_.tenants_attached().add();
+  metrics_.tenants_active().set(static_cast<double>(registry_.size()));
+  return Status::ok();
+}
+
+Status Daemon::detach(const std::string& tenant_id) {
+  std::shared_ptr<TenantState> state = registry_.erase(tenant_id);
+  if (state == nullptr) {
+    return Status(Errc::not_found, "tenant `" + tenant_id + "` is not attached");
+  }
+  state->detached.store(true, std::memory_order_release);
+  metrics_.tenants_detached().add();
+  metrics_.tenants_active().set(static_cast<double>(registry_.size()));
+  return Status::ok();
+}
+
+Status Daemon::spawn(const std::string& tenant_id, vfs::ProcessId recorded_pid,
+                     const std::string& name, vfs::ProcessId recorded_parent) {
+  std::shared_ptr<TenantState> state = registry_.find(tenant_id);
+  if (state == nullptr) {
+    return Status(Errc::not_found, "tenant `" + tenant_id + "` is not attached");
+  }
+  QueueItem item;
+  item.tenant = state;
+  item.is_spawn = true;
+  item.spawn_pid = recorded_pid;
+  item.spawn_name = name;
+  item.spawn_parent = recorded_parent;
+  const BoundedOpQueue::PushResult pushed =
+      queues_[state->worker]->push(std::move(item));
+  if (!pushed.accepted) {
+    // Only a stopped queue refuses a spawn.
+    count_shed(*state, pushed.reason);
+    return Status(Errc::invalid_argument, "daemon is shutting down");
+  }
+  metrics_.ingested().add();
+  state->stats.ingested.fetch_add(1, std::memory_order_relaxed);
+  refresh_queue_gauges();
+  return Status::ok();
+}
+
+Result<SubmitResult> Daemon::submit(const std::string& tenant_id,
+                                    std::vector<vfs::TraceEntry> entries) {
+  std::shared_ptr<TenantState> state = registry_.find(tenant_id);
+  if (state == nullptr) {
+    return Status(Errc::not_found, "tenant `" + tenant_id + "` is not attached");
+  }
+  obs::ScopedSpan span(tracer_.get(), obs::span_name::kDaemonIngest, 0,
+                       span_serial_.fetch_add(1, std::memory_order_relaxed));
+  if (span.active()) {
+    span.arg("tenant", state->id);
+    span.arg("ops", static_cast<double>(entries.size()));
+  }
+  SubmitResult result;
+  BoundedOpQueue& queue = *queues_[state->worker];
+  for (vfs::TraceEntry& entry : entries) {
+    QueueItem item;
+    item.tenant = state;
+    item.entry = std::move(entry);
+    BoundedOpQueue::PushResult pushed = queue.push(std::move(item));
+    if (pushed.accepted) {
+      metrics_.ingested().add();
+      state->stats.ingested.fetch_add(1, std::memory_order_relaxed);
+      ++result.accepted;
+    } else {
+      count_shed(*state, pushed.reason);
+      ++result.shed;
+    }
+    if (pushed.evicted != nullptr) {
+      // The op that made room was charged to whoever queued it.
+      count_shed(*pushed.evicted->tenant, pushed.reason);
+      ++result.shed;
+    }
+  }
+  refresh_queue_gauges();
+  return result;
+}
+
+void Daemon::drain() {
+  for (const auto& queue : queues_) queue->drain_wait();
+}
+
+Status Daemon::drain(const std::string& tenant_id) {
+  std::shared_ptr<TenantState> state = registry_.find(tenant_id);
+  if (state == nullptr) {
+    return Status(Errc::not_found, "tenant `" + tenant_id + "` is not attached");
+  }
+  queues_[state->worker]->drain_wait();
+  return Status::ok();
+}
+
+void Daemon::shutdown(bool drain_first) {
+  std::lock_guard<decltype(shutdown_mu_)> guard(shutdown_mu_);
+  if (shutdown_done_.load(std::memory_order_acquire)) return;
+  accepting_.store(false, std::memory_order_release);
+  if (drain_first) {
+    for (const auto& queue : queues_) queue->drain_wait();
+  } else {
+    for (const auto& queue : queues_) {
+      for (QueueItem& item : queue->discard_all()) {
+        count_shed(*item.tenant, ShedReason::shutdown);
+      }
+    }
+  }
+  for (const auto& queue : queues_) queue->stop();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  refresh_queue_gauges();
+  shutdown_done_.store(true, std::memory_order_release);
+}
+
+Result<core::EngineSnapshot> Daemon::verdicts(
+    const std::string& tenant_id) const {
+  std::shared_ptr<TenantState> state = registry_.find(tenant_id);
+  if (state == nullptr) {
+    return Status(Errc::not_found, "tenant `" + tenant_id + "` is not attached");
+  }
+  return state->session.snapshot();
+}
+
+Result<obs::ForensicTimeline> Daemon::explain(const std::string& tenant_id,
+                                              vfs::ProcessId pid) const {
+  std::shared_ptr<TenantState> state = registry_.find(tenant_id);
+  if (state == nullptr) {
+    return Status(Errc::not_found, "tenant `" + tenant_id + "` is not attached");
+  }
+  return state->session.explain(pid);
+}
+
+Result<obs::MetricsSnapshot> Daemon::tenant_metrics(
+    const std::string& tenant_id) const {
+  std::shared_ptr<TenantState> state = registry_.find(tenant_id);
+  if (state == nullptr) {
+    return Status(Errc::not_found, "tenant `" + tenant_id + "` is not attached");
+  }
+  return state->session.metrics();
+}
+
+obs::MetricsSnapshot Daemon::metrics() const {
+  refresh_queue_gauges();
+  return metrics_.snapshot();
+}
+
+obs::SpanSnapshot Daemon::trace_snapshot() const {
+  return tracer_ != nullptr ? tracer_->snapshot() : obs::SpanSnapshot{};
+}
+
+std::vector<TenantInfo> Daemon::tenants() const {
+  std::vector<TenantInfo> out;
+  for (const std::shared_ptr<TenantState>& state : registry_.list()) {
+    TenantInfo info;
+    info.id = state->id;
+    info.worker = state->worker;
+    info.ingested = state->stats.ingested.load(std::memory_order_relaxed);
+    info.executed = state->stats.executed.load(std::memory_order_relaxed);
+    info.shed = state->stats.shed_total();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void Daemon::pause_workers() {
+  for (const auto& queue : queues_) queue->pause();
+}
+
+void Daemon::resume_workers() {
+  for (const auto& queue : queues_) queue->resume();
+}
+
+void Daemon::worker_loop(std::size_t index) {
+  BoundedOpQueue& queue = *queues_[index];
+  QueueItem item;
+  while (queue.pop(item)) {
+    execute_item(item);
+    queue.done();
+    item = QueueItem{};  // Drop the tenant reference promptly.
+  }
+}
+
+void Daemon::execute_item(QueueItem& item) {
+  TenantState& tenant = *item.tenant;
+  if (tenant.detached.load(std::memory_order_acquire)) {
+    count_shed(tenant, ShedReason::tenant_gone);
+    return;
+  }
+  obs::ScopedSpan span(tracer_.get(), obs::span_name::kDaemonExecute, 0,
+                       span_serial_.fetch_add(1, std::memory_order_relaxed));
+  if (span.active()) {
+    span.arg("tenant", tenant.id);
+    span.arg("op", item.is_spawn ? std::string_view("spawn")
+                                 : vfs::op_name(item.entry.op));
+  }
+  if (item.is_spawn) {
+    vfs::ProcessId live_parent = 0;
+    if (item.spawn_parent != 0) {
+      const auto it = tenant.pid_map.find(item.spawn_parent);
+      if (it != tenant.pid_map.end()) live_parent = it->second;
+    }
+    const vfs::ProcessId live =
+        tenant.session.spawn(item.spawn_name, live_parent);
+    tenant.pid_map[item.spawn_pid] = live;
+    tenant.replayer.map_pid(item.spawn_pid, live);
+    metrics_.executed().add();
+    tenant.stats.executed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const vfs::ExactReplayer::Outcome outcome =
+      tenant.replayer.apply(item.entry);
+  if (outcome == vfs::ExactReplayer::Outcome::skipped_dead_handle) {
+    // The op depended on a handle whose open was shed upstream — it is
+    // part of the same benign-read chain.
+    count_shed(tenant, ShedReason::benign_read);
+    return;
+  }
+  metrics_.executed().add();
+  tenant.stats.executed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Daemon::count_shed(TenantState& tenant, ShedReason reason) {
+  metrics_.shed(reason).add();
+  tenant.stats.shed[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Daemon::refresh_queue_gauges() const {
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue->depth();
+  std::size_t high = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > high && !queue_high_water_.compare_exchange_weak(
+                             high, depth, std::memory_order_relaxed)) {
+  }
+  metrics_.queue_depth().set(static_cast<double>(depth));
+  metrics_.queue_high_water().set(static_cast<double>(
+      queue_high_water_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace cryptodrop::daemon

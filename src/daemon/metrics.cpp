@@ -1,0 +1,58 @@
+#include "daemon/metrics.hpp"
+
+namespace cryptodrop::daemon {
+
+std::string_view shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::benign_read: return "benign_read";
+    case ShedReason::queue_full: return "queue_full";
+    case ShedReason::tenant_gone: return "tenant_gone";
+    case ShedReason::shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::vector<ShedReason> all_shed_reasons() {
+  return {ShedReason::benign_read, ShedReason::queue_full,
+          ShedReason::tenant_gone, ShedReason::shutdown};
+}
+
+DaemonMetrics::DaemonMetrics() {
+  ingested_ = &registry_.counter(
+      "daemon_ops_ingested_total",
+      "Ops accepted into the daemon's ingestion queues (spawns included).",
+      "ops");
+  executed_ = &registry_.counter(
+      "daemon_ops_executed_total",
+      "Ops executed through a tenant session by a daemon worker.", "ops");
+  for (ShedReason reason : all_shed_reasons()) {
+    shed_[static_cast<std::size_t>(reason)] = &registry_.counter(
+        "daemon_ops_shed_total." + std::string(shed_reason_name(reason)),
+        "Ops dropped instead of executed, by shed reason "
+        "(docs/DAEMON.md overload semantics).",
+        "ops");
+  }
+  tenants_attached_ = &registry_.counter(
+      "daemon_tenants_attached_total", "Tenant sessions ever attached.",
+      "tenants");
+  tenants_detached_ = &registry_.counter(
+      "daemon_tenants_detached_total", "Tenant sessions ever detached.",
+      "tenants");
+  control_requests_ = &registry_.counter(
+      "daemon_control_requests_total",
+      "Control-API requests handled (errors included).", "requests");
+  control_errors_ = &registry_.counter(
+      "daemon_control_errors_total",
+      "Control-API requests answered with an error response.", "requests");
+  queue_depth_ = &registry_.gauge(
+      "daemon_queue_depth",
+      "Items currently queued across all ingestion queues.", "ops");
+  queue_high_water_ = &registry_.gauge(
+      "daemon_queue_high_water",
+      "Largest total ingestion-queue depth ever observed.", "ops");
+  tenants_active_ = &registry_.gauge(
+      "daemon_tenants_active", "Tenant sessions currently attached.",
+      "tenants");
+}
+
+}  // namespace cryptodrop::daemon

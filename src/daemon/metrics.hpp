@@ -1,0 +1,68 @@
+// Daemon-level metrics: the ingestion front end's own registry,
+// separate from every tenant's per-engine registry so tenant metrics
+// stay namespaced to their session (docs/DAEMON.md "Observability").
+//
+// All families are registered at construction — including all four
+// `daemon_ops_shed_total.<shed_reason>` counters — so a fresh
+// DaemonMetrics exposes the complete schema (docs_check instantiates
+// one to cross-check obs::known_metric_names()).
+#pragma once
+
+#include <array>
+
+#include "daemon/queue.hpp"
+#include "obs/metrics.hpp"
+
+namespace cryptodrop::daemon {
+
+/// The daemon's own instruments (see the file comment). Constructible
+/// without any daemon running; thread-safe like the registry it owns.
+class DaemonMetrics {
+ public:
+  /// Registers every daemon metric family on a fresh registry.
+  DaemonMetrics();
+
+  /// Ops accepted into an ingestion queue (spawns included).
+  obs::Counter& ingested() { return *ingested_; }
+  /// Ops executed through a tenant session.
+  obs::Counter& executed() { return *executed_; }
+  /// Ops dropped for `reason` (admission control, detach, shutdown).
+  obs::Counter& shed(ShedReason reason) {
+    return *shed_[static_cast<std::size_t>(reason)];
+  }
+  /// Tenants ever attached.
+  obs::Counter& tenants_attached() { return *tenants_attached_; }
+  /// Tenants ever detached.
+  obs::Counter& tenants_detached() { return *tenants_detached_; }
+  /// Control-API requests handled (errors included).
+  obs::Counter& control_requests() { return *control_requests_; }
+  /// Control-API requests answered with an error.
+  obs::Counter& control_errors() { return *control_errors_; }
+  /// Items currently queued across all workers (set after each submit
+  /// and each executed item).
+  obs::Gauge& queue_depth() { return *queue_depth_; }
+  /// Largest total queue depth ever observed.
+  obs::Gauge& queue_high_water() { return *queue_high_water_; }
+  /// Tenants currently attached.
+  obs::Gauge& tenants_active() { return *tenants_active_; }
+
+  /// Point-in-time values of every daemon metric.
+  [[nodiscard]] obs::MetricsSnapshot snapshot() const {
+    return registry_.snapshot();
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  obs::Counter* ingested_ = nullptr;
+  obs::Counter* executed_ = nullptr;
+  std::array<obs::Counter*, 4> shed_{};
+  obs::Counter* tenants_attached_ = nullptr;
+  obs::Counter* tenants_detached_ = nullptr;
+  obs::Counter* control_requests_ = nullptr;
+  obs::Counter* control_errors_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* queue_high_water_ = nullptr;
+  obs::Gauge* tenants_active_ = nullptr;
+};
+
+}  // namespace cryptodrop::daemon

@@ -1,0 +1,229 @@
+// Bounded MPSC ingestion queue with admission control (DESIGN.md §15).
+//
+// One queue per daemon worker; each tenant is pinned to one worker, so
+// per-tenant op order is FIFO and a tenant's session is only ever
+// touched by one executing thread. Producers are control-API threads
+// (multi), the consumer is the worker (single).
+//
+// Admission control never blocks a producer and never drops silently:
+// when a queue is at capacity, benign-read ops are shed first — an
+// incoming read-class op is dropped, and an incoming modify-class op
+// evicts the oldest queued read-class op to make room. Only when no
+// read-class op can make way is a modify-class op itself dropped
+// (reason `queue_full`). Spawn items are never shed: losing a process
+// registration would corrupt every later pid in the tenant's replay.
+// Every decision is reported to the caller so the daemon can count it
+// (`daemon_ops_shed_total.<shed_reason>` — the overload invariant is
+// "ingested == executed + shed", docs/DAEMON.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ranked_mutex.hpp"
+#include "vfs/trace.hpp"
+
+namespace cryptodrop::daemon {
+
+/// Why an op was dropped instead of executed.
+enum class ShedReason : std::uint8_t {
+  benign_read,  ///< Read-class op shed under queue pressure (shed first).
+  queue_full,   ///< Modify-class op shed: queue full of modify-class ops.
+  tenant_gone,  ///< Op belonged to a tenant detached before execution.
+  shutdown,     ///< Op discarded by a non-drained shutdown.
+};
+
+/// Stable lowercase label ("benign_read", ...) — the metric suffix.
+std::string_view shed_reason_name(ShedReason reason);
+
+/// Every shed reason, in schema order (docs_check mirrors this into the
+/// `<shed_reason>` placeholder labels).
+std::vector<ShedReason> all_shed_reasons();
+
+struct TenantState;  // daemon.hpp
+
+/// One queued unit of tenant work: a recorded filesystem op, or a
+/// process registration (spawn) that must precede its ops.
+struct QueueItem {
+  std::shared_ptr<TenantState> tenant;
+  bool is_spawn = false;
+  vfs::TraceEntry entry;  ///< Valid when !is_spawn.
+  // Spawn payload (valid when is_spawn):
+  vfs::ProcessId spawn_pid = 0;  ///< Recorded pid being registered.
+  std::string spawn_name;
+  vfs::ProcessId spawn_parent = 0;  ///< Recorded parent pid (0 = none).
+};
+
+/// True for ops admission control may shed first: reads, and opens that
+/// request no write access (their dependent reads/close are skipped as
+/// dead-handle ops at execution time).
+inline bool is_read_class(const QueueItem& item) {
+  if (item.is_spawn) return false;
+  if (item.entry.op == vfs::OpType::read) return true;
+  return item.entry.op == vfs::OpType::open &&
+         (item.entry.open_mode &
+          (vfs::kWrite | vfs::kTruncate | vfs::kCreate)) == 0;
+}
+
+/// The bounded queue (see the file comment). Thread-safe.
+class BoundedOpQueue {
+ public:
+  /// What push() did with the item.
+  struct PushResult {
+    bool accepted = false;       ///< Item is queued (possibly by eviction).
+    bool shed_incoming = false;  ///< Item itself was dropped.
+    /// A queued read-class item evicted to admit this one (its owner
+    /// tenant is charged the shed). Null when nothing was evicted.
+    std::shared_ptr<QueueItem> evicted;
+    ShedReason reason{};  ///< Valid when shed_incoming or evicted.
+  };
+
+  /// `capacity` bounds queued (not in-flight) items; spawns may exceed
+  /// it (never shed).
+  explicit BoundedOpQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admission-controlled enqueue; never blocks (see file comment).
+  PushResult push(QueueItem item) {
+    PushResult result;
+    std::unique_lock<QueueMutex> lock(mu_);
+    if (stopped_) {
+      result.shed_incoming = true;
+      result.reason = ShedReason::shutdown;
+      return result;
+    }
+    if (item.is_spawn || items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+      result.accepted = true;
+      lock.unlock();
+      work_cv_.notify_one();
+      return result;
+    }
+    if (is_read_class(item)) {
+      result.shed_incoming = true;
+      result.reason = ShedReason::benign_read;
+      return result;
+    }
+    // Modify-class under pressure: evict the oldest queued read-class op.
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (is_read_class(*it)) {
+        result.evicted = std::make_shared<QueueItem>(std::move(*it));
+        result.reason = ShedReason::benign_read;
+        items_.erase(it);
+        items_.push_back(std::move(item));
+        result.accepted = true;
+        lock.unlock();
+        work_cv_.notify_one();
+        return result;
+      }
+    }
+    result.shed_incoming = true;
+    result.reason = ShedReason::queue_full;
+    return result;
+  }
+
+  /// Blocking dequeue. Returns false when the queue is stopped and
+  /// empty (worker exits). The returned item counts as in-flight until
+  /// done() is called.
+  bool pop(QueueItem& out) {
+    std::unique_lock<QueueMutex> lock(mu_);
+    work_cv_.wait(lock, [&] {
+      return (!items_.empty() && !paused_) || (stopped_ && items_.empty());
+    });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    busy_ = true;
+    return true;
+  }
+
+  /// Marks the item returned by the last pop() as finished (drain
+  /// visibility).
+  void done() {
+    {
+      std::unique_lock<QueueMutex> lock(mu_);
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+
+  /// Blocks until the queue is empty and no item is in flight.
+  void drain_wait() {
+    std::unique_lock<QueueMutex> lock(mu_);
+    idle_cv_.wait(lock, [&] { return items_.empty() && !busy_; });
+  }
+
+  /// Removes and returns everything still queued (non-drained shutdown
+  /// accounting).
+  std::vector<QueueItem> discard_all() {
+    std::vector<QueueItem> discarded;
+    {
+      std::unique_lock<QueueMutex> lock(mu_);
+      discarded.assign(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    idle_cv_.notify_all();
+    return discarded;
+  }
+
+  /// Stops the queue: push() sheds everything, pop() returns false once
+  /// empty.
+  void stop() {
+    {
+      std::unique_lock<QueueMutex> lock(mu_);
+      stopped_ = true;
+    }
+    work_cv_.notify_all();
+  }
+
+  /// Test hook: suspends the consumer so overload can be forced
+  /// deterministically.
+  void pause() {
+    std::unique_lock<QueueMutex> lock(mu_);
+    paused_ = true;
+  }
+
+  /// Releases a pause().
+  void resume() {
+    {
+      std::unique_lock<QueueMutex> lock(mu_);
+      paused_ = false;
+    }
+    work_cv_.notify_all();
+  }
+
+  /// Items currently queued (racy snapshot; exact once producers stop).
+  [[nodiscard]] std::size_t depth() const {
+    std::unique_lock<QueueMutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Largest depth ever observed.
+  [[nodiscard]] std::size_t high_water() const {
+    std::unique_lock<QueueMutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  /// Rank 4: released before any engine lock is taken (DESIGN.md §15).
+  using QueueMutex = common::RankedMutex<common::lockrank::kDaemonQueue>;
+
+  mutable QueueMutex mu_;
+  std::condition_variable_any work_cv_;  ///< Signalled on push/stop/resume.
+  std::condition_variable_any idle_cv_;  ///< Signalled when work finishes.
+  std::deque<QueueItem> items_;
+  std::size_t capacity_;
+  std::size_t high_water_ = 0;
+  bool busy_ = false;
+  bool stopped_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace cryptodrop::daemon

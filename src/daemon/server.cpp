@@ -1,0 +1,190 @@
+#include "daemon/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace cryptodrop::daemon {
+namespace {
+
+/// Fills a sockaddr_un for `path`; false when the path does not fit.
+bool make_address(const std::string& path, sockaddr_un& addr) {
+  if (path.size() >= sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// Writes all of `data` to `fd` (retrying short writes). False on error.
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::~SocketServer() { stop(); }
+
+Status SocketServer::start() {
+  sockaddr_un addr{};
+  if (!make_address(socket_path_, addr)) {
+    return Status(Errc::invalid_argument,
+                  "socket path too long: " + socket_path_);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status(Errc::io_error,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(socket_path_.c_str());  // Replace any stale socket file.
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(Errc::io_error, "bind " + socket_path_ + ": " +
+                                      std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+    listen_fd_ = -1;
+    return Status(Errc::io_error,
+                  std::string("listen: ") + std::strerror(err));
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+  return Status::ok();
+}
+
+void SocketServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void SocketServer::wait() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void SocketServer::serve_loop() {
+  std::map<int, std::string> clients;  // fd -> unconsumed input bytes
+  while (true) {
+    if (daemon_->shutdown_complete() ||
+        stop_requested_.load(std::memory_order_acquire)) {
+      break;
+    }
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, buffer] : clients) fds.push_back({fd, POLLIN, 0});
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) clients.emplace(client, std::string());
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const int fd = fds[i].fd;
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        ::close(fd);
+        clients.erase(fd);
+        continue;
+      }
+      std::string& buffer = clients[fd];
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      bool dead = false;
+      for (std::size_t nl = buffer.find('\n', start);
+           nl != std::string::npos; nl = buffer.find('\n', start)) {
+        const std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (!write_all(fd, dispatcher_.handle_line(line) + "\n")) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        ::close(fd);
+        clients.erase(fd);
+      } else {
+        buffer.erase(0, start);
+      }
+    }
+  }
+  for (const auto& [fd, buffer] : clients) ::close(fd);
+}
+
+DaemonClient::~DaemonClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::string> DaemonClient::request(const std::string& line) {
+  if (fd_ < 0) {
+    sockaddr_un addr{};
+    if (!make_address(socket_path_, addr)) {
+      return Status(Errc::invalid_argument,
+                    "socket path too long: " + socket_path_);
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status(Errc::io_error,
+                    std::string("socket: ") + std::strerror(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      return Status(Errc::io_error, "connect " + socket_path_ + ": " +
+                                        std::strerror(err));
+    }
+  }
+  if (!write_all(fd_, line + "\n")) {
+    return Status(Errc::io_error,
+                  std::string("write: ") + std::strerror(errno));
+  }
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status(Errc::io_error, "connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace cryptodrop::daemon

@@ -1,0 +1,89 @@
+// AF_UNIX transport for the cryptodropd control API (docs/DAEMON.md).
+//
+// One poll()-driven thread serves every connection: requests are
+// line-delimited JSON (daemon/control.hpp), so the server's job is only
+// framing — split the byte stream on '\n', hand each line to the
+// dispatcher, write the response line back. The loop wakes on a short
+// poll timeout to notice Daemon::shutdown_complete() and exit, so a
+// `shutdown` request (or an external Daemon::shutdown call) stops the
+// server without a special control channel.
+//
+// The client half (DaemonClient) is the same framing in reverse, used
+// by `cryptodrop daemon-replay` and the socket smoke test.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/result.hpp"
+#include "daemon/control.hpp"
+
+namespace cryptodrop::daemon {
+
+/// Serves the control API on a unix-domain socket (see the file
+/// comment). start() spawns the serving thread; stop() (or destruction)
+/// joins it and unlinks the socket path.
+class SocketServer {
+ public:
+  /// Serves `daemon` on `socket_path` (an unused filesystem path; any
+  /// stale socket file there is replaced).
+  SocketServer(Daemon& daemon, std::string socket_path)
+      : dispatcher_(daemon), daemon_(&daemon),
+        socket_path_(std::move(socket_path)) {}
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  ~SocketServer();
+
+  /// Binds, listens and spawns the serving thread. Fails when the
+  /// socket cannot be created/bound (path too long, permissions).
+  Status start();
+
+  /// Stops the serving thread and removes the socket file. Idempotent;
+  /// also runs on destruction.
+  void stop();
+
+  /// The path clients connect to.
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+
+  /// Blocks until the serving thread exits (it does when the daemon
+  /// completes shutdown — the `cryptodrop daemon` foreground wait).
+  void wait();
+
+ private:
+  /// The serving thread: accept + per-connection line framing.
+  void serve_loop();
+
+  ControlDispatcher dispatcher_;
+  Daemon* daemon_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+/// Blocking line-oriented client for the control socket.
+class DaemonClient {
+ public:
+  /// Connects to `socket_path`; connect errors surface from request().
+  explicit DaemonClient(std::string socket_path)
+      : socket_path_(std::move(socket_path)) {}
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  ~DaemonClient();
+
+  /// Sends one request line and returns the response line (connecting
+  /// on first use). Errors are io_error with the failing syscall named.
+  Result<std::string> request(const std::string& line);
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes read past the last returned line.
+};
+
+}  // namespace cryptodrop::daemon

@@ -1,0 +1,92 @@
+// Daemon parity runner — the gate behind cryptodropd's core promise
+// (docs/DAEMON.md "Parity contract"):
+//
+//   Running a workload through a live multi-tenant daemon produces a
+//   per-tenant scoreboard *bit-identical* to running the same workload
+//   through the in-process batch harness.
+//
+// Mechanics: each trial first runs in-process (the golden run) with a
+// content-carrying vfs::TraceRecorder stacked below the engine, so the
+// recorded trace is exactly the op stream the volume applied. The trial
+// then replays through the daemon's control API — attach a tenant,
+// register the golden run's processes, submit the recorded ops, drain,
+// fetch `verdicts` — and the daemon's response line is compared byte for
+// byte against the same serializer run over the golden scoreboard. Many
+// trials replay concurrently, one tenant each, so the gate also proves
+// tenant isolation under parallel load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "harness/experiment.hpp"
+#include "sim/benign/benign.hpp"
+#include "sim/ransomware/ransomware.hpp"
+
+namespace cryptodrop::harness {
+
+/// One control-API round-trip: request line in, response line out.
+using Transport = std::function<std::string(const std::string&)>;
+
+/// Makes one Transport per replaying thread — an in-process
+/// ControlDispatcher closure, or a fresh daemon::DaemonClient connection
+/// (the socket smoke test), so the same gate runs over either transport.
+using TransportFactory = std::function<Transport()>;
+
+/// One trial's parity verdict.
+struct DaemonParityTrial {
+  std::string label;    ///< Sample family / benign app name.
+  std::string tenant;   ///< Tenant id the replay ran under.
+  bool golden_detected = false;  ///< The in-process run's verdict.
+  bool match = false;   ///< Daemon response == golden bytes.
+  std::size_t ops = 0;  ///< Trace entries shipped to the daemon.
+  std::string golden_line;  ///< Expected `verdicts` response line.
+  std::string daemon_line;  ///< Actual `verdicts` response line.
+};
+
+/// Aggregate outcome of a parity campaign.
+struct DaemonParityReport {
+  std::vector<DaemonParityTrial> trials;
+  /// True when every trial's scoreboard matched byte for byte.
+  [[nodiscard]] bool all_match() const {
+    for (const DaemonParityTrial& t : trials) {
+      if (!t.match) return false;
+    }
+    return !trials.empty();
+  }
+  /// Trials that diverged (empty on a green gate).
+  [[nodiscard]] std::vector<const DaemonParityTrial*> mismatches() const {
+    std::vector<const DaemonParityTrial*> out;
+    for (const DaemonParityTrial& t : trials) {
+      if (!t.match) out.push_back(&t);
+    }
+    return out;
+  }
+};
+
+/// Parity-campaign knobs.
+struct DaemonParityOptions {
+  /// Replaying client threads (== concurrently attached tenants).
+  std::size_t concurrent_tenants = 8;
+  /// Trace entries per `submit` request (control-API batching).
+  std::size_t ops_per_submit = 64;
+};
+
+/// Runs every sample and benign workload through the golden in-process
+/// path, then replays all of them through the daemon behind
+/// `transport_factory` with `options.concurrent_tenants` parallel
+/// clients. The daemon must have been constructed with `config` as its
+/// default scoring config and a clone-identical base volume
+/// (`env.base_fs`) — the parity contract is only meaningful when both
+/// sides start from the same bytes.
+DaemonParityReport run_daemon_parity(
+    const Environment& env, const std::vector<sim::SampleSpec>& samples,
+    const std::vector<sim::BenignWorkload>& benign, std::uint64_t benign_seed,
+    const core::ScoringConfig& config,
+    const TransportFactory& transport_factory,
+    const DaemonParityOptions& options = {});
+
+}  // namespace cryptodrop::harness

@@ -60,6 +60,11 @@ RansomwareRunResult run_ransomware_sample_filtered(
   result.files_lost = corpus::count_files_lost(fs, env.corpus);
   const core::EngineSnapshot snap = session.snapshot();
   result.report = snap.report_for(pid);
+  result.scoreboard = snap;
+  for (vfs::ProcessId p = 1; p <= fs.process_count(); ++p) {
+    result.roster.push_back({p, std::string(fs.process_name(p)),
+                             fs.process_parent(p)});
+  }
   result.metrics = snap.metrics;
   // With family scoring, the root's report covers spawned workers; when
   // an ablation disables it, a run halted by denials still counts as
@@ -134,6 +139,11 @@ BenignRunResult run_benign_workload_filtered(
   result.expected_false_positive = workload.expected_false_positive;
   const core::EngineSnapshot snap = session.snapshot();
   result.report = snap.report_for(pid);
+  result.scoreboard = snap;
+  for (vfs::ProcessId p = 1; p <= session.fs().process_count(); ++p) {
+    result.roster.push_back({p, std::string(session.fs().process_name(p)),
+                             session.fs().process_parent(p)});
+  }
   result.metrics = snap.metrics;
   result.detected = result.report.suspended;
   result.final_score = result.report.score;

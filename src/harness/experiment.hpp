@@ -37,6 +37,16 @@ Environment make_default_environment(std::uint64_t seed);
 /// A scaled-down environment for unit/integration tests (fast to build).
 corpus::CorpusSpec small_corpus_spec(std::size_t files, std::size_t dirs);
 
+/// One registered process of a trial volume (pid order). The daemon
+/// parity runner replays this roster through `spawn` requests so the
+/// tenant's process table — and therefore family scoring — reproduces
+/// the golden run's exactly.
+struct ProcessRosterEntry {
+  vfs::ProcessId pid = 0;
+  std::string name;
+  vfs::ProcessId parent = 0;  ///< 0 = no parent.
+};
+
 /// Outcome of one ransomware sample vs. CryptoDrop.
 struct RansomwareRunResult {
   std::string family;
@@ -47,6 +57,13 @@ struct RansomwareRunResult {
   bool union_triggered = false;
   std::uint64_t union_count = 0;
   core::ProcessReport report;
+  /// The full end-of-run engine snapshot (every process report + the
+  /// default threshold) — the daemon parity gate compares this
+  /// scoreboard against a live daemon's `verdicts` response
+  /// (harness/daemon_runner.hpp).
+  core::EngineSnapshot scoreboard;
+  /// Every process registered on the trial volume when the run ended.
+  std::vector<ProcessRosterEntry> roster;
   /// The trial engine's full metrics at the end of the run (counters,
   /// gauges, stage-latency histograms). Merge across trials with
   /// merged_metrics().
@@ -96,6 +113,11 @@ struct BenignRunResult {
   int final_score = 0;
   bool union_triggered = false;
   core::ProcessReport report;
+  /// The full end-of-run engine snapshot (daemon parity gate input, as
+  /// in RansomwareRunResult).
+  core::EngineSnapshot scoreboard;
+  /// Every process registered on the trial volume when the run ended.
+  std::vector<ProcessRosterEntry> roster;
   /// The trial engine's full metrics at the end of the run.
   obs::MetricsSnapshot metrics;
   /// Spans retained by the trial's tracer (empty unless traced).

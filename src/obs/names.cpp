@@ -29,6 +29,17 @@ std::vector<std::string_view> known_metric_names() {
       "digest_cache_evictions",
       // fault-injection filter counters (vfs/fault_filter.cpp)
       "faults_injected_total.<fault>",
+      // daemon ingestion front end (daemon/metrics.cpp)
+      "daemon_ops_ingested_total",
+      "daemon_ops_executed_total",
+      "daemon_ops_shed_total.<shed_reason>",
+      "daemon_tenants_attached_total",
+      "daemon_tenants_detached_total",
+      "daemon_control_requests_total",
+      "daemon_control_errors_total",
+      "daemon_queue_depth",
+      "daemon_queue_high_water",
+      "daemon_tenants_active",
   };
 }
 
@@ -46,6 +57,9 @@ std::vector<std::string_view> known_placeholder_labels(
   }
   if (placeholder == "<entropy_backend>") {
     return {"shannon", "chi_square", "serial_correlation", "daa"};
+  }
+  if (placeholder == "<shed_reason>") {
+    return {"benign_read", "queue_full", "tenant_gone", "shutdown"};
   }
   return {};
 }

@@ -79,6 +79,12 @@ inline constexpr std::string_view kSdhashCompare = "engine.sdhash_compare";
 inline constexpr std::string_view kScoreUpdate = "engine.score_update";
 /// Detection verdict (suspension). Args: `score`, `threshold`.
 inline constexpr std::string_view kVerdict = "engine.verdict";
+/// Daemon front end: one submit batch accepted into the ingestion
+/// queues. Args: `tenant`, `ops`.
+inline constexpr std::string_view kDaemonIngest = "daemon.ingest";
+/// Daemon worker: one queued op executed through a tenant's session.
+/// Args: `tenant`, `op`.
+inline constexpr std::string_view kDaemonExecute = "daemon.execute";
 }  // namespace span_name
 
 /// Every span name the instrumentation can emit, in schema order.

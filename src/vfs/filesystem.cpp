@@ -210,6 +210,9 @@ Result<Handle> FileSystem::open(ProcessId pid, std::string_view raw_path, unsign
     oh.pid = pid;
     oh.mode = mode;
     handle.id = next_handle_id_++;
+    // The event is shared with post callbacks: recorders below see the
+    // handle the open produced (pre callbacks ran before it existed).
+    event.handle = handle.id;
     handles_.emplace(handle.id, std::move(oh));
     ++counters_.opens;
     return Status::ok();
@@ -244,6 +247,7 @@ Result<Bytes> FileSystem::read(ProcessId pid, Handle h, std::size_t n) {
   event.pid = pid;
   event.path = oh.path;
   event.file_id = oh.file_id;
+  event.handle = h.id;
   event.offset = start;
   event.length = n;
   event.data = ByteView(out);
@@ -272,6 +276,7 @@ Status FileSystem::write(ProcessId pid, Handle h, ByteView data) {
   event.pid = pid;
   event.path = oh.path;
   event.file_id = oh.file_id;
+  event.handle = h.id;
   event.offset = oh.pos;
   event.length = data.size();
   event.data = data;
@@ -328,6 +333,7 @@ Status FileSystem::truncate(ProcessId pid, Handle h, std::uint64_t new_size) {
   event.pid = pid;
   event.path = oh.path;
   event.file_id = oh.file_id;
+  event.handle = h.id;
   event.length = new_size;
 
   return run_filtered(event, [&]() -> Status {
@@ -362,6 +368,7 @@ Status FileSystem::close(ProcessId pid, Handle h) {
   event.pid = pid;
   event.path = oh.path;
   event.file_id = oh.file_id;
+  event.handle = h.id;
   event.wrote = oh.wrote;
   event.wrote_bytes = oh.wrote_bytes;
 

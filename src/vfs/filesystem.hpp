@@ -87,6 +87,8 @@ class FileSystem {
   /// suspicious process (or family of processes)").
   ProcessId register_process(std::string name, ProcessId parent = 0);
   [[nodiscard]] std::string_view process_name(ProcessId pid) const;
+  /// Number of processes ever registered (pids are dense: 1..count).
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
   /// Parent id, or 0 for root processes / unknown pids.
   [[nodiscard]] ProcessId process_parent(ProcessId pid) const;
   /// Topmost ancestor of `pid` (itself when parentless).

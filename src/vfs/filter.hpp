@@ -49,16 +49,18 @@ enum class OpType : std::uint8_t {
 /// One filesystem operation as seen by the filter stack.
 ///
 /// Field validity by op:
-///  - open:    path, file_id (kNoFile when creating), open_mode
-///  - read:    path, file_id, offset; `data` = bytes read (post only)
-///  - write:   path, file_id, offset, `data` = bytes to be written;
+///  - open:    path, file_id (kNoFile when creating), open_mode;
+///             `handle` = the handle created (assigned during apply, so
+///             it is 0 in pre callbacks and set in post callbacks)
+///  - read:    path, file_id, handle, offset; `data` = bytes read (post only)
+///  - write:   path, file_id, handle, offset, `data` = bytes to be written;
 ///             `length` = bytes the caller requested. A stacked filter may
 ///             shrink `data` to a prefix in its pre callback (a short
 ///             write): the filesystem applies, and post callbacks see,
 ///             only the surviving `data` bytes
-///  - truncate:path, file_id, length = new size
-///  - close:   path, file_id, wrote = any write/truncate happened on the
-///             handle, wrote_bytes = total bytes written through it
+///  - truncate:path, file_id, handle, length = new size
+///  - close:   path, file_id, handle, wrote = any write/truncate happened
+///             on the handle, wrote_bytes = total bytes written through it
 ///  - remove:  path, file_id
 ///  - rename:  path (source), file_id, dest_path, dest_file_id (kNoFile
 ///             when the destination does not exist / is not replaced)
@@ -72,6 +74,10 @@ struct OperationEvent {
   std::string path;
   FileId file_id = kNoFile;
   unsigned open_mode = 0;
+  /// Handle the operation ran through (0 for handle-less ops). For open,
+  /// the handle being created — recorded traces use it to reconstruct
+  /// handle lifetimes exactly on replay (vfs/trace.hpp ExactReplayer).
+  HandleId handle = 0;
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
   ByteView data{};

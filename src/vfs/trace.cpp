@@ -20,6 +20,7 @@ void TraceRecorder::post_operation(const OperationEvent& event, const Status& ou
   entry.length = event.op == OpType::read || event.op == OpType::write
                      ? event.data.size()
                      : event.length;
+  entry.handle = event.handle;
   if (capture_content_ && event.op == OpType::write) {
     entry.data.assign(event.data.begin(), event.data.end());
   }
@@ -78,29 +79,79 @@ std::optional<OpType> op_from_name(std::string_view name) {
 
 }  // namespace
 
+std::string serialize_trace_entry(const TraceEntry& entry) {
+  std::string out;
+  out += std::string(op_name(entry.op));
+  out += '|';
+  out += std::to_string(entry.pid);
+  out += '|';
+  out += std::to_string(entry.timestamp);
+  out += '|';
+  out += escape_field(entry.path);
+  out += '|';
+  out += escape_field(entry.dest_path);
+  out += '|';
+  out += std::to_string(entry.open_mode);
+  out += '|';
+  out += std::to_string(entry.offset);
+  out += '|';
+  out += std::to_string(entry.length);
+  out += '|';
+  out += std::to_string(entry.handle);
+  out += '|';
+  out += hex_encode(ByteView(entry.data));
+  return out;
+}
+
 std::string serialize_trace(const std::vector<TraceEntry>& entries) {
-  std::string out = "# cryptodrop trace v1\n";
+  std::string out = "# cryptodrop trace v2\n";
   for (const TraceEntry& entry : entries) {
-    out += std::string(op_name(entry.op));
-    out += '|';
-    out += std::to_string(entry.pid);
-    out += '|';
-    out += std::to_string(entry.timestamp);
-    out += '|';
-    out += escape_field(entry.path);
-    out += '|';
-    out += escape_field(entry.dest_path);
-    out += '|';
-    out += std::to_string(entry.open_mode);
-    out += '|';
-    out += std::to_string(entry.offset);
-    out += '|';
-    out += std::to_string(entry.length);
-    out += '|';
-    out += hex_encode(ByteView(entry.data));
+    out += serialize_trace_entry(entry);
     out += '\n';
   }
   return out;
+}
+
+std::optional<TraceEntry> parse_trace_entry(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t field_start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    // '|' is escaped inside fields as "\p", so raw '|' is a separator.
+    if (i == line.size() || line[i] == '|') {
+      fields.push_back(line.substr(field_start, i - field_start));
+      field_start = i + 1;
+    }
+  }
+  // v1 lines have 9 fields; v2 inserts `handle` before the payload.
+  const bool v2 = fields.size() == 10;
+  if (fields.size() != 9 && !v2) return std::nullopt;
+
+  TraceEntry entry;
+  const auto op = op_from_name(fields[0]);
+  const auto pid = parse_u64(fields[1]);
+  const auto timestamp = parse_u64(fields[2]);
+  const auto path = unescape_field(fields[3]);
+  const auto dest = unescape_field(fields[4]);
+  const auto mode = parse_u64(fields[5]);
+  const auto offset = parse_u64(fields[6]);
+  const auto length = parse_u64(fields[7]);
+  const auto handle = v2 ? parse_u64(fields[8]) : std::optional<std::uint64_t>(0);
+  const auto data = hex_decode(fields[v2 ? 9 : 8]);
+  if (!op || !pid || !timestamp || !path || !dest || !mode || !offset ||
+      !length || !handle || !data) {
+    return std::nullopt;
+  }
+  entry.op = *op;
+  entry.pid = static_cast<ProcessId>(*pid);
+  entry.timestamp = *timestamp;
+  entry.path = *path;
+  entry.dest_path = *dest;
+  entry.open_mode = static_cast<unsigned>(*mode);
+  entry.offset = *offset;
+  entry.length = *length;
+  entry.handle = *handle;
+  entry.data = *data;
+  return entry;
 }
 
 std::optional<std::vector<TraceEntry>> parse_trace(std::string_view text) {
@@ -112,42 +163,9 @@ std::optional<std::vector<TraceEntry>> parse_trace(std::string_view text) {
     const std::string_view line = text.substr(pos, end - pos);
     pos = end + 1;
     if (line.empty() || line[0] == '#') continue;
-
-    std::vector<std::string_view> fields;
-    std::size_t field_start = 0;
-    for (std::size_t i = 0; i <= line.size(); ++i) {
-      // '|' is escaped inside fields as "\p", so raw '|' is a separator.
-      if (i == line.size() || line[i] == '|') {
-        fields.push_back(line.substr(field_start, i - field_start));
-        field_start = i + 1;
-      }
-    }
-    if (fields.size() != 9) return std::nullopt;
-
-    TraceEntry entry;
-    const auto op = op_from_name(fields[0]);
-    const auto pid = parse_u64(fields[1]);
-    const auto timestamp = parse_u64(fields[2]);
-    const auto path = unescape_field(fields[3]);
-    const auto dest = unescape_field(fields[4]);
-    const auto mode = parse_u64(fields[5]);
-    const auto offset = parse_u64(fields[6]);
-    const auto length = parse_u64(fields[7]);
-    const auto data = hex_decode(fields[8]);
-    if (!op || !pid || !timestamp || !path || !dest || !mode || !offset ||
-        !length || !data) {
-      return std::nullopt;
-    }
-    entry.op = *op;
-    entry.pid = static_cast<ProcessId>(*pid);
-    entry.timestamp = *timestamp;
-    entry.path = *path;
-    entry.dest_path = *dest;
-    entry.open_mode = static_cast<unsigned>(*mode);
-    entry.offset = *offset;
-    entry.length = *length;
-    entry.data = *data;
-    entries.push_back(std::move(entry));
+    std::optional<TraceEntry> entry = parse_trace_entry(line);
+    if (!entry) return std::nullopt;
+    entries.push_back(std::move(*entry));
   }
   return entries;
 }
@@ -248,6 +266,83 @@ ReplayResult replay_trace(FileSystem& fs, const std::vector<TraceEntry>& entries
     }
   }
   return result;
+}
+
+ProcessId ExactReplayer::live_pid(ProcessId recorded) {
+  auto it = pids_.find(recorded);
+  if (it != pids_.end()) return it->second;
+  const ProcessId fresh =
+      fs_->register_process("replay_" + std::to_string(recorded));
+  pids_.emplace(recorded, fresh);
+  return fresh;
+}
+
+ExactReplayer::Outcome ExactReplayer::apply(const TraceEntry& entry) {
+  FileSystem& fs = *fs_;
+  // Clock sync: the recorded timestamp was stamped *after* the op's own
+  // kOpCostMicros advance, so park the clock kOpCostMicros short of it.
+  // Gaps cover both workload think-time and ops that advanced the
+  // original clock without being recorded (engine-denied attempts).
+  const std::uint64_t now = fs.now_micros();
+  if (entry.timestamp > now + FileSystem::kOpCostMicros) {
+    fs.advance_time(entry.timestamp - FileSystem::kOpCostMicros - now);
+  }
+
+  if (entry.handle != 0 && dead_.count(entry.handle) != 0) {
+    if (entry.op == OpType::close) dead_.erase(entry.handle);
+    return Outcome::skipped_dead_handle;
+  }
+
+  const ProcessId pid = live_pid(entry.pid);
+  Status status = Status::ok();
+  switch (entry.op) {
+    case OpType::mkdir:
+      status = fs.mkdir(pid, entry.path);
+      break;
+    case OpType::open: {
+      auto h = fs.open(pid, entry.path, entry.open_mode);
+      if (!h) {
+        // The open failed here although it succeeded when recorded —
+        // later ops on this handle cannot replay either.
+        kill_handle(entry.handle);
+        status = h.status();
+        break;
+      }
+      if (entry.handle != 0) handles_[entry.handle] = h.value();
+      break;
+    }
+    case OpType::read:
+    case OpType::write:
+    case OpType::truncate:
+    case OpType::close: {
+      auto it = handles_.find(entry.handle);
+      if (it == handles_.end()) return Outcome::skipped_dead_handle;
+      const Handle h = it->second;
+      if (entry.op == OpType::read) {
+        // seek is unfiltered (no event, no clock cost): position the
+        // handle exactly where the recorded read started.
+        (void)fs.seek(pid, h, entry.offset);
+        auto data = fs.read(pid, h, static_cast<std::size_t>(entry.length));
+        status = data ? Status::ok() : data.status();
+      } else if (entry.op == OpType::write) {
+        (void)fs.seek(pid, h, entry.offset);
+        status = fs.write(pid, h, ByteView(entry.data));
+      } else if (entry.op == OpType::truncate) {
+        status = fs.truncate(pid, h, entry.length);
+      } else {
+        status = fs.close(pid, h);
+        handles_.erase(it);
+      }
+      break;
+    }
+    case OpType::remove:
+      status = fs.remove(pid, entry.path);
+      break;
+    case OpType::rename:
+      status = fs.rename(pid, entry.path, entry.dest_path);
+      break;
+  }
+  return status.is_ok() ? Outcome::applied : Outcome::failed;
 }
 
 }  // namespace cryptodrop::vfs

@@ -22,7 +22,9 @@
 // is line-based and diff-friendly.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,10 @@ struct TraceEntry {
   unsigned open_mode = 0;
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
+  /// Handle the operation ran through (0 for handle-less ops and for
+  /// traces recorded before the v2 format). Lets ExactReplayer
+  /// reconstruct handle lifetimes instead of re-opening per op.
+  HandleId handle = 0;
   /// Written bytes (empty in metadata-only traces or for non-writes).
   Bytes data;
 };
@@ -66,6 +72,14 @@ class TraceRecorder : public Filter {
   std::vector<TraceEntry> entries_;
 };
 
+/// Serializes one entry as a single line (no trailing newline) — the
+/// unit the daemon control API ships ops in.
+std::string serialize_trace_entry(const TraceEntry& entry);
+
+/// Parses one serialized line (v1's 9 fields or v2's 10; the missing v1
+/// handle field reads as 0). Returns nullopt on malformed input.
+std::optional<TraceEntry> parse_trace_entry(std::string_view line);
+
 /// Serializes a trace to the line-based text format.
 std::string serialize_trace(const std::vector<TraceEntry>& entries);
 
@@ -84,5 +98,53 @@ struct ReplayResult {
 /// replay writes as zero-filled payloads of the recorded length — the
 /// best a content-free log can do, and exactly why it is not enough.
 ReplayResult replay_trace(FileSystem& fs, const std::vector<TraceEntry>& entries);
+
+/// Replays a *content-carrying, handle-carrying* trace exactly: handles
+/// are kept open across entries (mapped recorded id -> live handle),
+/// reads/writes are positioned with unfiltered seeks, and the virtual
+/// clock is advanced so every replayed operation is stamped with its
+/// recorded timestamp. Against an identical base volume this reproduces
+/// the original filtered event stream bit-for-bit — the property the
+/// daemon's verdict-parity gate rests on (docs/DAEMON.md).
+///
+/// Single-threaded, like the FileSystem it drives.
+class ExactReplayer {
+ public:
+  /// Replays onto `fs` (non-owning; must outlive the replayer).
+  explicit ExactReplayer(FileSystem& fs) : fs_(&fs) {}
+
+  /// Pre-maps a recorded pid to a live pid (the daemon replays the
+  /// original spawn sequence first). Unmapped pids are auto-registered
+  /// as "replay_<pid>" on first use.
+  void map_pid(ProcessId recorded, ProcessId live) { pids_[recorded] = live; }
+
+  /// What happened to one replayed entry.
+  enum class Outcome : std::uint8_t {
+    applied,             ///< Operation ran and succeeded.
+    failed,              ///< Operation ran and returned an error.
+    skipped_dead_handle  ///< Entry referenced a handle whose open was
+                         ///< dropped upstream (admission-control shed).
+  };
+
+  /// Replays one entry (clock sync + dispatch). Entries must arrive in
+  /// recorded order.
+  Outcome apply(const TraceEntry& entry);
+
+  /// Marks a recorded handle dead without replaying its open — the
+  /// daemon calls this when admission control sheds an open, so the
+  /// handle's later reads/close skip instead of failing.
+  void kill_handle(HandleId recorded) {
+    if (recorded != 0) dead_.insert(recorded);
+  }
+
+ private:
+  /// Live pid for a recorded pid (registering a stand-in on miss).
+  ProcessId live_pid(ProcessId recorded);
+
+  FileSystem* fs_;
+  std::map<ProcessId, ProcessId> pids_;
+  std::map<HandleId, Handle> handles_;
+  std::set<HandleId> dead_;
+};
 
 }  // namespace cryptodrop::vfs

@@ -1,0 +1,492 @@
+// cryptodropd tests (ctest label: daemon): admission-control shedding
+// order, tenant lifecycle under concurrent load, drain/shutdown
+// determinism, the registry's double-attach invariant, overload
+// behavior (shed, never block, never lose a ransomware verdict), and
+// the parity gate — golden campaign + benign suite replayed through a
+// live daemon by 8 concurrent tenants must produce bit-identical
+// scoreboards. CI runs this binary under TSan.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/control.hpp"
+#include "daemon/daemon.hpp"
+#include "daemon/queue.hpp"
+#include "daemon/server.hpp"
+#include "daemon/wire.hpp"
+#include "harness/daemon_runner.hpp"
+#include "harness/experiment.hpp"
+#include "sim/benign/benign.hpp"
+#include "sim/ransomware/families.hpp"
+#include "vfs/trace.hpp"
+
+namespace cryptodrop::daemon {
+namespace {
+
+vfs::TraceEntry read_entry() {
+  vfs::TraceEntry entry;
+  entry.op = vfs::OpType::read;
+  entry.pid = 1;
+  entry.handle = 1;
+  return entry;
+}
+
+vfs::TraceEntry write_entry() {
+  vfs::TraceEntry entry;
+  entry.op = vfs::OpType::write;
+  entry.pid = 1;
+  entry.handle = 1;
+  return entry;
+}
+
+QueueItem op_item(vfs::TraceEntry entry) {
+  QueueItem item;
+  item.entry = std::move(entry);
+  return item;
+}
+
+// --- BoundedOpQueue: shedding order ------------------------------------
+
+TEST(BoundedOpQueueTest, ReadClassIsShedFirstAtCapacity) {
+  BoundedOpQueue queue(2);
+  EXPECT_TRUE(queue.push(op_item(write_entry())).accepted);
+  EXPECT_TRUE(queue.push(op_item(write_entry())).accepted);
+  // Queue full of modify-class work: an incoming read is shed outright.
+  const BoundedOpQueue::PushResult read_push = queue.push(op_item(read_entry()));
+  EXPECT_FALSE(read_push.accepted);
+  EXPECT_TRUE(read_push.shed_incoming);
+  EXPECT_EQ(read_push.reason, ShedReason::benign_read);
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(BoundedOpQueueTest, ModifyClassEvictsOldestQueuedRead) {
+  BoundedOpQueue queue(2);
+  EXPECT_TRUE(queue.push(op_item(read_entry())).accepted);
+  EXPECT_TRUE(queue.push(op_item(write_entry())).accepted);
+  const BoundedOpQueue::PushResult push = queue.push(op_item(write_entry()));
+  EXPECT_TRUE(push.accepted);
+  EXPECT_FALSE(push.shed_incoming);
+  ASSERT_NE(push.evicted, nullptr);
+  EXPECT_EQ(push.evicted->entry.op, vfs::OpType::read);
+  EXPECT_EQ(push.reason, ShedReason::benign_read);
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(BoundedOpQueueTest, ModifyClassShedsOnlyWhenNoReadCanMakeWay) {
+  BoundedOpQueue queue(2);
+  EXPECT_TRUE(queue.push(op_item(write_entry())).accepted);
+  EXPECT_TRUE(queue.push(op_item(write_entry())).accepted);
+  const BoundedOpQueue::PushResult push = queue.push(op_item(write_entry()));
+  EXPECT_FALSE(push.accepted);
+  EXPECT_TRUE(push.shed_incoming);
+  EXPECT_EQ(push.reason, ShedReason::queue_full);
+}
+
+TEST(BoundedOpQueueTest, ReadOnlyOpenIsReadClassButWriteOpenIsNot) {
+  vfs::TraceEntry ro;
+  ro.op = vfs::OpType::open;
+  ro.open_mode = vfs::kRead;
+  EXPECT_TRUE(is_read_class(op_item(ro)));
+  vfs::TraceEntry rw = ro;
+  rw.open_mode = vfs::kRead | vfs::kWrite;
+  EXPECT_FALSE(is_read_class(op_item(rw)));
+}
+
+TEST(BoundedOpQueueTest, SpawnsAreNeverShedEvenOverCapacity) {
+  BoundedOpQueue queue(1);
+  EXPECT_TRUE(queue.push(op_item(write_entry())).accepted);
+  QueueItem spawn;
+  spawn.is_spawn = true;
+  spawn.spawn_pid = 2;
+  const BoundedOpQueue::PushResult push = queue.push(std::move(spawn));
+  EXPECT_TRUE(push.accepted);
+  EXPECT_EQ(push.evicted, nullptr);
+  EXPECT_EQ(queue.depth(), 2u);  // Over capacity by design.
+}
+
+// --- Daemon fixtures ---------------------------------------------------
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  static harness::Environment* env;
+
+  static void SetUpTestSuite() {
+    env = new harness::Environment(
+        harness::make_environment(harness::small_corpus_spec(200, 20), 123));
+  }
+  static void TearDownTestSuite() {
+    delete env;
+    env = nullptr;
+  }
+
+  static DaemonOptions small_options(std::size_t workers,
+                                     std::size_t capacity) {
+    DaemonOptions options;
+    options.workers = workers;
+    options.queue_capacity = capacity;
+    return options;
+  }
+
+  /// A recorded encryptor run: golden result + the applied op stream.
+  struct Recorded {
+    harness::RansomwareRunResult result;
+    std::vector<vfs::TraceEntry> entries;
+  };
+
+  static Recorded record_sample(const sim::SampleSpec& spec) {
+    vfs::TraceRecorder recorder(/*capture_content=*/true);
+    Recorded recorded;
+    recorded.result = harness::run_ransomware_sample_filtered(
+        *env, spec, core::ScoringConfig{}, &recorder);
+    recorded.entries = recorder.entries();
+    return recorded;
+  }
+
+  static sim::SampleSpec encryptor_spec() {
+    sim::SampleSpec spec;
+    spec.family = "TeslaCrypt";
+    spec.behavior = sim::BehaviorClass::A;
+    spec.profile = sim::family_profile("TeslaCrypt", sim::BehaviorClass::A);
+    spec.profile.behavior = sim::BehaviorClass::A;
+    spec.seed = 7;
+    return spec;
+  }
+
+  /// Sends the recorded run's new processes to the daemon tenant.
+  static void send_spawns(Daemon& daemon, const std::string& tenant,
+                          const harness::RansomwareRunResult& result) {
+    const std::size_t base = env->base_fs.process_count();
+    for (const harness::ProcessRosterEntry& entry : result.roster) {
+      if (entry.pid > base) {
+        ASSERT_TRUE(daemon.spawn(tenant, entry.pid, entry.name, entry.parent)
+                        .is_ok());
+      }
+    }
+  }
+};
+
+harness::Environment* DaemonTest::env = nullptr;
+
+// --- tenant lifecycle --------------------------------------------------
+
+TEST_F(DaemonTest, AttachRejectsDuplicateAndEmptyIds) {
+  Daemon daemon(env->base_fs, small_options(2, 64));
+  EXPECT_TRUE(daemon.attach("alpha").is_ok());
+  const Status dup = daemon.attach("alpha");
+  EXPECT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.code(), Errc::invalid_argument);
+  EXPECT_FALSE(daemon.attach("").is_ok());
+  EXPECT_TRUE(daemon.detach("alpha").is_ok());
+  EXPECT_FALSE(daemon.detach("alpha").is_ok());  // Already gone.
+  daemon.shutdown(/*drain_first=*/true);
+}
+
+TEST_F(DaemonTest, RegistryAbortsOnDoubleInsert) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TenantRegistry registry;
+  auto first = std::make_shared<TenantState>("twin", env->base_fs,
+                                             core::ScoringConfig{});
+  registry.insert(first);
+  auto second = std::make_shared<TenantState>("twin", env->base_fs,
+                                              core::ScoringConfig{});
+  EXPECT_DEATH(registry.insert(second), "attached twice");
+}
+
+TEST_F(DaemonTest, AttachDetachUnderConcurrentSubmitLoad) {
+  Daemon daemon(env->base_fs, small_options(4, 256));
+  constexpr std::size_t kTenants = 6;
+  constexpr std::size_t kBatches = 20;
+  std::atomic<std::size_t> sent{0};
+  std::atomic<std::size_t> shed_or_accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string tenant = "load_" + std::to_string(t);
+      ASSERT_TRUE(daemon.attach(tenant).is_ok());
+      ASSERT_TRUE(daemon.spawn(tenant, 100, "writer", 0).is_ok());
+      for (std::size_t batch = 0; batch < kBatches; ++batch) {
+        std::vector<vfs::TraceEntry> entries(8, write_entry());
+        for (vfs::TraceEntry& entry : entries) entry.pid = 100;
+        const Result<SubmitResult> result =
+            daemon.submit(tenant, std::move(entries));
+        ASSERT_TRUE(result.is_ok());
+        sent.fetch_add(8);
+        shed_or_accepted.fetch_add(result.value().accepted +
+                                   result.value().shed);
+      }
+      // Detach mid-stream on half the tenants: queued ops must be shed
+      // as tenant_gone, not executed into a dead session.
+      if (t % 2 == 0) {
+        ASSERT_TRUE(daemon.detach(tenant).is_ok());
+        const Result<SubmitResult> after =
+            daemon.submit(tenant, {write_entry()});
+        EXPECT_FALSE(after.is_ok());
+        EXPECT_EQ(after.code(), Errc::not_found);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Every submitted op got a decision, none silently vanished.
+  EXPECT_EQ(sent.load(), shed_or_accepted.load());
+  daemon.drain();
+  daemon.shutdown(/*drain_first=*/true);
+  const obs::MetricsSnapshot metrics = daemon.metrics();
+  std::uint64_t executed = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t shed = 0;
+  for (const obs::CounterSnapshot& counter : metrics.counters) {
+    if (counter.name == "daemon_ops_executed_total") executed = counter.value;
+    if (counter.name == "daemon_ops_ingested_total") ingested = counter.value;
+    if (counter.name.rfind("daemon_ops_shed_total.", 0) == 0) {
+      shed += counter.value;
+    }
+  }
+  // spawns (6) + ops sent; every one either executed or counted shed.
+  EXPECT_EQ(sent.load() + kTenants, executed + shed);
+  EXPECT_LE(executed, ingested);
+}
+
+// --- drain / shutdown --------------------------------------------------
+
+TEST_F(DaemonTest, DrainThenShutdownIsDeterministic) {
+  const Recorded recorded = record_sample(encryptor_spec());
+  std::string first_line;
+  for (int round = 0; round < 2; ++round) {
+    Daemon daemon(env->base_fs, small_options(3, 4096));
+    ControlDispatcher dispatcher(daemon);
+    ASSERT_TRUE(daemon.attach("replay").is_ok());
+    send_spawns(daemon, "replay", recorded.result);
+    ASSERT_TRUE(
+        daemon.submit("replay", recorded.entries).is_ok());
+    daemon.drain();
+    const std::string line =
+        dispatcher.handle_line("{\"type\":\"verdicts\",\"tenant\":\"replay\"}");
+    if (round == 0) {
+      first_line = line;
+    } else {
+      EXPECT_EQ(line, first_line);
+    }
+    daemon.shutdown(/*drain_first=*/true);
+    EXPECT_TRUE(daemon.shutdown_complete());
+    // Idempotent: a second shutdown (and the destructor's) is a no-op.
+    daemon.shutdown(/*drain_first=*/false);
+  }
+  // The deterministic scoreboard matches the in-process golden run.
+  const std::string expected =
+      Json::object()
+          .set("ok", true)
+          .set("scoreboard", scoreboard_to_json(recorded.result.scoreboard))
+          .to_string();
+  EXPECT_EQ(first_line, expected);
+}
+
+TEST_F(DaemonTest, NonDrainedShutdownCountsDiscardedWork) {
+  Daemon daemon(env->base_fs, small_options(1, 1024));
+  ASSERT_TRUE(daemon.attach("doomed").is_ok());
+  ASSERT_TRUE(daemon.spawn("doomed", 100, "writer", 0).is_ok());
+  daemon.pause_workers();
+  std::vector<vfs::TraceEntry> entries(50, write_entry());
+  for (vfs::TraceEntry& entry : entries) entry.pid = 100;
+  ASSERT_TRUE(daemon.submit("doomed", std::move(entries)).is_ok());
+  daemon.resume_workers();
+  daemon.shutdown(/*drain_first=*/false);
+  const std::vector<TenantInfo> tenants = daemon.tenants();
+  ASSERT_EQ(tenants.size(), 1u);
+  // Nothing lost: every ingested item executed or was counted shed.
+  EXPECT_EQ(tenants[0].ingested, tenants[0].executed + tenants[0].shed);
+  // Submits after shutdown shed everything as `shutdown`.
+  const Result<SubmitResult> late = daemon.submit("doomed", {write_entry()});
+  ASSERT_TRUE(late.is_ok());
+  EXPECT_EQ(late.value().accepted, 0u);
+  EXPECT_EQ(late.value().shed, 1u);
+}
+
+// --- overload ----------------------------------------------------------
+
+TEST_F(DaemonTest, OverloadShedsCountsEverythingAndKeepsVerdict) {
+  const Recorded recorded = record_sample(encryptor_spec());
+  ASSERT_TRUE(recorded.result.detected);
+  // A queue far smaller than the combined load forces admission control.
+  Daemon daemon(env->base_fs, small_options(1, 64));
+  ASSERT_TRUE(daemon.attach("overload").is_ok());
+  send_spawns(daemon, "overload", recorded.result);
+  // A benign scanner hammering reads — the load the daemon is built to
+  // shed first. Its reads reference a handle that was never opened, so
+  // the ones that reach a worker resolve as dead-handle skips (the same
+  // shed bucket), keeping the scenario deterministic.
+  const vfs::ProcessId scanner = 100;
+  ASSERT_TRUE(daemon.spawn("overload", scanner, "scanner", 0).is_ok());
+  std::vector<vfs::TraceEntry> flood(500, read_entry());
+  for (vfs::TraceEntry& entry : flood) {
+    entry.pid = scanner;
+    entry.handle = 9999;  // Never opened.
+  }
+  daemon.pause_workers();  // Deterministic overload: nothing drains yet.
+  std::size_t accepted = 0;
+  std::size_t shed = 0;
+  // The suspicious stream is already queued when the flood lands. The
+  // policy must hold it: incoming read-class ops are shed outright —
+  // they never evict queued work — so nothing of the recorded sequence
+  // is lost to the noise.
+  const Result<SubmitResult> sample_result =
+      daemon.submit("overload", recorded.entries);
+  ASSERT_TRUE(sample_result.is_ok());  // submit never blocks, never fails.
+  EXPECT_EQ(sample_result.value().accepted, recorded.entries.size());
+  accepted += sample_result.value().accepted;
+  shed += sample_result.value().shed;
+  const std::size_t flood_size = flood.size();
+  const Result<SubmitResult> flood_result =
+      daemon.submit("overload", std::move(flood));
+  ASSERT_TRUE(flood_result.is_ok());
+  accepted += flood_result.value().accepted;
+  shed += flood_result.value().shed;
+  EXPECT_GT(shed, 0u) << "the flood must overflow a 64-slot queue";
+  // Every submitted op got exactly one admission decision (no evictions
+  // occur here: read-class ops shed instead of evicting).
+  EXPECT_EQ(accepted + shed, recorded.entries.size() + flood_size);
+  daemon.resume_workers();
+  daemon.drain();
+  const std::vector<TenantInfo> tenants = daemon.tenants();
+  ASSERT_EQ(tenants.size(), 1u);
+  const std::size_t spawns = 1 + recorded.result.roster.size() -
+                             env->base_fs.process_count();
+  // ...and after the drain, every decision is in exactly one bucket.
+  EXPECT_EQ(flood_size + recorded.entries.size() + spawns,
+            tenants[0].executed + tenants[0].shed);
+  // The encryptor's suspension verdict survives shedding: dropped
+  // benign reads cannot un-suspend a process scored on its writes.
+  const Result<core::EngineSnapshot> verdicts = daemon.verdicts("overload");
+  ASSERT_TRUE(verdicts.is_ok());
+  bool suspended = false;
+  for (const core::ProcessReport& report : verdicts.value().processes) {
+    suspended = suspended || report.suspended;
+  }
+  EXPECT_TRUE(suspended);
+  daemon.shutdown(/*drain_first=*/true);
+}
+
+// --- control API -------------------------------------------------------
+
+TEST_F(DaemonTest, ControlApiEnvelopeAndErrors) {
+  Daemon daemon(env->base_fs, small_options(2, 64));
+  ControlDispatcher dispatcher(daemon);
+  EXPECT_EQ(dispatcher.handle_line("{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"pong\":true}");
+  EXPECT_EQ(dispatcher.handle_line("{\"type\":\"attach\",\"tenant\":\"t\"}"),
+            "{\"ok\":true,\"tenant\":\"t\"}");
+  const std::string dup =
+      dispatcher.handle_line("{\"type\":\"attach\",\"tenant\":\"t\"}");
+  EXPECT_EQ(dup.rfind("{\"ok\":false", 0), 0u) << dup;
+  EXPECT_EQ(dispatcher.handle_line("not json").rfind("{\"ok\":false", 0), 0u);
+  EXPECT_EQ(dispatcher.handle_line("{\"type\":\"nope\"}")
+                .rfind("{\"ok\":false", 0),
+            0u);
+  // Request/error counters tally every line.
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  for (const obs::CounterSnapshot& counter : daemon.metrics().counters) {
+    if (counter.name == "daemon_control_requests_total") {
+      requests = counter.value;
+    }
+    if (counter.name == "daemon_control_errors_total") errors = counter.value;
+  }
+  EXPECT_EQ(requests, 5u);
+  EXPECT_EQ(errors, 3u);
+  daemon.shutdown(/*drain_first=*/true);
+}
+
+TEST_F(DaemonTest, AttachConfigOverridesApply) {
+  Daemon daemon(env->base_fs, small_options(2, 64));
+  ControlDispatcher dispatcher(daemon);
+  dispatcher.handle_line(
+      "{\"type\":\"attach\",\"tenant\":\"low\","
+      "\"config\":{\"score_threshold\":50,\"union_threshold\":40}}");
+  const Result<core::EngineSnapshot> verdicts = daemon.verdicts("low");
+  ASSERT_TRUE(verdicts.is_ok());
+  EXPECT_EQ(verdicts.value().default_threshold, 50);
+  daemon.shutdown(/*drain_first=*/true);
+}
+
+// --- the parity gate ---------------------------------------------------
+
+TEST_F(DaemonTest, EightTenantParityWithInProcessRuns) {
+  std::vector<sim::SampleSpec> samples;
+  const std::vector<sim::SampleSpec> zoo = sim::table1_samples(1);
+  for (std::size_t i = 0; i < 6; ++i) {
+    samples.push_back(zoo[(i * zoo.size()) / 6]);
+  }
+  std::vector<sim::BenignWorkload> benign = sim::all_benign_workloads();
+  if (benign.size() > 4) benign.resize(4);
+
+  DaemonOptions options = small_options(4, 4096);
+  Daemon daemon(env->base_fs, options);
+  ControlDispatcher dispatcher(daemon);
+  const harness::TransportFactory factory = [&dispatcher] {
+    return harness::Transport(
+        [&dispatcher](const std::string& line) {
+          return dispatcher.handle_line(line);
+        });
+  };
+  harness::DaemonParityOptions parity;
+  parity.concurrent_tenants = 8;
+  const harness::DaemonParityReport report = harness::run_daemon_parity(
+      *env, samples, benign, /*benign_seed=*/9, core::ScoringConfig{},
+      factory, parity);
+  EXPECT_EQ(report.trials.size(), samples.size() + benign.size());
+  for (const harness::DaemonParityTrial& trial : report.trials) {
+    EXPECT_TRUE(trial.match) << trial.label << " (" << trial.tenant
+                             << ") diverged:\n golden: " << trial.golden_line
+                             << "\n daemon: " << trial.daemon_line;
+  }
+  EXPECT_TRUE(report.all_match());
+  // At least one ransomware trial must have carried a suspension
+  // verdict through the daemon, or the gate proves nothing.
+  bool any_detected = false;
+  for (const harness::DaemonParityTrial& trial : report.trials) {
+    any_detected = any_detected || trial.golden_detected;
+  }
+  EXPECT_TRUE(any_detected);
+  daemon.shutdown(/*drain_first=*/true);
+}
+
+// --- socket transport --------------------------------------------------
+
+TEST_F(DaemonTest, SocketServerRoundTripAndShutdown) {
+  const std::string path =
+      "/tmp/cryptodropd_test_" + std::to_string(::getpid()) + ".sock";
+  Daemon daemon(env->base_fs, small_options(2, 256));
+  SocketServer server(daemon, path);
+  ASSERT_TRUE(server.start().is_ok());
+  {
+    DaemonClient client(path);
+    const Result<std::string> pong = client.request("{\"type\":\"ping\"}");
+    ASSERT_TRUE(pong.is_ok());
+    EXPECT_EQ(pong.value(), "{\"ok\":true,\"pong\":true}");
+    ASSERT_TRUE(
+        client.request("{\"type\":\"attach\",\"tenant\":\"sock\"}").is_ok());
+    ASSERT_TRUE(client
+                    .request("{\"type\":\"spawn\",\"tenant\":\"sock\","
+                             "\"pid\":100,\"name\":\"w\",\"parent\":0}")
+                    .is_ok());
+    const Result<std::string> verdicts =
+        client.request("{\"type\":\"verdicts\",\"tenant\":\"sock\"}");
+    ASSERT_TRUE(verdicts.is_ok());
+    EXPECT_EQ(verdicts.value().rfind("{\"ok\":true,\"scoreboard\"", 0), 0u)
+        << verdicts.value();
+    const Result<std::string> stopped =
+        client.request("{\"type\":\"shutdown\",\"drain\":true}");
+    ASSERT_TRUE(stopped.is_ok());
+    EXPECT_EQ(stopped.value(), "{\"ok\":true,\"stopped\":true}");
+  }
+  server.wait();  // The serve loop exits once the daemon is down.
+  EXPECT_TRUE(daemon.shutdown_complete());
+}
+
+}  // namespace
+}  // namespace cryptodrop::daemon

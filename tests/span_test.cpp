@@ -386,9 +386,9 @@ TEST(TraceExport, AnalyzeAttributesSelfTimeToStages) {
 
 TEST(TraceExport, KnownSpanNamesMatchesSchemaOrder) {
   const std::vector<std::string_view> names = known_span_names();
-  ASSERT_EQ(names.size(), 9u);
+  ASSERT_EQ(names.size(), 11u);
   EXPECT_EQ(names.front(), span_name::kDispatch);
-  EXPECT_EQ(names.back(), span_name::kVerdict);
+  EXPECT_EQ(names.back(), span_name::kDaemonExecute);
   // No duplicates.
   for (std::size_t i = 0; i < names.size(); ++i) {
     for (std::size_t j = i + 1; j < names.size(); ++j) {

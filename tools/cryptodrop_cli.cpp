@@ -44,9 +44,11 @@
 #include <string>
 
 #include "common/stats.hpp"
+#include "daemon/server.hpp"
 #include "entropy/backend.hpp"
 #include "entropy/entropy.hpp"
 #include "harness/chaos.hpp"
+#include "harness/daemon_runner.hpp"
 #include "obs/trace_export.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
@@ -423,6 +425,68 @@ int cmd_families() {
   return 0;
 }
 
+int cmd_daemon(const Args& args) {
+  const std::string socket = args.get("socket", "/tmp/cryptodropd.sock");
+  const harness::Environment env = build_env(args, 1500);
+  daemon::DaemonOptions options;
+  options.workers = std::max<std::size_t>(args.get_size("workers", 4), 1);
+  options.queue_capacity = args.get_size("queue-capacity", 4096);
+  options.default_config = scoring_config(args);
+  daemon::Daemon service(env.base_fs, options);
+  daemon::SocketServer server(service, socket);
+  if (const Status started = server.start(); !started.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", started.to_string().c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "cryptodropd listening on %s (%zu workers, queue capacity %zu)\n"
+               "stop with: {\"type\":\"shutdown\"} on the socket\n",
+               socket.c_str(), options.workers, options.queue_capacity);
+  server.wait();
+  std::fprintf(stderr, "cryptodropd stopped\n");
+  return 0;
+}
+
+int cmd_daemon_replay(const Args& args) {
+  const std::string socket = args.get("socket", "/tmp/cryptodropd.sock");
+  const harness::Environment env = build_env(args, 1500);
+  auto specs = sim::table1_samples(args.get_size("sample-seed", 1));
+  const std::size_t max_samples = args.get_size("samples", 4);
+  if (max_samples < specs.size()) specs.resize(max_samples);
+  std::vector<sim::BenignWorkload> benign = sim::all_benign_workloads();
+  const std::size_t max_apps = args.get_size("apps", 2);
+  if (max_apps < benign.size()) benign.resize(max_apps);
+
+  harness::DaemonParityOptions options;
+  options.concurrent_tenants = std::max<std::size_t>(args.get_size("tenants", 8), 1);
+  const harness::TransportFactory factory = [socket] {
+    auto client = std::make_shared<daemon::DaemonClient>(socket);
+    return harness::Transport([client](const std::string& line) {
+      const Result<std::string> response = client->request(line);
+      if (response.is_ok()) return response.value();
+      return "{\"ok\":false,\"error\":\"transport: " +
+             response.status().to_string() + "\"}";
+    });
+  };
+  std::fprintf(stderr, "replaying %zu trials over %s with %zu tenants...\n",
+               specs.size() + benign.size(), socket.c_str(),
+               options.concurrent_tenants);
+  const harness::DaemonParityReport report = harness::run_daemon_parity(
+      env, specs, benign, args.get_size("seed", 9), scoring_config(args),
+      factory, options);
+  harness::TextTable table({"Trial", "Tenant", "Ops", "Detected", "Parity"});
+  for (const harness::DaemonParityTrial& trial : report.trials) {
+    table.add_row({trial.label, trial.tenant, std::to_string(trial.ops),
+                   trial.golden_detected ? "yes" : "no",
+                   trial.match ? "match" : "MISMATCH"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("%zu/%zu scoreboards bit-identical\n",
+              report.trials.size() - report.mismatches().size(),
+              report.trials.size());
+  return report.all_match() ? 0 : 1;
+}
+
 int cmd_apps() {
   for (const sim::BenignWorkload& workload : sim::all_benign_workloads()) {
     std::printf("%s%s\n", workload.name.c_str(),
@@ -438,6 +502,11 @@ void usage() {
                "  benign   --app NAME [--corpus N] [--seed N] [--json]\n"
                "  campaign [--corpus N] [--samples N] [--jobs N] [--full] [--json] [--per-sample]\n"
                "  trace-report --in FILE [--top K]\n"
+               "  daemon   [--socket PATH] [--workers N] [--queue-capacity N]\n"
+               "           [--corpus N] [--seed N] (+ scoring flags; docs/DAEMON.md)\n"
+               "  daemon-replay [--socket PATH] [--samples N] [--apps N] [--tenants N]\n"
+               "           (parity check against a daemon started with the SAME\n"
+               "            --corpus/--seed/scoring flags; exits 1 on any mismatch)\n"
                "  corpus   [--corpus N] [--seed N]\n"
                "  families\n"
                "  apps\n"
@@ -463,6 +532,8 @@ int main(int argc, char** argv) {
     if (args.command == "benign") return cmd_benign(args);
     if (args.command == "campaign") return cmd_campaign(args);
     if (args.command == "trace-report") return cmd_trace_report(args);
+    if (args.command == "daemon") return cmd_daemon(args);
+    if (args.command == "daemon-replay") return cmd_daemon_replay(args);
     if (args.command == "corpus") return cmd_corpus(args);
     if (args.command == "families") return cmd_families();
     if (args.command == "apps") return cmd_apps();

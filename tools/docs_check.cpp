@@ -1,14 +1,15 @@
 // docs-check: the documentation gate, run as a tier-1 ctest.
 //
-// Four invariants, checked against the living code so the docs cannot
+// Five invariants, checked against the living code so the docs cannot
 // silently rot (scanning helpers shared with tools/lint — one parser,
 // two gates; DESIGN.md §13):
 //
 //  1. Schema honesty. obs::known_metric_names() — the list the lint
 //     gate enforces at call sites — must name exactly the metrics a
-//     freshly constructed AnalysisEngine and fault filter register,
-//     and obs::known_placeholder_labels() must match the core/vfs
-//     enums it mirrors. This pins the static schema to the runtime.
+//     freshly constructed AnalysisEngine, fault filter and daemon
+//     front end register, and obs::known_placeholder_labels() must
+//     match the core/vfs/daemon enums it mirrors. This pins the
+//     static schema to the runtime.
 //
 //  2. Metric parity. The metrics schema table in docs/OBSERVABILITY.md
 //     (between the `<!-- metrics-schema:begin -->` / `end` markers) must
@@ -25,6 +26,12 @@
 //     headers (the fixed list below) must carry a comment on the
 //     preceding line (lint::HeaderScanner).
 //
+//  5. Control-API parity. The request-type table in docs/DAEMON.md
+//     (between the `<!-- control-schema:begin -->` / `end` markers)
+//     must name exactly daemon::known_request_types() — every wire
+//     request the dispatcher answers is documented, and nothing the
+//     docs promise has quietly been removed.
+//
 // Usage: docs_check <repo-root>   (exit 0 = docs in sync)
 #include <cstdio>
 #include <map>
@@ -33,6 +40,8 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "daemon/control.hpp"
+#include "daemon/metrics.hpp"
 #include "entropy/backend.hpp"
 #include "lint/scan.hpp"
 #include "obs/metrics.hpp"
@@ -90,23 +99,38 @@ std::vector<std::string> entropy_backend_labels() {
   return labels;
 }
 
+/// Shed-reason labels straight from the daemon enum, for the
+/// `<shed_reason>` placeholder family (per-reason drop counters).
+std::vector<std::string> shed_reason_labels() {
+  std::vector<std::string> labels;
+  for (cryptodrop::daemon::ShedReason reason :
+       cryptodrop::daemon::all_shed_reasons()) {
+    labels.emplace_back(cryptodrop::daemon::shed_reason_name(reason));
+  }
+  return labels;
+}
+
 /// Placeholder -> labels, derived from the real enums (not from obs —
 /// invariant 1 is exactly that obs agrees with this map).
 std::map<std::string, std::vector<std::string>> enum_placeholder_labels() {
   return {{"<indicator>", indicator_labels()},
           {"<fault>", fault_labels()},
-          {"<entropy_backend>", entropy_backend_labels()}};
+          {"<entropy_backend>", entropy_backend_labels()},
+          {"<shed_reason>", shed_reason_labels()}};
 }
 
-/// Every metric name a default-config engine and a default-plan fault
-/// filter register, families collapsed, sorted and deduplicated.
+/// Every metric name a default-config engine, a default-plan fault
+/// filter and a fresh daemon front end register, families collapsed,
+/// sorted and deduplicated.
 std::set<std::string> registered_metric_names() {
   const AnalysisEngine engine{ScoringConfig{}};
   const cryptodrop::vfs::FaultInjectionFilter filter{cryptodrop::vfs::FaultPlan{}};
+  const cryptodrop::daemon::DaemonMetrics daemon_metrics;
   const auto placeholders = enum_placeholder_labels();
   std::set<std::string> names;
   for (const cryptodrop::obs::MetricsSnapshot& snap :
-       {engine.metrics_snapshot(), filter.metrics_snapshot()}) {
+       {engine.metrics_snapshot(), filter.metrics_snapshot(),
+        daemon_metrics.snapshot()}) {
     for (const auto& c : snap.counters) {
       names.insert(lint::collapse_family(c.name, placeholders));
     }
@@ -256,6 +280,9 @@ int check_header_docs(const std::string& root) {
       "src/harness/experiment.hpp", "src/harness/report.hpp",
       "src/vfs/fault_filter.hpp", "src/harness/chaos.hpp",
       "src/common/ranked_mutex.hpp", "src/entropy/backend.hpp",
+      "src/daemon/daemon.hpp",    "src/daemon/queue.hpp",
+      "src/daemon/metrics.hpp",   "src/daemon/control.hpp",
+      "src/daemon/server.hpp",    "src/harness/daemon_runner.hpp",
   };
   lint::HeaderScanner scanner;
   for (const char* header : kPublicHeaders) {
@@ -268,6 +295,44 @@ int check_header_docs(const std::string& root) {
   return scanner.failures;
 }
 
+// --- invariant 5: control-API parity -----------------------------------
+
+int check_control_parity(const std::string& root) {
+  const std::string doc_path = root + "/docs/DAEMON.md";
+  std::set<std::string> handled;
+  for (std::string_view name : cryptodrop::daemon::known_request_types()) {
+    handled.insert(std::string(name));
+  }
+  const std::set<std::string> documented = lint::schema_table_tokens(
+      lint::read_lines_or_exit(doc_path), "control-schema:begin",
+      "control-schema:end");
+  int failures = 0;
+  for (const std::string& name : handled) {
+    if (documented.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: control request `%s` is handled by the daemon "
+                   "dispatcher but missing from the docs/DAEMON.md request "
+                   "table\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : documented) {
+    if (handled.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: docs/DAEMON.md documents control request `%s` "
+                   "but the dispatcher does not handle it\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("docs-check: control-API schema in sync (%zu request types)\n",
+                handled.size());
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,6 +342,7 @@ int main(int argc, char** argv) {
   failures += check_metric_parity(root);
   failures += check_span_parity(root);
   failures += check_header_docs(root);
+  failures += check_control_parity(root);
   if (failures != 0) {
     std::fprintf(stderr, "docs-check: %d failure(s)\n", failures);
     return 1;

@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
   for (std::string_view name : cryptodrop::obs::known_metric_names()) {
     tables.metric_families.emplace_back(name);
   }
-  for (const char* placeholder : {"<indicator>", "<fault>"}) {
+  for (const char* placeholder :
+       {"<indicator>", "<fault>", "<entropy_backend>", "<shed_reason>"}) {
     std::vector<std::string> labels;
     for (std::string_view label :
          cryptodrop::obs::known_placeholder_labels(placeholder)) {
