@@ -1,0 +1,26 @@
+#include "common/buffer_pool.hpp"
+
+namespace cryptodrop {
+
+namespace detail {
+
+PoolCounters& pool_counters() {
+  static PoolCounters counters;
+  return counters;
+}
+
+}  // namespace detail
+
+BufferPoolStats buffer_pool_stats() {
+  auto& c = detail::pool_counters();
+  BufferPoolStats out;
+  out.acquires = c.acquires.load(std::memory_order_relaxed);
+  out.hits = c.hits.load(std::memory_order_relaxed);
+  const std::int64_t retained =
+      c.bytes_retained.load(std::memory_order_relaxed);
+  out.bytes_retained =
+      retained > 0 ? static_cast<std::uint64_t>(retained) : 0;
+  return out;
+}
+
+}  // namespace cryptodrop

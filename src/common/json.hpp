@@ -56,6 +56,21 @@ class Json {
 
   [[nodiscard]] bool is_object() const { return kind_ == Kind::object; }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::array; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::string; }
+  [[nodiscard]] double as_number() const { return number_; }
+
+  /// Object field lookup (last duplicate wins, matching de-duplicating
+  /// consumers); nullptr when absent or this is not an object. Lets
+  /// report writers validate their own schema before shipping a file.
+  [[nodiscard]] const Json* find(std::string_view key) const {
+    if (kind_ != Kind::object) return nullptr;
+    const Json* found = nullptr;
+    for (const auto& [k, v] : fields_) {
+      if (k == key) found = &v;
+    }
+    return found;
+  }
   [[nodiscard]] std::size_t size() const {
     return kind_ == Kind::array ? elements_.size() : fields_.size();
   }

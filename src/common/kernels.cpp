@@ -1,0 +1,264 @@
+#include "common/kernels.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/simd.hpp"
+
+#if CRYPTODROP_SIMD_LEVEL == 2
+#include <immintrin.h>
+#elif CRYPTODROP_SIMD_LEVEL == 3
+#include <arm_neon.h>
+#endif
+
+namespace cryptodrop::kernels {
+
+void byte_histogram_reference(const std::uint8_t* data, std::size_t n,
+                              std::uint64_t counts[256]) {
+  for (std::size_t i = 0; i < n; ++i) ++counts[data[i]];
+}
+
+void byte_histogram(const std::uint8_t* data, std::size_t n,
+                    std::uint64_t counts[256]) {
+  // Four sub-tables: a run of equal bytes otherwise chains
+  // load-increment-store on the same slot every iteration, and the store
+  // forwarding stall dominates. Rotating across tables keeps at most one
+  // touch per slot per 4 increments in flight.
+  std::uint64_t t0[256] = {};
+  std::uint64_t t1[256] = {};
+  std::uint64_t t2[256] = {};
+  std::uint64_t t3[256] = {};
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    std::uint64_t w0;
+    std::uint64_t w1;
+    std::memcpy(&w0, data + i, 8);
+    std::memcpy(&w1, data + i + 8, 8);
+    ++t0[w0 & 0xff];
+    ++t1[(w0 >> 8) & 0xff];
+    ++t2[(w0 >> 16) & 0xff];
+    ++t3[(w0 >> 24) & 0xff];
+    ++t0[(w0 >> 32) & 0xff];
+    ++t1[(w0 >> 40) & 0xff];
+    ++t2[(w0 >> 48) & 0xff];
+    ++t3[w0 >> 56];
+    ++t0[w1 & 0xff];
+    ++t1[(w1 >> 8) & 0xff];
+    ++t2[(w1 >> 16) & 0xff];
+    ++t3[(w1 >> 24) & 0xff];
+    ++t0[(w1 >> 32) & 0xff];
+    ++t1[(w1 >> 40) & 0xff];
+    ++t2[(w1 >> 48) & 0xff];
+    ++t3[w1 >> 56];
+  }
+  for (; i < n; ++i) ++t0[data[i]];
+  for (std::size_t b = 0; b < 256; ++b) {
+    counts[b] += t0[b] + t1[b] + t2[b] + t3[b];
+  }
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void fnv1a64_x4(const std::uint8_t* p0, const std::uint8_t* p1,
+                const std::uint8_t* p2, const std::uint8_t* p3,
+                std::size_t n, std::uint64_t out[4]) {
+  std::uint64_t h0 = 0xcbf29ce484222325ULL;
+  std::uint64_t h1 = h0;
+  std::uint64_t h2 = h0;
+  std::uint64_t h3 = h0;
+  for (std::size_t i = 0; i < n; ++i) {
+    h0 = (h0 ^ p0[i]) * 0x100000001b3ULL;
+    h1 = (h1 ^ p1[i]) * 0x100000001b3ULL;
+    h2 = (h2 ^ p2[i]) * 0x100000001b3ULL;
+    h3 = (h3 ^ p3[i]) * 0x100000001b3ULL;
+  }
+  out[0] = h0;
+  out[1] = h1;
+  out[2] = h2;
+  out[3] = h3;
+}
+
+int distinct_count_reference(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t seen[4] = {};
+  int distinct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = p[i];
+    std::uint64_t& word = seen[b >> 6];
+    const std::uint64_t bit = 1ULL << (b & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+bool has_min_distinct(const std::uint8_t* p, std::size_t n, int threshold) {
+  if (threshold <= 0) return true;
+  std::uint64_t seen[4] = {};
+  int distinct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = p[i];
+    std::uint64_t& word = seen[b >> 6];
+    const std::uint64_t bit = 1ULL << (b & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      if (++distinct >= threshold) return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t and_popcount_reference(const std::uint64_t* a,
+                                     const std::uint64_t* b,
+                                     std::size_t words) {
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+#if CRYPTODROP_SIMD_LEVEL == 2
+
+std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) {
+  // Nibble-LUT shuffle popcount (Mula): per-byte counts via two PSHUFB
+  // table lookups, horizontal sum via SAD against zero. Exact integer
+  // counting — identical to hardware popcount by definition.
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_and_si256(va, vb);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    const __m256i cnt =
+        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint32_t total =
+      static_cast<std::uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < words; ++i) {
+    total += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+#elif CRYPTODROP_SIMD_LEVEL == 3
+
+std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const uint8x16_t va = vld1q_u8(reinterpret_cast<const std::uint8_t*>(a + i));
+    const uint8x16_t vb = vld1q_u8(reinterpret_cast<const std::uint8_t*>(b + i));
+    const uint8x16_t bits = vcntq_u8(vandq_u8(va, vb));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bits))));
+  }
+  std::uint32_t total = static_cast<std::uint32_t>(vgetq_lane_u64(acc, 0) +
+                                                   vgetq_lane_u64(acc, 1));
+  for (; i < words; ++i) {
+    total += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+#else
+
+std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) {
+  // 4-way unroll: independent partial sums keep the popcount units busy.
+  std::uint32_t c0 = 0;
+  std::uint32_t c1 = 0;
+  std::uint32_t c2 = 0;
+  std::uint32_t c3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    c0 += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
+    c1 += static_cast<std::uint32_t>(std::popcount(a[i + 1] & b[i + 1]));
+    c2 += static_cast<std::uint32_t>(std::popcount(a[i + 2] & b[i + 2]));
+    c3 += static_cast<std::uint32_t>(std::popcount(a[i + 3] & b[i + 3]));
+  }
+  std::uint32_t total = c0 + c1 + c2 + c3;
+  for (; i < words; ++i) {
+    total += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+#endif
+
+void serial_lag1_sums_reference(const std::uint8_t* p, std::size_t n,
+                                std::uint64_t& sum_b, std::uint64_t& sum_b2,
+                                std::uint64_t& sum_prod) {
+  std::uint64_t sb = 0;
+  std::uint64_t sb2 = 0;
+  std::uint64_t sp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t b = p[i];
+    sb += b;
+    sb2 += b * b;
+    if (i + 1 < n) sp += b * p[i + 1];
+  }
+  sum_b = sb;
+  sum_b2 = sb2;
+  sum_prod = sp;
+}
+
+void serial_lag1_sums(const std::uint8_t* p, std::size_t n,
+                      std::uint64_t& sum_b, std::uint64_t& sum_b2,
+                      std::uint64_t& sum_prod) {
+  std::uint64_t sb0 = 0;
+  std::uint64_t sb1 = 0;
+  std::uint64_t q0 = 0;
+  std::uint64_t q1 = 0;
+  std::uint64_t sp0 = 0;
+  std::uint64_t sp1 = 0;
+  std::size_t i = 0;
+  if (n >= 1) {
+    // Pairs (i, i+1) exist only up to n-2; unroll over the pair index.
+    const std::size_t pairs = n - 1;
+    for (; i + 2 <= pairs; i += 2) {
+      const std::uint64_t a = p[i];
+      const std::uint64_t b = p[i + 1];
+      const std::uint64_t c = p[i + 2];
+      sb0 += a;
+      sb1 += b;
+      q0 += a * a;
+      q1 += b * b;
+      sp0 += a * b;
+      sp1 += b * c;
+    }
+    for (; i < pairs; ++i) {
+      const std::uint64_t a = p[i];
+      sb0 += a;
+      q0 += a * a;
+      sp0 += a * p[i + 1];
+    }
+    const std::uint64_t last = p[n - 1];
+    sb0 += last;
+    q0 += last * last;
+  }
+  sum_b = sb0 + sb1;
+  sum_b2 = q0 + q1;
+  sum_prod = sp0 + sp1;
+}
+
+}  // namespace cryptodrop::kernels

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "common/buffer_pool.hpp"
 #include "obs/span.hpp"
 #include "simhash/digest_cache.hpp"
 #include "vfs/path.hpp"
@@ -220,6 +221,10 @@ void AnalysisEngine::register_metrics() {
       "stage_latency_us.filter_dispatch",
       "Wall time of one whole engine pre/post filter callback", "microseconds",
       buckets);
+  h_close_measure_ = &metrics_.histogram(
+      "stage_latency_us.close_measure",
+      "Wall time of one measured close (content re-read, re-digest, "
+      "indicator comparison)", "microseconds", buckets);
   g_processes_ = &metrics_.gauge(
       "processes_tracked", "Scoreboard entries at the last snapshot",
       "processes");
@@ -238,6 +243,16 @@ void AnalysisEngine::register_metrics() {
   g_cache_evictions_ = &metrics_.gauge(
       "digest_cache_evictions", "Digests evicted from the shared cache",
       "digests");
+  g_pool_acquires_ = &metrics_.gauge(
+      "buffer_pool_acquires", "Scratch-buffer acquisitions (process-wide pool)",
+      "buffers");
+  g_pool_hits_ = &metrics_.gauge(
+      "buffer_pool_hits",
+      "Scratch-buffer acquisitions served from a per-thread freelist",
+      "buffers");
+  g_pool_bytes_retained_ = &metrics_.gauge(
+      "buffer_pool_bytes_retained",
+      "Scratch capacity currently parked on per-thread freelists", "bytes");
 }
 
 void AnalysisEngine::set_alert_callback(std::function<void(const Alert&)> callback) {
@@ -381,6 +396,10 @@ void AnalysisEngine::refresh_gauges(std::size_t tracked_processes) const {
     g_cache_entries_->set(static_cast<double>(stats.entries));
     g_cache_evictions_->set(static_cast<double>(stats.evictions));
   }
+  const BufferPoolStats pool = buffer_pool_stats();
+  g_pool_acquires_->set(static_cast<double>(pool.acquires));
+  g_pool_hits_->set(static_cast<double>(pool.hits));
+  g_pool_bytes_retained_->set(static_cast<double>(pool.bytes_retained));
 }
 
 obs::MetricsSnapshot AnalysisEngine::metrics_snapshot() const {
@@ -621,9 +640,11 @@ bool AnalysisEngine::mark_pending_check(vfs::FileId id) {
 
 std::optional<simhash::SimilarityDigest> AnalysisEngine::baseline_digest_for(
     ByteView data) const {
+  // Both baseline and post-modification digests flow through here.
   // Corpus baselines recur across trials (the zoo reuses one corpus for
-  // hundreds of runs); the shared cache computes each distinct content's
-  // digest once, process-wide.
+  // hundreds of runs) and modified content recurs within runs (autosave
+  // rotations, identically keyed re-encryption); the shared cache
+  // computes each distinct content's digest once, process-wide.
   obs::ScopedSpan span(obs::span_name::kSdhashDigest);
   if (span.active()) span.arg("bytes", static_cast<double>(data.size()));
   obs::ScopedTimer timer(h_sdhash_);
@@ -661,6 +682,8 @@ void AnalysisEngine::evaluate_modification(
   bool fired_type = false;
   bool fired_similarity = false;
   bool similarity_available = false;
+  std::optional<simhash::SimilarityDigest> new_digest;
+  bool new_digest_computed = false;
 
   if (config_.enable_similarity) {
     if (!file.digest_attempted) {
@@ -671,16 +694,13 @@ void AnalysisEngine::evaluate_modification(
       if (!file.baseline_digest.has_value()) m_degraded_->add();
     }
     if (file.baseline_digest.has_value()) {
-      std::optional<simhash::SimilarityDigest> new_digest;
-      {
-        obs::ScopedSpan digest_span(obs::span_name::kSdhashDigest);
-        if (digest_span.active()) {
-          digest_span.arg("bytes", static_cast<double>(content->size()));
-        }
-        obs::ScopedTimer digest_timer(h_sdhash_);
-        m_digests_->add();
-        new_digest = simhash::SimilarityDigest::compute(ByteView(*content));
-      }
+      // Through the shared cache like the baseline digest: repeated
+      // content (autosave rotations, re-encryption of one corpus across
+      // trials) then costs one SHA-256 key instead of a full rolling
+      // feature scan. The cache is content-addressed, so a hit can
+      // never be stale (tests/chaos_test.cpp pins truncate-then-rewrite).
+      new_digest = baseline_digest_for(ByteView(*content));
+      new_digest_computed = true;
       // Both versions must be digestible; sdhash yields no score for
       // sub-512-byte files, leaving this indicator silent (§V-C).
       if (!new_digest.has_value()) m_degraded_->add();
@@ -735,8 +755,19 @@ void AnalysisEngine::evaluate_modification(
   // ("measuring the user's documents before and after each change").
   file.baseline = content;
   file.baseline_type = type_now;
-  file.baseline_digest.reset();
-  file.digest_attempted = false;
+  if (new_digest_computed && new_digest.has_value()) {
+    // The digest of the content that just became the baseline was
+    // computed three lines ago for the similarity comparison. Dropping
+    // it here was the close-path outlier: the *next* measured close of
+    // this file re-digested the identical bytes from scratch, roughly
+    // doubling (on cache hit, ~tripling) the cost of every close after
+    // the first. Keep it — same value the reset path would recompute.
+    file.baseline_digest = std::move(new_digest);
+    file.digest_attempted = true;
+  } else {
+    file.baseline_digest.reset();
+    file.digest_attempted = false;
+  }
   file.pending_check = false;
 
   if (fired_type && fired_similarity && proc.saw_entropy) {
@@ -887,16 +918,19 @@ void AnalysisEngine::score_write_entropy(ProcessState& proc, vfs::ProcessId pid,
   // (the default) this reduces to the paper's plain delta check.
   double voted_weight = 0.0;
   double delta_weighted = 0.0;
-  std::vector<std::size_t> voters_idx;
+  // Fixed-size voter list: config validation rejects duplicate members,
+  // so there are at most kBackendCount voters — no per-op heap vector.
+  std::array<std::size_t, entropy::kBackendCount> voters_idx{};
+  std::size_t voter_count = 0;
   for (std::size_t i = 0; i < entropy_members_.size(); ++i) {
     if (proc.read_means[i].empty() || proc.write_means[i].empty()) continue;
     const double delta = proc.write_means[i].mean() - proc.read_means[i].mean();
     if (delta < config_.entropy.delta_threshold) continue;
     voted_weight += entropy_members_[i].weight;
     delta_weighted += entropy_members_[i].weight * delta;
-    voters_idx.push_back(i);
+    voters_idx[voter_count++] = i;
   }
-  if (voters_idx.empty()) return;
+  if (voter_count == 0) return;
   const double quorum = entropy_members_.size() == 1
                             ? 0.0
                             : config_.entropy.ensemble.min_vote_weight *
@@ -904,7 +938,8 @@ void AnalysisEngine::score_write_entropy(ProcessState& proc, vfs::ProcessId pid,
   if (voted_weight < quorum) return;
   const double delta = delta_weighted / voted_weight;
   std::string voters;
-  for (std::size_t i : voters_idx) {
+  for (std::size_t v = 0; v < voter_count; ++v) {
+    const std::size_t i = voters_idx[v];
     m_backend_events_[static_cast<std::size_t>(entropy_members_[i].backend)]->add();
     if (!voters.empty()) voters += ',';
     voters += entropy_backends_[i]->name();
@@ -1017,6 +1052,13 @@ void AnalysisEngine::handle_read_post(const vfs::OperationEvent& event) {
 void AnalysisEngine::handle_close_post(const vfs::OperationEvent& event) {
   if (!event.wrote) return;
   assert(fs_ != nullptr);
+  // The measured close is the engine's most expensive single step
+  // (re-read + re-digest + compare); its own span and stage histogram
+  // keep it visible in trace-report so a regression of the
+  // digest-retention fix above cannot hide inside the close mean.
+  obs::ScopedSpan span(obs::span_name::kCloseMeasure);
+  if (span.active()) span.arg("bytes", static_cast<double>(event.wrote_bytes));
+  obs::ScopedTimer timer(h_close_measure_);
   const auto content = fs_->read_unfiltered(event.path);
 
   bool tracked_pending = false;

@@ -451,12 +451,16 @@ class AnalysisEngine : public vfs::Filter {
   obs::Histogram* h_entropy_ = nullptr;
   obs::Histogram* h_magic_ = nullptr;
   obs::Histogram* h_dispatch_ = nullptr;
+  obs::Histogram* h_close_measure_ = nullptr;
   obs::Gauge* g_processes_ = nullptr;
   obs::Gauge* g_files_ = nullptr;
   obs::Gauge* g_cache_hits_ = nullptr;
   obs::Gauge* g_cache_misses_ = nullptr;
   obs::Gauge* g_cache_entries_ = nullptr;
   obs::Gauge* g_cache_evictions_ = nullptr;
+  obs::Gauge* g_pool_acquires_ = nullptr;
+  obs::Gauge* g_pool_hits_ = nullptr;
+  obs::Gauge* g_pool_bytes_retained_ = nullptr;
 };
 
 }  // namespace cryptodrop::core

@@ -1,8 +1,14 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/hex.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CRYPTODROP_SHA_NI_BUILD 1
+#include <immintrin.h>
+#endif
 
 namespace cryptodrop::crypto {
 
@@ -26,14 +32,8 @@ inline std::uint32_t rotr(std::uint32_t x, int k) {
   return (x >> k) | (x << (32 - k));
 }
 
-}  // namespace
-
-Sha256::Sha256() : buffer_len_(0), total_len_(0) {
-  h_[0] = 0x6a09e667; h_[1] = 0xbb67ae85; h_[2] = 0x3c6ef372; h_[3] = 0xa54ff53a;
-  h_[4] = 0x510e527f; h_[5] = 0x9b05688c; h_[6] = 0x1f83d9ab; h_[7] = 0x5be0cd19;
-}
-
-void Sha256::process_block(const std::uint8_t* block) {
+/// Portable FIPS 180-4 compression, one block at a time.
+void process_block_scalar(std::uint32_t h_[8], const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
@@ -62,6 +62,110 @@ void Sha256::process_block(const std::uint8_t* block) {
   h_[4] += e; h_[5] += f; h_[6] += g; h_[7] += h;
 }
 
+#ifdef CRYPTODROP_SHA_NI_BUILD
+
+/// SHA-NI compression: the message schedule and two rounds per
+/// instruction via sha256msg1/msg2/rnds2, many blocks per call. State is
+/// carried in the ABEF/CDGH register split the instructions expect.
+/// FIPS 180-4 in hardware — digests are identical to the scalar path by
+/// specification (and by the parity suite).
+__attribute__((target("sha,ssse3,sse4.1"))) void process_blocks_sha_ni(
+    std::uint32_t h_[8], const std::uint8_t* blocks, std::size_t count) {
+  // Big-endian dword loads: shuffle each 16-byte lane's bytes into place.
+  const __m128i mask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h_[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h_[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  for (std::size_t blk = 0; blk < count; ++blk) {
+    const std::uint8_t* block = blocks + blk * 64;
+    const __m128i save0 = state0;
+    const __m128i save1 = state1;
+    __m128i msg[4];
+    // 16 groups of 4 rounds. Groups 0-3 load message words; later groups
+    // run on schedule vectors extended one group ahead: during group g,
+    // (a) group g+1's vector is completed — msg2 of its msg1 partial
+    // plus the W[t-7] window, both of which need group g-1's vector
+    // still *raw* — and only then (b) the msg1 partial for group g+3 is
+    // folded into group g-1's vector. Ordering (a) before (b) inside
+    // one iteration is what keeps the raw/partial lifetimes disjoint.
+    for (int g = 0; g < 16; ++g) {
+      if (g < 4) {
+        msg[g & 3] = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16 * g)),
+            mask);
+      }
+      const __m128i wk = _mm_add_epi32(
+          msg[g & 3],
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(kK + 4 * g)));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      state0 =
+          _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(wk, 0x0E));
+      if (g >= 3 && g < 15) {
+        const __m128i w7 = _mm_alignr_epi8(msg[g & 3], msg[(g - 1) & 3], 4);
+        msg[(g + 1) & 3] = _mm_sha256msg2_epu32(
+            _mm_add_epi32(msg[(g + 1) & 3], w7), msg[g & 3]);
+      }
+      if (g >= 1 && g < 13) {
+        msg[(g - 1) & 3] =
+            _mm_sha256msg1_epu32(msg[(g - 1) & 3], msg[g & 3]);
+      }
+    }
+    state0 = _mm_add_epi32(state0, save0);
+    state1 = _mm_add_epi32(state1, save1);
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);               // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);            // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);         // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);            // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h_[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h_[4]), state1);
+}
+
+bool sha_ni_supported() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("ssse3") &&
+         __builtin_cpu_supports("sse4.1");
+}
+
+#else
+
+bool sha_ni_supported() { return false; }
+
+#endif  // CRYPTODROP_SHA_NI_BUILD
+
+std::atomic<bool> g_force_scalar{false};
+
+bool use_sha_ni() {
+  static const bool supported = sha_ni_supported();
+  return supported && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Sha256::Sha256() : buffer_len_(0), total_len_(0) {
+  h_[0] = 0x6a09e667; h_[1] = 0xbb67ae85; h_[2] = 0x3c6ef372; h_[3] = 0xa54ff53a;
+  h_[4] = 0x510e527f; h_[5] = 0x9b05688c; h_[6] = 0x1f83d9ab; h_[7] = 0x5be0cd19;
+}
+
+void Sha256::process_blocks(const std::uint8_t* blocks, std::size_t count) {
+  if (count == 0) return;
+#ifdef CRYPTODROP_SHA_NI_BUILD
+  if (use_sha_ni()) {
+    process_blocks_sha_ni(h_, blocks, count);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < count; ++i) {
+    process_block_scalar(h_, blocks + i * 64);
+  }
+}
+
 void Sha256::update(ByteView data) {
   total_len_ += data.size();
   std::size_t offset = 0;
@@ -71,14 +175,15 @@ void Sha256::update(ByteView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == 64) {
-      process_block(buffer_);
+      process_blocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
-  }
+  // Bulk region in one call: the SHA-NI path keeps its state in
+  // registers across all of these blocks instead of reloading per block.
+  const std::size_t bulk = (data.size() - offset) / 64;
+  process_blocks(data.data() + offset, bulk);
+  offset += bulk * 64;
   if (offset < data.size()) {
     std::memcpy(buffer_, data.data() + offset, data.size() - offset);
     buffer_len_ = data.size() - offset;
@@ -121,6 +226,14 @@ Sha256Digest sha256(ByteView data) {
 std::string sha256_hex(ByteView data) {
   const Sha256Digest d = sha256(data);
   return hex_encode(ByteView(d.data(), d.size()));
+}
+
+std::string_view sha256_backend_name() {
+  return use_sha_ni() ? "sha_ni" : "scalar";
+}
+
+bool sha256_force_scalar(bool force) {
+  return g_force_scalar.exchange(force, std::memory_order_relaxed);
 }
 
 }  // namespace cryptodrop::crypto

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 
@@ -23,7 +24,7 @@ class Sha256 {
   Sha256Digest finish();
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* blocks, std::size_t count);
 
   std::uint32_t h_[8];
   std::uint8_t buffer_[64];
@@ -36,5 +37,16 @@ Sha256Digest sha256(ByteView data);
 
 /// Lower-case hex of the one-shot digest.
 std::string sha256_hex(ByteView data);
+
+/// Name of the active block-compression path: "sha_ni" when the CPU's
+/// SHA extensions were detected at startup (x86-64 only), else
+/// "scalar". Both paths are FIPS 180-4 — identical digests by
+/// definition; the golden-parity suite asserts it anyway.
+std::string_view sha256_backend_name();
+
+/// Test/bench hook: when true, forces the portable scalar compression
+/// even on SHA-NI hardware (the parity suite uses this to compare both
+/// paths in one process). Returns the previous setting.
+bool sha256_force_scalar(bool force);
 
 }  // namespace cryptodrop::crypto

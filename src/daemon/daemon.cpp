@@ -1,8 +1,10 @@
 #include "daemon/daemon.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <vector>
 
 namespace cryptodrop::daemon {
 
@@ -288,11 +290,18 @@ void Daemon::resume_workers() {
 
 void Daemon::worker_loop(std::size_t index) {
   BoundedOpQueue& queue = *queues_[index];
-  QueueItem item;
-  while (queue.pop(item)) {
-    execute_item(item);
+  const std::size_t batch_max = std::max<std::size_t>(1, options_.drain_batch);
+  std::vector<QueueItem> batch;
+  while (queue.pop_batch(batch, batch_max)) {
+    metrics_.batches_drained().add();
+    for (QueueItem& item : batch) {
+      execute_item(item);
+    }
+    // Count before done(): drain() can return the instant the queue
+    // goes idle, and a drained batch must already be visible in the
+    // counter by then.
     queue.done();
-    item = QueueItem{};  // Drop the tenant reference promptly.
+    batch.clear();  // Drop the tenant references promptly.
   }
 }
 

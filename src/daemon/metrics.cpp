@@ -25,6 +25,10 @@ DaemonMetrics::DaemonMetrics() {
   executed_ = &registry_.counter(
       "daemon_ops_executed_total",
       "Ops executed through a tenant session by a daemon worker.", "ops");
+  batches_drained_ = &registry_.counter(
+      "daemon_batches_drained_total",
+      "Queue batches drained by workers (one per pop_batch call).",
+      "batches");
   for (ShedReason reason : all_shed_reasons()) {
     shed_[static_cast<std::size_t>(reason)] = &registry_.counter(
         "daemon_ops_shed_total." + std::string(shed_reason_name(reason)),

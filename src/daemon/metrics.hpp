@@ -26,6 +26,9 @@ class DaemonMetrics {
   obs::Counter& ingested() { return *ingested_; }
   /// Ops executed through a tenant session.
   obs::Counter& executed() { return *executed_; }
+  /// Worker batch drains (one per pop_batch; ops-per-batch = executed /
+  /// batches under saturation).
+  obs::Counter& batches_drained() { return *batches_drained_; }
   /// Ops dropped for `reason` (admission control, detach, shutdown).
   obs::Counter& shed(ShedReason reason) {
     return *shed_[static_cast<std::size_t>(reason)];
@@ -55,6 +58,7 @@ class DaemonMetrics {
   obs::MetricsRegistry registry_;
   obs::Counter* ingested_ = nullptr;
   obs::Counter* executed_ = nullptr;
+  obs::Counter* batches_drained_ = nullptr;
   std::array<obs::Counter*, 4> shed_{};
   obs::Counter* tenants_attached_ = nullptr;
   obs::Counter* tenants_detached_ = nullptr;

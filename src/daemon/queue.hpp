@@ -17,6 +17,7 @@
 // "ingested == executed + shed", docs/DAEMON.md).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -143,8 +144,30 @@ class BoundedOpQueue {
     return true;
   }
 
-  /// Marks the item returned by the last pop() as finished (drain
-  /// visibility).
+  /// Blocking batched dequeue: waits like pop(), then moves up to
+  /// `max_items` items into `out` (cleared first) in FIFO order under
+  /// one lock acquisition. Returns false when the queue is stopped and
+  /// empty. The whole batch counts as in-flight until done() is called,
+  /// so drain_wait() still observes "executed or queued, never lost".
+  bool pop_batch(std::vector<QueueItem>& out, std::size_t max_items) {
+    out.clear();
+    std::unique_lock<QueueMutex> lock(mu_);
+    work_cv_.wait(lock, [&] {
+      return (!items_.empty() && !paused_) || (stopped_ && items_.empty());
+    });
+    if (items_.empty()) return false;
+    const std::size_t take = std::min(max_items, items_.size());
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    busy_ = true;
+    return true;
+  }
+
+  /// Marks the item(s) returned by the last pop()/pop_batch() as
+  /// finished (drain visibility).
   void done() {
     {
       std::unique_lock<QueueMutex> lock(mu_);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <cstring>
 
+#include "common/buffer_pool.hpp"
+#include "common/kernels.hpp"
 #include "entropy/entropy.hpp"
 
 namespace cryptodrop::entropy {
@@ -52,22 +54,29 @@ double serial_from_sums(std::uint64_t n, double sum_b, double sum_b2,
   return 8.0 * (1.0 - structured);
 }
 
-/// One DAA window's score: total-variation distance of the window's
-/// byte histogram from uniform (the "area" between the observed and
-/// flat distributions), mapped to [0, 8] as 8·(1 − tv). Ciphertext
-/// windows have small tv (sampling noise only); structured windows have
-/// large tv.
-double daa_window_score(const std::uint8_t* data, std::size_t n) {
-  if (n == 0) return 0.0;
-  std::uint64_t counts[256] = {};
-  for (std::size_t i = 0; i < n; ++i) ++counts[data[i]];
-  const double total = static_cast<double>(n);
+/// One DAA window's score from its byte histogram: total-variation
+/// distance from uniform (the "area" between the observed and flat
+/// distributions), mapped to [0, 8] as 8·(1 − tv). Ciphertext windows
+/// have small tv (sampling noise only); structured windows have large
+/// tv. Split from the per-buffer form so ring-buffer segments can be
+/// histogrammed separately and scored once.
+double daa_score_from_counts(const std::uint64_t counts[256],
+                             std::uint64_t total) {
+  if (total == 0) return 0.0;
+  const double dn = static_cast<double>(total);
   double tv = 0.0;
-  for (std::uint64_t c : counts) {
-    tv += std::abs(static_cast<double>(c) / total - 1.0 / 256.0);
+  for (std::size_t i = 0; i < 256; ++i) {
+    tv += std::abs(static_cast<double>(counts[i]) / dn - 1.0 / 256.0);
   }
   tv *= 0.5;
   return 8.0 * (1.0 - tv);
+}
+
+double daa_window_score(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return 0.0;
+  std::uint64_t counts[256] = {};
+  kernels::byte_histogram(data, n, counts);
+  return daa_score_from_counts(counts, n);
 }
 
 // --- shannon ------------------------------------------------------------
@@ -104,7 +113,7 @@ class ShannonBackend final : public Backend {
 class ChiSquareAccumulator final : public Accumulator {
  public:
   void add(ByteView data) override {
-    for (std::uint8_t b : data) ++counts_[b];
+    kernels::byte_histogram(data.data(), data.size(), counts_);
     total_ += data.size();
   }
   [[nodiscard]] double score() const override {
@@ -125,7 +134,7 @@ class ChiSquareBackend final : public Backend {
   [[nodiscard]] double score(ByteView data) const override {
     if (data.empty()) return 0.0;
     std::uint64_t counts[256] = {};
-    for (std::uint8_t b : data) ++counts[b];
+    kernels::byte_histogram(data.data(), data.size(), counts);
     return chi_square_from_counts(counts, data.size());
   }
   [[nodiscard]] std::unique_ptr<Accumulator> make_accumulator() const override {
@@ -174,9 +183,23 @@ class SerialCorrelationBackend final : public Backend {
     return BackendKind::serial_correlation;
   }
   [[nodiscard]] double score(ByteView data) const override {
-    SerialCorrelationAccumulator acc;
-    acc.add(data);
-    return acc.score();
+    if (data.empty()) return 0.0;
+    // One-shot form runs on the unrolled integer kernel. All three sums
+    // are exact integers, and the streamed double accumulation above is
+    // also exact (every partial sum is an integer far below 2^53), so
+    // the two forms agree bit-for-bit — the chunking-invariance test
+    // holds this.
+    std::uint64_t sum_b = 0;
+    std::uint64_t sum_b2 = 0;
+    std::uint64_t sum_prod = 0;
+    kernels::serial_lag1_sums(data.data(), data.size(), sum_b, sum_b2,
+                              sum_prod);
+    const std::uint64_t wrap =
+        static_cast<std::uint64_t>(data.data()[data.size() - 1]) *
+        static_cast<std::uint64_t>(data.data()[0]);
+    return serial_from_sums(data.size(), static_cast<double>(sum_b),
+                            static_cast<double>(sum_b2),
+                            static_cast<double>(sum_prod + wrap));
   }
   [[nodiscard]] std::unique_ptr<Accumulator> make_accumulator() const override {
     return std::make_unique<SerialCorrelationAccumulator>();
@@ -185,37 +208,77 @@ class SerialCorrelationBackend final : public Backend {
 
 // --- daa ----------------------------------------------------------------
 
-/// Streaming DAA: keeps the first `window` bytes and a bounded deque of
+/// Streaming DAA: keeps the first `window` bytes and a ring buffer of
 /// the last `window` bytes; scoring is min(head, tail) so a buffer reads
 /// as ciphertext only when *both* sampled regions do. This is exactly
 /// the surface the prepend-a-plaintext-header attack (arXiv 2303.17351
 /// §Attacks) targets — see the evasion test.
+///
+/// The tail ring advances by bulk memcpy (at most two segments per
+/// add), and a chunk no smaller than the window simply replaces the
+/// whole ring — a chunk boundary can land anywhere, including inside
+/// either window, without changing what the last `window` bytes are.
+/// The adversarial-split chunking test pins streamed == one-shot at
+/// exactly those boundaries. Both window buffers come from the
+/// per-thread scratch pool: accumulators are churned per stream, and
+/// their window-sized storage is the allocation that pooling exists to
+/// recycle.
 class DaaAccumulator final : public Accumulator {
  public:
-  explicit DaaAccumulator(std::size_t window) : window_(std::max<std::size_t>(window, 1)) {}
+  explicit DaaAccumulator(std::size_t window)
+      : window_(std::max<std::size_t>(window, 1)),
+        head_(window_),
+        ring_(window_) {}
 
   void add(ByteView data) override {
-    total_ += data.size();
-    for (std::uint8_t b : data) {
-      if (head_.size() < window_) head_.push_back(b);
-      tail_.push_back(b);
-      if (tail_.size() > window_) tail_.pop_front();
+    const std::uint8_t* p = data.data();
+    const std::size_t n = data.size();
+    total_ += n;
+    if (n == 0) return;
+    if (head_->size() < window_) {
+      const std::size_t take = std::min(window_ - head_->size(), n);
+      head_->insert(head_->end(), p, p + take);
+    }
+    if (ring_->size() != window_) ring_->resize(window_);
+    if (n >= window_) {
+      // Only the last window_ bytes of this chunk can survive: they
+      // *are* the new tail.
+      std::memcpy(ring_->data(), p + (n - window_), window_);
+      start_ = 0;
+      len_ = window_;
+      return;
+    }
+    const std::size_t w = (start_ + len_) % window_;
+    const std::size_t first = std::min(n, window_ - w);
+    std::memcpy(ring_->data() + w, p, first);
+    if (first < n) std::memcpy(ring_->data(), p + first, n - first);
+    len_ += n;
+    if (len_ > window_) {
+      start_ = (start_ + (len_ - window_)) % window_;
+      len_ = window_;
     }
   }
   [[nodiscard]] double score() const override {
     if (total_ == 0) return 0.0;
-    const double head = daa_window_score(head_.data(), head_.size());
-    std::vector<std::uint8_t> tail(tail_.begin(), tail_.end());
-    const double tail_score = daa_window_score(tail.data(), tail.size());
-    return std::min(head, tail_score);
+    const double head = daa_window_score(head_->data(), head_->size());
+    // The tail histogram reads the ring in place — two segments, no
+    // linearization copy. TV distance is order-blind, so segment order
+    // is immaterial.
+    std::uint64_t counts[256] = {};
+    const std::size_t seg = std::min(len_, window_ - start_);
+    kernels::byte_histogram(ring_->data() + start_, seg, counts);
+    kernels::byte_histogram(ring_->data(), len_ - seg, counts);
+    return std::min(head, daa_score_from_counts(counts, len_));
   }
   [[nodiscard]] std::uint64_t total() const override { return total_; }
 
  private:
   std::size_t window_;
   std::uint64_t total_ = 0;
-  std::vector<std::uint8_t> head_;
-  std::deque<std::uint8_t> tail_;
+  Scratch<std::uint8_t> head_;
+  Scratch<std::uint8_t> ring_;
+  std::size_t start_ = 0;  ///< Ring index of the oldest retained byte.
+  std::size_t len_ = 0;    ///< Bytes currently retained in the ring.
 };
 
 class DaaBackend final : public Backend {

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "common/kernels.hpp"
+
 namespace cryptodrop::entropy {
 
 double shannon(ByteView data) {
   if (data.empty()) return 0.0;
   std::uint64_t counts[256] = {};
-  for (std::uint8_t b : data) ++counts[b];
+  kernels::byte_histogram(data.data(), data.size(), counts);
   const double total = static_cast<double>(data.size());
   double e = 0.0;
   for (std::uint64_t c : counts) {
@@ -19,7 +21,7 @@ double shannon(ByteView data) {
 }
 
 void Histogram::add(ByteView data) {
-  for (std::uint8_t b : data) ++counts_[b];
+  kernels::byte_histogram(data.data(), data.size(), counts_);
   total_ += data.size();
 }
 

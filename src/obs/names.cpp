@@ -20,6 +20,7 @@ std::vector<std::string_view> known_metric_names() {
       "stage_latency_us.entropy",
       "stage_latency_us.magic_sniff",
       "stage_latency_us.filter_dispatch",
+      "stage_latency_us.close_measure",
       // engine gauges
       "processes_tracked",
       "files_tracked",
@@ -27,11 +28,16 @@ std::vector<std::string_view> known_metric_names() {
       "digest_cache_misses",
       "digest_cache_entries",
       "digest_cache_evictions",
+      // scratch-buffer pool gauges (common/buffer_pool.cpp)
+      "buffer_pool_acquires",
+      "buffer_pool_hits",
+      "buffer_pool_bytes_retained",
       // fault-injection filter counters (vfs/fault_filter.cpp)
       "faults_injected_total.<fault>",
       // daemon ingestion front end (daemon/metrics.cpp)
       "daemon_ops_ingested_total",
       "daemon_ops_executed_total",
+      "daemon_batches_drained_total",
       "daemon_ops_shed_total.<shed_reason>",
       "daemon_tenants_attached_total",
       "daemon_tenants_detached_total",

@@ -33,8 +33,8 @@ std::vector<std::string_view> known_span_names() {
           span_name::kFilterPost,    span_name::kMagicSniff,
           span_name::kEntropy,       span_name::kSdhashDigest,
           span_name::kSdhashCompare, span_name::kScoreUpdate,
-          span_name::kVerdict,       span_name::kDaemonIngest,
-          span_name::kDaemonExecute};
+          span_name::kVerdict,       span_name::kCloseMeasure,
+          span_name::kDaemonIngest,  span_name::kDaemonExecute};
 }
 
 SpanTracer::SpanTracer(TraceOptions options) : options_(options) {

@@ -79,6 +79,9 @@ inline constexpr std::string_view kSdhashCompare = "engine.sdhash_compare";
 inline constexpr std::string_view kScoreUpdate = "engine.score_update";
 /// Detection verdict (suspension). Args: `score`, `threshold`.
 inline constexpr std::string_view kVerdict = "engine.verdict";
+/// One measured close: content re-read, re-digest, indicator
+/// comparison. Args: `bytes`.
+inline constexpr std::string_view kCloseMeasure = "engine.close_measure";
 /// Daemon front end: one submit batch accepted into the ingestion
 /// queues. Args: `tenant`, `ops`.
 inline constexpr std::string_view kDaemonIngest = "daemon.ingest";

@@ -3,20 +3,12 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/buffer_pool.hpp"
+#include "common/kernels.hpp"
+
 namespace cryptodrop::simhash {
 
 namespace {
-
-/// FNV-1a over a feature window; the basis for both feature selection and
-/// bloom insertion.
-std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 std::uint64_t mix(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -27,20 +19,7 @@ std::uint64_t mix(std::uint64_t z) {
 /// Rejects degenerate windows (long runs, tiny alphabets) that are common
 /// to unrelated files and would inflate similarity — sdhash does the same
 /// via its entropy-based precedence ranks.
-bool window_is_selectable(const std::uint8_t* p) {
-  std::uint64_t seen[4] = {};
-  int distinct = 0;
-  for (std::size_t i = 0; i < kFeatureSize; ++i) {
-    const std::uint8_t b = p[i];
-    std::uint64_t& word = seen[b >> 6];
-    const std::uint64_t bit = 1ULL << (b & 63);
-    if ((word & bit) == 0) {
-      word |= bit;
-      ++distinct;
-    }
-  }
-  return distinct >= 8;
-}
+constexpr int kMinDistinctBytes = 8;
 
 constexpr std::size_t kBloomHashes = 5;
 
@@ -69,14 +48,36 @@ inline std::uint64_t rotl64(std::uint64_t x, int k) {
 /// kFeatureSize bytes.
 constexpr std::uint64_t kSelectMask = 0x3f;
 
+/// Primes the rolling hash with the window starting at data[0].
+std::uint64_t prime_rolling(ByteView data) {
+  const auto& tab = buz_table();
+  std::uint64_t rolling = 0;
+  for (std::size_t k = 0; k < kFeatureSize; ++k) {
+    rolling ^= rotl64(tab[data[k]], static_cast<int>((kFeatureSize - 1 - k) % 64));
+  }
+  return rolling;
+}
+
 }  // namespace
 
 std::uint32_t SimilarityDigest::Filter::popcount() const {
-  std::uint32_t total = 0;
-  for (std::uint64_t word : bits) {
-    total += static_cast<std::uint32_t>(std::popcount(word));
+  return kernels::and_popcount(bits.data(), bits.data(), bits.size());
+}
+
+void SimilarityDigest::insert_feature(std::uint64_t h) {
+  Filter* filter = &filters_.back();
+  if (filter->features >= kFeaturesPerFilter) {
+    filters_.emplace_back();
+    filter = &filters_.back();
   }
-  return total;
+  std::uint64_t g = h;
+  for (std::size_t k = 0; k < kBloomHashes; ++k) {
+    g = mix(g + k);
+    const std::size_t bit = static_cast<std::size_t>(g % kFilterBits);
+    filter->bits[bit / 64] |= 1ULL << (bit % 64);
+  }
+  ++filter->features;
+  ++feature_count_;
 }
 
 std::optional<SimilarityDigest> SimilarityDigest::compute(ByteView data) {
@@ -86,11 +87,78 @@ std::optional<SimilarityDigest> SimilarityDigest::compute(ByteView data) {
   digest.filters_.emplace_back();
 
   const auto& tab = buz_table();
-  // Prime the rolling hash with the first window.
-  std::uint64_t rolling = 0;
-  for (std::size_t k = 0; k < kFeatureSize; ++k) {
-    rolling ^= rotl64(tab[data[k]], static_cast<int>((kFeatureSize - 1 - k) % 64));
+  const std::uint8_t* bytes = data.data();
+  std::uint64_t rolling = prime_rolling(data);
+
+  // Pass 1 — trigger scan. The recurrence is loop-carried (each rolling
+  // value feeds the next) so it cannot be widened; what *can* be removed
+  // is everything else: the per-position bounds test is hoisted out of
+  // the loop (advancing is always safe before the final position) and
+  // trigger positions are only recorded, not processed, so the scan body
+  // stays branch-light and the expensive per-trigger work runs batched
+  // in passes 2–4 below.
+  Scratch<std::uint32_t> triggers(data.size() / 48 + 8);
+  const std::size_t last_pos = data.size() - kFeatureSize;
+  std::size_t pos = 0;
+  for (; pos < last_pos; ++pos) {
+    const std::uint64_t h_select = rolling;
+    rolling = rotl64(rolling, 1) ^ tab[bytes[pos]] ^ tab[bytes[pos + kFeatureSize]];
+    if ((h_select & kSelectMask) == 0) {
+      triggers->push_back(static_cast<std::uint32_t>(pos));
+    }
   }
+  if ((rolling & kSelectMask) == 0) {
+    triggers->push_back(static_cast<std::uint32_t>(pos));
+  }
+
+  // Pass 2 — selectability screen, compacted in place. The early-exit
+  // kernel answers "has >= 8 distinct bytes" in a handful of iterations
+  // for real content instead of always walking all 64.
+  std::size_t kept = 0;
+  for (const std::uint32_t t : *triggers) {
+    if (kernels::has_min_distinct(bytes + t, kFeatureSize, kMinDistinctBytes)) {
+      (*triggers)[kept++] = t;
+    }
+  }
+  triggers->resize(kept);
+
+  // Pass 3 — feature hashing in 4-wide ILP lanes over the surviving
+  // windows (the FNV chain is serial per window; four chains hide the
+  // multiply latency).
+  Scratch<std::uint64_t> hashes(kept);
+  hashes->resize(kept);
+  std::size_t i = 0;
+  for (; i + 4 <= kept; i += 4) {
+    kernels::fnv1a64_x4(bytes + (*triggers)[i], bytes + (*triggers)[i + 1],
+                        bytes + (*triggers)[i + 2], bytes + (*triggers)[i + 3],
+                        kFeatureSize, hashes->data() + i);
+  }
+  for (; i < kept; ++i) {
+    (*hashes)[i] = kernels::fnv1a64(bytes + (*triggers)[i], kFeatureSize);
+  }
+
+  // Pass 4 — bloom insertion in original scan order, so filter rollover
+  // boundaries (and therefore the digest) are identical to the scalar
+  // single-pass form.
+  for (const std::uint64_t h : *hashes) {
+    digest.insert_feature(h);
+  }
+
+  // Too few features to be statistically meaningful (e.g. a file of one
+  // repeated byte): no digest, same as sdhash on degenerate input.
+  if (digest.feature_count_ < 6) return std::nullopt;
+  return digest;
+}
+
+std::optional<SimilarityDigest> SimilarityDigest::compute_reference(
+    ByteView data) {
+  if (data.size() < kMinInputSize) return std::nullopt;
+
+  SimilarityDigest digest;
+  digest.filters_.emplace_back();
+
+  const auto& tab = buz_table();
+  std::uint64_t rolling = prime_rolling(data);
 
   for (std::size_t pos = 0; pos + kFeatureSize <= data.size(); ++pos) {
     const std::uint64_t h_select = rolling;
@@ -100,28 +168,24 @@ std::optional<SimilarityDigest> SimilarityDigest::compute(ByteView data) {
     }
     if ((h_select & kSelectMask) != 0) continue;
     const std::uint8_t* window = data.data() + pos;
-    if (!window_is_selectable(window)) continue;
-    const std::uint64_t h = fnv1a(window, kFeatureSize);
-
-    Filter* filter = &digest.filters_.back();
-    if (filter->features >= kFeaturesPerFilter) {
-      digest.filters_.emplace_back();
-      filter = &digest.filters_.back();
+    if (kernels::distinct_count_reference(window, kFeatureSize) < kMinDistinctBytes) {
+      continue;
     }
-    std::uint64_t g = h;
-    for (std::size_t k = 0; k < kBloomHashes; ++k) {
-      g = mix(g + k);
-      const std::size_t bit = static_cast<std::size_t>(g % kFilterBits);
-      filter->bits[bit / 64] |= 1ULL << (bit % 64);
-    }
-    ++filter->features;
-    ++digest.feature_count_;
+    digest.insert_feature(kernels::fnv1a64(window, kFeatureSize));
   }
 
-  // Too few features to be statistically meaningful (e.g. a file of one
-  // repeated byte): no digest, same as sdhash on degenerate input.
   if (digest.feature_count_ < 6) return std::nullopt;
   return digest;
+}
+
+bool SimilarityDigest::operator==(const SimilarityDigest& other) const {
+  if (feature_count_ != other.feature_count_) return false;
+  if (filters_.size() != other.filters_.size()) return false;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (filters_[i].features != other.filters_[i].features) return false;
+    if (filters_[i].bits != other.filters_[i].bits) return false;
+  }
+  return true;
 }
 
 int SimilarityDigest::compare_filters(const Filter& a, const Filter& b) {
@@ -129,10 +193,8 @@ int SimilarityDigest::compare_filters(const Filter& a, const Filter& b) {
   const std::uint32_t pb = b.popcount();
   if (pa == 0 || pb == 0) return 0;
 
-  std::uint32_t overlap = 0;
-  for (std::size_t i = 0; i < a.bits.size(); ++i) {
-    overlap += static_cast<std::uint32_t>(std::popcount(a.bits[i] & b.bits[i]));
-  }
+  const std::uint32_t overlap =
+      kernels::and_popcount(a.bits.data(), b.bits.data(), a.bits.size());
 
   // Expected overlap between two *unrelated* filters with pa and pb set
   // bits: pa*pb/m. Score the excess over that base rate against the best

@@ -41,8 +41,20 @@ inline constexpr std::size_t kFeaturesPerFilter = 160;
 class SimilarityDigest {
  public:
   /// Builds a digest, or nullopt when `data` is too small or too
-  /// featureless to fingerprint.
+  /// featureless to fingerprint. Batched form: trigger scan, selectable
+  /// screen, 4-lane feature hashing, then in-order bloom insertion —
+  /// bit-identical to compute_reference() (asserted by the golden-parity
+  /// suite), just faster.
   static std::optional<SimilarityDigest> compute(ByteView data);
+
+  /// Straight-line single-pass form of compute(), kept as the golden
+  /// reference the parity tests compare the batched kernels against.
+  /// Never called on the hot path.
+  static std::optional<SimilarityDigest> compute_reference(ByteView data);
+
+  /// Exact equality: same features, same filter boundaries, same bits.
+  /// This is the parity suite's definition of "bit-identical".
+  [[nodiscard]] bool operator==(const SimilarityDigest& other) const;
 
   /// Similarity confidence 0..100. Symmetric. 100 = homologous,
   /// 0 = statistically unrelated.
@@ -62,6 +74,11 @@ class SimilarityDigest {
   };
 
   static int compare_filters(const Filter& a, const Filter& b);
+
+  /// Folds one feature hash into the current filter, rolling over to a
+  /// fresh filter at kFeaturesPerFilter (shared by both compute forms so
+  /// rollover boundaries cannot drift).
+  void insert_feature(std::uint64_t h);
 
   std::vector<Filter> filters_;
   std::size_t feature_count_ = 0;

@@ -5,12 +5,17 @@
 // included.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/text.hpp"
+#include "core/engine.hpp"
 #include "harness/chaos.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runner.hpp"
 #include "sim/benign/benign.hpp"
 #include "sim/ransomware/families.hpp"
+#include "simhash/digest_cache.hpp"
+#include "vfs/filesystem.hpp"
 
 namespace cryptodrop::harness {
 namespace {
@@ -167,6 +172,71 @@ TEST_F(ChaosTest, BenignSuiteIsBitIdenticalAcrossJobCounts) {
   for (std::size_t i = 0; i < m1.counters.size(); ++i) {
     EXPECT_EQ(m1.counters[i].value, m3.counters[i].value) << m1.counters[i].name;
   }
+}
+
+TEST_F(ChaosTest, DigestCacheNeverStaleAfterTruncateThenRewrite) {
+  // Regression guard for the close-path digest-retention optimisation:
+  // the engine now keeps the freshly measured digest as the next
+  // baseline, and the shared DigestCache is keyed by content SHA-256 —
+  // neither may ever hand back the *old* content's digest after a
+  // truncate-then-rewrite, or the similarity indicator would compare
+  // ransomware output against itself and stay silent.
+  core::ScoringConfig config;
+  config.protected_root = "users/victim/documents";
+  config.score_threshold = 1000000;  // indicators only; no suspension
+  config.union_threshold = 1000000;
+  config.share_digest_cache = true;
+
+  Rng rng(777);
+  const Bytes prose = to_bytes(synth_prose(rng, 30000));
+  const Bytes noise = rng.bytes(30000);
+  const std::string path = "users/victim/documents/ledger.txt";
+
+  for (int round = 0; round < 2; ++round) {
+    // Two rounds over the same content through one process-wide cache:
+    // round 2 replays round 1's exact bytes, so every digest lookup is
+    // a cache hit — the stalest path possible.
+    vfs::FileSystem fs;
+    core::AnalysisEngine engine(config);
+    fs.attach_filter(&engine);
+    const vfs::ProcessId pid = fs.register_process("subject");
+    ASSERT_TRUE(fs.put_file_raw(path, prose).is_ok());
+    ASSERT_TRUE(fs.read_file(pid, path).is_ok());
+
+    // Truncate-then-rewrite with unrelated bytes: the baseline digest
+    // (captured pre-truncate) must be compared against the *new*
+    // content's digest, never a stale cached one.
+    auto h = fs.open(pid, path, vfs::kWrite | vfs::kTruncate);
+    ASSERT_TRUE(h.is_ok());
+    ASSERT_TRUE(fs.write(pid, h.value(), ByteView(noise)).is_ok());
+    ASSERT_TRUE(fs.close(pid, h.value()).is_ok());
+    EXPECT_EQ(engine.process_report(pid).similarity_drop_events, 1u)
+        << "round " << round;
+
+    // Rewrite back to the original prose: the retained baseline is now
+    // the noise digest, so similarity must drop again — a stale "prose"
+    // baseline would instead report a perfect match here.
+    auto h2 = fs.open(pid, path, vfs::kWrite | vfs::kTruncate);
+    ASSERT_TRUE(h2.is_ok());
+    ASSERT_TRUE(fs.write(pid, h2.value(), ByteView(prose)).is_ok());
+    ASSERT_TRUE(fs.close(pid, h2.value()).is_ok());
+    EXPECT_EQ(engine.process_report(pid).similarity_drop_events, 2u)
+        << "round " << round;
+  }
+
+  // Cache-level check of the same hazard, content-addressed directly.
+  simhash::DigestCache cache(64);
+  const auto before = cache.get_or_compute(ByteView(prose));
+  const auto after = cache.get_or_compute(ByteView(noise));
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_FALSE(*before == *after);
+  const auto fresh = simhash::SimilarityDigest::compute(ByteView(noise));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(*after == *fresh);
+  const auto replay = cache.get_or_compute(ByteView(prose));
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(*replay == *before);
 }
 
 TEST_F(ChaosTest, InvalidPlanIsRejectedBeforeAnyTrialRuns) {

@@ -140,6 +140,59 @@ TEST(EntropyBackend, AccumulatorMatchesOneShotAcrossChunkings) {
   }
 }
 
+TEST(EntropyBackend, AccumulatorMatchesOneShotAtAdversarialSplits) {
+  // The DAA tail ring is where chunk boundaries can go wrong: a split
+  // exactly at, one before, or one after a window edge; writes smaller
+  // than the window; chunks that straddle the head/tail boundary; and
+  // degenerate windows of 1 and 2 bytes. Every backend must still score
+  // the stream identically to the one-shot form at all of them.
+  const Bytes data = compressed_fixture();
+  for (std::size_t window : {std::size_t{1}, std::size_t{2}, std::size_t{256},
+                             std::size_t{2048}, std::size_t{4096}}) {
+    BackendOptions options;
+    options.daa_window_bytes = window;
+    for (BackendKind kind : all_backend_kinds()) {
+      const auto backend = make_backend(kind, options);
+      const double one_shot = backend->score(ByteView(data));
+      // Split points chosen adversarially around the window edges and
+      // the buffer ends; each defines a three-chunk feed.
+      std::vector<std::size_t> cuts = {1,
+                                       window > 1 ? window - 1 : 1,
+                                       window,
+                                       window + 1,
+                                       2 * window - 1,
+                                       2 * window + 1,
+                                       data.size() - 1,
+                                       data.size() - window,
+                                       data.size() - window - 1};
+      for (std::size_t a : cuts) {
+        for (std::size_t b : cuts) {
+          if (a > b || b > data.size()) continue;
+          const auto acc = backend->make_accumulator();
+          acc->add(ByteView(data).subspan(0, a));
+          acc->add(ByteView(data).subspan(a, b - a));
+          acc->add(ByteView(data).subspan(b, data.size() - b));
+          ASSERT_EQ(acc->total(), data.size()) << backend->name();
+          ASSERT_DOUBLE_EQ(acc->score(), one_shot)
+              << backend->name() << " window=" << window << " cuts=" << a
+              << "," << b;
+        }
+      }
+      // Sub-window drip: every write smaller than the window, sized so
+      // chunks continually straddle ring wrap points.
+      if (window > 2) {
+        const auto acc = backend->make_accumulator();
+        const std::size_t step = window / 2 + 1;
+        for (std::size_t off = 0; off < data.size(); off += step) {
+          acc->add(ByteView(data).subspan(off, std::min(step, data.size() - off)));
+        }
+        ASSERT_DOUBLE_EQ(acc->score(), one_shot)
+            << backend->name() << " window=" << window << " drip=" << step;
+      }
+    }
+  }
+}
+
 TEST(EntropyBackend, DaaWindowOptionChangesScore) {
   const Bytes data = compressed_fixture();  // header only inside small windows
   BackendOptions narrow;

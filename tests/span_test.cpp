@@ -386,7 +386,7 @@ TEST(TraceExport, AnalyzeAttributesSelfTimeToStages) {
 
 TEST(TraceExport, KnownSpanNamesMatchesSchemaOrder) {
   const std::vector<std::string_view> names = known_span_names();
-  ASSERT_EQ(names.size(), 11u);
+  ASSERT_EQ(names.size(), 12u);
   EXPECT_EQ(names.front(), span_name::kDispatch);
   EXPECT_EQ(names.back(), span_name::kDaemonExecute);
   // No duplicates.

@@ -283,6 +283,8 @@ int check_header_docs(const std::string& root) {
       "src/daemon/daemon.hpp",    "src/daemon/queue.hpp",
       "src/daemon/metrics.hpp",   "src/daemon/control.hpp",
       "src/daemon/server.hpp",    "src/harness/daemon_runner.hpp",
+      "src/common/kernels.hpp",   "src/common/buffer_pool.hpp",
+      "src/common/simd.hpp",
   };
   lint::HeaderScanner scanner;
   for (const char* header : kPublicHeaders) {
