@@ -12,11 +12,17 @@
 // BENCH_PERF.json, the repo's perf baseline.
 #include <benchmark/benchmark.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -28,6 +34,7 @@
 #include "core/engine.hpp"
 #include "crypto/sha256.hpp"
 #include "daemon/daemon.hpp"
+#include "daemon/server.hpp"
 #include "entropy/backend.hpp"
 #include "entropy/entropy.hpp"
 #include "obs/span.hpp"
@@ -303,7 +310,13 @@ std::optional<Json> print_engine_internal_latency() {
 /// counts 1 and 8 (the --jobs axis). Reports end-to-end ops/sec (submit
 /// through drained execution) and the batched-drain amortisation
 /// (ops per queue-lock acquisition).
-Json run_daemon_ingestion() {
+///
+/// Guardrail: an 8-worker run with one live `watch` subscriber streaming
+/// frames over a real AF_UNIX server must stay within 5% of the plain
+/// 8-worker throughput — the telemetry plane may observe the hot path,
+/// never tax it. One retry (best ratio kept) absorbs scheduler noise.
+/// Returns nullopt on violation.
+std::optional<Json> run_daemon_ingestion() {
   constexpr int kTenants = 8;
   constexpr std::size_t kSlice = 32;  // ops per submit() call
 
@@ -336,10 +349,19 @@ Json run_daemon_ingestion() {
 
   std::printf("\n== daemon ingestion under contention (%d tenants, %zu ops each) ==\n",
               kTenants, entries.size());
-  std::printf("%-10s %14s %14s %14s\n", "workers", "ops/sec", "batches",
+  std::printf("%-12s %14s %14s %14s\n", "workers", "ops/sec", "batches",
               "ops/batch");
-  Json out = Json::object();
-  for (std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+
+  struct IngestionRun {
+    double ops_per_sec = 0.0;
+    double batches = 0.0;
+    double ops_per_batch = 0.0;
+  };
+  /// One full ingestion pass. With `with_watch` a SocketServer fronts
+  /// the same daemon and a subscriber thread drains the `watch` stream
+  /// for the whole run (frames counted, never inspected).
+  const auto measure = [&](std::size_t workers,
+                           bool with_watch) -> std::optional<IngestionRun> {
     daemon::DaemonOptions options;
     options.workers = workers;
     options.queue_capacity = 1 << 16;  // hold the full burst; measure
@@ -347,13 +369,56 @@ Json run_daemon_ingestion() {
     options.default_config.score_threshold = 1 << 30;  // measure, never
     options.default_config.union_threshold = 1 << 30;  // suspend
     daemon::Daemon daemon(base, options);
+    std::unique_ptr<daemon::SocketServer> server;
+    std::thread subscriber;
+    std::atomic<std::uint64_t> frames{0};
+    if (with_watch) {
+      const std::string path =
+          "/tmp/cryptodrop_bench_watch_" + std::to_string(::getpid()) +
+          ".sock";
+      daemon::ServerOptions server_options;
+      server_options.frame_interval_ms = 20;
+      server = std::make_unique<daemon::SocketServer>(daemon, path,
+                                                      server_options);
+      if (!server->start().is_ok()) {
+        std::fprintf(stderr, "watch server failed to start\n");
+        return std::nullopt;
+      }
+      subscriber = std::thread([path, &frames] {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) return;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+          ::close(fd);
+          return;
+        }
+        const char request[] = "{\"type\":\"watch\",\"cursor\":0}\n";
+        if (::write(fd, request, sizeof(request) - 1) <= 0) {
+          ::close(fd);
+          return;
+        }
+        char chunk[4096];
+        for (ssize_t n = ::read(fd, chunk, sizeof(chunk)); n > 0;
+             n = ::read(fd, chunk, sizeof(chunk))) {
+          for (ssize_t i = 0; i < n; ++i) {
+            if (chunk[i] == '\n') frames.fetch_add(1);
+          }
+        }
+        ::close(fd);
+      });
+    }
     std::vector<std::string> tenants;
     for (int t = 0; t < kTenants; ++t) {
       tenants.push_back("tenant" + std::to_string(t));
       if (!daemon.attach(tenants.back()).is_ok() ||
           !daemon.spawn(tenants.back(), writer, "writer", 0).is_ok()) {
         std::fprintf(stderr, "daemon setup failed\n");
-        return out;
+        daemon.shutdown(/*drain_first=*/false);
+        if (subscriber.joinable()) subscriber.join();
+        return std::nullopt;
       }
     }
     const auto begin = std::chrono::steady_clock::now();
@@ -374,21 +439,69 @@ Json run_daemon_ingestion() {
     const double secs = std::chrono::duration<double>(end - begin).count();
     const double total_ops =
         static_cast<double>(entries.size()) * static_cast<double>(kTenants);
-    const double ops_per_sec = secs > 0.0 ? total_ops / secs : 0.0;
-    double batches = 0.0;
+    IngestionRun run;
+    run.ops_per_sec = secs > 0.0 ? total_ops / secs : 0.0;
     for (const obs::CounterSnapshot& c : daemon.metrics().counters) {
       if (c.name == "daemon_batches_drained_total") {
-        batches = static_cast<double>(c.value);
+        run.batches = static_cast<double>(c.value);
       }
     }
     daemon.shutdown(/*drain_first=*/true);
-    const double ops_per_batch = batches > 0.0 ? total_ops / batches : 0.0;
-    std::printf("%-10zu %14.0f %14.0f %14.1f\n", workers, ops_per_sec, batches,
-                ops_per_batch);
+    if (server != nullptr) {
+      server->stop();  // Serve loop already exiting (daemon is down).
+      subscriber.join();
+      if (frames.load() == 0) {
+        std::fprintf(stderr,
+                     "FAIL: the watch subscriber received no frames — the "
+                     "overhead run measured nothing\n");
+        return std::nullopt;
+      }
+    }
+    run.ops_per_batch = run.batches > 0.0 ? total_ops / run.batches : 0.0;
+    return run;
+  };
+
+  Json out = Json::object();
+  double base_8 = 0.0;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    const std::optional<IngestionRun> run = measure(workers, /*with_watch=*/false);
+    if (!run.has_value()) return std::nullopt;
+    std::printf("%-12zu %14.0f %14.0f %14.1f\n", workers, run->ops_per_sec,
+                run->batches, run->ops_per_batch);
+    if (workers == 8) base_8 = run->ops_per_sec;
     const std::string prefix = "workers_" + std::to_string(workers);
-    out.set(prefix + "_ops_per_sec", ops_per_sec);
-    out.set(prefix + "_batches_drained", batches);
-    out.set(prefix + "_ops_per_batch", ops_per_batch);
+    out.set(prefix + "_ops_per_sec", run->ops_per_sec);
+    out.set(prefix + "_batches_drained", run->batches);
+    out.set(prefix + "_ops_per_batch", run->ops_per_batch);
+  }
+
+  // The watch-overhead gate: 8 workers + 1 streaming subscriber, best
+  // of two attempts against the plain 8-worker baseline.
+  IngestionRun best;
+  double best_ratio = 0.0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::optional<IngestionRun> run = measure(8, /*with_watch=*/true);
+    if (!run.has_value()) return std::nullopt;
+    const double ratio = base_8 > 0.0 ? run->ops_per_sec / base_8 : 0.0;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = *run;
+    }
+    if (best_ratio >= 0.95) break;
+  }
+  const double overhead_pct = (1.0 - best_ratio) * 100.0;
+  std::printf("%-12s %14.0f %14.0f %14.1f   (overhead %.1f%%)\n", "8+watch",
+              best.ops_per_sec, best.batches, best.ops_per_batch,
+              overhead_pct);
+  out.set("workers_8_watch_ops_per_sec", best.ops_per_sec);
+  out.set("watch_overhead_pct", overhead_pct);
+  if (best_ratio < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: one watch subscriber costs %.1f%% of 8-worker "
+                 "ingestion throughput (budget: 5%%) — the telemetry plane "
+                 "is taxing the hot path\n",
+                 overhead_pct);
+    return std::nullopt;
   }
   return out;
 }
@@ -592,7 +705,9 @@ bool validate_perf_schema(const Json& doc) {
   require(ingestion, "daemon_ingestion", &Json::is_object);
   if (ingestion != nullptr) {
     for (const char* key : {"workers_1_ops_per_sec", "workers_8_ops_per_sec",
-                            "workers_8_ops_per_batch"}) {
+                            "workers_8_ops_per_batch",
+                            "workers_8_watch_ops_per_sec",
+                            "watch_overhead_pct"}) {
       require(ingestion->find(key), key, &Json::is_number);
     }
   }
@@ -620,11 +735,11 @@ int main(int argc, char** argv) {
               simd_backend_name(),
               std::string(crypto::sha256_backend_name()).c_str());
   std::optional<Json> engine_latency = print_engine_internal_latency();
-  Json ingestion = run_daemon_ingestion();
+  std::optional<Json> ingestion = run_daemon_ingestion();
   const std::optional<Json> backend_costs = run_backend_scoring_costs();
   const std::optional<Json> tracing = run_tracing_overhead_guardrail();
-  if (!engine_latency.has_value() || !backend_costs.has_value() ||
-      !tracing.has_value()) {
+  if (!engine_latency.has_value() || !ingestion.has_value() ||
+      !backend_costs.has_value() || !tracing.has_value()) {
     return 1;
   }
 
@@ -638,7 +753,7 @@ int main(int argc, char** argv) {
     doc.set("simd_backend", simd_backend_name());
     doc.set("sha256_backend", crypto::sha256_backend_name());
     doc.set("engine_internal", std::move(*engine_latency));
-    doc.set("daemon_ingestion", std::move(ingestion));
+    doc.set("daemon_ingestion", std::move(*ingestion));
     doc.set("throughput_and_tracing", *tracing);
     doc.set("entropy_backend_scoring", *backend_costs);
     if (!validate_perf_schema(doc)) return 1;

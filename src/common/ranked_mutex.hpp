@@ -48,6 +48,11 @@ inline constexpr unsigned kDaemonRegistry = 3;
 /// Daemon ingestion queue (push/pop/drain). Below every engine rank;
 /// workers release it before executing an op through a tenant's engine.
 inline constexpr unsigned kDaemonQueue = 4;
+/// Daemon event journal (telemetry ring). Held only for one bounded
+/// push or copy-out — never across queue, registry or engine work —
+/// but ranked below the engine so the suspension alert callback (which
+/// runs with no engine lock held) and worker-loop appends compose.
+inline constexpr unsigned kDaemonJournal = 5;
 /// Engine per-process scoreboard shard (16 of them; the snapshot sweep
 /// takes all 16 in index — i.e. ascending-address — order).
 inline constexpr unsigned kScoreboardShard = 10;

@@ -29,7 +29,13 @@ Response error_response(std::string message) {
 }
 
 Response error_response(const Status& status) {
-  return error_response(status.to_string());
+  // Structured `code` rides along with the human-readable message so
+  // clients can branch on Errc without parsing prose.
+  return {Json::object()
+              .set("ok", false)
+              .set("error", status.to_string())
+              .set("code", std::string(errc_name(status.code()))),
+          false};
 }
 
 /// Applies the documented `config` overrides (docs/DAEMON.md `attach`)
@@ -53,7 +59,8 @@ core::ScoringConfig config_from_json(core::ScoringConfig base,
   return base;
 }
 
-Response handle_request(Daemon& daemon, const JsonValue& request) {
+Response handle_request(Daemon& daemon, const JsonValue& request,
+                        WatchSubscription* watch) {
   const std::string type = request.string_or("type", "");
   if (type == "ping") {
     return ok_with(ok_response().set("pong", true));
@@ -137,6 +144,41 @@ Response handle_request(Daemon& daemon, const JsonValue& request) {
     }
     return ok_with(ok_response().set("metrics", obs::to_json(daemon.metrics())));
   }
+  if (type == "events") {
+    const auto cursor =
+        static_cast<std::uint64_t>(request.number_or("cursor", 0));
+    const std::string tenant = request.string_or("tenant", "");
+    const auto max = static_cast<std::size_t>(request.number_or("max", 256));
+    const EventJournal::Drain drain =
+        daemon.telemetry().journal().since(cursor, tenant, max);
+    Json rows = Json::array();
+    for (const JournalEvent& event : drain.events) rows.push(to_json(event));
+    return ok_with(ok_response()
+                       .set("events", std::move(rows))
+                       .set("next_cursor",
+                            static_cast<unsigned long long>(drain.next_cursor))
+                       .set("dropped",
+                            static_cast<unsigned long long>(drain.dropped)));
+  }
+  if (type == "watch") {
+    const JsonValue* cursor = request.find("cursor");
+    const std::uint64_t start =
+        cursor != nullptr && cursor->kind == JsonValue::Kind::number
+            ? static_cast<std::uint64_t>(cursor->num)
+            : daemon.telemetry().journal().emitted();
+    if (watch != nullptr) {
+      watch->requested = true;
+      watch->tenant = request.string_or("tenant", "");
+      watch->cursor = start;
+    }
+    return ok_with(ok_response().set(
+        "watch", Json::object()
+                     .set("cursor", static_cast<unsigned long long>(start))
+                     .set("streaming", watch != nullptr)));
+  }
+  if (type == "health") {
+    return ok_with(ok_response().set("health", to_json(daemon.health())));
+  }
   if (type == "trace") {
     return ok_with(ok_response().set("trace", obs::to_trace_json(daemon.trace_snapshot())));
   }
@@ -162,17 +204,23 @@ Response handle_request(Daemon& daemon, const JsonValue& request) {
 }  // namespace
 
 std::vector<std::string_view> known_request_types() {
-  return {"ping",    "attach",  "detach",  "spawn",   "submit",  "drain",
-          "verdicts", "explain", "metrics", "trace",   "tenants", "shutdown"};
+  return {"ping",     "attach",  "detach",  "spawn",  "submit",
+          "drain",    "verdicts", "explain", "metrics", "events",
+          "watch",    "health",  "trace",   "tenants", "shutdown"};
 }
 
 std::string ControlDispatcher::handle_line(const std::string& line) {
+  return handle_line(line, nullptr);
+}
+
+std::string ControlDispatcher::handle_line(const std::string& line,
+                                           WatchSubscription* watch) {
   daemon_->daemon_metrics().control_requests().add();
   std::optional<JsonValue> request = parse_json(line);
   Response response =
       (!request.has_value() || request->kind != JsonValue::Kind::object)
           ? error_response("request is not a JSON object")
-          : handle_request(*daemon_, *request);
+          : handle_request(*daemon_, *request, watch);
   if (!response.ok) daemon_->daemon_metrics().control_errors().add();
   return response.body.to_string();
 }

@@ -23,6 +23,21 @@ namespace cryptodrop::daemon {
 /// it (or vice versa) fails tier-1.
 std::vector<std::string_view> known_request_types();
 
+/// Outcome of a `watch` request: the dispatcher cannot stream by itself
+/// (it is one-line-in / one-line-out), so it acks the subscription and
+/// hands the transport what it needs to start pushing frames
+/// (docs/DAEMON.md "watch").
+struct WatchSubscription {
+  /// True once a well-formed `watch` request was handled; the ack
+  /// response line must still be written before any frame.
+  bool requested = false;
+  /// Optional tenant filter (empty = all tenants).
+  std::string tenant;
+  /// Journal cursor to stream from (defaults to "now": events emitted
+  /// before the request are not replayed).
+  std::uint64_t cursor = 0;
+};
+
 /// Translates control-API lines into Daemon calls (see the file
 /// comment). Thread-safe: state lives in the Daemon, which is itself
 /// thread-safe, so one dispatcher may serve many client connections.
@@ -35,6 +50,12 @@ class ControlDispatcher {
   /// newline). Malformed input yields an `ok:false` response, never an
   /// exception.
   std::string handle_line(const std::string& line);
+
+  /// Like handle_line(), but a `watch` request additionally fills
+  /// `*watch` so a streaming transport can promote the connection.
+  /// Transports that cannot stream (the in-process harness) use the
+  /// one-argument overload, where `watch` degrades to a plain ack.
+  std::string handle_line(const std::string& line, WatchSubscription* watch);
 
  private:
   Daemon* daemon_;

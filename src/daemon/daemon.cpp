@@ -63,6 +63,10 @@ std::size_t TenantRegistry::size() const {
 Daemon::Daemon(const vfs::FileSystem& base, DaemonOptions options)
     : base_(base.clone()), options_(std::move(options)) {
   if (options_.workers == 0) options_.workers = 1;
+  // Telemetry must exist before the first worker thread runs (workers
+  // beat and journal their own lifecycle).
+  telemetry_ = std::make_unique<DaemonTelemetry>(options_.workers,
+                                                 options_.journal_capacity);
   if (options_.trace.enabled) {
     tracer_ = std::make_unique<obs::SpanTracer>(options_.trace);
   }
@@ -109,6 +113,7 @@ Status Daemon::attach(const std::string& tenant_id,
   }
   // Re-check + insert must be atomic w.r.t. other attaches; a duplicate
   // discovered now (race) is reported, not aborted.
+  std::size_t worker_index = 0;
   {
     if (registry_.contains(tenant_id)) {
       return Status(Errc::invalid_argument,
@@ -116,10 +121,21 @@ Status Daemon::attach(const std::string& tenant_id,
     }
     state->worker =
         next_worker_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    worker_index = state->worker;
+    // Suspension verdicts become journal events. The engine fires the
+    // callback after releasing every engine lock (AlertScope), so the
+    // rank-5 journal append composes with any caller.
+    state->session.engine().set_alert_callback(
+        [this, id = tenant_id, worker = state->worker](const core::Alert& a) {
+          journal_event(EventKind::suspension, id, worker,
+                        static_cast<double>(a.score), a.process_name);
+        });
     registry_.insert(std::move(state));
   }
   metrics_.tenants_attached().add();
   metrics_.tenants_active().set(static_cast<double>(registry_.size()));
+  journal_event(EventKind::tenant_attach, tenant_id, worker_index,
+                static_cast<double>(registry_.size()), "");
   return Status::ok();
 }
 
@@ -131,6 +147,8 @@ Status Daemon::detach(const std::string& tenant_id) {
   state->detached.store(true, std::memory_order_release);
   metrics_.tenants_detached().add();
   metrics_.tenants_active().set(static_cast<double>(registry_.size()));
+  journal_event(EventKind::tenant_detach, tenant_id, state->worker,
+                static_cast<double>(registry_.size()), "");
   return Status::ok();
 }
 
@@ -156,6 +174,7 @@ Status Daemon::spawn(const std::string& tenant_id, vfs::ProcessId recorded_pid,
   metrics_.ingested().add();
   state->stats.ingested.fetch_add(1, std::memory_order_relaxed);
   refresh_queue_gauges();
+  update_overload_state();
   return Status::ok();
 }
 
@@ -192,7 +211,15 @@ Result<SubmitResult> Daemon::submit(const std::string& tenant_id,
       ++result.shed;
     }
   }
+  // A clean batch (everything accepted, nothing evicted) ends the
+  // tenant's shed burst: journal the transition once, not per op.
+  if (result.shed == 0 && result.accepted > 0 &&
+      state->shedding.exchange(false, std::memory_order_relaxed)) {
+    journal_event(EventKind::shed_stop, state->id, state->worker,
+                  static_cast<double>(state->stats.shed_total()), "");
+  }
   refresh_queue_gauges();
+  update_overload_state();
   return result;
 }
 
@@ -290,11 +317,21 @@ void Daemon::resume_workers() {
 
 void Daemon::worker_loop(std::size_t index) {
   BoundedOpQueue& queue = *queues_[index];
+  WorkerTelemetry& telemetry = telemetry_->worker(index);
   const std::size_t batch_max = std::max<std::size_t>(1, options_.drain_batch);
+  journal_event(EventKind::worker_start, "", index, 0.0, "");
   std::vector<QueueItem> batch;
   while (queue.pop_batch(batch, batch_max)) {
     metrics_.batches_drained().add();
+    telemetry.beat();
+    // One depth sample per batch (not per op): what was still queued
+    // behind the batch we just took.
+    const double remaining = static_cast<double>(queue.depth());
+    telemetry.queue_depth().record(remaining);
+    metrics_.worker_queue_depth().record(remaining);
     for (QueueItem& item : batch) {
+      obs::ScopedTimer timer(&telemetry.ingest_latency_us(),
+                             &metrics_.worker_ingest_latency_us());
       execute_item(item);
     }
     // Count before done(): drain() can return the instant the queue
@@ -302,7 +339,10 @@ void Daemon::worker_loop(std::size_t index) {
     // counter by then.
     queue.done();
     batch.clear();  // Drop the tenant references promptly.
+    update_overload_state();
   }
+  journal_event(EventKind::worker_stop, "", index,
+                static_cast<double>(telemetry.heartbeat()), "");
 }
 
 void Daemon::execute_item(QueueItem& item) {
@@ -348,6 +388,13 @@ void Daemon::count_shed(TenantState& tenant, ShedReason reason) {
   metrics_.shed(reason).add();
   tenant.stats.shed[static_cast<std::size_t>(reason)].fetch_add(
       1, std::memory_order_relaxed);
+  // Journal the transition into a shed burst once; the per-op counters
+  // above carry the volume.
+  if (!tenant.shedding.exchange(true, std::memory_order_relaxed)) {
+    journal_event(EventKind::shed_start, tenant.id, tenant.worker,
+                  static_cast<double>(tenant.stats.shed_total()),
+                  std::string(shed_reason_name(reason)));
+  }
 }
 
 void Daemon::refresh_queue_gauges() const {
@@ -360,6 +407,82 @@ void Daemon::refresh_queue_gauges() const {
   metrics_.queue_depth().set(static_cast<double>(depth));
   metrics_.queue_high_water().set(static_cast<double>(
       queue_high_water_.load(std::memory_order_relaxed)));
+}
+
+std::vector<std::size_t> Daemon::queue_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(queues_.size());
+  for (const auto& queue : queues_) depths.push_back(queue->depth());
+  return depths;
+}
+
+void Daemon::journal_event(EventKind kind, std::string tenant,
+                           std::uint64_t worker, double value,
+                           std::string detail) {
+  const EventJournal::AppendResult appended = telemetry_->journal().append(
+      kind, std::move(tenant), worker, value, std::move(detail));
+  metrics_.journal_events().add();
+  if (appended.overwrote) metrics_.journal_events_dropped().add();
+}
+
+void Daemon::update_overload_state() {
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue->depth();
+  const std::size_t capacity = options_.queue_capacity * queues_.size();
+  if (capacity == 0) return;
+  const bool over = overloaded_.load(std::memory_order_relaxed);
+  if (!over && depth * 10 >= capacity * 9) {
+    if (!overloaded_.exchange(true, std::memory_order_relaxed)) {
+      journal_event(EventKind::overload_enter, "", 0,
+                    static_cast<double>(depth), "");
+    }
+  } else if (over && depth * 2 <= capacity) {
+    if (overloaded_.exchange(false, std::memory_order_relaxed)) {
+      journal_event(EventKind::overload_exit, "", 0,
+                    static_cast<double>(depth), "");
+    }
+  }
+}
+
+HealthReport Daemon::health() {
+  update_overload_state();
+  HealthReport report;
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue->depth();
+  report.queue_depth = depth;
+  report.workers = queues_.size();
+  const std::size_t capacity = options_.queue_capacity * queues_.size();
+  report.queue_occupancy =
+      capacity == 0 ? 0.0
+                    : static_cast<double>(depth) / static_cast<double>(capacity);
+  const std::uint64_t ingested = metrics_.ingested().value();
+  std::uint64_t shed = 0;
+  for (ShedReason reason : all_shed_reasons()) {
+    shed += metrics_.shed(reason).value();
+  }
+  report.shed_ratio =
+      ingested + shed == 0
+          ? 0.0
+          : static_cast<double>(shed) / static_cast<double>(ingested + shed);
+  for (std::size_t i = 0; i < telemetry_->workers(); ++i) {
+    report.heartbeats += telemetry_->worker(i).heartbeat();
+  }
+  report.overloaded = overloaded_.load(std::memory_order_relaxed);
+  // Thresholds documented in docs/DAEMON.md "Health verdict".
+  if (report.overloaded || report.queue_occupancy >= 0.9) {
+    report.level = HealthLevel::overloaded;
+    report.reason = "queue occupancy at or above the overload threshold";
+  } else if (report.queue_occupancy >= 0.5) {
+    report.level = HealthLevel::degraded;
+    report.reason = "queue occupancy above 50%";
+  } else if (report.shed_ratio >= 0.01) {
+    report.level = HealthLevel::degraded;
+    report.reason = "lifetime shed ratio above 1%";
+  } else {
+    report.reason = "queues and shed rates nominal";
+  }
+  metrics_.health_level().set(static_cast<double>(report.level));
+  return report;
 }
 
 }  // namespace cryptodrop::daemon

@@ -44,6 +44,7 @@
 #include "core/session.hpp"
 #include "daemon/metrics.hpp"
 #include "daemon/queue.hpp"
+#include "daemon/telemetry.hpp"
 #include "obs/span.hpp"
 #include "vfs/filesystem.hpp"
 #include "vfs/trace.hpp"
@@ -85,6 +86,9 @@ struct TenantState {
   std::map<vfs::ProcessId, vfs::ProcessId> pid_map;
   std::size_t worker = 0;  ///< Index of the queue/worker this tenant rides.
   std::atomic<bool> detached{false};
+  /// True while the tenant is inside a shed burst (drives the
+  /// shed_start / shed_stop journal transitions, not per-op events).
+  std::atomic<bool> shedding{false};
   TenantStats stats;
 };
 
@@ -127,6 +131,9 @@ struct DaemonOptions {
   core::ScoringConfig default_config;
   /// Daemon span tracing (daemon.ingest / daemon.execute spans).
   obs::TraceOptions trace;
+  /// Operator-journal ring capacity (events retained for `events` /
+  /// `watch`; older events are overwritten with a counted drop).
+  std::size_t journal_capacity = 1024;
 };
 
 /// What submit() did with a batch.
@@ -222,6 +229,16 @@ class Daemon {
   [[nodiscard]] obs::SpanSnapshot trace_snapshot() const;
   /// Per-tenant accounting rows, id order.
   [[nodiscard]] std::vector<TenantInfo> tenants() const;
+  /// Current queue depth of every worker, index order (watch frames).
+  [[nodiscard]] std::vector<std::size_t> queue_depths() const;
+  /// The health verdict derived from queue occupancy, shed rates and
+  /// worker heartbeats (thresholds in docs/DAEMON.md); refreshes the
+  /// overload state and the daemon_health_level gauge.
+  [[nodiscard]] HealthReport health();
+  /// The operator telemetry plane (journal + per-worker instruments).
+  [[nodiscard]] DaemonTelemetry& telemetry() { return *telemetry_; }
+  /// Const view of the telemetry plane (query paths).
+  [[nodiscard]] const DaemonTelemetry& telemetry() const { return *telemetry_; }
   /// The daemon's instrument set (tests assert on raw counters).
   [[nodiscard]] DaemonMetrics& daemon_metrics() { return metrics_; }
   /// The scoring config tenants attach with when they send no overrides.
@@ -242,14 +259,25 @@ class Daemon {
   void worker_loop(std::size_t index);
   /// Executes one queued item through its tenant's session.
   void execute_item(QueueItem& item);
-  /// Charges one shed op to the daemon and the item's tenant.
+  /// Charges one shed op to the daemon and the item's tenant (journals
+  /// the tenant's not-shedding -> shedding transition).
   void count_shed(TenantState& tenant, ShedReason reason);
   /// Refreshes the queue-depth / high-water gauges.
   void refresh_queue_gauges() const;
+  /// Appends one journal event and charges the journal counters. Must
+  /// be called with no daemon lock held (every call site is lock-free).
+  void journal_event(EventKind kind, std::string tenant,
+                     std::uint64_t worker, double value, std::string detail);
+  /// Crossing-detection for overload_enter/overload_exit: enter at
+  /// >= 90% total queue occupancy, exit at <= 50% (hysteresis).
+  void update_overload_state();
 
   vfs::FileSystem base_;
   DaemonOptions options_;
   mutable DaemonMetrics metrics_;
+  /// Built in the constructor before workers start; never null after.
+  std::unique_ptr<DaemonTelemetry> telemetry_;
+  std::atomic<bool> overloaded_{false};
   std::unique_ptr<obs::SpanTracer> tracer_;  ///< Null when tracing is off.
   TenantRegistry registry_;
   std::vector<std::unique_ptr<BoundedOpQueue>> queues_;

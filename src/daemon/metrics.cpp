@@ -48,6 +48,28 @@ DaemonMetrics::DaemonMetrics() {
   control_errors_ = &registry_.counter(
       "daemon_control_errors_total",
       "Control-API requests answered with an error response.", "requests");
+  conns_idle_closed_ = &registry_.counter(
+      "daemon_conns_idle_closed_total",
+      "Control connections evicted by the per-connection idle read "
+      "deadline (half-open clients).",
+      "connections");
+  journal_events_ = &registry_.counter(
+      "daemon_journal_events_total",
+      "Structured events appended to the operator journal.", "events");
+  journal_events_dropped_ = &registry_.counter(
+      "daemon_journal_events_dropped_total",
+      "Journal events overwritten by the bounded ring before any "
+      "cursor-0 reader saw them.",
+      "events");
+  watch_frames_ = &registry_.counter(
+      "daemon_watch_frames_total",
+      "Frames pushed to `watch` subscribers (stats and event frames).",
+      "frames");
+  watch_events_shed_ = &registry_.counter(
+      "daemon_watch_events_shed_total",
+      "Journal events and frames dropped for slow `watch` consumers "
+      "(bounded per-connection output buffer).",
+      "events");
   queue_depth_ = &registry_.gauge(
       "daemon_queue_depth",
       "Items currently queued across all ingestion queues.", "ops");
@@ -57,6 +79,22 @@ DaemonMetrics::DaemonMetrics() {
   tenants_active_ = &registry_.gauge(
       "daemon_tenants_active", "Tenant sessions currently attached.",
       "tenants");
+  health_level_ = &registry_.gauge(
+      "daemon_health_level",
+      "Latest health verdict ordinal (0 ok, 1 degraded, 2 overloaded).",
+      "level");
+  watch_clients_ = &registry_.gauge(
+      "daemon_watch_clients", "Watch subscriptions currently streaming.",
+      "connections");
+  ingest_latency_us_ = &registry_.histogram(
+      "daemon_worker_ingest_latency_us",
+      "Per-op execute latency observed by daemon workers (all workers "
+      "merged).",
+      "us", obs::MetricsRegistry::latency_buckets_us());
+  worker_queue_depth_ = &registry_.histogram(
+      "daemon_worker_queue_depth",
+      "Queue-depth samples taken by draining workers, one per batch.",
+      "ops", obs::MetricsRegistry::latency_buckets_us());
 }
 
 }  // namespace cryptodrop::daemon

@@ -41,6 +41,17 @@ class DaemonMetrics {
   obs::Counter& control_requests() { return *control_requests_; }
   /// Control-API requests answered with an error.
   obs::Counter& control_errors() { return *control_errors_; }
+  /// Control connections evicted by the idle read deadline.
+  obs::Counter& conns_idle_closed() { return *conns_idle_closed_; }
+  /// Events ever appended to the operator journal.
+  obs::Counter& journal_events() { return *journal_events_; }
+  /// Journal events overwritten by the bounded ring before any reader
+  /// at cursor 0 saw them.
+  obs::Counter& journal_events_dropped() { return *journal_events_dropped_; }
+  /// Frames pushed to `watch` subscribers (stats + event frames).
+  obs::Counter& watch_frames() { return *watch_frames_; }
+  /// Journal events / frames shed for slow `watch` consumers.
+  obs::Counter& watch_events_shed() { return *watch_events_shed_; }
   /// Items currently queued across all workers (set after each submit
   /// and each executed item).
   obs::Gauge& queue_depth() { return *queue_depth_; }
@@ -48,6 +59,15 @@ class DaemonMetrics {
   obs::Gauge& queue_high_water() { return *queue_high_water_; }
   /// Tenants currently attached.
   obs::Gauge& tenants_active() { return *tenants_active_; }
+  /// Latest `health` verdict ordinal (0 ok, 1 degraded, 2 overloaded).
+  obs::Gauge& health_level() { return *health_level_; }
+  /// `watch` subscriptions currently streaming.
+  obs::Gauge& watch_clients() { return *watch_clients_; }
+  /// Per-op execute latency observed by workers (all workers merged;
+  /// the per-worker split lives in DaemonTelemetry).
+  obs::Histogram& worker_ingest_latency_us() { return *ingest_latency_us_; }
+  /// Per-batch queue-depth samples taken by draining workers.
+  obs::Histogram& worker_queue_depth() { return *worker_queue_depth_; }
 
   /// Point-in-time values of every daemon metric.
   [[nodiscard]] obs::MetricsSnapshot snapshot() const {
@@ -64,9 +84,18 @@ class DaemonMetrics {
   obs::Counter* tenants_detached_ = nullptr;
   obs::Counter* control_requests_ = nullptr;
   obs::Counter* control_errors_ = nullptr;
+  obs::Counter* conns_idle_closed_ = nullptr;
+  obs::Counter* journal_events_ = nullptr;
+  obs::Counter* journal_events_dropped_ = nullptr;
+  obs::Counter* watch_frames_ = nullptr;
+  obs::Counter* watch_events_shed_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Gauge* queue_high_water_ = nullptr;
   obs::Gauge* tenants_active_ = nullptr;
+  obs::Gauge* health_level_ = nullptr;
+  obs::Gauge* watch_clients_ = nullptr;
+  obs::Histogram* ingest_latency_us_ = nullptr;
+  obs::Histogram* worker_queue_depth_ = nullptr;
 };
 
 }  // namespace cryptodrop::daemon

@@ -8,11 +8,24 @@
 // `shutdown` request (or an external Daemon::shutdown call) stops the
 // server without a special control channel.
 //
+// Two departures from plain request/response framing:
+//   - Idle deadline: a connection that sends no bytes for
+//     `idle_timeout_ms` is evicted (daemon_conns_idle_closed_total), so
+//     half-open clients cannot pin fds forever.
+//   - `watch` streaming: a connection that sends a `watch` request is
+//     promoted to a push stream — after the ack line the server writes
+//     line-delimited JSON frames (periodic stats + journal events)
+//     until the client disconnects or the daemon shuts down. Watch fds
+//     are non-blocking with a bounded output buffer; a slow consumer
+//     sheds frames (daemon_watch_events_shed_total) rather than ever
+//     blocking the serving thread.
+//
 // The client half (DaemonClient) is the same framing in reverse, used
 // by `cryptodrop daemon-replay` and the socket smoke test.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <string>
 #include <thread>
 
@@ -21,6 +34,18 @@
 
 namespace cryptodrop::daemon {
 
+/// Transport tuning knobs (defaults suit production; tests shrink the
+/// idle deadline and frame interval to keep wall-clock short).
+struct ServerOptions {
+  /// Evict a connection after this many ms without a readable byte.
+  /// Watch streams are exempt (they are write-mostly by design).
+  int idle_timeout_ms = 30000;
+  /// Cadence of `watch` stats frames and journal-event pushes.
+  int frame_interval_ms = 100;
+  /// Per-connection pending-output cap; frames past it are shed.
+  std::size_t watch_buffer_limit = 256 * 1024;
+};
+
 /// Serves the control API on a unix-domain socket (see the file
 /// comment). start() spawns the serving thread; stop() (or destruction)
 /// joins it and unlinks the socket path.
@@ -28,9 +53,10 @@ class SocketServer {
  public:
   /// Serves `daemon` on `socket_path` (an unused filesystem path; any
   /// stale socket file there is replaced).
-  SocketServer(Daemon& daemon, std::string socket_path)
+  SocketServer(Daemon& daemon, std::string socket_path,
+               ServerOptions options = {})
       : dispatcher_(daemon), daemon_(&daemon),
-        socket_path_(std::move(socket_path)) {}
+        socket_path_(std::move(socket_path)), options_(options) {}
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
@@ -59,6 +85,7 @@ class SocketServer {
   ControlDispatcher dispatcher_;
   Daemon* daemon_;
   std::string socket_path_;
+  ServerOptions options_;
   int listen_fd_ = -1;
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -1,0 +1,55 @@
+// Prometheus text-exposition export for obs::MetricsSnapshot.
+//
+// The repo's metric names are flat lowercase identifiers with an
+// optional dotted label suffix ("daemon_ops_shed_total.queue_full",
+// "stage_latency_us.entropy"; obs/names.hpp is the schema of record).
+// Prometheus metric names cannot contain dots, so the exporter folds
+// the suffix into a label:
+//
+//   daemon_ops_shed_total.queue_full
+//     -> daemon_ops_shed_total{shed_reason="queue_full"}
+//
+// The label key comes from obs::known_metric_names(): when the family
+// is listed with a placeholder suffix ("daemon_ops_shed_total.<shed_reason>")
+// the placeholder token is the key; families with fixed dotted suffixes
+// (the stage_latency_us.* histograms) use the generic key "label".
+//
+// Output contract (one `# HELP` + `# TYPE` block per family, then one
+// sample line per label value):
+//   * families render in lexicographic name order, label values in
+//     lexicographic order inside a family — byte-identical output for
+//     equal snapshots, independent of registration or thread order;
+//   * histograms emit cumulative `_bucket{le="..."}` series (including
+//     the `+Inf` bucket) plus `_sum` and `_count`;
+//   * HELP text escapes `\` and newline; label values escape `\`, `"`
+//     and newline (the exposition-format rules).
+//
+// docs_check pins the schema: every family this exporter emits for a
+// fresh engine/daemon registry appears in obs::known_metric_names(),
+// and tests/export_prom_test.cpp asserts both directions.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cryptodrop::obs {
+
+/// Escapes `\` and newline for a `# HELP` line (exposition format).
+std::string prom_escape_help(std::string_view text);
+
+/// Escapes `\`, `"` and newline for a label value.
+std::string prom_escape_label(std::string_view text);
+
+/// Sanitizes one registry metric name into a Prometheus family name:
+/// the part before the first '.', with any character outside
+/// [a-zA-Z0-9_:] replaced by '_'.
+std::string prom_family_name(std::string_view metric_name);
+
+/// Renders `snapshot` in Prometheus text exposition format (see the
+/// file comment for the exact contract). Deterministic: equal
+/// snapshots yield byte-identical text.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace cryptodrop::obs

@@ -43,9 +43,18 @@ std::vector<std::string_view> known_metric_names() {
       "daemon_tenants_detached_total",
       "daemon_control_requests_total",
       "daemon_control_errors_total",
+      "daemon_conns_idle_closed_total",
+      "daemon_journal_events_total",
+      "daemon_journal_events_dropped_total",
+      "daemon_watch_frames_total",
+      "daemon_watch_events_shed_total",
       "daemon_queue_depth",
       "daemon_queue_high_water",
       "daemon_tenants_active",
+      "daemon_health_level",
+      "daemon_watch_clients",
+      "daemon_worker_ingest_latency_us",
+      "daemon_worker_queue_depth",
   };
 }
 

@@ -35,16 +35,27 @@
 // Everything is deterministic in the seeds (campaign results are
 // bit-identical at any --jobs count); --json emits the harness's
 // machine-readable report instead of tables.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/stats.hpp"
 #include "daemon/server.hpp"
+#include "daemon/wire.hpp"
+#include "obs/export_prom.hpp"
 #include "entropy/backend.hpp"
 #include "entropy/entropy.hpp"
 #include "harness/chaos.hpp"
@@ -425,12 +436,24 @@ int cmd_families() {
   return 0;
 }
 
+/// Writes `text` to `path` atomically enough for scrapers (truncate +
+/// full rewrite; Prometheus textfile collectors re-read whole files).
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 int cmd_daemon(const Args& args) {
   const std::string socket = args.get("socket", "/tmp/cryptodropd.sock");
   const harness::Environment env = build_env(args, 1500);
   daemon::DaemonOptions options;
   options.workers = std::max<std::size_t>(args.get_size("workers", 4), 1);
   options.queue_capacity = args.get_size("queue-capacity", 4096);
+  options.journal_capacity =
+      std::max<std::size_t>(args.get_size("journal-capacity", 1024), 1);
   options.default_config = scoring_config(args);
   daemon::Daemon service(env.base_fs, options);
   daemon::SocketServer server(service, socket);
@@ -438,13 +461,172 @@ int cmd_daemon(const Args& args) {
     std::fprintf(stderr, "error: %s\n", started.to_string().c_str());
     return 2;
   }
+  // --prom-out: periodic Prometheus text-exposition dumps of the
+  // daemon's metrics, for node-exporter-style textfile collection. The
+  // dumper sleep-counts in short slices (no deadline clock needed) and
+  // always writes one final snapshot on shutdown.
+  const std::string prom_out = args.get("prom-out", "");
+  const std::size_t prom_interval_ms =
+      std::max<std::size_t>(args.get_size("prom-interval-ms", 1000), 50);
+  std::atomic<bool> prom_stop{false};
+  std::thread prom_thread;
+  if (!prom_out.empty()) {
+    prom_thread = std::thread([&service, &prom_stop, prom_out,
+                               prom_interval_ms] {
+      while (!prom_stop.load(std::memory_order_acquire)) {
+        for (std::size_t slept = 0;
+             slept < prom_interval_ms &&
+             !prom_stop.load(std::memory_order_acquire);
+             slept += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        if (!write_text_file(prom_out,
+                             obs::to_prometheus(service.metrics()))) {
+          std::fprintf(stderr, "warning: cannot write %s\n", prom_out.c_str());
+          return;
+        }
+      }
+    });
+    std::fprintf(stderr, "prometheus dumps -> %s every %zu ms\n",
+                 prom_out.c_str(), prom_interval_ms);
+  }
   std::fprintf(stderr,
                "cryptodropd listening on %s (%zu workers, queue capacity %zu)\n"
                "stop with: {\"type\":\"shutdown\"} on the socket\n",
                socket.c_str(), options.workers, options.queue_capacity);
   server.wait();
+  if (prom_thread.joinable()) {
+    prom_stop.store(true, std::memory_order_release);
+    prom_thread.join();
+    write_text_file(prom_out, obs::to_prometheus(service.metrics()));
+  }
   std::fprintf(stderr, "cryptodropd stopped\n");
   return 0;
+}
+
+/// Renders one `stats` watch frame as the `top` screen: health line,
+/// queue gauges, per-tenant table, then the most recent events.
+void render_top(const daemon::JsonValue& stats,
+                const std::deque<std::string>& events, bool plain,
+                std::size_t frame_number) {
+  if (!plain) std::printf("\x1b[2J\x1b[H");
+  std::printf("cryptodrop top — frame %zu | health: %s | queued ops: %.0f\n\n",
+              frame_number, stats.string_or("health", "?").c_str(),
+              stats.number_or("queue_depth", 0));
+  harness::TextTable table({"Tenant", "Worker", "Ingested", "Executed", "Shed"});
+  if (const daemon::JsonValue* tenants = stats.find("tenants");
+      tenants != nullptr) {
+    for (const daemon::JsonValue& row : tenants->items) {
+      table.add_row({row.string_or("id", "?"),
+                     std::to_string(static_cast<long long>(
+                         row.number_or("worker", 0))),
+                     std::to_string(static_cast<long long>(
+                         row.number_or("ingested", 0))),
+                     std::to_string(static_cast<long long>(
+                         row.number_or("executed", 0))),
+                     std::to_string(static_cast<long long>(
+                         row.number_or("shed", 0)))});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (!events.empty()) {
+    std::printf("\nrecent events:\n");
+    for (const std::string& event : events) {
+      std::printf("  %s\n", event.c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+int cmd_top(const Args& args) {
+  const std::string socket_path = args.get("socket", "/tmp/cryptodropd.sock");
+  const std::size_t max_frames = args.get_size("frames", 0);
+  const bool plain = args.flag("plain");
+
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n",
+                 socket_path.c_str());
+    return 2;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "error: connect %s: %s\n", socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 2;
+  }
+  Json request = Json::object().set("type", "watch");
+  const std::string tenant = args.get("tenant", "");
+  if (!tenant.empty()) request.set("tenant", tenant);
+  const std::string line = request.to_string() + "\n";
+  if (::write(fd, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    std::fprintf(stderr, "error: write: %s\n", std::strerror(errno));
+    ::close(fd);
+    return 2;
+  }
+
+  std::string buffer;
+  std::deque<std::string> recent;
+  bool acked = false;
+  std::size_t stats_seen = 0;
+  int exit_code = 0;
+  for (bool running = true; running;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // Daemon shut down (or dropped us): clean exit.
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string frame_line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+    const std::optional<daemon::JsonValue> parsed =
+        daemon::parse_json(frame_line);
+    if (!parsed.has_value()) continue;
+    if (!acked) {
+      acked = true;
+      if (!parsed->bool_or("ok", false)) {
+        std::fprintf(stderr, "error: watch rejected: %s\n",
+                     frame_line.c_str());
+        exit_code = 1;
+        break;
+      }
+      continue;
+    }
+    const std::string kind = parsed->string_or("frame", "");
+    if (kind == "event") {
+      if (const daemon::JsonValue* event = parsed->find("event");
+          event != nullptr) {
+        recent.push_back("#" + std::to_string(static_cast<long long>(
+                                   event->number_or("cursor", 0))) + " " +
+                         event->string_or("kind", "?") + " tenant=" +
+                         event->string_or("tenant", "-") + " " +
+                         event->string_or("detail", ""));
+        while (recent.size() > 8) recent.pop_front();
+      }
+    } else if (kind == "stats") {
+      ++stats_seen;
+      render_top(*parsed, recent, plain, stats_seen);
+      if (max_frames > 0 && stats_seen >= max_frames) running = false;
+    }
+  }
+  ::close(fd);
+  if (stats_seen == 0 && exit_code == 0) {
+    std::fprintf(stderr, "stream closed before the first stats frame\n");
+    exit_code = 1;
+  }
+  return exit_code;
 }
 
 int cmd_daemon_replay(const Args& args) {
@@ -503,10 +685,13 @@ void usage() {
                "  campaign [--corpus N] [--samples N] [--jobs N] [--full] [--json] [--per-sample]\n"
                "  trace-report --in FILE [--top K]\n"
                "  daemon   [--socket PATH] [--workers N] [--queue-capacity N]\n"
+               "           [--journal-capacity N] [--prom-out FILE] [--prom-interval-ms N]\n"
                "           [--corpus N] [--seed N] (+ scoring flags; docs/DAEMON.md)\n"
                "  daemon-replay [--socket PATH] [--samples N] [--apps N] [--tenants N]\n"
                "           (parity check against a daemon started with the SAME\n"
                "            --corpus/--seed/scoring flags; exits 1 on any mismatch)\n"
+               "  top      [--socket PATH] [--tenant ID] [--frames N] [--plain]\n"
+               "           (live per-tenant table from the daemon's watch stream)\n"
                "  corpus   [--corpus N] [--seed N]\n"
                "  families\n"
                "  apps\n"
@@ -534,6 +719,7 @@ int main(int argc, char** argv) {
     if (args.command == "trace-report") return cmd_trace_report(args);
     if (args.command == "daemon") return cmd_daemon(args);
     if (args.command == "daemon-replay") return cmd_daemon_replay(args);
+    if (args.command == "top") return cmd_top(args);
     if (args.command == "corpus") return cmd_corpus(args);
     if (args.command == "families") return cmd_families();
     if (args.command == "apps") return cmd_apps();

@@ -32,6 +32,11 @@
 //     request the dispatcher answers is documented, and nothing the
 //     docs promise has quietly been removed.
 //
+//  6. Event-schema parity. The journal-event table in
+//     docs/OBSERVABILITY.md (between the `<!-- event-schema:begin -->`
+//     / `end` markers) must name exactly daemon::all_event_kinds() —
+//     every structured event the daemon can journal is documented.
+//
 // Usage: docs_check <repo-root>   (exit 0 = docs in sync)
 #include <cstdio>
 #include <map>
@@ -42,6 +47,7 @@
 #include "core/engine.hpp"
 #include "daemon/control.hpp"
 #include "daemon/metrics.hpp"
+#include "daemon/telemetry.hpp"
 #include "entropy/backend.hpp"
 #include "lint/scan.hpp"
 #include "obs/metrics.hpp"
@@ -284,7 +290,8 @@ int check_header_docs(const std::string& root) {
       "src/daemon/metrics.hpp",   "src/daemon/control.hpp",
       "src/daemon/server.hpp",    "src/harness/daemon_runner.hpp",
       "src/common/kernels.hpp",   "src/common/buffer_pool.hpp",
-      "src/common/simd.hpp",
+      "src/common/simd.hpp",      "src/daemon/telemetry.hpp",
+      "src/obs/export_prom.hpp",
   };
   lint::HeaderScanner scanner;
   for (const char* header : kPublicHeaders) {
@@ -335,6 +342,44 @@ int check_control_parity(const std::string& root) {
   return failures;
 }
 
+// --- invariant 6: journal event-schema parity --------------------------
+
+int check_event_parity(const std::string& root) {
+  const std::string doc_path = root + "/docs/OBSERVABILITY.md";
+  std::set<std::string> emitted;
+  for (cryptodrop::daemon::EventKind kind :
+       cryptodrop::daemon::all_event_kinds()) {
+    emitted.insert(std::string(cryptodrop::daemon::event_kind_name(kind)));
+  }
+  const std::set<std::string> documented = lint::schema_table_tokens(
+      lint::read_lines_or_exit(doc_path), "event-schema:begin",
+      "event-schema:end");
+  int failures = 0;
+  for (const std::string& name : emitted) {
+    if (documented.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: journal event `%s` is emitted by the daemon "
+                   "but missing from the docs/OBSERVABILITY.md event table\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : documented) {
+    if (emitted.count(name) == 0) {
+      std::fprintf(stderr,
+                   "docs-check: docs/OBSERVABILITY.md documents journal event "
+                   "`%s` but the daemon never emits it\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("docs-check: journal event schema in sync (%zu kinds)\n",
+                emitted.size());
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -345,6 +390,7 @@ int main(int argc, char** argv) {
   failures += check_span_parity(root);
   failures += check_header_docs(root);
   failures += check_control_parity(root);
+  failures += check_event_parity(root);
   if (failures != 0) {
     std::fprintf(stderr, "docs-check: %d failure(s)\n", failures);
     return 1;
