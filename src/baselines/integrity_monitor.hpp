@@ -28,15 +28,21 @@
 
 namespace cryptodrop::baselines {
 
+/// One divergence from the baseline, attributed to the process that
+/// caused it.
 struct IntegrityAlert {
   std::string path;
   vfs::ProcessId pid = 0;
   std::string process_name;
+  /// How the file diverged from its baselined hash.
   enum class Kind : std::uint8_t { modified, deleted, replaced, added } kind{};
 };
 
+/// The Tripwire stand-in: hash-compare every protected file against an
+/// attach-time baseline and alert on any divergence.
 class IntegrityMonitor : public vfs::Filter {
  public:
+  /// Monitor configuration.
   struct Options {
     std::string protected_root = "users/victim/documents";
     /// Suspend the offending process on its first alert (what an
@@ -46,12 +52,16 @@ class IntegrityMonitor : public vfs::Filter {
     bool suspend_on_alert = false;
   };
 
+  /// Alerts are raised lazily from operation callbacks after attach.
   explicit IntegrityMonitor(Options options);
 
   // --- vfs::Filter -----------------------------------------------------
   void on_attach(vfs::FileSystem& fs) override;
+  /// Denies operations from suspended processes (suspend_on_alert).
   vfs::Verdict pre_operation(const vfs::OperationEvent& event) override;
+  /// Hash-checks the touched file after writes, renames and removes.
   void post_operation(const vfs::OperationEvent& event, const Status& outcome) override;
+  /// Stable name used in spans and test output.
   [[nodiscard]] std::string_view filter_name() const override {
     return "integrity_monitor";
   }
@@ -71,8 +81,11 @@ class IntegrityMonitor : public vfs::Filter {
   static std::map<std::string, crypto::Sha256Digest> compute_baseline(
       const vfs::FileSystem& fs, const std::string& protected_root);
 
+  /// Every alert raised since attach, in order.
   [[nodiscard]] const std::vector<IntegrityAlert>& alerts() const { return alerts_; }
+  /// Shorthand for alerts().size().
   [[nodiscard]] std::size_t alert_count() const { return alerts_.size(); }
+  /// True when suspend_on_alert has tripped for this process.
   [[nodiscard]] bool is_suspended(vfs::ProcessId pid) const;
 
  private:

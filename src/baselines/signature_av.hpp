@@ -35,6 +35,8 @@ std::uint64_t sample_fingerprint(const sim::SampleSpec& spec);
 /// (the paper's §V-E experiment). Never equals sample_fingerprint(spec).
 std::uint64_t morphed_fingerprint(const sim::SampleSpec& spec);
 
+/// The signature-database AV stand-in: blocks known binaries at load
+/// time, never watches data.
 class SignatureAv {
  public:
   /// Adds one known-bad fingerprint to the database.
@@ -48,8 +50,10 @@ class SignatureAv {
   /// Pre-execution scan: true when the binary matches a known signature
   /// and the AV blocks it (zero files lost); false = the sample runs.
   [[nodiscard]] bool blocks(std::uint64_t fingerprint) const;
+  /// Same scan, fingerprinting the spec first.
   [[nodiscard]] bool blocks(const sim::SampleSpec& spec) const;
 
+  /// Known-bad fingerprints in the database.
   [[nodiscard]] std::size_t signature_count() const { return db_.size(); }
 
  private:

@@ -61,6 +61,7 @@ class ScratchPool {
  public:
   /// Pops a pooled vector (cleared, capacity >= what it retired with) or
   /// default-constructs one; always reserves `min_capacity`.
+  // cryptodrop:hot
   static std::vector<T> acquire(std::size_t min_capacity) {
     auto& counters = detail::pool_counters();
     counters.acquires.fetch_add(1, std::memory_order_relaxed);
@@ -82,6 +83,7 @@ class ScratchPool {
 
   /// Parks `v`'s storage on this thread's shelf for the next acquire, or
   /// frees it when the shelf is full.
+  // cryptodrop:hot
   static void release(std::vector<T>&& v) {
     const std::size_t bytes = v.capacity() * sizeof(T);
     if (bytes == 0) return;

@@ -13,28 +13,43 @@
 
 namespace cryptodrop {
 
+/// A single JSON value: null, boolean, number, string, object or array.
 class Json {
  public:
-  /// Constructors for each JSON kind.
+  /// Default-constructs null.
   Json() : kind_(Kind::null) {}
+  /// Null from the nullptr literal.
   Json(std::nullptr_t) : kind_(Kind::null) {}  // NOLINT
+  /// Boolean.
   Json(bool b) : kind_(Kind::boolean), bool_(b) {}  // NOLINT
+  /// Number.
   Json(double d) : kind_(Kind::number), number_(d) {}  // NOLINT
+  /// Number from int (always exact in a double).
   Json(int i) : kind_(Kind::number), number_(i) {}  // NOLINT
+  /// Number from long; values beyond 2^53 round.
   Json(long i) : kind_(Kind::number), number_(static_cast<double>(i)) {}  // NOLINT
+  /// Number from long long; values beyond 2^53 round.
   Json(long long i) : kind_(Kind::number), number_(static_cast<double>(i)) {}  // NOLINT
+  /// Number from unsigned long; values beyond 2^53 round.
   Json(unsigned long u) : kind_(Kind::number), number_(static_cast<double>(u)) {}  // NOLINT
+  /// Number from unsigned long long; values beyond 2^53 round.
   Json(unsigned long long u) : kind_(Kind::number), number_(static_cast<double>(u)) {}  // NOLINT
+  /// Number from unsigned (always exact in a double).
   Json(unsigned u) : kind_(Kind::number), number_(u) {}  // NOLINT
+  /// String from a C literal.
   Json(const char* s) : kind_(Kind::string), string_(s) {}  // NOLINT
+  /// String, taking ownership.
   Json(std::string s) : kind_(Kind::string), string_(std::move(s)) {}  // NOLINT
+  /// String copied from a view.
   Json(std::string_view s) : kind_(Kind::string), string_(s) {}  // NOLINT
 
+  /// An empty object, ready for set().
   static Json object() {
     Json j;
     j.kind_ = Kind::object;
     return j;
   }
+  /// An empty array, ready for push().
   static Json array() {
     Json j;
     j.kind_ = Kind::array;
@@ -54,10 +69,15 @@ class Json {
     return *this;
   }
 
+  /// True when this value is an object.
   [[nodiscard]] bool is_object() const { return kind_ == Kind::object; }
+  /// True when this value is an array.
   [[nodiscard]] bool is_array() const { return kind_ == Kind::array; }
+  /// True when this value is a number.
   [[nodiscard]] bool is_number() const { return kind_ == Kind::number; }
+  /// True when this value is a string.
   [[nodiscard]] bool is_string() const { return kind_ == Kind::string; }
+  /// The numeric value (0.0 when this is not a number).
   [[nodiscard]] double as_number() const { return number_; }
 
   /// Object field lookup (last duplicate wins, matching de-duplicating
@@ -71,6 +91,7 @@ class Json {
     }
     return found;
   }
+  /// Element count for arrays, field count for objects.
   [[nodiscard]] std::size_t size() const {
     return kind_ == Kind::array ? elements_.size() : fields_.size();
   }

@@ -18,6 +18,7 @@ void byte_histogram_reference(const std::uint8_t* data, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) ++counts[data[i]];
 }
 
+// cryptodrop:hot
 void byte_histogram(const std::uint8_t* data, std::size_t n,
                     std::uint64_t counts[256]) {
   // Four sub-tables: a run of equal bytes otherwise chains
@@ -57,6 +58,7 @@ void byte_histogram(const std::uint8_t* data, std::size_t n,
   }
 }
 
+// cryptodrop:hot
 std::uint64_t fnv1a64(const std::uint8_t* p, std::size_t n) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::size_t i = 0; i < n; ++i) {
@@ -65,6 +67,7 @@ std::uint64_t fnv1a64(const std::uint8_t* p, std::size_t n) {
   return h;
 }
 
+// cryptodrop:hot
 void fnv1a64_x4(const std::uint8_t* p0, const std::uint8_t* p1,
                 const std::uint8_t* p2, const std::uint8_t* p3,
                 std::size_t n, std::uint64_t out[4]) {
@@ -99,6 +102,7 @@ int distinct_count_reference(const std::uint8_t* p, std::size_t n) {
   return distinct;
 }
 
+// cryptodrop:hot
 bool has_min_distinct(const std::uint8_t* p, std::size_t n, int threshold) {
   if (threshold <= 0) return true;
   std::uint64_t seen[4] = {};
@@ -127,6 +131,7 @@ std::uint32_t and_popcount_reference(const std::uint64_t* a,
 
 #if CRYPTODROP_SIMD_LEVEL == 2
 
+// cryptodrop:hot
 std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                            std::size_t words) {
   // Nibble-LUT shuffle popcount (Mula): per-byte counts via two PSHUFB
@@ -162,6 +167,7 @@ std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
 
 #elif CRYPTODROP_SIMD_LEVEL == 3
 
+// cryptodrop:hot
 std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                            std::size_t words) {
   uint64x2_t acc = vdupq_n_u64(0);
@@ -182,6 +188,7 @@ std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
 
 #else
 
+// cryptodrop:hot
 std::uint32_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                            std::size_t words) {
   // 4-way unroll: independent partial sums keep the popcount units busy.
@@ -222,6 +229,7 @@ void serial_lag1_sums_reference(const std::uint8_t* p, std::size_t n,
   sum_prod = sp;
 }
 
+// cryptodrop:hot
 void serial_lag1_sums(const std::uint8_t* p, std::size_t n,
                       std::uint64_t& sum_b, std::uint64_t& sum_b2,
                       std::uint64_t& sum_prod) {

@@ -24,11 +24,12 @@
 // translation units never violate the ODR.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <shared_mutex>
-#include <vector>
 
 namespace cryptodrop::common {
 
@@ -92,19 +93,29 @@ struct HeldLock {
 };
 
 /// The calling thread's currently held ranked locks, in acquisition
-/// order. The ordering contract keeps it non-decreasing by rank.
-inline std::vector<HeldLock>& held_stack() {
-  thread_local std::vector<HeldLock> stack;
+/// order (the ordering contract keeps it non-decreasing by rank).
+/// Fixed capacity: nesting depth is bounded by the rank table, so the
+/// lock acquisition path never touches the allocator — check_acquire
+/// sits inside every hot-path lock (cryptodrop:hot purity gate).
+struct HeldStack {
+  static constexpr std::size_t kMaxDepth = 16;
+  std::array<HeldLock, kMaxDepth> items{};
+  std::size_t depth = 0;
+};
+
+/// The calling thread's rank stack.
+inline HeldStack& held_stack() {
+  thread_local HeldStack stack;
   return stack;
 }
 
 /// Validates one acquisition against the top of the rank stack and
 /// pushes it. Aborts (with a diagnostic naming both ranks) on a
-/// lock-order inversion.
+/// lock-order inversion or implausibly deep nesting.
 inline void check_acquire(unsigned rank, const void* mx) {
-  std::vector<HeldLock>& stack = held_stack();
-  if (!stack.empty()) {
-    const HeldLock& top = stack.back();
+  HeldStack& stack = held_stack();
+  if (stack.depth > 0) {
+    const HeldLock& top = stack.items[stack.depth - 1];
     const bool ordered =
         rank > top.rank || (rank == top.rank && mx > top.mx);
     if (!ordered) {
@@ -115,16 +126,26 @@ inline void check_acquire(unsigned rank, const void* mx) {
       std::abort();
     }
   }
-  stack.push_back(HeldLock{rank, mx});
+  if (stack.depth == HeldStack::kMaxDepth) {
+    std::fprintf(stderr,
+                 "cryptodrop: lock nesting deeper than %zu ranked locks "
+                 "— raise HeldStack::kMaxDepth if this is intentional\n",
+                 HeldStack::kMaxDepth);
+    std::abort();
+  }
+  stack.items[stack.depth++] = HeldLock{rank, mx};
 }
 
 /// Removes `mx` from the rank stack (latest acquisition first, so
 /// recursive same-address patterns would unwind correctly).
 inline void note_release(const void* mx) {
-  std::vector<HeldLock>& stack = held_stack();
-  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-    if (it->mx == mx) {
-      stack.erase(std::next(it).base());
+  HeldStack& stack = held_stack();
+  for (std::size_t i = stack.depth; i-- > 0;) {
+    if (stack.items[i].mx == mx) {
+      for (std::size_t j = i + 1; j < stack.depth; ++j) {
+        stack.items[j - 1] = stack.items[j];
+      }
+      --stack.depth;
       return;
     }
   }

@@ -34,16 +34,23 @@ std::string_view errc_name(Errc e);
 /// Outcome of an operation with no payload.
 class Status {
  public:
+  /// Defaults to success.
   Status() : code_(Errc::ok) {}
+  /// An error status with an optional context message.
   explicit Status(Errc code, std::string message = {})
       : code_(code), message_(std::move(message)) {}
 
+  /// The success value, spelled out.
   static Status ok() { return Status(); }
 
+  /// True when the operation succeeded.
   [[nodiscard]] bool is_ok() const { return code_ == Errc::ok; }
+  /// Same as is_ok(), for use in conditions.
   explicit operator bool() const { return is_ok(); }
 
+  /// The error category (Errc::ok on success).
   [[nodiscard]] Errc code() const { return code_; }
+  /// Free-form context attached at the failure site (may be empty).
   [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "ok" or "<code>: <message>".
@@ -58,20 +65,29 @@ class Status {
 template <typename T>
 class Result {
  public:
+  /// Success, taking ownership of the payload.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Failure; `status` should carry a non-ok code.
   Result(Status status) : status_(std::move(status)) {}  // NOLINT
 
+  /// True when a payload is present.
   [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  /// Same as is_ok(), for use in conditions.
   explicit operator bool() const { return is_ok(); }
 
+  /// The failure status (ok-valued when is_ok()).
   [[nodiscard]] const Status& status() const { return status_; }
+  /// Shorthand for status().code().
   [[nodiscard]] Errc code() const { return status_.code(); }
 
-  /// Precondition: is_ok().
+  /// The payload. Precondition: is_ok().
   [[nodiscard]] T& value() & { return *value_; }
+  /// The payload, read-only. Precondition: is_ok().
   [[nodiscard]] const T& value() const& { return *value_; }
+  /// Moves the payload out. Precondition: is_ok().
   [[nodiscard]] T&& value() && { return std::move(*value_); }
 
+  /// The payload, or `fallback` on failure.
   [[nodiscard]] T value_or(T fallback) const {
     return value_ ? *value_ : std::move(fallback);
   }
@@ -81,6 +97,8 @@ class Result {
   Status status_{};
 };
 
+/// See the declaration above; switch kept exhaustive so new codes fail
+/// to compile until named.
 inline std::string_view errc_name(Errc e) {
   switch (e) {
     case Errc::ok: return "ok";
@@ -97,6 +115,7 @@ inline std::string_view errc_name(Errc e) {
   return "unknown";
 }
 
+/// "ok" or "<code>: <message>", per the in-class declaration.
 inline std::string Status::to_string() const {
   if (is_ok()) return "ok";
   std::string out(errc_name(code_));

@@ -13,6 +13,7 @@ namespace cryptodrop {
 /// matching the convention in the paper's Table I, e.g. CryptoDefense 6.5).
 /// Precondition: non-empty.
 double median(std::vector<double> values);
+/// Integer-sample median with the same convention.
 double median_int(std::vector<int> values);
 
 /// Arithmetic mean. Precondition: non-empty.

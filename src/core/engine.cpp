@@ -781,6 +781,7 @@ void AnalysisEngine::evaluate_modification(
 // Filter callbacks
 // ----------------------------------------------------------------------
 
+// cryptodrop:hot
 vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
   AlertScope alerts(alert_callback_);
   // A suspended process's disk accesses stay paused until the user
@@ -823,6 +824,7 @@ vfs::Verdict AnalysisEngine::pre_operation(const vfs::OperationEvent& event) {
   return vfs::Verdict::allow;
 }
 
+// cryptodrop:hot
 void AnalysisEngine::post_operation(const vfs::OperationEvent& event,
                                     const Status& outcome) {
   if (!outcome.is_ok()) return;

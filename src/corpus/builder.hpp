@@ -25,6 +25,7 @@ struct KindWeight {
   double weight;
 };
 
+/// Shape of the corpus to build; defaults reproduce the paper's set.
 struct CorpusSpec {
   /// Victim documents root; everything the corpus creates lives below it.
   std::string root = "users/victim/documents";
@@ -63,11 +64,14 @@ struct ManifestEntry {
   std::string sha256;
 };
 
+/// A built corpus: its root plus one manifest entry per file.
 struct Corpus {
   std::string root;
   std::vector<ManifestEntry> manifest;
 
+  /// Number of files in the corpus.
   [[nodiscard]] std::size_t file_count() const { return manifest.size(); }
+  /// Sum of all file sizes at build time.
   [[nodiscard]] std::size_t total_bytes() const;
 };
 

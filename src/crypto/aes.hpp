@@ -14,6 +14,7 @@
 
 namespace cryptodrop::crypto {
 
+/// The raw AES-128 block cipher (encryption direction only).
 class Aes128 {
  public:
   /// `key` uses up to 16 bytes (zero-padded).
@@ -33,7 +34,9 @@ class Aes128Ctr {
   /// a big-endian block counter.
   Aes128Ctr(ByteView key, ByteView nonce);
 
+  /// XORs the keystream into `data`, continuing from the last call.
   void xor_in_place(Bytes& data);
+  /// Returns `data` XORed with the keystream (copying transform).
   Bytes transform(ByteView data);
 
  private:

@@ -13,6 +13,7 @@
 
 namespace cryptodrop::crypto {
 
+/// ChaCha20 stream cipher (RFC 8439), encrypt == decrypt.
 class ChaCha20 {
  public:
   /// `key` uses up to 32 bytes (zero-padded), `nonce` up to 12.

@@ -15,10 +15,13 @@ namespace cryptodrop::crypto {
 
 using Sha256Digest = std::array<std::uint8_t, 32>;
 
+/// Streaming hasher: update() any number of times, then finish().
 class Sha256 {
  public:
+  /// Fresh hash state.
   Sha256();
 
+  /// Absorbs a chunk.
   void update(ByteView data);
   /// Finalizes and returns the digest. The object must not be reused after.
   Sha256Digest finish();

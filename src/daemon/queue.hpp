@@ -90,6 +90,7 @@ class BoundedOpQueue {
   explicit BoundedOpQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Admission-controlled enqueue; never blocks (see file comment).
+  // cryptodrop:hot
   PushResult push(QueueItem item) {
     PushResult result;
     std::unique_lock<QueueMutex> lock(mu_);
@@ -132,6 +133,7 @@ class BoundedOpQueue {
   /// Blocking dequeue. Returns false when the queue is stopped and
   /// empty (worker exits). The returned item counts as in-flight until
   /// done() is called.
+  // cryptodrop:hot
   bool pop(QueueItem& out) {
     std::unique_lock<QueueMutex> lock(mu_);
     work_cv_.wait(lock, [&] {
@@ -149,6 +151,7 @@ class BoundedOpQueue {
   /// one lock acquisition. Returns false when the queue is stopped and
   /// empty. The whole batch counts as in-flight until done() is called,
   /// so drain_wait() still observes "executed or queued, never lost".
+  // cryptodrop:hot
   bool pop_batch(std::vector<QueueItem>& out, std::size_t max_items) {
     out.clear();
     std::unique_lock<QueueMutex> lock(mu_);

@@ -84,7 +84,9 @@ double daa_window_score(const std::uint8_t* data, std::size_t n) {
 /// Streaming Shannon entropy: the Histogram class the engine always had.
 class ShannonAccumulator final : public Accumulator {
  public:
+  // cryptodrop:hot
   void add(ByteView data) override { histogram_.add(data); }
+  // cryptodrop:hot
   [[nodiscard]] double score() const override { return histogram_.entropy(); }
   [[nodiscard]] std::uint64_t total() const override {
     return histogram_.total();
@@ -99,6 +101,7 @@ class ShannonBackend final : public Backend {
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::shannon;
   }
+  // cryptodrop:hot
   [[nodiscard]] double score(ByteView data) const override {
     return shannon(data);
   }
@@ -112,10 +115,12 @@ class ShannonBackend final : public Backend {
 /// Streaming chi-square: a byte histogram, scored by the shared kernel.
 class ChiSquareAccumulator final : public Accumulator {
  public:
+  // cryptodrop:hot
   void add(ByteView data) override {
     kernels::byte_histogram(data.data(), data.size(), counts_);
     total_ += data.size();
   }
+  // cryptodrop:hot
   [[nodiscard]] double score() const override {
     return chi_square_from_counts(counts_, total_);
   }
@@ -131,6 +136,7 @@ class ChiSquareBackend final : public Backend {
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::chi_square;
   }
+  // cryptodrop:hot
   [[nodiscard]] double score(ByteView data) const override {
     if (data.empty()) return 0.0;
     std::uint64_t counts[256] = {};
@@ -149,6 +155,7 @@ class ChiSquareBackend final : public Backend {
 /// the one-shot computation exactly.
 class SerialCorrelationAccumulator final : public Accumulator {
  public:
+  // cryptodrop:hot
   void add(ByteView data) override {
     for (std::uint8_t byte : data) {
       const double b = static_cast<double>(byte);
@@ -163,6 +170,7 @@ class SerialCorrelationAccumulator final : public Accumulator {
       ++n_;
     }
   }
+  // cryptodrop:hot
   [[nodiscard]] double score() const override {
     return serial_from_sums(n_, sum_b_, sum_b2_, sum_prod_ + prev_ * first_);
   }
@@ -182,6 +190,7 @@ class SerialCorrelationBackend final : public Backend {
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::serial_correlation;
   }
+  // cryptodrop:hot
   [[nodiscard]] double score(ByteView data) const override {
     if (data.empty()) return 0.0;
     // One-shot form runs on the unrolled integer kernel. All three sums
@@ -230,6 +239,7 @@ class DaaAccumulator final : public Accumulator {
         head_(window_),
         ring_(window_) {}
 
+  // cryptodrop:hot
   void add(ByteView data) override {
     const std::uint8_t* p = data.data();
     const std::size_t n = data.size();
@@ -258,6 +268,7 @@ class DaaAccumulator final : public Accumulator {
       len_ = window_;
     }
   }
+  // cryptodrop:hot
   [[nodiscard]] double score() const override {
     if (total_ == 0) return 0.0;
     const double head = daa_window_score(head_->data(), head_->size());
@@ -286,6 +297,7 @@ class DaaBackend final : public Backend {
   explicit DaaBackend(std::size_t window) : window_(std::max<std::size_t>(window, 1)) {}
 
   [[nodiscard]] BackendKind kind() const override { return BackendKind::daa; }
+  // cryptodrop:hot
   [[nodiscard]] double score(ByteView data) const override {
     if (data.empty()) return 0.0;
     const std::size_t w = std::min(window_, data.size());

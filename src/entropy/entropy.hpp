@@ -21,8 +21,11 @@ double shannon(ByteView data);
 /// Incremental byte histogram for computing entropy over streamed chunks.
 class Histogram {
  public:
+  /// Folds a chunk into the byte counts.
   void add(ByteView data);
+  /// Shannon entropy of everything added so far, in bits/byte.
   [[nodiscard]] double entropy() const;
+  /// Total bytes added.
   [[nodiscard]] std::uint64_t total() const { return total_; }
 
  private:
@@ -41,8 +44,11 @@ class WeightedEntropyMean {
   /// hot path can never recompute a backend's statistic per operation.
   void add(double e, std::size_t bytes);
 
+  /// The weighted mean (0 when no weight has accumulated).
   [[nodiscard]] double mean() const;
+  /// Operations folded in so far.
   [[nodiscard]] std::uint64_t operations() const { return operations_; }
+  /// True before the first add().
   [[nodiscard]] bool empty() const { return operations_ == 0; }
 
  private:

@@ -11,8 +11,10 @@ namespace cryptodrop::harness {
 /// Simple left/right-aligned column table.
 class TextTable {
  public:
+  /// A table with these column headers.
   explicit TextTable(std::vector<std::string> headers);
 
+  /// Appends one row (must match the header count).
   void add_row(std::vector<std::string> cells);
   /// Renders with a header underline; columns sized to the widest cell.
   [[nodiscard]] std::string to_string() const;

@@ -46,6 +46,7 @@ struct BenignWorkload {
   std::string name;
   /// True for 7-zip: the paper expects (and welcomes) this detection.
   bool expected_false_positive = false;
+  /// Executes the workload against the context's filesystem.
   std::function<void(WorkloadContext&)> run;
 };
 

@@ -32,10 +32,14 @@
 
 namespace cryptodrop::sim {
 
+/// Paper §III taxonomy: how a sample reaches and replaces user data.
 enum class BehaviorClass : std::uint8_t { A, B, C };
 
+/// "class_a"/"class_b"/"class_c", for reports and test output.
 std::string_view behavior_class_name(BehaviorClass c);
 
+/// Order in which the documents tree is attacked (observed per-family
+/// habits the engine's indicators are exposed to).
 enum class Traversal : std::uint8_t {
   depth_first_deepest,  ///< Recurse to the deepest directories first (TeslaCrypt).
   size_ascending,       ///< All targets globally, smallest file first (CTB-Locker).
@@ -45,6 +49,8 @@ enum class Traversal : std::uint8_t {
   extension_priority,   ///< target_extensions order defines attack priority.
 };
 
+/// Cipher the sample encrypts with; strength decides how much
+/// structure leaks into the ciphertext indicators.
 enum class CipherKind : std::uint8_t {
   chacha20,  ///< Strong stream cipher: uniform ciphertext.
   aes_ctr,   ///< Strong block cipher in CTR mode: uniform ciphertext.
@@ -80,12 +86,15 @@ struct EvasionConfig {
   /// attack to overcome the window" — §V-F).
   std::uint64_t think_micros_per_file = 0;
 
+  /// True when any evasion knob is set (decides bench table rows).
   [[nodiscard]] bool any() const {
     return preserve_header_bytes > 0 || preserve_fraction > 0.0 ||
            pad_low_entropy_bytes > 0 || decoy_writes_per_file > 0;
   }
 };
 
+/// Everything that varies between families: one profile = one family,
+/// profile + seed = one sample.
 struct RansomwareProfile {
   std::string family;
   BehaviorClass behavior = BehaviorClass::A;
@@ -171,6 +180,7 @@ struct SampleRun {
   std::uint64_t bytes_touched = 0;
 };
 
+/// One runnable sample: a profile bound to key material and an RNG.
 class RansomwareSample {
  public:
   /// `seed` individualizes this sample within its family (key material,
@@ -184,6 +194,7 @@ class RansomwareSample {
   /// children of `pid` and the run stops when the whole family is denied.
   SampleRun run(vfs::FileSystem& fs, vfs::ProcessId pid, const std::string& root);
 
+  /// The profile this sample was built from.
   [[nodiscard]] const RansomwareProfile& profile() const { return profile_; }
 
  private:

@@ -7,6 +7,7 @@ namespace cryptodrop::simhash {
 DigestCache::DigestCache(std::size_t capacity)
     : per_shard_capacity_(std::max<std::size_t>(1, (capacity + kShards - 1) / kShards)) {}
 
+// cryptodrop:hot
 std::optional<SimilarityDigest> DigestCache::get_or_compute(ByteView data) {
   const crypto::Sha256Digest key = crypto::sha256(data);
   Shard& shard = shards_[key[0] % kShards];

@@ -31,6 +31,7 @@
 
 namespace cryptodrop::simhash {
 
+/// Aggregated counters across all shards (see stats()).
 struct DigestCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -38,6 +39,7 @@ struct DigestCacheStats {
   std::size_t entries = 0;
 };
 
+/// The sharded, LRU-bounded digest cache described above.
 class DigestCache {
  public:
   /// Total entries across all shards (rounded up to a per-shard bound).
@@ -54,6 +56,7 @@ class DigestCache {
   /// Drops every entry (stats are kept).
   void clear();
 
+  /// Snapshot of the hit/miss/eviction counters.
   [[nodiscard]] DigestCacheStats stats() const;
 
   /// The cache shared by every engine with `share_digest_cache` set.

@@ -80,6 +80,7 @@ void SimilarityDigest::insert_feature(std::uint64_t h) {
   ++feature_count_;
 }
 
+// cryptodrop:hot
 std::optional<SimilarityDigest> SimilarityDigest::compute(ByteView data) {
   if (data.size() < kMinInputSize) return std::nullopt;
 

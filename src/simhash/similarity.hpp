@@ -38,6 +38,8 @@ inline constexpr std::size_t kFilterBits = 2048;
 /// Features folded into one filter before a new one is started.
 inline constexpr std::size_t kFeaturesPerFilter = 160;
 
+/// The sdhash-style similarity fingerprint: a sequence of bloom
+/// filters over statistically improbable features.
 class SimilarityDigest {
  public:
   /// Builds a digest, or nullopt when `data` is too small or too

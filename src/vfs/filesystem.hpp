@@ -52,6 +52,7 @@ struct DirEntry {
 /// Open-file handle value. Obtained from open(), released by close().
 struct Handle {
   HandleId id = 0;
+  /// Nonzero iff the open succeeded.
   explicit operator bool() const { return id != 0; }
 };
 
@@ -65,8 +66,11 @@ struct OpCounters {
   std::uint64_t renames = 0;
 };
 
+/// The volume: namespace tree, file content, processes, handles and
+/// the attached filter stack, all behind one dispatch point.
 class FileSystem {
  public:
+  /// An empty volume containing only the root directory.
   FileSystem();
   FileSystem(const FileSystem&) = delete;
   FileSystem& operator=(const FileSystem&) = delete;
@@ -86,6 +90,7 @@ class FileSystem {
   /// the analysis engine scores and suspends whole families ("the
   /// suspicious process (or family of processes)").
   ProcessId register_process(std::string name, ProcessId parent = 0);
+  /// Display name given at register_process(); "" for unknown pids.
   [[nodiscard]] std::string_view process_name(ProcessId pid) const;
   /// Number of processes ever registered (pids are dense: 1..count).
   [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
@@ -99,6 +104,7 @@ class FileSystem {
   /// Attaches a non-owning filter at the bottom of the stack. The caller
   /// keeps the filter alive while attached.
   void attach_filter(Filter* filter);
+  /// Detaches a previously attached filter (no-op when absent).
   void detach_filter(Filter* filter);
 
   // --- span tracing ----------------------------------------------------
@@ -114,7 +120,10 @@ class FileSystem {
 
   // --- filtered operations (the "disk requests" of Fig. 2) -------------
 
+  /// Creates a directory; parents must already exist.
   Status mkdir(ProcessId pid, std::string_view raw_path);
+  /// Opens (or creates, mode-dependent) a file. See vfs/filter.hpp
+  /// for the kRead/kWrite/kCreate/kTruncate mode bits.
   Result<Handle> open(ProcessId pid, std::string_view raw_path, unsigned mode);
   /// Reads up to `n` bytes from the handle position, advancing it.
   Result<Bytes> read(ProcessId pid, Handle h, std::size_t n);
@@ -125,7 +134,10 @@ class FileSystem {
   Status truncate(ProcessId pid, Handle h, std::uint64_t new_size);
   /// Repositions the handle. Positions past EOF are allowed.
   Status seek(ProcessId pid, Handle h, std::uint64_t pos);
+  /// Releases the handle, firing the close post-callbacks filters
+  /// score on (the paper's analysis point for completed writes).
   Status close(ProcessId pid, Handle h);
+  /// Deletes a file or empty directory.
   Status remove(ProcessId pid, std::string_view raw_path);
   /// Moves/renames a file; silently replaces an existing destination file
   /// (MoveFileEx + MOVEFILE_REPLACE_EXISTING semantics). Directories
@@ -141,8 +153,11 @@ class FileSystem {
 
   // --- unfiltered inspection (host / engine / tests) -------------------
 
+  /// True when a file or directory exists at the path.
   [[nodiscard]] bool exists(std::string_view raw_path) const;
+  /// True when the path names a directory.
   [[nodiscard]] bool is_directory(std::string_view raw_path) const;
+  /// Metadata for a file or directory, without filter traffic.
   [[nodiscard]] Result<FileInfo> stat(std::string_view raw_path) const;
   /// Current content of a file, bypassing the filter stack (what the
   /// paper's driver does when a locked file must be inspected "using the
@@ -155,9 +170,13 @@ class FileSystem {
   /// All directory paths under `raw_path`, excluding `raw_path` itself.
   [[nodiscard]] std::vector<std::string> list_dirs_recursive(std::string_view raw_path) const;
 
+  /// Number of files on the volume.
   [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  /// Number of directories, counting the root.
   [[nodiscard]] std::size_t dir_count() const { return dirs_.size(); }
+  /// Handles currently open across all processes.
   [[nodiscard]] std::size_t open_handle_count() const { return handles_.size(); }
+  /// Per-op-type totals since construction.
   [[nodiscard]] const OpCounters& counters() const { return counters_; }
 
   // --- virtual clock ---------------------------------------------------
@@ -168,6 +187,7 @@ class FileSystem {
   /// what lets rate-based experiments (§V-F's time-window discussion)
   /// reproduce exactly.
   [[nodiscard]] std::uint64_t now_micros() const { return clock_micros_; }
+  /// Advances the simulated clock (workload think-time).
   void advance_time(std::uint64_t micros) { clock_micros_ += micros; }
 
   /// Simulated cost of one filesystem operation (~50 µs, the order of a
@@ -179,7 +199,9 @@ class FileSystem {
   /// Creates a file (parents included) without filter traffic — used to
   /// lay down the test corpus before any monitored process runs.
   Status put_file_raw(std::string_view raw_path, Bytes data, bool read_only = false);
+  /// Creates a directory chain without filter traffic.
   Status mkdir_raw(std::string_view raw_path);
+  /// Flips the read-only bit (corpus setup for §V-C-style tests).
   Status set_read_only(std::string_view raw_path, bool read_only);
 
  private:

@@ -35,6 +35,7 @@ enum OpenMode : unsigned {
   kCreate = 1u << 3,    ///< Create if missing (implies kWrite).
 };
 
+/// The operation kinds a filter can observe or deny.
 enum class OpType : std::uint8_t {
   open,
   read,
@@ -87,6 +88,7 @@ struct OperationEvent {
   std::uint64_t wrote_bytes = 0;
 };
 
+/// Pre-operation decision: deny short-circuits the dispatch.
 enum class Verdict : std::uint8_t { allow, deny };
 
 /// Base class for all filters. Callbacks default to allow/no-op so a

@@ -24,15 +24,22 @@ struct RecordedOp {
   bool succeeded = false;
 };
 
+/// Observe-only filter: copies every post-operation event into a list
+/// tests and the harness can query afterwards.
 class RecordingFilter : public Filter {
  public:
+  /// Always allows; recording happens in the post callback.
   Verdict pre_operation(const OperationEvent& event) override;
+  /// Appends one RecordedOp per completed operation.
   void post_operation(const OperationEvent& event, const Status& outcome) override;
+  /// Stable name used in spans and test output.
   [[nodiscard]] std::string_view filter_name() const override {
     return "recorder";
   }
 
+  /// Every recorded operation, in dispatch order.
   [[nodiscard]] const std::vector<RecordedOp>& ops() const { return ops_; }
+  /// Drops the recording (between experiment phases).
   void clear() { ops_.clear(); }
 
   /// Paths of files a given process read (successfully).

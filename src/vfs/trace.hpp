@@ -59,12 +59,16 @@ class TraceRecorder : public Filter {
   explicit TraceRecorder(bool capture_content)
       : capture_content_(capture_content) {}
 
+  /// Appends one entry per successful filtered operation.
   void post_operation(const OperationEvent& event, const Status& outcome) override;
+  /// Stable name used in spans and test output.
   [[nodiscard]] std::string_view filter_name() const override {
     return "op_recorder";
   }
 
+  /// Everything recorded so far, in dispatch order.
   [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+  /// Drops the recording (between experiment phases).
   void clear() { entries_.clear(); }
 
  private:

@@ -38,7 +38,9 @@
 //     every structured event the daemon can journal is documented.
 //
 // Usage: docs_check <repo-root>   (exit 0 = docs in sync)
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -278,28 +280,27 @@ int check_span_parity(const std::string& root) {
 // --- invariant 4: header doc comments ----------------------------------
 
 int check_header_docs(const std::string& root) {
-  static const char* kPublicHeaders[] = {
-      "src/obs/metrics.hpp",      "src/obs/timeline.hpp",
-      "src/obs/span.hpp",         "src/obs/trace_export.hpp",
-      "src/core/engine.hpp",      "src/core/session.hpp",
-      "src/core/config.hpp",      "src/harness/runner.hpp",
-      "src/harness/experiment.hpp", "src/harness/report.hpp",
-      "src/vfs/fault_filter.hpp", "src/harness/chaos.hpp",
-      "src/common/ranked_mutex.hpp", "src/entropy/backend.hpp",
-      "src/daemon/daemon.hpp",    "src/daemon/queue.hpp",
-      "src/daemon/metrics.hpp",   "src/daemon/control.hpp",
-      "src/daemon/server.hpp",    "src/harness/daemon_runner.hpp",
-      "src/common/kernels.hpp",   "src/common/buffer_pool.hpp",
-      "src/common/simd.hpp",      "src/daemon/telemetry.hpp",
-      "src/obs/export_prom.hpp",
-  };
+  // Every header under src/ is public API surface — the list is a
+  // glob, not a hand-maintained array, so new headers join the gate
+  // the moment they land (PR 5's curated list had drifted three
+  // subsystems behind by PR 10).
+  std::vector<std::string> headers;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           std::filesystem::path(root) / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".h") continue;
+    headers.push_back(
+        std::filesystem::relative(entry.path(), root).generic_string());
+  }
+  std::sort(headers.begin(), headers.end());
   lint::HeaderScanner scanner;
-  for (const char* header : kPublicHeaders) {
+  for (const std::string& header : headers) {
     scanner.scan(header, lint::read_lines_or_exit(root + "/" + header));
   }
   if (scanner.failures == 0) {
     std::printf("docs-check: all public declarations documented (%zu headers)\n",
-                std::size(kPublicHeaders));
+                headers.size());
   }
   return scanner.failures;
 }

@@ -1,17 +1,30 @@
-// cryptodrop_lint — project-invariant static analysis (DESIGN.md §13).
+// cryptodrop_lint — project-invariant static analysis (DESIGN.md §13,
+// §17).
 //
-// Walks src/, tools/ and bench/ and enforces, as a tier-1 ctest gate:
+// Walks src/, tools/, bench/ (line rules) plus tests/ (include graph)
+// and enforces, as a tier-1 ctest gate:
 //   * determinism  — no ambient randomness or wall-clock reads (rng,
 //     wall-clock rules);
 //   * lock discipline — RAII-only acquisition, every raw mutex either
 //     a RankedMutex or rank-tagged (naked-lock, lock-rank rules);
 //   * name registration — metric/span string literals at call sites
 //     must be on the obs schema (metric-name, span-name rules);
+//   * architecture — include edges respect the tools/lint/layers.txt
+//     DAG and stay acyclic (layer-violation, include-cycle rules);
+//   * hot-path purity — `// cryptodrop:hot` functions and their
+//     resolvable callees never allocate, throw, block or take raw
+//     mutexes (hot-alloc, hot-throw, hot-blocking, hot-unranked-lock,
+//     hot-annotation rules);
 //   * header hygiene — every header compiles standalone (the binary
 //     generates one-include TUs; needs --compiler).
 //
 // Suppressions live in tools/lint/lint_allow.txt; entries that match
-// nothing are themselves an error, so the list only ever shrinks.
+// nothing are themselves an error, so the list only ever shrinks —
+// the stale diagnostic names the rule and the nearest current match.
+//
+// --report-json FILE writes the machine-readable run summary (graph
+// shape, per-layer fan-in/out, hot-set size, violation counts) so CI
+// can archive it and future PRs can gate on architecture drift.
 //
 // The name tables come from the linked obs library — the same
 // functions docs_check cross-checks against the live engine and
@@ -22,9 +35,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "lint/graph.hpp"
 #include "lint/lint_rules.hpp"
 #include "lint/scan.hpp"
 #include "obs/names.hpp"
@@ -47,13 +63,16 @@ bool has_ext(const fs::path& p, std::initializer_list<const char*> exts) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: cryptodrop_lint <repo_root> [--compiler <c++>]\n");
+                 "usage: cryptodrop_lint <repo_root> [--compiler <c++>] "
+                 "[--report-json <file>]\n");
     return 2;
   }
   const fs::path root = argv[1];
   std::string compiler;
+  std::string report_path;
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--compiler") compiler = argv[i + 1];
+    if (std::string(argv[i]) == "--report-json") report_path = argv[i + 1];
   }
 
   int failures = 0;
@@ -104,41 +123,116 @@ int main(int argc, char** argv) {
     ++failures;
   }
 
-  // -- Source walk.
-  std::vector<fs::path> sources;
-  for (const char* dir : {"src", "tools", "bench"}) {
+  // -- Layer spec (the checked-in architecture DAG).
+  std::vector<std::string> layer_errors;
+  const auto layers = cryptodrop::lint::LayerSpec::parse(
+      cryptodrop::lint::read_lines_or_exit(
+          (root / "tools/lint/layers.txt").string()),
+      &layer_errors);
+  for (const std::string& err : layer_errors) {
+    std::fprintf(stderr, "lint: %s\n", err.c_str());
+    ++failures;
+  }
+
+  // -- Source walk. tests/ joins the include-graph pass only: test
+  // code may use ambient randomness and clocks, but its include edges
+  // are part of the architecture.
+  std::vector<fs::path> sources;     // line-rule scope (src, tools, bench)
+  std::map<std::string, std::vector<std::string>> graph_files;
+  for (const char* dir : {"src", "tools", "bench", "tests"}) {
     const fs::path base = root / dir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (entry.is_regular_file() &&
-          has_ext(entry.path(), {".cpp", ".cc", ".hpp", ".h"})) {
-        sources.push_back(entry.path());
+      if (!entry.is_regular_file() ||
+          !has_ext(entry.path(), {".cpp", ".cc", ".hpp", ".h"})) {
+        continue;
       }
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      graph_files[rel] =
+          cryptodrop::lint::read_lines_or_exit(entry.path().string());
+      if (std::string(dir) != "tests") sources.push_back(entry.path());
     }
   }
   std::sort(sources.begin(), sources.end());
 
-  std::size_t suppressed = 0;
+  // -- Gather every violation first (line rules, include graph, hot
+  // paths), then apply the allowlist in one place. rule -> files with
+  // findings feeds the stale-entry "nearest match" hint.
+  std::vector<cryptodrop::lint::Issue> issues;
   for (const fs::path& path : sources) {
     const std::string rel = fs::relative(path, root).generic_string();
-    const auto lines = cryptodrop::lint::read_lines_or_exit(path.string());
-    for (const auto& issue :
-         cryptodrop::lint::lint_source(rel, lines, tables)) {
-      if (allow.allows(issue.rule, issue.file)) {
-        ++suppressed;
-        continue;
-      }
-      std::fprintf(stderr, "lint: %s:%zu: [%s] %s\n", issue.file.c_str(),
-                   issue.line, issue.rule.c_str(), issue.message.c_str());
-      ++failures;
+    for (auto& issue :
+         cryptodrop::lint::lint_source(rel, graph_files.at(rel), tables)) {
+      issues.push_back(std::move(issue));
     }
   }
 
-  for (const std::string& stale : allow.unused_entries()) {
-    std::fprintf(stderr,
-                 "lint: stale lint_allow.txt entry (matched nothing): %s\n",
-                 stale.c_str());
+  const auto graph = cryptodrop::lint::IncludeGraph::build(graph_files);
+  for (auto& issue : cryptodrop::lint::check_layering(graph, layers)) {
+    issues.push_back(std::move(issue));
+  }
+  for (auto& issue : cryptodrop::lint::check_cycles(graph)) {
+    issues.push_back(std::move(issue));
+  }
+
+  std::map<std::string, std::vector<std::string>> hot_files;
+  for (const auto& [rel, lines] : graph_files) {
+    if (cryptodrop::lint::starts_with(rel, "src/")) hot_files[rel] = lines;
+  }
+  const auto hot = cryptodrop::lint::check_hot_paths(hot_files);
+  for (const auto& issue : hot.issues) issues.push_back(issue);
+
+  std::size_t suppressed = 0;
+  std::map<std::string, std::set<std::string>> rule_files;
+  std::map<std::string, std::size_t> unsuppressed_by_rule;
+  for (const auto& issue : issues) {
+    rule_files[issue.rule].insert(issue.file);
+    if (allow.allows(issue.rule, issue.file)) {
+      ++suppressed;
+      continue;
+    }
+    ++unsuppressed_by_rule[issue.rule];
+    std::fprintf(stderr, "lint: %s:%zu: [%s] %s\n", issue.file.c_str(),
+                 issue.line, issue.rule.c_str(), issue.message.c_str());
     ++failures;
+  }
+
+  for (const auto& [rule, path] : allow.unused_entry_keys()) {
+    const auto it = rule_files.find(rule);
+    std::string hint = "no current findings for this rule";
+    if (it != rule_files.end()) {
+      const std::vector<std::string> candidates(it->second.begin(),
+                                                it->second.end());
+      hint = "nearest current match: " +
+             cryptodrop::lint::nearest_path(path, candidates);
+    }
+    std::fprintf(stderr,
+                 "lint: stale lint_allow.txt entry for rule `%s` (matched "
+                 "nothing): %s — %s\n",
+                 rule.c_str(), path.c_str(), hint.c_str());
+    ++failures;
+  }
+
+  // -- Machine-readable run summary.
+  if (!report_path.empty()) {
+    cryptodrop::lint::ReportStats stats;
+    stats.files_scanned = graph_files.size();
+    stats.graph_nodes = graph.nodes.size();
+    stats.graph_edges = graph.edges.size();
+    stats.layers = cryptodrop::lint::layer_stats(graph, layers);
+    stats.hot_annotated = hot.annotated;
+    stats.hot_reachable = hot.reachable;
+    stats.violations_by_rule = unsuppressed_by_rule;
+    stats.suppressions_used = suppressed;
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "lint: cannot write report to %s\n",
+                   report_path.c_str());
+      ++failures;
+    } else {
+      out << cryptodrop::lint::render_report_json(stats);
+    }
   }
 
   // -- Header hygiene: each header must compile as the sole include of
@@ -184,8 +278,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "cryptodrop_lint: %zu files clean (%zu suppression(s) used, "
+      "cryptodrop_lint: %zu files clean (%zu include edges, %zu hot "
+      "functions reachable from %zu annotated, %zu suppression(s) used, "
       "%zu headers standalone)\n",
-      sources.size(), suppressed, headers_checked);
+      graph_files.size(), graph.edges.size(), hot.reachable, hot.annotated,
+      suppressed, headers_checked);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <sstream>
+#include <tuple>
 
 #include "lint/scan.hpp"
 
@@ -317,6 +318,380 @@ void check_span_names(const std::string& file, const JoinedSource& src,
   }
 }
 
+// --- hot-path purity pass (DESIGN.md §17) -------------------------------
+//
+// A deliberately small "call-graph-lite": function definitions are
+// recognized by token shape in comment-stripped text, callees by
+// unqualified name. Good enough for a gate — misses are false
+// negatives (documented), never false positives on clean code.
+
+/// C++ keywords (and keyword-shaped tokens) that look like `name(`
+/// but are neither definitions nor calls worth resolving.
+bool keywordish(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",     "catch",
+      "return",   "sizeof",   "alignof",  "alignas",    "decltype",
+      "noexcept", "new",      "delete",   "throw",      "else",
+      "do",       "case",     "default",  "template",   "typename",
+      "using",    "namespace", "const",   "constexpr",  "static",
+      "operator", "defined",  "assert",   "static_assert",
+      "co_await", "co_return", "co_yield", "requires",  "explicit",
+  };
+  return kKeywords.count(name) != 0;
+}
+
+/// Joined stripped text with preprocessor lines blanked — directives
+/// (`#if`, `#include`, ...) are not statements and confuse the
+/// definition scanner.
+JoinedSource join_for_parsing(const std::vector<std::string>& lines) {
+  CommentStripper stripper;
+  JoinedSource out;
+  for (const std::string& line : lines) {
+    out.line_starts.push_back(out.text.size());
+    std::string code = stripper.strip(line, /*keep_strings=*/false);
+    const std::string lead = trim(code);
+    if (!lead.empty() && lead[0] == '#') code.clear();
+    out.text += code;
+    out.text += '\n';
+  }
+  return out;
+}
+
+/// Offset of the bracket matching the opener at `open`, or npos.
+std::size_t match_bracket(const std::string& t, std::size_t open, char open_c,
+                          char close_c) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i] == open_c) ++depth;
+    if (t[i] == close_c && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+bool ws(char c) { return c == ' ' || c == '\t' || c == '\n'; }
+
+/// One function definition recognized in a file's parsed text.
+struct FunctionDef {
+  std::string file;
+  std::string name;           ///< Unqualified (last :: segment).
+  std::size_t name_line = 0;  ///< 1-based line of the name token.
+  std::size_t body_begin = 0; ///< Offset of the body '{'.
+  std::size_t body_end = 0;   ///< Offset of the matching '}'.
+};
+
+/// Consumes a constructor init list starting after the ':' at `*p`;
+/// returns true (with `*p` at the body '{') when a body follows.
+bool consume_ctor_init_list(const std::string& t, std::size_t* p) {
+  while (*p < t.size()) {
+    while (*p < t.size() && ws(t[*p])) ++*p;
+    std::size_t id = *p;
+    while (*p < t.size() && (ident_char(t[*p]) || t[*p] == ':')) ++*p;
+    const bool had_member = *p > id;
+    while (*p < t.size() && ws(t[*p])) ++*p;
+    if (*p >= t.size()) return false;
+    if (t[*p] == '(' || (t[*p] == '{' && had_member)) {
+      const char open = t[*p];
+      const std::size_t close =
+          match_bracket(t, *p, open, open == '(' ? ')' : '}');
+      if (close == std::string::npos) return false;
+      *p = close + 1;
+    } else if (t[*p] == '{') {
+      return true;  // body (no member before the brace)
+    } else {
+      return false;
+    }
+    while (*p < t.size() && ws(t[*p])) ++*p;
+    if (*p < t.size() && t[*p] == ',') {
+      ++*p;
+      continue;
+    }
+    while (*p < t.size() && ws(t[*p])) ++*p;
+    return *p < t.size() && t[*p] == '{';
+  }
+  return false;
+}
+
+/// Extracts function definitions from one file's parsed text: an
+/// identifier, its parameter list, an optional qualifier tail
+/// (const/noexcept/override/final, trailing return, ctor init list),
+/// then a brace-matched body. Lambdas and operators are deliberately
+/// invisible (no identifier before the '(').
+void extract_defs(const std::string& file, const JoinedSource& src,
+                  std::vector<FunctionDef>* defs) {
+  const std::string& t = src.text;
+  for (std::size_t pos = t.find('('); pos != std::string::npos;
+       pos = t.find('(', pos + 1)) {
+    std::size_t end = pos;
+    while (end > 0 && (t[end - 1] == ' ' || t[end - 1] == '\t')) --end;
+    std::size_t begin = end;
+    while (begin > 0 && ident_char(t[begin - 1])) --begin;
+    if (begin == end) continue;  // lambda, operator, cast — no name
+    const std::string name = t.substr(begin, end - begin);
+    if (keywordish(name)) continue;
+    if (std::isdigit(static_cast<unsigned char>(t[begin]))) continue;
+    // `x.f(...)` / `x->f(...)` are calls, never definitions.
+    if (begin > 0 && t[begin - 1] == '.') continue;
+    if (begin > 1 && t[begin - 1] == '>' && t[begin - 2] == '-') continue;
+
+    const std::size_t close = match_bracket(t, pos, '(', ')');
+    if (close == std::string::npos) continue;
+    std::size_t p = close + 1;
+    bool is_def = false;
+    while (p < t.size()) {
+      while (p < t.size() && ws(t[p])) ++p;
+      if (p >= t.size()) break;
+      const char c = t[p];
+      if (c == '{') {
+        is_def = true;
+        break;
+      }
+      if (c == ':') {
+        is_def = consume_ctor_init_list(t, &(++p));
+        break;
+      }
+      if (c == '-' && p + 1 < t.size() && t[p + 1] == '>') {
+        // Trailing return type: scan to the body '{' (or ';') at
+        // bracket depth zero.
+        p += 2;
+        int depth = 0;
+        while (p < t.size()) {
+          const char c2 = t[p];
+          if (c2 == '(' || c2 == '[') ++depth;
+          if (c2 == ')' || c2 == ']') --depth;
+          if (depth == 0 && (c2 == '{' || c2 == ';')) break;
+          ++p;
+        }
+        continue;
+      }
+      if (ident_char(c)) {
+        std::size_t q = p;
+        while (q < t.size() && ident_char(t[q])) ++q;
+        const std::string word = t.substr(p, q - p);
+        if (word == "const" || word == "noexcept" || word == "override" ||
+            word == "final" || word == "mutable") {
+          p = q;
+          if (word == "noexcept") {
+            while (p < t.size() && ws(t[p])) ++p;
+            if (p < t.size() && t[p] == '(') {
+              const std::size_t nc = match_bracket(t, p, '(', ')');
+              if (nc == std::string::npos) break;
+              p = nc + 1;
+            }
+          }
+          continue;
+        }
+      }
+      break;  // ';', '=', ',', unknown token: a declaration or expression
+    }
+    if (!is_def) continue;
+    const std::size_t body_close = match_bracket(t, p, '{', '}');
+    if (body_close == std::string::npos) continue;
+    defs->push_back(
+        FunctionDef{file, name, src.line_of(begin), p, body_close});
+  }
+}
+
+/// Unqualified callee names mentioned as `name(` inside [begin, end).
+/// Only free-style calls are collected: a method call's receiver type
+/// is invisible to a lexical scanner, so resolving `s.append(...)` by
+/// bare name would wire std::string::append to any repo function that
+/// happens to be called `append`. Interface boundaries the closure
+/// must cross by dispatch (entropy backends, digest cache, queue,
+/// pool) carry their own `// cryptodrop:hot` markers on the callee
+/// side instead — see DESIGN.md §17.
+std::set<std::string> collect_callees(const std::string& t, std::size_t begin,
+                                      std::size_t end) {
+  std::set<std::string> names;
+  for (std::size_t pos = t.find('(', begin);
+       pos != std::string::npos && pos < end; pos = t.find('(', pos + 1)) {
+    std::size_t e = pos;
+    while (e > begin && (t[e - 1] == ' ' || t[e - 1] == '\t')) --e;
+    std::size_t b = e;
+    while (b > begin && ident_char(t[b - 1])) --b;
+    if (b == e) continue;
+    const std::string name = t.substr(b, e - b);
+    if (keywordish(name)) continue;
+    if (std::isdigit(static_cast<unsigned char>(t[b]))) continue;
+    if (b > begin && t[b - 1] == '.') continue;  // method call
+    if (b > begin + 1 && t[b - 1] == '>' && t[b - 2] == '-') continue;
+    // Qualified calls: walk the `a::b::name` chain to its root and
+    // skip the standard library (std::to_string is not the repo's
+    // to_string).
+    std::size_t q = b;
+    std::string root = name;
+    while (q > begin + 1 && t[q - 1] == ':' && t[q - 2] == ':') {
+      q -= 2;
+      const std::size_t seg_end = q;
+      while (q > begin && ident_char(t[q - 1])) --q;
+      if (q == seg_end) break;
+      root = t.substr(q, seg_end - q);
+    }
+    if (root == "std") continue;
+    names.insert(name);
+  }
+  return names;
+}
+
+/// The first two path components ("src/core" for src/core/engine.cpp):
+/// the granularity of the callee-ambiguity cap.
+std::string top_dirs(const std::string& path) {
+  std::size_t slash = path.find('/');
+  if (slash == std::string::npos) return path;
+  slash = path.find('/', slash + 1);
+  return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+/// Walks the dotted/arrowed receiver chain left of a growth call and
+/// reports whether any segment names a pooled buffer (pool / scratch /
+/// shelf) — `shelf.free.push_back(...)` is the sanctioned freelist
+/// idiom, not a hot-path allocation.
+bool poolish_receiver(const std::string& t, std::size_t pos) {
+  std::size_t i = pos;
+  while (true) {
+    if (i >= 1 && t[i - 1] == '.') {
+      --i;
+    } else if (i >= 2 && t[i - 1] == '>' && t[i - 2] == '-') {
+      i -= 2;
+    } else {
+      return false;
+    }
+    // Skip one trailing call/subscript group: `buf()[k].push_back`.
+    while (i > 0 && (t[i - 1] == ')' || t[i - 1] == ']')) {
+      const char close = t[i - 1];
+      const char open = close == ')' ? '(' : '[';
+      int depth = 0;
+      while (i > 0) {
+        --i;
+        if (t[i] == close) ++depth;
+        if (t[i] == open && --depth == 0) break;
+      }
+    }
+    std::size_t e = i;
+    while (i > 0 && ident_char(t[i - 1])) --i;
+    std::string seg;
+    for (std::size_t k = i; k < e; ++k) {
+      seg += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(t[k])));
+    }
+    if (seg.find("pool") != std::string::npos ||
+        seg.find("scratch") != std::string::npos ||
+        seg.find("shelf") != std::string::npos) {
+      return true;
+    }
+    if (i == e) return false;  // chain start was not an identifier
+  }
+}
+
+/// True when the token at [pos, pos+len) stands alone as an identifier.
+bool word_at(const std::string& t, std::size_t pos, std::size_t len) {
+  if (!boundary_before(t, pos)) return false;
+  return pos + len >= t.size() || !ident_char(t[pos + len]);
+}
+
+/// Scans one hot-closure function body for banned constructs.
+void scan_hot_body(const FunctionDef& def, const JoinedSource& src,
+                   const std::string& chain, std::vector<Issue>* issues) {
+  const std::string& t = src.text;
+  const auto flag = [&](std::size_t pos, const std::string& rule,
+                        const std::string& what, const std::string& why) {
+    issues->push_back(Issue{def.file, src.line_of(pos), rule,
+                            "`" + what + "` " + why +
+                                " on a cryptodrop:hot path (via " + chain +
+                                ")"});
+  };
+
+  // Allocation: operator new, smart-pointer factories, raw malloc.
+  for (const char* token : {"new", "throw"}) {
+    const std::size_t len = std::string(token).size();
+    for (std::size_t pos = t.find(token, def.body_begin);
+         pos != std::string::npos && pos < def.body_end;
+         pos = t.find(token, pos + 1)) {
+      if (!word_at(t, pos, len)) continue;
+      if (token[0] == 'n') {
+        flag(pos, "hot-alloc", token, "allocates");
+      } else {
+        flag(pos, "hot-throw", token, "unwinds (report errors by value)");
+      }
+    }
+  }
+  for (const char* token :
+       {"make_unique", "make_shared", "malloc(", "calloc(", "realloc("}) {
+    const std::string tok = token;
+    const std::size_t name_len =
+        tok.back() == '(' ? tok.size() - 1 : tok.size();
+    for (std::size_t pos = t.find(tok, def.body_begin);
+         pos != std::string::npos && pos < def.body_end;
+         pos = t.find(tok, pos + 1)) {
+      if (!boundary_before(t, pos)) continue;
+      if (tok.back() != '(' && pos + name_len < t.size() &&
+          ident_char(t[pos + name_len])) {
+        continue;
+      }
+      flag(pos, "hot-alloc", tok.substr(0, name_len), "allocates");
+    }
+  }
+
+  // Container growth — exempting the pooled-freelist idiom. reserve()
+  // is deliberately absent: pre-sizing is the sanctioned fix.
+  for (const char* token : {"push_back", "emplace_back", "push_front",
+                            "emplace_front", "emplace(", "resize(",
+                            "append("}) {
+    const std::string tok = token;
+    const std::size_t name_len =
+        tok.back() == '(' ? tok.size() - 1 : tok.size();
+    for (std::size_t pos = t.find(tok, def.body_begin);
+         pos != std::string::npos && pos < def.body_end;
+         pos = t.find(tok, pos + 1)) {
+      if (!boundary_before(t, pos)) continue;
+      if (tok.back() != '(' && pos + name_len < t.size() &&
+          ident_char(t[pos + name_len])) {
+        continue;
+      }
+      if (poolish_receiver(t, pos)) continue;
+      flag(pos, "hot-alloc", tok.substr(0, name_len), "may grow a container");
+    }
+  }
+
+  // Blocking syscalls as free calls — `stream.read(...)` is a member
+  // of something already vetted; bare `read(...)`/`::read(...)` is the
+  // OS. std::this_thread::sleep_* is reached via its `::` spelling.
+  for (const char* token :
+       {"read(", "write(", "open(", "poll(", "select(", "sleep(",
+        "usleep(", "nanosleep(", "sleep_for", "sleep_until", "fopen(",
+        "fread(", "fwrite(", "fsync("}) {
+    const std::string tok = token;
+    const std::size_t name_len =
+        tok.back() == '(' ? tok.size() - 1 : tok.size();
+    for (std::size_t pos = t.find(tok, def.body_begin);
+         pos != std::string::npos && pos < def.body_end;
+         pos = t.find(tok, pos + 1)) {
+      if (!boundary_before(t, pos)) continue;
+      if (tok.back() != '(' && pos + name_len < t.size() &&
+          ident_char(t[pos + name_len])) {
+        continue;
+      }
+      if (pos > 0 && t[pos - 1] == '.') continue;
+      if (pos > 1 && t[pos - 1] == '>' && t[pos - 2] == '-') continue;
+      flag(pos, "hot-blocking", tok.substr(0, name_len), "blocks");
+    }
+  }
+
+  // Raw mutex types: hot code locks through RankedMutex or not at all.
+  for (const char* token : {"std::mutex", "std::shared_mutex"}) {
+    const std::string tok = token;
+    for (std::size_t pos = t.find(tok, def.body_begin);
+         pos != std::string::npos && pos < def.body_end;
+         pos = t.find(tok, pos + 1)) {
+      if (!boundary_before(t, pos)) continue;
+      if (pos + tok.size() < t.size() && ident_char(t[pos + tok.size()])) {
+        continue;
+      }
+      flag(pos, "hot-unranked-lock", tok,
+           "is an unranked mutex — use common::RankedMutex");
+    }
+  }
+}
+
 }  // namespace
 
 std::set<std::string> NameTables::expanded_metric_names() const {
@@ -360,9 +735,23 @@ Allowlist Allowlist::parse(const std::vector<std::string>& lines,
 
 bool Allowlist::allows(const std::string& rule, const std::string& file) {
   const auto it = entries_.find({rule, file});
-  if (it == entries_.end()) return false;
-  it->second = true;
-  return true;
+  if (it != entries_.end()) {
+    it->second = true;
+    return true;
+  }
+  // Directory entries: a path ending in '/' suppresses the rule for
+  // every file under it (one justified entry per subsystem, not per
+  // file).
+  for (auto& [key, used] : entries_) {
+    if (key.first != rule) continue;
+    const std::string& prefix = key.second;
+    if (prefix.empty() || prefix.back() != '/') continue;
+    if (file.compare(0, prefix.size(), prefix) == 0) {
+      used = true;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<std::string> Allowlist::unused_entries() const {
@@ -371,6 +760,133 @@ std::vector<std::string> Allowlist::unused_entries() const {
     if (!used) stale.push_back(key.first + " " + key.second);
   }
   return stale;
+}
+
+std::vector<std::pair<std::string, std::string>> Allowlist::unused_entry_keys()
+    const {
+  std::vector<std::pair<std::string, std::string>> stale;
+  for (const auto& [key, used] : entries_) {
+    if (!used) stale.push_back(key);
+  }
+  return stale;
+}
+
+std::string nearest_path(const std::string& path,
+                         const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_cost = std::string::npos;
+  for (const std::string& candidate : candidates) {
+    // Classic two-row Levenshtein — candidate lists are tiny.
+    const std::size_t n = path.size();
+    const std::size_t m = candidate.size();
+    std::vector<std::size_t> prev(m + 1);
+    std::vector<std::size_t> curr(m + 1);
+    for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+      curr[0] = i;
+      for (std::size_t j = 1; j <= m; ++j) {
+        const std::size_t sub =
+            prev[j - 1] + (path[i - 1] == candidate[j - 1] ? 0 : 1);
+        curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+      }
+      std::swap(prev, curr);
+    }
+    const std::size_t cost = prev[m];
+    if (cost < best_cost || (cost == best_cost && candidate < best)) {
+      best = candidate;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+HotPathReport check_hot_paths(
+    const std::map<std::string, std::vector<std::string>>& files) {
+  HotPathReport report;
+
+  // Parse every file once; collect definitions and annotation lines.
+  std::map<std::string, JoinedSource> parsed;
+  std::vector<FunctionDef> defs;
+  std::map<std::string, std::vector<std::size_t>> markers;  // file -> lines
+  for (const auto& [file, lines] : files) {
+    parsed.emplace(file, join_for_parsing(lines));
+    extract_defs(file, parsed.at(file), &defs);
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      if (lines[n].find("cryptodrop:hot") != std::string::npos) {
+        markers[file].push_back(n + 1);
+      }
+    }
+  }
+
+  // Name -> definitions, for callee resolution.
+  std::map<std::string, std::vector<const FunctionDef*>> by_name;
+  for (const FunctionDef& def : defs) by_name[def.name].push_back(&def);
+
+  // Bind each marker to the next definition within a few lines —
+  // markers sit directly above the signature (which may wrap).
+  constexpr std::size_t kMarkerWindow = 8;
+  std::vector<const FunctionDef*> roots;
+  for (const auto& [file, lines] : markers) {
+    for (std::size_t marker_line : lines) {
+      const FunctionDef* bound = nullptr;
+      for (const FunctionDef& def : defs) {
+        if (def.file != file) continue;
+        if (def.name_line < marker_line ||
+            def.name_line > marker_line + kMarkerWindow) {
+          continue;
+        }
+        if (bound == nullptr || def.name_line < bound->name_line) {
+          bound = &def;
+        }
+      }
+      if (bound == nullptr) {
+        report.issues.push_back(Issue{
+            file, marker_line, "hot-annotation",
+            "`// cryptodrop:hot` is not attached to a recognizable "
+            "function definition (none starts within " +
+                std::to_string(kMarkerWindow) + " lines below the marker)"});
+        continue;
+      }
+      roots.push_back(bound);
+    }
+  }
+  report.annotated = roots.size();
+
+  // BFS through same-repo callees resolvable by name. Names defined in
+  // more than two top-level subsystems are too generic to resolve —
+  // skipping them trades false negatives for a quiet gate.
+  std::set<const FunctionDef*> visited;
+  std::vector<std::pair<const FunctionDef*, std::string>> queue;
+  for (const FunctionDef* root : roots) {
+    if (visited.insert(root).second) queue.emplace_back(root, root->name);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto [def, chain] = queue[head];
+    scan_hot_body(*def, parsed.at(def->file), chain, &report.issues);
+    for (const std::string& callee :
+         collect_callees(parsed.at(def->file).text, def->body_begin,
+                         def->body_end)) {
+      const auto it = by_name.find(callee);
+      if (it == by_name.end()) continue;
+      std::set<std::string> dirs;
+      for (const FunctionDef* target : it->second) {
+        dirs.insert(top_dirs(target->file));
+      }
+      if (dirs.size() > 2) continue;  // ambiguity cap
+      for (const FunctionDef* target : it->second) {
+        if (visited.insert(target).second) {
+          queue.emplace_back(target, chain + " -> " + callee);
+        }
+      }
+    }
+  }
+  report.reachable = visited.size();
+
+  std::stable_sort(report.issues.begin(), report.issues.end(),
+                   [](const Issue& a, const Issue& b) {
+                     return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+                   });
+  return report;
 }
 
 std::vector<Issue> lint_source(const std::string& file,

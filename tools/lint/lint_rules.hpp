@@ -25,6 +25,25 @@
 //   span-name    ScopedSpan name (literal or span_name:: constant)
 //                not present in obs::known_span_names().
 //
+// Whole-repo rule families (DESIGN.md §17) — these see more than one
+// file at a time:
+//
+//   layer-violation, include-cycle
+//                the include-graph pass (lint/graph.hpp): edges must
+//                respect the tools/lint/layers.txt DAG and be acyclic.
+//   hot-alloc, hot-throw, hot-blocking, hot-unranked-lock
+//                the hot-path purity pass (check_hot_paths): functions
+//                annotated `// cryptodrop:hot`, and everything they
+//                transitively call that resolves by name inside the
+//                scanned set, must not allocate (new/make_unique/
+//                container growth), throw, issue blocking syscalls
+//                (read/write/open/poll/sleep family as free calls), or
+//                name a raw std::mutex / std::shared_mutex.
+//   hot-annotation
+//                a `// cryptodrop:hot` marker that is not attached to
+//                a recognizable function definition — dead annotations
+//                are an error, not a silent no-op.
+//
 // The header-hygiene rule (each public header compiles standalone) is
 // driven by the lint binary itself — it needs a compiler — and is not
 // part of this line-oriented engine.
@@ -67,7 +86,8 @@ struct NameTables {
 
 /// The checked-in suppression list (tools/lint/lint_allow.txt): one
 /// `rule path reason...` entry per line, `#` comments and blank lines
-/// skipped. Entries are matched per (rule, file) and tracked so the
+/// skipped. Entries are matched per (rule, file) — a path ending in
+/// `/` matches every file under that directory — and tracked so the
 /// binary can fail on stale entries.
 class Allowlist {
  public:
@@ -80,12 +100,40 @@ class Allowlist {
 
   /// Entries never consulted by a run over the whole tree — stale
   /// suppressions that must be pruned (satellite of the lint design:
-  /// the allowlist only ever shrinks).
+  /// the allowlist only ever shrinks). Formatted as "rule path".
   [[nodiscard]] std::vector<std::string> unused_entries() const;
+
+  /// The unused entries as (rule, path) pairs, for callers that want
+  /// to enrich the stale diagnostic (e.g. with the nearest current
+  /// match for the rule).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  unused_entry_keys() const;
 
  private:
   std::map<std::pair<std::string, std::string>, bool> entries_;
 };
+
+/// The candidate closest to `path` by edit distance (ties broken
+/// lexicographically), or "" when `candidates` is empty. Used to point
+/// a stale allowlist entry at the file its author probably meant.
+std::string nearest_path(const std::string& path,
+                         const std::vector<std::string>& candidates);
+
+/// Aggregate result of the hot-path purity pass.
+struct HotPathReport {
+  std::vector<Issue> issues;  ///< hot-* violations, sorted by file/line.
+  std::size_t annotated = 0;  ///< Functions carrying `// cryptodrop:hot`.
+  std::size_t reachable = 0;  ///< Transitive closure size (roots included).
+};
+
+/// Runs the hot-path purity pass over {repo-relative path -> raw
+/// lines}. Function definitions are extracted heuristically from
+/// comment-stripped text; callees are resolved by unqualified name
+/// against every definition in the scanned set (names defined in more
+/// than two top-level subsystems are skipped as ambiguous — see
+/// DESIGN.md §17 for why that false-negative trade is acceptable).
+HotPathReport check_hot_paths(
+    const std::map<std::string, std::vector<std::string>>& files);
 
 /// Runs every line-oriented rule over one file's raw lines. `file` is
 /// the repo-relative path used in diagnostics (and allowlist matching
